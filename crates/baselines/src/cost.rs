@@ -1,0 +1,133 @@
+//! Analytic communication-cost model (§2.3) and line-rate bounds.
+//!
+//! The paper's Figures 4, 7, and 8 plot "highest theoretically
+//! achievable rate based on the maximum goodput, given the line rate,
+//! for a given packet payload size and communication strategy"; these
+//! are those formulas.
+
+use crate::msg::{BASELINE_FRAME_OVERHEAD, MTU_ELEMS};
+use switchml_core::packet::wire_bytes;
+
+/// Bytes each worker sends (= receives) for an in-network aggregation
+/// of a `u_bytes` update: `2|U|` (§2.3 counts up + down).
+pub fn switchml_volume_bytes(u_bytes: u64) -> u64 {
+    2 * u_bytes
+}
+
+/// Bytes each worker sends + receives for bandwidth-optimal ring
+/// all-reduce: `4(n−1)|U|/n` (§2.3).
+pub fn ring_volume_bytes(u_bytes: u64, n: usize) -> u64 {
+    4 * (n as u64 - 1) * u_bytes / n as u64
+}
+
+/// Goodput fraction of a SwitchML packet carrying `k` 32-bit elements
+/// (at k = 32: 128/180 ≈ 71.1%, i.e. the paper's 28.9% header
+/// overhead; at MTU k = 366: 96.6%).
+pub fn switchml_goodput_frac(k: usize) -> f64 {
+    (4 * k) as f64 / wire_bytes(k) as f64
+}
+
+/// Goodput fraction of an MTU-sized baseline (TCP) packet.
+pub fn baseline_goodput_frac() -> f64 {
+    let payload = 4 * MTU_ELEMS;
+    let header = BASELINE_FRAME_OVERHEAD + 17; // chunk header bytes
+    payload as f64 / (payload + header) as f64
+}
+
+/// Aggregated tensor elements per second at line rate for SwitchML:
+/// every element crosses each worker's downlink exactly once, 4 bytes
+/// inside packets of `switchml_goodput_frac(k)` goodput.
+pub fn switchml_line_rate_ate(bandwidth_bps: u64, k: usize) -> f64 {
+    bandwidth_bps as f64 * switchml_goodput_frac(k) / (8.0 * 4.0)
+}
+
+/// Tensor aggregation time lower bound for SwitchML at line rate.
+pub fn switchml_line_rate_tat_ns(bandwidth_bps: u64, k: usize, elems: usize) -> f64 {
+    elems as f64 / switchml_line_rate_ate(bandwidth_bps, k) * 1e9
+}
+
+/// ATE/s at line rate for ring all-reduce: each worker moves
+/// `2(n−1)/n · E` elements per direction, so finishing `E` elements
+/// takes `2(n−1)/n` times as long as streaming them once.
+pub fn ring_line_rate_ate(bandwidth_bps: u64, n: usize) -> f64 {
+    let per_elem_factor = 2.0 * (n as f64 - 1.0) / n as f64;
+    bandwidth_bps as f64 * baseline_goodput_frac() / (8.0 * 4.0 * per_elem_factor)
+}
+
+/// TAT lower bound for ring all-reduce at line rate.
+pub fn ring_line_rate_tat_ns(bandwidth_bps: u64, n: usize, elems: usize) -> f64 {
+    elems as f64 / ring_line_rate_ate(bandwidth_bps, n) * 1e9
+}
+
+/// ATE/s at line rate for a dedicated parameter server exchanging
+/// SwitchML-format packets of `k` elements: the worker link carries
+/// each element once per direction — same bound as SwitchML.
+pub fn dedicated_ps_line_rate_ate(bandwidth_bps: u64, k: usize) -> f64 {
+    switchml_line_rate_ate(bandwidth_bps, k)
+}
+
+/// ATE/s bound for the colocated PS: the machine's link carries both
+/// the worker's own update/result stream and the shard's aggregation
+/// traffic, halving the achievable rate.
+pub fn colocated_ps_line_rate_ate(bandwidth_bps: u64, k: usize) -> f64 {
+    switchml_line_rate_ate(bandwidth_bps, k) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_header_overhead() {
+        // §5.5: 28.9% overhead at k = 32, 3.4% at MTU size.
+        assert!((1.0 - switchml_goodput_frac(32) - 0.289).abs() < 0.001);
+        assert!((1.0 - switchml_goodput_frac(366) - 0.034).abs() < 0.001);
+    }
+
+    #[test]
+    fn volumes_match_section_2_3() {
+        let u = 100_000_000; // 100 MB
+        assert_eq!(switchml_volume_bytes(u), 200_000_000);
+        assert_eq!(ring_volume_bytes(u, 8), 350_000_000);
+        // In-network aggregation always moves less than ring for n > 2.
+        for n in 3..=64 {
+            assert!(switchml_volume_bytes(u) < ring_volume_bytes(u, n));
+        }
+        // And exactly the same at n = 2.
+        assert_eq!(switchml_volume_bytes(u), ring_volume_bytes(u, 2));
+    }
+
+    #[test]
+    fn line_rates_at_10g() {
+        // SwitchML at 10 Gbps, k=32: 10e9 × 0.711 / 32 ≈ 222 M elem/s
+        // (the "ATE/s at line rate" line in Figure 4 top).
+        let ate = switchml_line_rate_ate(10_000_000_000, 32);
+        assert!((ate - 222.2e6).abs() < 1e6, "{ate}");
+        // Ring at 8 workers lands near 174 M elem/s.
+        let ring = ring_line_rate_ate(10_000_000_000, 8);
+        assert!(ring < ate && ring > 150e6, "{ring}");
+        // Colocated PS is half of SwitchML's bound.
+        assert!(
+            (colocated_ps_line_rate_ate(10_000_000_000, 32) * 2.0 - ate).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn tat_scales_linearly_with_tensor() {
+        let t1 = switchml_line_rate_tat_ns(10_000_000_000, 32, 1_000_000);
+        let t2 = switchml_line_rate_tat_ns(10_000_000_000, 32, 2_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtu_packets_improve_tat_by_a_third() {
+        // §5.5: MTU-sized packets would "improve TAT by 31.6%": the
+        // goodput ratio 0.966/0.711 ≈ 1.36 → TAT shrinks by ~27%...
+        // measured against the paper's statement the gain is in the
+        // 25–35% band.
+        let small = switchml_line_rate_tat_ns(100_000_000_000, 32, 10_000_000);
+        let mtu = switchml_line_rate_tat_ns(100_000_000_000, 366, 10_000_000);
+        let gain = 1.0 - mtu / small;
+        assert!((0.2..0.4).contains(&gain), "gain {gain}");
+    }
+}

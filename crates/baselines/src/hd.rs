@@ -1,0 +1,339 @@
+//! Halving-and-doubling all-reduce (§2.1's other classic algorithm,
+//! Thakur et al. \[57\]).
+//!
+//! Recursive vector halving with distance doubling for the
+//! reduce-scatter phase, then the mirror-image recursive doubling
+//! all-gather: `log₂ n` steps per phase, each exchanging half the
+//! remaining range with partner `rank ⊕ 2^t`. Requires a power-of-two
+//! worker count. Latency-optimal in step count (2·log₂ n vs. ring's
+//! 2(n−1)) at the cost of non-uniform (tree) traffic through the
+//! switch.
+//!
+//! This baseline has no loss recovery — it is used on lossless
+//! configurations only (the loss experiments compare SwitchML against
+//! the ring baselines, as the paper does).
+
+use crate::host::HostModel;
+use crate::msg::{BaselineMsg, BASELINE_FRAME_OVERHEAD, MTU_ELEMS};
+use std::any::Any;
+use std::collections::HashMap;
+use switchml_netsim::prelude::*;
+
+const HOST_TOKEN_BIT: u64 = 1 << 63;
+
+/// Configuration for one halving-doubling participant.
+#[derive(Debug, Clone)]
+pub struct HdParams {
+    pub rank: usize,
+    pub n: usize,
+    pub elems: usize,
+    pub mtu_elems: usize,
+    pub host_cost: Nanos,
+}
+
+impl HdParams {
+    pub fn new(rank: usize, n: usize, elems: usize) -> Self {
+        assert!(n.is_power_of_two(), "halving-doubling needs 2^k workers");
+        HdParams {
+            rank,
+            n,
+            elems,
+            mtu_elems: MTU_ELEMS,
+            host_cost: Nanos(4_000),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StepPlan {
+    partner: usize,
+    /// Element range transmitted at this step.
+    send: (usize, usize),
+    /// Element range received at this step.
+    recv: (usize, usize),
+    /// Whether received values are added (reduce-scatter) or copied
+    /// (all-gather).
+    reduce: bool,
+}
+
+/// One halving-doubling all-reduce participant.
+pub struct HdNode {
+    p: HdParams,
+    /// Node id per rank.
+    peers: Vec<NodeId>,
+    data: Vec<f32>,
+    plan: Vec<StepPlan>,
+    send_step: usize,
+    done_recv: usize,
+    recv_seen: Vec<bool>,
+    recv_count: usize,
+    future: HashMap<u32, Vec<(u32, Vec<f32>)>>,
+    host: HostModel<SimPacket>,
+    completed: bool,
+    pub pkts_sent: u64,
+}
+
+impl HdNode {
+    pub fn new(p: HdParams, data: Vec<f32>, peers: Vec<NodeId>) -> Self {
+        assert_eq!(data.len(), p.elems);
+        assert_eq!(peers.len(), p.n);
+        let plan = Self::plan(&p);
+        let host = HostModel::new(1, p.host_cost);
+        let mut node = HdNode {
+            p,
+            peers,
+            data,
+            plan,
+            send_step: 0,
+            done_recv: 0,
+            recv_seen: Vec::new(),
+            recv_count: 0,
+            future: HashMap::new(),
+            host,
+            completed: false,
+            pkts_sent: 0,
+        };
+        node.begin_recv_step();
+        node
+    }
+
+    fn plan(p: &HdParams) -> Vec<StepPlan> {
+        let levels = p.n.trailing_zeros() as usize;
+        // Range after each reduce-scatter step.
+        let mut ranges = vec![(0usize, p.elems)];
+        let mut plan = Vec::with_capacity(2 * levels);
+        for t in 0..levels {
+            let (lo, hi) = *ranges.last().expect("non-empty");
+            let mid = lo + (hi - lo) / 2;
+            let partner = p.rank ^ (1 << t);
+            let keep_low = p.rank & (1 << t) == 0;
+            let (keep, give) = if keep_low {
+                ((lo, mid), (mid, hi))
+            } else {
+                ((mid, hi), (lo, mid))
+            };
+            plan.push(StepPlan {
+                partner,
+                send: give,
+                recv: keep,
+                reduce: true,
+            });
+            ranges.push(keep);
+        }
+        // All-gather mirrors the halving in reverse.
+        for t in (0..levels).rev() {
+            let partner = p.rank ^ (1 << t);
+            let mine = ranges[t + 1];
+            let outer = ranges[t];
+            let other = if mine.0 == outer.0 {
+                (mine.1, outer.1)
+            } else {
+                (outer.0, mine.0)
+            };
+            plan.push(StepPlan {
+                partner,
+                send: mine,
+                recv: other,
+                reduce: false,
+            });
+            ranges[t + 1] = outer; // conceptual; ranges not reused after
+        }
+        plan
+    }
+
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    fn nseq(&self, range: (usize, usize)) -> usize {
+        (range.1 - range.0).div_ceil(self.p.mtu_elems).max(1)
+    }
+
+    fn begin_recv_step(&mut self) {
+        if self.done_recv < self.plan.len() {
+            let nseq = self.nseq(self.plan[self.done_recv].recv);
+            self.recv_seen = vec![false; nseq];
+            self.recv_count = 0;
+        }
+    }
+
+    fn send_range(&mut self, step: usize, ctx: &mut dyn NodeCtx) {
+        let plan = self.plan[step];
+        let (lo, hi) = plan.send;
+        let nseq = self.nseq(plan.send);
+        let dest = self.peers[plan.partner];
+        for seq in 0..nseq {
+            let a = lo + seq * self.p.mtu_elems;
+            let b = (a + self.p.mtu_elems).min(hi);
+            let msg = BaselineMsg::Chunk {
+                step: step as u32,
+                src: self.p.rank as u16,
+                seq: seq as u32,
+                nseq: nseq as u32,
+                elems: self.data[a..b].to_vec(),
+            };
+            self.pkts_sent += 1;
+            let pkt = SimPacket::new(ctx.self_id(), dest, msg.encode(), BASELINE_FRAME_OVERHEAD);
+            if self.host.is_instant() {
+                ctx.send(pkt);
+            } else {
+                let release = self.host.enqueue(ctx.now(), 0, pkt);
+                ctx.set_timer(release - ctx.now(), TimerToken(release.0 | HOST_TOKEN_BIT));
+            }
+        }
+    }
+
+    fn apply_chunk(&mut self, seq: usize, elems: &[f32]) {
+        let plan = self.plan[self.done_recv];
+        let (lo, hi) = plan.recv;
+        if self.recv_seen.get(seq).copied().unwrap_or(true) {
+            return;
+        }
+        let a = lo + seq * self.p.mtu_elems;
+        for (i, &x) in elems.iter().enumerate() {
+            let at = a + i;
+            if at < hi {
+                if plan.reduce {
+                    self.data[at] += x;
+                } else {
+                    self.data[at] = x;
+                }
+            }
+        }
+        self.recv_seen[seq] = true;
+        self.recv_count += 1;
+    }
+
+    fn advance(&mut self, ctx: &mut dyn NodeCtx) {
+        loop {
+            if self.done_recv >= self.plan.len() || self.recv_count < self.recv_seen.len() {
+                break;
+            }
+            self.done_recv += 1;
+            if self.send_step == self.done_recv && self.send_step < self.plan.len() {
+                let s = self.send_step;
+                self.send_range(s, ctx);
+                self.send_step += 1;
+            }
+            self.begin_recv_step();
+            if let Some(buf) = self.future.remove(&(self.done_recv as u32)) {
+                for (seq, elems) in buf {
+                    self.apply_chunk(seq as usize, &elems);
+                }
+            }
+        }
+        if self.done_recv >= self.plan.len() && !self.completed {
+            self.completed = true;
+            ctx.complete();
+        }
+    }
+}
+
+impl Node for HdNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        if self.plan.is_empty() {
+            self.completed = true;
+            ctx.complete();
+            return;
+        }
+        self.send_range(0, ctx);
+        self.send_step = 1;
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            return;
+        }
+        let msg = match BaselineMsg::decode(&pkt.payload) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        if let BaselineMsg::Chunk {
+            step, seq, elems, ..
+        } = msg
+        {
+            let step = step as usize;
+            if step < self.done_recv {
+                return;
+            }
+            if step > self.done_recv {
+                self.future
+                    .entry(step as u32)
+                    .or_default()
+                    .push((seq, elems));
+                return;
+            }
+            self.apply_chunk(seq as usize, &elems);
+            self.advance(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        if token.0 & HOST_TOKEN_BIT != 0 {
+            while let Some(pkt) = self.host.pop_due(ctx.now()) {
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_partner_symmetry() {
+        // If rank a exchanges with b at step t, then b exchanges with
+        // a, and a's send range is b's recv range.
+        let n = 8;
+        let e = 800;
+        let plans: Vec<Vec<StepPlan>> = (0..n)
+            .map(|r| HdNode::plan(&HdParams::new(r, n, e)))
+            .collect();
+        for t in 0..plans[0].len() {
+            for a in 0..n {
+                let b = plans[a][t].partner;
+                assert_eq!(plans[b][t].partner, a);
+                assert_eq!(plans[a][t].send, plans[b][t].recv, "a={a} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_halves_then_doubles() {
+        let p = HdParams::new(3, 8, 640);
+        let plan = HdNode::plan(&p);
+        assert_eq!(plan.len(), 6);
+        let sizes: Vec<usize> = plan.iter().map(|s| s.send.1 - s.send.0).collect();
+        assert_eq!(sizes, vec![320, 160, 80, 80, 160, 320]);
+        assert!(plan[..3].iter().all(|s| s.reduce));
+        assert!(plan[3..].iter().all(|s| !s.reduce));
+    }
+
+    #[test]
+    fn total_volume_matches_theory() {
+        // Each node sends E(n-1)/n elements per phase; 2E(n-1)/n total.
+        let n = 4;
+        let e = 400;
+        let plan = HdNode::plan(&HdParams::new(0, n, e));
+        let sent: usize = plan.iter().map(|s| s.send.1 - s.send.0).sum();
+        assert_eq!(sent, 2 * e * (n - 1) / n);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k workers")]
+    fn non_power_of_two_rejected() {
+        HdParams::new(0, 6, 100);
+    }
+}

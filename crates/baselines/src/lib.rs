@@ -1,0 +1,33 @@
+//! # switchml-baselines
+//!
+//! Collective-communication strategies over the `switchml-netsim`
+//! substrate — both the SwitchML protocol itself (adapter nodes
+//! driving the sans-IO state machines from `switchml-core`) and the
+//! baselines the paper evaluates against:
+//!
+//! * [`ring`] — bandwidth-optimal ring all-reduce with TCP-calibrated
+//!   loss recovery (the Gloo / NCCL stand-in);
+//! * [`hd`] — halving-and-doubling all-reduce;
+//! * [`run::run_ps`] — dedicated and colocated parameter servers
+//!   (the paper's DPDK "Algorithm 1 in software" comparison);
+//! * [`switchml`] / [`run::run_switchml_hierarchy`] — single-rack and
+//!   §6 multi-rack SwitchML;
+//! * [`cost`] — the §2.3 analytic volumes and line-rate bounds drawn
+//!   as horizontal rules in Figures 4, 7 and 8;
+//! * [`host`] — the per-packet end-host CPU model that separates
+//!   DPDK-class workers from kernel-TCP baselines.
+
+pub mod colocated;
+pub mod cost;
+pub mod hd;
+pub mod host;
+pub mod msg;
+pub mod ring;
+pub mod run;
+pub mod switchml;
+
+pub use run::{
+    expected_sum, expected_sum_i32, run_hd, run_ps, run_ring, run_switchml, run_switchml_hierarchy,
+    run_switchml_traced, synthetic_gradient, synthetic_gradient_i32, CollectiveOutcome, HdScenario, HierScenario,
+    PsPlacement, PsScenario, RingScenario, SwitchMLScenario,
+};

@@ -1,0 +1,203 @@
+//! Wire format for the host-based baseline collectives (Gloo/NCCL-like
+//! ring and halving-doubling all-reduce).
+//!
+//! These strategies run over TCP in the paper's evaluation; we model
+//! the framing (Ethernet + IP + TCP ≈ 66 bytes of overhead on an
+//! MTU-sized segment) and a NACK-based reliability scheme whose
+//! recovery costs are calibrated to TCP's: gap-triggered fast
+//! retransmit at ~RTT, stall recovery at the retransmission timeout.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use switchml_core::error::{Error, Result};
+
+/// Ethernet(18) + IPv4(20) + TCP(20+options 8) framing bytes charged
+/// per baseline packet.
+pub const BASELINE_FRAME_OVERHEAD: usize = 66;
+
+/// f32 elements per MTU-sized segment: fits a 1514-byte Ethernet
+/// frame after the 19-byte chunk header and 66 bytes of framing.
+pub const MTU_ELEMS: usize = 357;
+
+const MAGIC: u16 = 0x424C; // "BL"
+const KIND_CHUNK: u8 = 1;
+const KIND_NACK: u8 = 2;
+
+/// A baseline-collective message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineMsg {
+    /// A piece of a segment exchanged at `step`.
+    Chunk {
+        /// Algorithm step (ring: 0..2(n-1); HD: 0..2·log₂n).
+        step: u32,
+        /// Sender's rank.
+        src: u16,
+        /// Packet index within the step's segment.
+        seq: u32,
+        /// Packets the segment comprises.
+        nseq: u32,
+        /// Element payload.
+        elems: Vec<f32>,
+    },
+    /// Receiver-driven retransmission request for missing packets.
+    Nack {
+        step: u32,
+        /// Requester's rank.
+        src: u16,
+        /// Missing packet indices (bounded per message).
+        missing: Vec<u32>,
+    },
+}
+
+/// Cap on missing-seq entries per NACK (more are requested by
+/// subsequent NACKs, as with TCP SACK blocks).
+pub const MAX_NACK_ENTRIES: usize = 64;
+
+impl BaselineMsg {
+    pub fn encode(&self) -> Bytes {
+        match self {
+            BaselineMsg::Chunk {
+                step,
+                src,
+                seq,
+                nseq,
+                elems,
+            } => {
+                let mut b = BytesMut::with_capacity(17 + 4 * elems.len());
+                b.put_u16(MAGIC);
+                b.put_u8(KIND_CHUNK);
+                b.put_u32(*step);
+                b.put_u16(*src);
+                b.put_u32(*seq);
+                b.put_u32(*nseq);
+                b.put_u16(elems.len() as u16);
+                for &x in elems {
+                    b.put_f32(x);
+                }
+                b.freeze()
+            }
+            BaselineMsg::Nack { step, src, missing } => {
+                let mut b = BytesMut::with_capacity(11 + 4 * missing.len());
+                b.put_u16(MAGIC);
+                b.put_u8(KIND_NACK);
+                b.put_u32(*step);
+                b.put_u16(*src);
+                b.put_u16(missing.len() as u16);
+                for &m in missing {
+                    b.put_u32(m);
+                }
+                b.freeze()
+            }
+        }
+    }
+
+    pub fn decode(mut data: &[u8]) -> Result<BaselineMsg> {
+        if data.len() < 3 {
+            return Err(Error::Malformed("short baseline message"));
+        }
+        let magic = data.get_u16();
+        if magic != MAGIC {
+            return Err(Error::Malformed("bad baseline magic"));
+        }
+        match data.get_u8() {
+            KIND_CHUNK => {
+                if data.len() < 14 {
+                    return Err(Error::Malformed("short chunk header"));
+                }
+                let step = data.get_u32();
+                let src = data.get_u16();
+                let seq = data.get_u32();
+                let nseq = data.get_u32();
+                let count = data.get_u16() as usize;
+                if data.len() != 4 * count {
+                    return Err(Error::Malformed("chunk payload length mismatch"));
+                }
+                let mut elems = Vec::with_capacity(count);
+                for _ in 0..count {
+                    elems.push(data.get_f32());
+                }
+                Ok(BaselineMsg::Chunk {
+                    step,
+                    src,
+                    seq,
+                    nseq,
+                    elems,
+                })
+            }
+            KIND_NACK => {
+                if data.len() < 8 {
+                    return Err(Error::Malformed("short nack header"));
+                }
+                let step = data.get_u32();
+                let src = data.get_u16();
+                let count = data.get_u16() as usize;
+                if data.len() != 4 * count {
+                    return Err(Error::Malformed("nack length mismatch"));
+                }
+                let mut missing = Vec::with_capacity(count);
+                for _ in 0..count {
+                    missing.push(data.get_u32());
+                }
+                Ok(BaselineMsg::Nack { step, src, missing })
+            }
+            _ => Err(Error::Malformed("unknown baseline message kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_roundtrip() {
+        let m = BaselineMsg::Chunk {
+            step: 7,
+            src: 3,
+            seq: 41,
+            nseq: 100,
+            elems: vec![1.5, -2.25, 0.0],
+        };
+        assert_eq!(BaselineMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn nack_roundtrip() {
+        let m = BaselineMsg::Nack {
+            step: 2,
+            src: 1,
+            missing: vec![5, 9, 10],
+        };
+        assert_eq!(BaselineMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(BaselineMsg::decode(&[]).is_err());
+        assert!(BaselineMsg::decode(&[0, 1, 2, 3]).is_err());
+        let mut good = BaselineMsg::Chunk {
+            step: 0,
+            src: 0,
+            seq: 0,
+            nseq: 1,
+            elems: vec![1.0],
+        }
+        .encode()
+        .to_vec();
+        good.truncate(good.len() - 1);
+        assert!(BaselineMsg::decode(&good).is_err());
+    }
+
+    #[test]
+    fn mtu_frame_is_ethernet_sized() {
+        let m = BaselineMsg::Chunk {
+            step: 0,
+            src: 0,
+            seq: 0,
+            nseq: 1,
+            elems: vec![0.0; MTU_ELEMS],
+        };
+        // Payload + framing stays within a 1514-byte Ethernet frame.
+        assert!(m.encode().len() + BASELINE_FRAME_OVERHEAD <= 1514);
+        assert!(m.encode().len() + BASELINE_FRAME_OVERHEAD > 1450);
+    }
+}

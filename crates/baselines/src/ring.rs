@@ -1,0 +1,467 @@
+//! Ring all-reduce (the Gloo/NCCL-style baseline, §2.1).
+//!
+//! Bandwidth-optimal ring: `n-1` reduce-scatter steps followed by
+//! `n-1` all-gather steps; each step moves one `E/n`-element segment
+//! to the ring successor, so each worker sends and receives
+//! `4(n-1)·E/n` elements total — the `4(n−1)|U|/n` communication cost
+//! the paper contrasts with SwitchML's `2|U|` (§2.3).
+//!
+//! Reliability is receiver-driven and calibrated to TCP's behaviour
+//! (the paper runs Gloo/NCCL over TCP): a sequence gap triggers a NACK
+//! after `fast_retx_gap` later packets (fast retransmit, ~RTT
+//! recovery), and a stalled step recovers only at `stall_rto` — the
+//! TCP retransmission timeout, 200 ms by default on Linux — which is
+//! what makes the baselines' tensor aggregation time balloon under
+//! loss (Figure 5).
+
+use crate::host::HostModel;
+use crate::msg::{BaselineMsg, BASELINE_FRAME_OVERHEAD, MAX_NACK_ENTRIES, MTU_ELEMS};
+use std::any::Any;
+use std::collections::HashMap;
+use switchml_netsim::prelude::*;
+
+/// Timer tokens: stall RTO at bit 61, host-release at bit 63.
+const HOST_TOKEN_BIT: u64 = 1 << 63;
+const STALL_TOKEN_BIT: u64 = 1 << 61;
+
+/// Configuration for one ring participant.
+#[derive(Debug, Clone)]
+pub struct RingParams {
+    pub rank: usize,
+    pub n: usize,
+    /// Total tensor elements `E`.
+    pub elems: usize,
+    /// Elements per packet (MTU-sized by default).
+    pub mtu_elems: usize,
+    /// Per-packet host CPU cost (TCP stack + copies). This is what
+    /// separates "Gloo" from "NCCL" profiles in the evaluation.
+    pub host_cost: Nanos,
+    /// Stall-recovery timeout (TCP RTO).
+    pub stall_rto: Nanos,
+    /// Packets of reordering tolerated before a NACK (fast
+    /// retransmit's 3-dup-ack analog).
+    pub fast_retx_gap: u32,
+    /// Minimum spacing between gap-triggered NACKs for one step.
+    pub nack_cooldown: Nanos,
+}
+
+impl RingParams {
+    pub fn new(rank: usize, n: usize, elems: usize) -> Self {
+        RingParams {
+            rank,
+            n,
+            elems,
+            mtu_elems: MTU_ELEMS,
+            host_cost: Nanos(4_000),
+            stall_rto: Nanos::from_millis(200),
+            fast_retx_gap: 3,
+            nack_cooldown: Nanos::from_micros(100),
+        }
+    }
+}
+
+/// Counters for the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RingStats {
+    pub pkts_sent: u64,
+    pub retx_sent: u64,
+    pub nacks_sent: u64,
+    pub nacks_received: u64,
+}
+
+/// One ring all-reduce participant.
+pub struct RingNode {
+    p: RingParams,
+    succ: NodeId,
+    pred: NodeId,
+    data: Vec<f32>,
+    /// Element range of each of the n segments.
+    bounds: Vec<(usize, usize)>,
+    total_steps: usize,
+    /// Next step whose segment we have yet to send.
+    send_step: usize,
+    /// Fully received steps so far (also: index of the step currently
+    /// being received).
+    done_recv: usize,
+    recv_seen: Vec<bool>,
+    recv_count: usize,
+    next_expected: usize,
+    /// Packets for future steps, buffered until we get there.
+    future: HashMap<u32, Vec<(u32, Vec<f32>)>>,
+    /// Reduce-scatter segment values stashed when the all-gather
+    /// overwrite lands, so late NACKs can still be served faithfully.
+    history: HashMap<u32, Vec<f32>>,
+    host: HostModel<SimPacket>,
+    last_nack: Nanos,
+    completed: bool,
+    pub stats: RingStats,
+}
+
+impl RingNode {
+    /// `data` is this rank's input tensor (length `p.elems`).
+    pub fn new(p: RingParams, data: Vec<f32>, pred: NodeId, succ: NodeId) -> Self {
+        assert_eq!(data.len(), p.elems);
+        assert!(p.n >= 1 && p.rank < p.n);
+        let n = p.n;
+        let bounds: Vec<(usize, usize)> = (0..n)
+            .map(|j| (j * p.elems / n, (j + 1) * p.elems / n))
+            .collect();
+        let total_steps = 2 * (n.saturating_sub(1));
+        let host = HostModel::new(1, p.host_cost);
+        RingNode {
+            p,
+            succ,
+            pred,
+            data,
+            bounds,
+            total_steps,
+            send_step: 0,
+            done_recv: 0,
+            recv_seen: Vec::new(),
+            recv_count: 0,
+            next_expected: 0,
+            future: HashMap::new(),
+            history: HashMap::new(),
+            host,
+            last_nack: Nanos::ZERO,
+            completed: false,
+            stats: RingStats::default(),
+        }
+    }
+
+    /// The (eventually aggregated) tensor.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// Segment this rank transmits at `step`.
+    fn send_seg(&self, step: usize) -> usize {
+        (self.p.rank as i64 - step as i64).rem_euclid(self.p.n as i64) as usize
+    }
+
+    /// Segment this rank receives at `step`.
+    fn recv_seg(&self, step: usize) -> usize {
+        (self.p.rank as i64 - 1 - step as i64).rem_euclid(self.p.n as i64) as usize
+    }
+
+    fn seg_nseq(&self, seg: usize) -> usize {
+        let (lo, hi) = self.bounds[seg];
+        (hi - lo).div_ceil(self.p.mtu_elems).max(1)
+    }
+
+    fn dispatch(&mut self, msg: BaselineMsg, dest: NodeId, ctx: &mut dyn NodeCtx) {
+        let pkt = SimPacket::new(ctx.self_id(), dest, msg.encode(), BASELINE_FRAME_OVERHEAD);
+        if self.host.is_instant() {
+            ctx.send(pkt);
+        } else {
+            let release = self.host.enqueue(ctx.now(), 0, pkt);
+            ctx.set_timer(release - ctx.now(), TimerToken(release.0 | HOST_TOKEN_BIT));
+        }
+    }
+
+    fn send_packet_of(&mut self, step: usize, seq: usize, ctx: &mut dyn NodeCtx, retx: bool) {
+        let seg = self.send_seg(step);
+        let (lo, hi) = self.bounds[seg];
+        let nseq = self.seg_nseq(seg);
+        let a = lo + seq * self.p.mtu_elems;
+        let b = (a + self.p.mtu_elems).min(hi);
+        let elems = if let Some(hist) = self.history.get(&(step as u32)) {
+            let ha = seq * self.p.mtu_elems;
+            let hb = (ha + self.p.mtu_elems).min(hist.len());
+            hist[ha..hb].to_vec()
+        } else {
+            self.data[a..b].to_vec()
+        };
+        let msg = BaselineMsg::Chunk {
+            step: step as u32,
+            src: self.p.rank as u16,
+            seq: seq as u32,
+            nseq: nseq as u32,
+            elems,
+        };
+        if retx {
+            self.stats.retx_sent += 1;
+        } else {
+            self.stats.pkts_sent += 1;
+        }
+        let succ = self.succ;
+        self.dispatch(msg, succ, ctx);
+    }
+
+    fn send_segment(&mut self, step: usize, ctx: &mut dyn NodeCtx) {
+        let nseq = self.seg_nseq(self.send_seg(step));
+        for seq in 0..nseq {
+            self.send_packet_of(step, seq, ctx, false);
+        }
+    }
+
+    fn begin_recv_step(&mut self) {
+        if self.done_recv < self.total_steps {
+            let seg = self.recv_seg(self.done_recv);
+            let nseq = self.seg_nseq(seg);
+            self.recv_seen = vec![false; nseq];
+            self.recv_count = 0;
+            self.next_expected = 0;
+            // An all-gather receive will overwrite the segment we sent
+            // at step t−(n−1); preserve those values for late NACKs.
+            if self.done_recv >= self.p.n - 1 {
+                let stash_step = (self.done_recv + 1 - self.p.n) as u32;
+                let (lo, hi) = self.bounds[seg];
+                self.history
+                    .insert(stash_step, self.data[lo..hi].to_vec());
+            }
+        }
+    }
+
+    fn apply_chunk(&mut self, seq: usize, elems: &[f32]) {
+        let step = self.done_recv;
+        let seg = self.recv_seg(step);
+        let (lo, hi) = self.bounds[seg];
+        let a = lo + seq * self.p.mtu_elems;
+        if self.recv_seen.get(seq).copied().unwrap_or(true) {
+            return; // duplicate or out-of-range
+        }
+        let reduce = step < self.p.n - 1;
+        for (i, &x) in elems.iter().enumerate() {
+            let at = a + i;
+            if at < hi {
+                if reduce {
+                    self.data[at] += x;
+                } else {
+                    self.data[at] = x;
+                }
+            }
+        }
+        self.recv_seen[seq] = true;
+        self.recv_count += 1;
+        while self.next_expected < self.recv_seen.len() && self.recv_seen[self.next_expected] {
+            self.next_expected += 1;
+        }
+    }
+
+    fn maybe_fast_nack(&mut self, seq: usize, ctx: &mut dyn NodeCtx) {
+        if self.next_expected >= self.recv_seen.len() {
+            return;
+        }
+        if seq < self.next_expected + self.p.fast_retx_gap as usize {
+            return;
+        }
+        let now = ctx.now();
+        if now.saturating_sub(self.last_nack) < self.p.nack_cooldown && self.last_nack != Nanos::ZERO
+        {
+            return;
+        }
+        self.last_nack = now;
+        self.send_nack(ctx);
+    }
+
+    fn send_nack(&mut self, ctx: &mut dyn NodeCtx) {
+        let missing: Vec<u32> = self
+            .recv_seen
+            .iter()
+            .enumerate()
+            .filter(|(_, &seen)| !seen)
+            .map(|(i, _)| i as u32)
+            .take(MAX_NACK_ENTRIES)
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        self.stats.nacks_sent += 1;
+        let msg = BaselineMsg::Nack {
+            step: self.done_recv as u32,
+            src: self.p.rank as u16,
+            missing,
+        };
+        let pred = self.pred;
+        self.dispatch(msg, pred, ctx);
+    }
+
+    fn arm_stall(&mut self, ctx: &mut dyn NodeCtx) {
+        if !self.completed && self.done_recv < self.total_steps {
+            ctx.set_timer(
+                self.p.stall_rto,
+                TimerToken((ctx.now() + self.p.stall_rto).0 | STALL_TOKEN_BIT),
+            );
+        }
+    }
+
+    fn advance(&mut self, ctx: &mut dyn NodeCtx) {
+        // Finish as many steps as buffered data allows.
+        loop {
+            if self.done_recv >= self.total_steps {
+                break;
+            }
+            if self.recv_count < self.recv_seen.len() {
+                break;
+            }
+            self.done_recv += 1;
+            // Receiving step t unblocks sending step t+1.
+            if self.send_step == self.done_recv && self.send_step < self.total_steps {
+                let s = self.send_step;
+                self.send_segment(s, ctx);
+                self.send_step += 1;
+            }
+            self.begin_recv_step();
+            // Drain any buffered packets for the new step.
+            if let Some(buf) = self.future.remove(&(self.done_recv as u32)) {
+                for (seq, elems) in buf {
+                    self.apply_chunk(seq as usize, &elems);
+                }
+            }
+        }
+        if self.done_recv >= self.total_steps && !self.completed {
+            self.completed = true;
+            ctx.complete();
+        }
+    }
+}
+
+impl Node for RingNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        if self.total_steps == 0 {
+            self.completed = true;
+            ctx.complete();
+            return;
+        }
+        self.begin_recv_step();
+        self.send_segment(0, ctx);
+        self.send_step = 1;
+        self.arm_stall(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            return;
+        }
+        let msg = match BaselineMsg::decode(&pkt.payload) {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        match msg {
+            BaselineMsg::Chunk {
+                step, seq, elems, ..
+            } => {
+                let step = step as usize;
+                if step < self.done_recv {
+                    return; // stale duplicate
+                }
+                if step > self.done_recv {
+                    self.future
+                        .entry(step as u32)
+                        .or_default()
+                        .push((seq, elems));
+                    return;
+                }
+                self.apply_chunk(seq as usize, &elems);
+                self.maybe_fast_nack(seq as usize, ctx);
+                self.advance(ctx);
+            }
+            BaselineMsg::Nack { step, missing, .. } => {
+                self.stats.nacks_received += 1;
+                let step = step as usize;
+                // Only steps we have already sent can be retransmitted.
+                if step >= self.send_step {
+                    return;
+                }
+                let nseq = self.seg_nseq(self.send_seg(step));
+                for seq in missing {
+                    if (seq as usize) < nseq {
+                        self.send_packet_of(step, seq as usize, ctx, true);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        if token.0 & HOST_TOKEN_BIT != 0 {
+            while let Some(pkt) = self.host.pop_due(ctx.now()) {
+                ctx.send(pkt);
+            }
+            return;
+        }
+        if token.0 & STALL_TOKEN_BIT != 0 {
+            if !self.completed {
+                // Still stuck on an incomplete step: request everything
+                // missing (TCP RTO-style recovery), then rearm.
+                if self.recv_count < self.recv_seen.len() {
+                    self.send_nack(ctx);
+                }
+                self.arm_stall(ctx);
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_schedule_is_consistent() {
+        // What rank i sends at step t is what rank i+1 receives at t.
+        let n = 5;
+        for t in 0..2 * (n - 1) {
+            for i in 0..n {
+                let a = RingNode::new(
+                    RingParams::new(i, n, 100),
+                    vec![0.0; 100],
+                    NodeId(0),
+                    NodeId(1),
+                );
+                let b = RingNode::new(
+                    RingParams::new((i + 1) % n, n, 100),
+                    vec![0.0; 100],
+                    NodeId(0),
+                    NodeId(1),
+                );
+                assert_eq!(a.send_seg(t), b.recv_seg(t), "i={i} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_owns_correct_segment() {
+        // After n-1 reduce-scatter steps, rank i has fully reduced
+        // segment (i+1) mod n — i.e. the segment it receives at the
+        // last RS step.
+        let n = 4;
+        let node = RingNode::new(
+            RingParams::new(2, n, 80),
+            vec![0.0; 80],
+            NodeId(0),
+            NodeId(1),
+        );
+        assert_eq!(node.recv_seg(n - 2), (2 + 1) % n);
+    }
+
+    #[test]
+    fn nseq_covers_segment() {
+        let node = RingNode::new(
+            RingParams {
+                mtu_elems: 10,
+                ..RingParams::new(0, 3, 95)
+            },
+            vec![0.0; 95],
+            NodeId(0),
+            NodeId(1),
+        );
+        // Segments are ~31-32 elems → 4 packets each.
+        for seg in 0..3 {
+            let (lo, hi) = node.bounds[seg];
+            assert_eq!(node.seg_nseq(seg), (hi - lo).div_ceil(10));
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! SwitchML protocol endpoints as netsim nodes.
+//!
+//! Thin adapters that move bytes between the simulator and the sans-IO
+//! state machines in `switchml-core`: decode, checksum-reject corrupted
+//! packets, charge host CPU time via [`crate::host::HostModel`], arm
+//! retransmission timers, and route updates to the right aggregator
+//! (the single ToR switch, a parameter-server shard, or a rack switch
+//! in the §6 hierarchy).
+
+use crate::host::HostModel;
+use std::any::Any;
+use std::collections::HashMap;
+use switchml_core::packet::{Packet, PacketKind, SlotIndex, SIM_FRAME_OVERHEAD};
+use switchml_core::switch::hierarchy::{HierAction, HierarchicalSwitch};
+use switchml_core::switch::reliable::ReliableSwitch;
+use switchml_core::switch::{SwitchAction, SwitchStats};
+use switchml_core::worker::engine::EngineStats;
+use switchml_core::worker::Worker;
+use switchml_netsim::prelude::*;
+
+/// Timer-token namespace: high bit selects host-queue release timers,
+/// low bits carry the time value.
+const HOST_TOKEN_BIT: u64 = 1 << 63;
+
+fn rto_token(deadline_ns: u64) -> TimerToken {
+    debug_assert_eq!(deadline_ns & HOST_TOKEN_BIT, 0);
+    TimerToken(deadline_ns)
+}
+
+fn host_token(release: Nanos) -> TimerToken {
+    TimerToken(release.0 | HOST_TOKEN_BIT)
+}
+
+fn is_host_token(t: TimerToken) -> bool {
+    t.0 & HOST_TOKEN_BIT != 0
+}
+
+/// Where a worker sends each update packet.
+#[derive(Debug, Clone)]
+pub enum SlotRouter {
+    /// Everything goes to one aggregator (the ToR switch, or this
+    /// worker's rack switch in a hierarchy).
+    Single(NodeId),
+    /// Parameter-server sharding: `shard_of[slot]` indexes `shards`.
+    Sharded {
+        shards: Vec<NodeId>,
+        shard_of: Vec<usize>,
+    },
+}
+
+impl SlotRouter {
+    fn dest(&self, slot: SlotIndex) -> NodeId {
+        match self {
+            SlotRouter::Single(id) => *id,
+            SlotRouter::Sharded { shards, shard_of } => shards[shard_of[slot as usize]],
+        }
+    }
+}
+
+/// Per-packet RTT sampling (Figure 2's right axis). Retransmitted
+/// chunks are excluded, Karn-style, so queueing — not timeout noise —
+/// is what the estimate reflects. Keeps a bounded reservoir for
+/// percentile queries (tail latency under deep pools).
+#[derive(Debug, Default)]
+pub struct RttSampler {
+    pending: HashMap<SlotIndex, (u64, Nanos)>,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub max_ns: u64,
+    /// Every `stride`-th sample, up to [`RTT_RESERVOIR`] entries.
+    reservoir: Vec<u64>,
+    stride: u64,
+}
+
+/// Size of the RTT percentile reservoir.
+pub const RTT_RESERVOIR: usize = 4096;
+
+impl RttSampler {
+    fn on_send(&mut self, slot: SlotIndex, off: u64, now: Nanos, retx: bool) {
+        if retx {
+            self.pending.remove(&slot);
+        } else {
+            self.pending.insert(slot, (off, now));
+        }
+    }
+
+    fn on_result(&mut self, slot: SlotIndex, off: u64, now: Nanos) {
+        if let Some(&(sent_off, sent_at)) = self.pending.get(&slot) {
+            if sent_off == off {
+                let rtt = (now - sent_at).0;
+                self.count += 1;
+                self.sum_ns += rtt;
+                self.max_ns = self.max_ns.max(rtt);
+                if self.stride == 0 {
+                    self.stride = 1;
+                }
+                if self.count % self.stride == 0 {
+                    if self.reservoir.len() >= RTT_RESERVOIR {
+                        // Halve the reservoir, double the stride: keeps
+                        // a uniform systematic sample of all RTTs.
+                        let kept: Vec<u64> = self
+                            .reservoir
+                            .iter()
+                            .step_by(2)
+                            .copied()
+                            .collect();
+                        self.reservoir = kept;
+                        self.stride *= 2;
+                    }
+                    if self.count % self.stride == 0 {
+                        self.reservoir.push(rtt);
+                    }
+                }
+                self.pending.remove(&slot);
+            }
+        }
+    }
+
+    /// Mean sampled RTT in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate RTT percentile (0.0–1.0) from the reservoir.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.reservoir.is_empty() {
+            return 0;
+        }
+        let mut v = self.reservoir.clone();
+        v.sort_unstable();
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+}
+
+/// Network-level drop counters kept by protocol nodes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NodeNetStats {
+    /// Packets discarded because the checksum (corruption flag) failed.
+    pub corrupted: u64,
+    /// Packets discarded because they failed to decode.
+    pub malformed: u64,
+}
+
+/// A SwitchML worker attached to the simulated network.
+pub struct SwitchMLWorkerNode {
+    worker: Worker,
+    router: SlotRouter,
+    host: HostModel<Packet>,
+    armed_rto: Option<u64>,
+    pub rtt: RttSampler,
+    pub net_stats: NodeNetStats,
+    completed: bool,
+}
+
+impl SwitchMLWorkerNode {
+    /// `host_cost` is the CPU service time per received result packet
+    /// (which covers processing it and emitting the next update); the
+    /// worker's engines are spread over `worker.n_cores()` cores.
+    pub fn new(worker: Worker, router: SlotRouter, host_cost: Nanos) -> Self {
+        let cores = worker.n_cores();
+        SwitchMLWorkerNode {
+            worker,
+            router,
+            host: HostModel::new(cores, host_cost),
+            armed_rto: None,
+            rtt: RttSampler::default(),
+            net_stats: NodeNetStats::default(),
+            completed: false,
+        }
+    }
+
+    /// Protocol stats of the inner worker.
+    pub fn stats(&self) -> EngineStats {
+        self.worker.stats()
+    }
+
+    /// The inner worker (results, progress, …).
+    pub fn worker(&self) -> &Worker {
+        &self.worker
+    }
+
+    fn transmit(&mut self, pkt: Packet, ctx: &mut dyn NodeCtx) {
+        self.rtt
+            .on_send(pkt.idx, pkt.off, ctx.now(), pkt.retransmission);
+        let dest = self.router.dest(pkt.idx);
+        let bytes = pkt.encode();
+        ctx.send(SimPacket::new(ctx.self_id(), dest, bytes, SIM_FRAME_OVERHEAD));
+    }
+
+    fn rearm(&mut self, ctx: &mut dyn NodeCtx) {
+        if let Some(nd) = self.worker.next_deadline() {
+            if self.armed_rto != Some(nd) {
+                self.armed_rto = Some(nd);
+                let delay = Nanos(nd.saturating_sub(ctx.now().0));
+                ctx.set_timer(delay, rto_token(nd));
+            }
+        }
+    }
+
+    fn process_result(&mut self, pkt: Packet, ctx: &mut dyn NodeCtx) {
+        let now = ctx.now();
+        self.rtt.on_result(pkt.idx, pkt.off, now);
+        let followups = self
+            .worker
+            .on_result(&pkt, now.0)
+            .expect("worker rejected a well-formed result: protocol bug");
+        for p in followups {
+            self.transmit(p, ctx);
+        }
+        if self.worker.is_done() && !self.completed {
+            self.completed = true;
+            ctx.complete();
+        } else {
+            self.rearm(ctx);
+        }
+    }
+}
+
+impl Node for SwitchMLWorkerNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        let initial = self
+            .worker
+            .start(ctx.now().0)
+            .expect("worker start failed");
+        if initial.is_empty() && self.worker.is_done() {
+            self.completed = true;
+            ctx.complete();
+            return;
+        }
+        for p in initial {
+            self.transmit(p, ctx);
+        }
+        self.rearm(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            self.net_stats.corrupted += 1;
+            return;
+        }
+        let decoded = match Packet::decode(&pkt.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.net_stats.malformed += 1;
+                return;
+            }
+        };
+        if self.host.is_instant() {
+            self.process_result(decoded, ctx);
+        } else {
+            let core = self.worker.core_for_slot(decoded.idx).unwrap_or(0);
+            let release = self.host.enqueue(ctx.now(), core, decoded);
+            ctx.set_timer(release - ctx.now(), host_token(release));
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        if is_host_token(token) {
+            while let Some(pkt) = self.host.pop_due(ctx.now()) {
+                self.process_result(pkt, ctx);
+            }
+            return;
+        }
+        // Retransmission timer.
+        if self.armed_rto == Some(token.0) {
+            self.armed_rto = None;
+        }
+        let now = ctx.now();
+        if self.worker.next_deadline().is_some_and(|d| d <= now.0) {
+            let retx = self
+                .worker
+                .expired(now.0)
+                .expect("retransmission materialization failed");
+            for p in retx {
+                self.transmit(p, ctx);
+            }
+        }
+        if !self.completed {
+            self.rearm(ctx);
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The aggregation point: a Tofino switch (`host_cost = 0`) or a
+/// software parameter-server shard (`host_cost > 0`, the paper's
+/// DPDK program "implement\[ing\] the logic of Algorithm 1").
+pub struct SwitchMLSwitchNode {
+    switch: ReliableSwitch,
+    /// wid → node id of each worker.
+    worker_ids: Vec<NodeId>,
+    host: HostModel<Packet>,
+    pub net_stats: NodeNetStats,
+}
+
+impl SwitchMLSwitchNode {
+    pub fn new(
+        switch: ReliableSwitch,
+        worker_ids: Vec<NodeId>,
+        n_cores: usize,
+        host_cost: Nanos,
+    ) -> Self {
+        SwitchMLSwitchNode {
+            switch,
+            worker_ids,
+            host: HostModel::new(n_cores, host_cost),
+            net_stats: NodeNetStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.switch.stats()
+    }
+
+    fn process(&mut self, pkt: Packet, ctx: &mut dyn NodeCtx) {
+        match self
+            .switch
+            .on_packet(pkt)
+            .expect("switch rejected a packet: protocol bug")
+        {
+            SwitchAction::Multicast(result) => {
+                let bytes = result.encode();
+                for &w in &self.worker_ids {
+                    ctx.send(SimPacket::new(ctx.self_id(), w, bytes.clone(), SIM_FRAME_OVERHEAD));
+                }
+            }
+            SwitchAction::Unicast(wid, result) => {
+                let dest = self.worker_ids[wid as usize];
+                ctx.send(SimPacket::new(
+                    ctx.self_id(),
+                    dest,
+                    result.encode(),
+                    SIM_FRAME_OVERHEAD,
+                ));
+            }
+            SwitchAction::Drop => {}
+        }
+    }
+}
+
+impl Node for SwitchMLSwitchNode {
+    fn on_start(&mut self, _ctx: &mut dyn NodeCtx) {}
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            self.net_stats.corrupted += 1;
+            return;
+        }
+        let decoded = match Packet::decode(&pkt.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.net_stats.malformed += 1;
+                return;
+            }
+        };
+        if self.host.is_instant() {
+            self.process(decoded, ctx);
+        } else {
+            let core = (decoded.idx as usize) % self.host.n_cores();
+            let release = self.host.enqueue(ctx.now(), core, decoded);
+            ctx.set_timer(release - ctx.now(), host_token(release));
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        if is_host_token(token) {
+            while let Some(pkt) = self.host.pop_due(ctx.now()) {
+                self.process(pkt, ctx);
+            }
+        }
+    }
+
+    fn participates_in_completion(&self) -> bool {
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A switch in the §6 multi-rack hierarchy.
+pub struct HierSwitchNode {
+    switch: HierarchicalSwitch,
+    /// Upstream switch (None at the root).
+    parent: Option<NodeId>,
+    /// Downstream node id per child wid (workers, or child switches).
+    children: Vec<NodeId>,
+    pub net_stats: NodeNetStats,
+}
+
+impl HierSwitchNode {
+    pub fn new(switch: HierarchicalSwitch, parent: Option<NodeId>, children: Vec<NodeId>) -> Self {
+        HierSwitchNode {
+            switch,
+            parent,
+            children,
+            net_stats: NodeNetStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.switch.stats()
+    }
+
+    fn apply(&mut self, actions: Vec<HierAction>, ctx: &mut dyn NodeCtx) {
+        for act in actions {
+            match act {
+                HierAction::SendUp(p) => {
+                    let parent = self.parent.expect("SendUp from the root");
+                    ctx.send(SimPacket::new(
+                        ctx.self_id(),
+                        parent,
+                        p.encode(),
+                        SIM_FRAME_OVERHEAD,
+                    ));
+                }
+                HierAction::MulticastDown(p) => {
+                    let bytes = p.encode();
+                    for &c in &self.children {
+                        ctx.send(SimPacket::new(ctx.self_id(), c, bytes.clone(), SIM_FRAME_OVERHEAD));
+                    }
+                }
+                HierAction::UnicastDown(wid, p) => {
+                    let dest = self.children[wid as usize];
+                    ctx.send(SimPacket::new(ctx.self_id(), dest, p.encode(), SIM_FRAME_OVERHEAD));
+                }
+            }
+        }
+    }
+}
+
+impl Node for HierSwitchNode {
+    fn on_start(&mut self, _ctx: &mut dyn NodeCtx) {}
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            self.net_stats.corrupted += 1;
+            return;
+        }
+        let decoded = match Packet::decode(&pkt.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                self.net_stats.malformed += 1;
+                return;
+            }
+        };
+        let actions = match decoded.kind {
+            PacketKind::Update => self
+                .switch
+                .on_update_from_below(decoded)
+                .expect("hierarchical switch rejected an update"),
+            PacketKind::Result => self
+                .switch
+                .on_result_from_above(decoded)
+                .expect("hierarchical switch rejected a result"),
+        };
+        self.apply(actions, ctx);
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn NodeCtx) {}
+
+    fn participates_in_completion(&self) -> bool {
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchml_core::config::Protocol;
+    use switchml_core::packet::PoolVersion;
+    use switchml_core::worker::stream::TensorStream;
+
+    #[test]
+    fn rtt_sampler_excludes_retransmissions() {
+        let mut r = RttSampler::default();
+        // Normal sample: send at 100, result at 150 → RTT 50.
+        r.on_send(0, 0, Nanos(100), false);
+        r.on_result(0, 0, Nanos(150));
+        assert_eq!(r.count, 1);
+        assert_eq!(r.mean_ns(), 50.0);
+        // Retransmitted chunk: Karn's rule voids the sample.
+        r.on_send(1, 32, Nanos(200), false);
+        r.on_send(1, 32, Nanos(300), true); // retx invalidates
+        r.on_result(1, 32, Nanos(320));
+        assert_eq!(r.count, 1, "retransmitted chunk must not be sampled");
+        // Off mismatch (stale result) is not sampled either.
+        r.on_send(2, 64, Nanos(400), false);
+        r.on_result(2, 0, Nanos(450));
+        assert_eq!(r.count, 1);
+        assert_eq!(r.max_ns, 50);
+    }
+
+    #[test]
+    fn slot_router_dispatch() {
+        let single = SlotRouter::Single(NodeId(7));
+        assert_eq!(single.dest(0), NodeId(7));
+        assert_eq!(single.dest(999), NodeId(7));
+        let sharded = SlotRouter::Sharded {
+            shards: vec![NodeId(1), NodeId(2)],
+            shard_of: vec![0, 0, 1, 1],
+        };
+        assert_eq!(sharded.dest(0), NodeId(1));
+        assert_eq!(sharded.dest(3), NodeId(2));
+    }
+
+    #[test]
+    fn corrupted_packets_counted_and_dropped() {
+        // Corruption (failed checksum) and undecodable bytes are
+        // counted and discarded without touching protocol state.
+        let proto = Protocol {
+            n_workers: 1,
+            k: 2,
+            pool_size: 1,
+            scaling_factor: 10.0,
+            ..Protocol::default()
+        };
+        let stream =
+            TensorStream::from_f32(&[vec![1.0, 2.0]], proto.mode, 10.0, proto.k).unwrap();
+        let worker = switchml_core::worker::Worker::new(0, &proto, stream).unwrap();
+        let mut node =
+            SwitchMLWorkerNode::new(worker, SlotRouter::Single(NodeId(0)), Nanos::ZERO);
+
+        struct NullCtx;
+        impl NodeCtx for NullCtx {
+            fn now(&self) -> Nanos {
+                Nanos::ZERO
+            }
+            fn self_id(&self) -> NodeId {
+                NodeId(1)
+            }
+            fn send(&mut self, _: SimPacket) {}
+            fn set_timer(&mut self, _: Nanos, _: TimerToken) {}
+            fn complete(&mut self) {}
+        }
+
+        let result = Packet {
+            kind: PacketKind::Result,
+            wid: 0,
+            ver: PoolVersion::V0,
+            idx: 0,
+            off: 0,
+            job: 0,
+            retransmission: false,
+            payload: switchml_core::packet::Payload::I32(vec![0, 0]),
+        };
+        let mut corrupt = SimPacket::new(NodeId(0), NodeId(1), result.encode(), SIM_FRAME_OVERHEAD);
+        corrupt.corrupted = true;
+        node.on_packet(corrupt, &mut NullCtx);
+        assert_eq!(node.net_stats.corrupted, 1);
+
+        let garbage = SimPacket::new(
+            NodeId(0),
+            NodeId(1),
+            bytes::Bytes::from_static(b"not a packet"),
+            0,
+        );
+        node.on_packet(garbage, &mut NullCtx);
+        assert_eq!(node.net_stats.malformed, 1);
+        assert_eq!(node.stats().results, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! End-to-end all-reduce benchmarks: the in-process protocol harness
+//! and the netsim-driven SwitchML/ring runners (simulator throughput,
+//! which bounds how big the reproduction experiments can go).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use switchml_baselines::{run_ring, run_switchml, RingScenario, SwitchMLScenario};
+use switchml_core::agg::allreduce;
+use switchml_core::config::Protocol;
+
+fn bench_inprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inprocess_allreduce");
+    for &n in &[2usize, 8] {
+        let elems = 50_000;
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| vec![(0..elems).map(|i| (w + i) as f32 * 0.01).collect()])
+            .collect();
+        let proto = Protocol {
+            n_workers: n,
+            pool_size: 64,
+            ..Protocol::default()
+        };
+        group.throughput(Throughput::Elements(elems as u64));
+        group.bench_with_input(BenchmarkId::new("workers", n), &n, |b, _| {
+            b.iter(|| black_box(allreduce(&updates, &proto).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(10);
+    let elems = 100_000;
+    group.throughput(Throughput::Elements(elems as u64));
+    group.bench_function("switchml_8w_10g_100k", |b| {
+        b.iter(|| black_box(run_switchml(&SwitchMLScenario::new(8, elems)).unwrap()))
+    });
+    group.bench_function("ring_8w_10g_100k", |b| {
+        let mut sc = RingScenario::gloo(8, elems);
+        sc.host_cost = switchml_netsim::time::Nanos(500);
+        b.iter(|| black_box(run_ring(&sc).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inprocess, bench_netsim);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Switch dataplane throughput: packets per second through Algorithm 1
+//! and Algorithm 3 state machines (the software analog of the paper's
+//! line-rate requirement).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use switchml_core::bitmap::WorkerBitmap;
+use switchml_core::config::Protocol;
+use switchml_core::packet::{Packet, PoolVersion};
+use switchml_core::switch::basic::BasicSwitch;
+use switchml_core::switch::reliable::ReliableSwitch;
+
+fn proto(n: usize) -> Protocol {
+    Protocol {
+        n_workers: n,
+        k: 32,
+        pool_size: 128,
+        ..Protocol::default()
+    }
+}
+
+/// One full aggregation round: n updates into one slot → multicast.
+fn bench_switches(c: &mut Criterion) {
+    let n = 8;
+    let mut group = c.benchmark_group("switch");
+    group.throughput(Throughput::Elements(n as u64)); // packets per round
+
+    let mut basic = BasicSwitch::new(&proto(n)).unwrap();
+    group.bench_function("basic_round_n8_k32", |b| {
+        b.iter(|| {
+            for w in 0..n as u16 {
+                let p = Packet::update(w, PoolVersion::V0, 0, 0, vec![1i32; 32]);
+                black_box(basic.on_packet(p).unwrap());
+            }
+        })
+    });
+
+    let mut reliable = ReliableSwitch::new(&proto(n)).unwrap();
+    let mut phase = 0u64;
+    group.bench_function("reliable_round_n8_k32", |b| {
+        b.iter(|| {
+            let ver = if phase % 2 == 0 { PoolVersion::V0 } else { PoolVersion::V1 };
+            for w in 0..n as u16 {
+                let p = Packet::update(w, ver, 0, phase * 32, vec![1i32; 32]);
+                black_box(reliable.on_packet(p).unwrap());
+            }
+            phase += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut bm = WorkerBitmap::empty();
+    c.bench_function("bitmap_set_clear_count", |b| {
+        b.iter(|| {
+            for w in 0..64 {
+                bm.set(black_box(w));
+            }
+            let n = bm.count();
+            bm.reset();
+            black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_switches, bench_bitmap);
+criterion_main!(benches);

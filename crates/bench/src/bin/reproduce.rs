@@ -1,0 +1,50 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [all|table1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig10]...
+//!           [--quick] [--out <dir>]
+//! ```
+//!
+//! Prints each experiment as an aligned table and, with `--out`,
+//! writes machine-readable JSON per experiment.
+
+use std::io::Write;
+use switchml_bench::experiments::{self, ALL_IDS};
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut out_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_dir = args.next(),
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: reproduce [all|{}] [--quick] [--out <dir>]", ALL_IDS.join("|"));
+        std::process::exit(2);
+    }
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let Some(result) = experiments::run(id, quick) else {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        };
+        println!("{}", result.render());
+        println!("  ({} completed in {:.1}s{})\n", id, t0.elapsed().as_secs_f64(),
+                 if quick { ", --quick" } else { "" });
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create json");
+            f.write_all(serde_json::to_string_pretty(&result).expect("serialize").as_bytes())
+                .expect("write json");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Measured reducer profiles.
+//!
+//! The training-throughput experiments (Table 1, Figure 3) need a
+//! `(latency, sustained ATE/s)` characterization of each all-reduce
+//! strategy. Rather than assuming numbers, we *measure* them on the
+//! netsim substrate: one large run fixes the sustained rate, one small
+//! run backs out the fixed per-tensor latency — the same calibration
+//! one would do on a real testbed with a microbenchmark.
+
+use switchml_baselines::{
+    run_ring, run_switchml, RingScenario, SwitchMLScenario,
+};
+use switchml_dnn::ReducerProfile;
+use switchml_netsim::time::Nanos;
+
+/// Communication strategies the trainer compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    SwitchML,
+    GlooRing,
+    NcclRing,
+}
+
+impl Strategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::SwitchML => "SwitchML",
+            Strategy::GlooRing => "Gloo",
+            Strategy::NcclRing => "NCCL",
+        }
+    }
+}
+
+fn switchml_scenario(n: usize, elems: usize, bandwidth_bps: u64) -> SwitchMLScenario {
+    let mut sc = SwitchMLScenario::new(n, elems);
+    if bandwidth_bps >= 100_000_000_000 {
+        sc = sc.at_100g();
+    } else {
+        sc.link.bandwidth_bps = bandwidth_bps;
+    }
+    sc
+}
+
+fn ring_scenario(n: usize, elems: usize, bandwidth_bps: u64, nccl: bool) -> RingScenario {
+    let mut sc = if nccl {
+        RingScenario::nccl(n, elems)
+    } else {
+        RingScenario::gloo(n, elems)
+    };
+    sc.link.bandwidth_bps = bandwidth_bps;
+    sc
+}
+
+/// Measure one strategy's reducer profile at a given scale.
+pub fn measure_profile(
+    strategy: Strategy,
+    n_workers: usize,
+    bandwidth_bps: u64,
+    quick: bool,
+) -> ReducerProfile {
+    let big = if quick { 200_000 } else { 2_000_000 };
+    let small = big / 20;
+
+    let run = |elems: usize| -> (f64, f64) {
+        let out = match strategy {
+            Strategy::SwitchML => {
+                run_switchml(&switchml_scenario(n_workers, elems, bandwidth_bps))
+                    .expect("calibration run failed")
+            }
+            Strategy::GlooRing => run_ring(&ring_scenario(n_workers, elems, bandwidth_bps, false))
+                .expect("calibration run failed"),
+            Strategy::NcclRing => run_ring(&ring_scenario(n_workers, elems, bandwidth_bps, true))
+                .expect("calibration run failed"),
+        };
+        assert!(out.verified, "calibration run produced wrong sums");
+        (out.mean_tat_ns, elems as f64)
+    };
+
+    let (t_big, e_big) = run(big);
+    let (t_small, e_small) = run(small);
+    // Two-point fit of t = latency + e / rate.
+    let rate = (e_big - e_small) / ((t_big - t_small) / 1e9);
+    let latency_ns = (t_small - e_small / rate * 1e9).max(0.0);
+    ReducerProfile::new(strategy.name(), rate.max(1.0), latency_ns)
+}
+
+/// The simulated end-to-end delay of the default rack (per §3.6: this
+/// is what pool-size tuning consumes).
+pub fn default_rack_delay() -> Nanos {
+    Nanos::from_micros(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switchml_profile_is_sane_at_10g() {
+        let p = measure_profile(Strategy::SwitchML, 4, 10_000_000_000, true);
+        // Sustained rate near (but below) the 222 M elem/s line rate.
+        assert!(p.ate_per_sec > 100e6, "{}", p.ate_per_sec);
+        assert!(p.ate_per_sec < 250e6, "{}", p.ate_per_sec);
+        assert!(p.latency_ns < 1e6);
+    }
+
+    #[test]
+    fn gloo_slower_than_switchml() {
+        let s = measure_profile(Strategy::SwitchML, 4, 10_000_000_000, true);
+        let g = measure_profile(Strategy::GlooRing, 4, 10_000_000_000, true);
+        assert!(
+            s.ate_per_sec > 1.5 * g.ate_per_sec,
+            "switchml {} vs gloo {}",
+            s.ate_per_sec,
+            g.ate_per_sec
+        );
+    }
+
+    #[test]
+    fn nccl_between_gloo_and_switchml() {
+        let g = measure_profile(Strategy::GlooRing, 4, 10_000_000_000, true);
+        let n = measure_profile(Strategy::NcclRing, 4, 10_000_000_000, true);
+        assert!(n.ate_per_sec > g.ate_per_sec);
+    }
+}

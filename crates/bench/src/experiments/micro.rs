@@ -1,0 +1,335 @@
+//! Microbenchmark experiments: Figures 2, 4, 5, 6, 7 and 8.
+//!
+//! Tensor sizes are scaled down from the paper's 100 MB (the simulator
+//! trades memory for determinism); every figure's *shape* — knees,
+//! orderings, crossovers — is what these reproduce, per EXPERIMENTS.md.
+
+use super::ExperimentResult;
+use switchml_baselines::cost;
+use switchml_baselines::{
+    run_ps, run_ring, run_switchml, run_switchml_traced, PsPlacement, PsScenario, RingScenario,
+    SwitchMLScenario,
+};
+use switchml_core::config::NumericMode;
+use switchml_core::packet::{DEFAULT_K, MTU_K};
+use switchml_netsim::prelude::*;
+
+const G10: u64 = 10_000_000_000;
+const G100: u64 = 100_000_000_000;
+
+fn fmt_ms(ns: f64) -> String {
+    format!("{:.2}", ns / 1e6)
+}
+
+fn fmt_m(x: f64) -> String {
+    format!("{:.1}", x / 1e6)
+}
+
+/// Figure 2: pool size vs. tensor aggregation time and per-packet RTT
+/// at 100 Gbps. The knee sits where `s · b` crosses the BDP (§3.6);
+/// beyond it TAT is flat at line rate while RTT keeps growing with
+/// queueing.
+pub fn fig2_pool_size(quick: bool) -> ExperimentResult {
+    let elems = if quick { 400_000 } else { 4_000_000 };
+    let mut result = ExperimentResult::new(
+        "fig2",
+        "Effect of pool size on TAT and per-packet RTT (8 workers, 100 Gbps)",
+        &["pool_size", "TAT_ms", "RTT_us", "p99_RTT_us", "at_line_rate"],
+    );
+    let pools: &[usize] = if quick {
+        &[32, 128, 512, 2048, 8192]
+    } else {
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+    };
+    let line_tat = cost::switchml_line_rate_tat_ns(G100, DEFAULT_K, elems);
+    for &s in pools {
+        let mut sc = SwitchMLScenario::new(8, elems).at_100g();
+        sc.proto.pool_size = s;
+        let out = run_switchml(&sc).expect("fig2 run");
+        assert!(out.verified);
+        result.row(vec![
+            s.to_string(),
+            fmt_ms(out.max_tat.0 as f64),
+            format!("{:.1}", out.mean_rtt_ns / 1e3),
+            format!("{:.1}", out.p99_rtt_ns as f64 / 1e3),
+            format!("{:.0}%", 100.0 * line_tat / out.max_tat.0 as f64),
+        ]);
+    }
+    result.note(format!(
+        "line-rate TAT bound: {} ms; paper picks s = 512 at 100 Gbps (the knee)",
+        fmt_ms(line_tat)
+    ));
+    result.note("expected shape: TAT falls until s·b covers the BDP, then flattens; RTT grows past the knee");
+    result
+}
+
+/// Figure 4: aggregated tensor elements per second vs. worker count
+/// for every strategy, at 10 and 100 Gbps.
+pub fn fig4_ate_scaling(quick: bool) -> ExperimentResult {
+    let elems = if quick { 200_000 } else { 2_000_000 };
+    let mut result = ExperimentResult::new(
+        "fig4",
+        "ATE/s microbenchmark vs workers (top: 10 Gbps, bottom: 100 Gbps)",
+        &["bw", "workers", "strategy", "ATE_Melem_s", "pct_line_rate"],
+    );
+    for &bw in &[G10, G100] {
+        let line = cost::switchml_line_rate_ate(bw, DEFAULT_K);
+        for &n in &[4usize, 8, 16] {
+            let base = {
+                let mut sc = SwitchMLScenario::new(n, elems);
+                if bw == G100 {
+                    sc = sc.at_100g();
+                }
+                sc
+            };
+            let mut push = |name: &str, ate: f64, verified: bool| {
+                assert!(verified, "{name} n={n} bw={bw} failed verification");
+                result.row(vec![
+                    format!("{}G", bw / 1_000_000_000),
+                    n.to_string(),
+                    name.to_string(),
+                    fmt_m(ate),
+                    format!("{:.0}%", 100.0 * ate / line),
+                ]);
+            };
+            let sm = run_switchml(&base).expect("switchml");
+            push("SwitchML", sm.ate_per_sec, sm.verified);
+
+            let mut gloo = RingScenario::gloo(n, elems);
+            gloo.link.bandwidth_bps = bw;
+            let g = run_ring(&gloo).expect("gloo");
+            push("Gloo", g.ate_per_sec, g.verified);
+
+            let mut nccl = RingScenario::nccl(n, elems);
+            nccl.link.bandwidth_bps = bw;
+            let c = run_ring(&nccl).expect("nccl");
+            push("NCCL", c.ate_per_sec, c.verified);
+
+            let ded = run_ps(&PsScenario::new(base.clone(), PsPlacement::Dedicated))
+                .expect("dedicated ps");
+            push("DedicatedPS", ded.ate_per_sec, ded.verified);
+
+            let col = run_ps(&PsScenario::new(base.clone(), PsPlacement::Colocated))
+                .expect("colocated ps");
+            push("ColocatedPS", col.ate_per_sec, col.verified);
+        }
+        result.note(format!(
+            "{} Gbps line rates: SwitchML/DedicatedPS {} M, ring {} M, ColocatedPS {} M elem/s",
+            bw / 1_000_000_000,
+            fmt_m(line),
+            fmt_m(cost::ring_line_rate_ate(bw, 8)),
+            fmt_m(cost::colocated_ps_line_rate_ate(bw, DEFAULT_K)),
+        ));
+    }
+    result.note("expected shape: SwitchML ≈ DedicatedPS > ColocatedPS ≈ ½·SwitchML > NCCL > Gloo; SwitchML flat in n");
+    result
+}
+
+/// Figure 5: TAT inflation under uniform random loss, normalized to
+/// the lossless run of the same strategy.
+pub fn fig5_loss_inflation(quick: bool) -> ExperimentResult {
+    let elems = if quick { 200_000 } else { 2_000_000 };
+    let mut result = ExperimentResult::new(
+        "fig5",
+        "TAT inflation under packet loss (8 workers, 10 Gbps, 1 ms RTO)",
+        &["loss", "SwitchML_x", "Gloo_x", "NCCL_x"],
+    );
+    let losses = [0.0, 0.0001, 0.001, 0.01];
+    let mut base_tat = [0.0f64; 3];
+    for (li, &p) in losses.iter().enumerate() {
+        let mut sm = SwitchMLScenario::new(8, elems);
+        sm.link = sm.link.with_loss(p);
+        let s = run_switchml(&sm).expect("fig5 switchml");
+        assert!(s.verified);
+
+        let mut gl = RingScenario::gloo(8, elems);
+        gl.link = gl.link.with_loss(p);
+        let g = run_ring(&gl).expect("fig5 gloo");
+        assert!(g.verified);
+
+        let mut nc = RingScenario::nccl(8, elems);
+        nc.link = nc.link.with_loss(p);
+        let c = run_ring(&nc).expect("fig5 nccl");
+        assert!(c.verified);
+
+        let tats = [
+            s.max_tat.0 as f64,
+            g.max_tat.0 as f64,
+            c.max_tat.0 as f64,
+        ];
+        if li == 0 {
+            base_tat = tats;
+        }
+        result.row(vec![
+            format!("{:.2}%", p * 100.0),
+            format!("{:.2}", tats[0] / base_tat[0]),
+            format!("{:.2}", tats[1] / base_tat[1]),
+            format!("{:.2}", tats[2] / base_tat[2]),
+        ]);
+    }
+    result.note("expected shape: 0.01% barely matters; at 0.1–1% the TCP baselines inflate far more than SwitchML (200 ms RTO stalls vs 1 ms switch-protocol retransmits)");
+    result
+}
+
+/// Figure 6: timeline of packets sent per time bucket at one worker,
+/// under 0%, 0.01% and 1% loss.
+pub fn fig6_send_timeline(quick: bool) -> ExperimentResult {
+    let elems = if quick { 800_000 } else { 16_000_000 };
+    let bucket = Nanos::from_micros(if quick { 100 } else { 1000 });
+    let mut result = ExperimentResult::new(
+        "fig6",
+        "Packets sent per bucket at worker 0 during one aggregation",
+        &["loss", "TAT_ms", "resent", "mean_pps_bucket", "timeline"],
+    );
+    for &p in &[0.0, 0.0001, 0.01] {
+        let mut sc = SwitchMLScenario::new(8, elems);
+        sc.link = sc.link.with_loss(p);
+        // Worker 0 is the first node bound after the switch in star().
+        let mut trace = RateTrace::new(NodeId(1), bucket);
+        let out = run_switchml_traced(&sc, &mut trace).expect("fig6 run");
+        assert!(out.verified);
+        let counts = &trace.counts;
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+        result.row(vec![
+            format!("{:.2}%", p * 100.0),
+            fmt_ms(out.max_tat.0 as f64),
+            out.total_retx.to_string(),
+            format!("{:.0}", mean),
+            sparkline(counts, 40),
+        ]);
+    }
+    result.note("expected shape: near-constant send rate at 0%/0.01%; at 1% the rate dips late in the run as unevenly-hit slots straggle (no work stealing), then recovers — the paper's 424 ms tail");
+    result
+}
+
+/// Downsample a series into a unicode sparkline.
+fn sparkline(series: &[u64], width: usize) -> String {
+    if series.is_empty() {
+        return String::new();
+    }
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let chunk = series.len().div_ceil(width).max(1);
+    let buckets: Vec<f64> = series
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>() as f64 / c.len() as f64)
+        .collect();
+    let max = buckets.iter().cloned().fold(1.0_f64, f64::max);
+    buckets
+        .iter()
+        .map(|&v| BARS[((v / max) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Figure 7: TAT vs tensor size — SwitchML (k=32) vs the MTU-capable
+/// what-if switch (k=366) vs a dedicated PS with MTU packets.
+pub fn fig7_mtu_what_if(quick: bool) -> ExperimentResult {
+    let scale = if quick { 10 } else { 1 };
+    let sizes: Vec<usize> = [500_000usize, 1_000_000, 2_500_000, 5_000_000]
+        .iter()
+        .map(|s| s / scale)
+        .collect();
+    let mut result = ExperimentResult::new(
+        "fig7",
+        "TAT vs tensor size: SwitchML, SwitchML(MTU), Dedicated PS (MTU) at 10 Gbps",
+        &[
+            "elems",
+            "SwitchML_ms",
+            "SwitchML_MTU_ms",
+            "PS_MTU_ms",
+            "line32_ms",
+            "lineMTU_ms",
+        ],
+    );
+    for &elems in &sizes {
+        let base = SwitchMLScenario::new(8, elems);
+        let sm = run_switchml(&base).expect("fig7 switchml");
+        assert!(sm.verified);
+
+        // MTU what-if: the switch processes 366-element packets (the
+        // paper emulates this by having the Tofino aggregate the first
+        // 32 and forward the rest; timing-wise both are full-MTU
+        // line-rate packets). Per-packet worker cost grows with size.
+        let mut mtu = SwitchMLScenario::new(8, elems);
+        mtu.proto.k = MTU_K;
+        mtu.proto.pool_size = 32;
+        mtu.worker_cost = Nanos(300);
+        let sm_mtu = run_switchml(&mtu).expect("fig7 switchml mtu");
+        assert!(sm_mtu.verified);
+
+        let mut ps_base = mtu.clone();
+        ps_base.worker_cost = Nanos(300);
+        let mut ps = PsScenario::new(ps_base, PsPlacement::Dedicated);
+        ps.ps_cost = Nanos(1_000); // software per-MTU-packet cost
+        let ps_out = run_ps(&ps).expect("fig7 ps");
+        assert!(ps_out.verified);
+
+        result.row(vec![
+            elems.to_string(),
+            fmt_ms(sm.max_tat.0 as f64),
+            fmt_ms(sm_mtu.max_tat.0 as f64),
+            fmt_ms(ps_out.max_tat.0 as f64),
+            fmt_ms(cost::switchml_line_rate_tat_ns(G10, DEFAULT_K, elems)),
+            fmt_ms(cost::switchml_line_rate_tat_ns(G10, MTU_K, elems)),
+        ]);
+    }
+    result.note("expected shape: SwitchML pays a modest cost for order-of-magnitude smaller packets; the MTU what-if improves TAT by ~30% (header overhead 28.9% → 3.4%); PS(MTU) trails the MTU switch");
+    result
+}
+
+/// Figure 8: TAT by wire data type — native int32, scaled float32,
+/// and float16 — for SwitchML vs the Gloo baseline.
+pub fn fig8_datatypes(quick: bool) -> ExperimentResult {
+    let elems = if quick { 200_000 } else { 2_000_000 };
+    let mut result = ExperimentResult::new(
+        "fig8",
+        "TAT by data type (8 workers, 10 Gbps)",
+        &["datatype", "SwitchML_ms", "Gloo_ms", "line_rate_ms"],
+    );
+    let line32 = cost::switchml_line_rate_tat_ns(G10, DEFAULT_K, elems);
+
+    let mut int32 = SwitchMLScenario::new(8, elems);
+    int32.proto.mode = NumericMode::NativeInt32;
+    let i = run_switchml(&int32).expect("fig8 int32");
+    assert!(i.verified);
+
+    let f32sc = SwitchMLScenario::new(8, elems);
+    let f = run_switchml(&f32sc).expect("fig8 f32");
+    assert!(f.verified);
+
+    let mut f16sc = SwitchMLScenario::new(8, elems);
+    f16sc.proto.mode = NumericMode::Float16;
+    f16sc.proto.scaling_factor = 1000.0; // respect the f16 overflow bound
+    let h = run_switchml(&f16sc).expect("fig8 f16");
+    assert!(h.verified);
+
+    let gloo = run_ring(&RingScenario::gloo(8, elems)).expect("fig8 gloo");
+    assert!(gloo.verified);
+    let gloo_ms = fmt_ms(gloo.max_tat.0 as f64);
+
+    // f16 halves payload bytes per element: its line-rate TAT uses the
+    // 16-bit wire size.
+    let line16 = elems as f64 * 2.0 * 8.0
+        / (G10 as f64 * (2.0 * DEFAULT_K as f64 / (52.0 + 2.0 * DEFAULT_K as f64)))
+        * 1e9;
+
+    result.row(vec![
+        "int32".into(),
+        fmt_ms(i.max_tat.0 as f64),
+        gloo_ms.clone(),
+        fmt_ms(line32),
+    ]);
+    result.row(vec![
+        "float32".into(),
+        fmt_ms(f.max_tat.0 as f64),
+        gloo_ms.clone(),
+        fmt_ms(line32),
+    ]);
+    result.row(vec![
+        "float16".into(),
+        fmt_ms(h.max_tat.0 as f64),
+        "n/a".into(),
+        fmt_ms(line16),
+    ]);
+    result.note("expected shape: int32 ≈ float32 (scaling/conversion is free on the worker hot path); float16 ≈ half the TAT (half the wire bytes); Gloo well above all");
+    result
+}

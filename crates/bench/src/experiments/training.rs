@@ -1,0 +1,141 @@
+//! Training-throughput experiments: Table 1 and Figure 3.
+//!
+//! Pipeline: measure each strategy's reducer profile on the netsim
+//! substrate (calibration), then drive the §5.2 synchronous-SGD
+//! iteration model over the nine-model zoo.
+
+use super::calibrate::{measure_profile, Strategy};
+use super::ExperimentResult;
+use switchml_dnn::{by_name, ideal_throughput, training_throughput, zoo, ReducerProfile};
+
+const G10: u64 = 10_000_000_000;
+const G100: u64 = 100_000_000_000;
+
+/// Per-tensor framework invocation overhead added on top of the
+/// measured wire profile. The paper's SwitchML integration enters the
+/// synchronous Gloo all-reduce path once per tensor (Appendix B);
+/// Horovod/NCCL fuses tensors and amortizes the call. Calibrated on
+/// the paper's resnet50 row (161 tensors, 76.8% of ideal).
+const FRAMEWORK_LATENCY_SWITCHML_NS: f64 = 1_000_000.0; // 1 ms
+const FRAMEWORK_LATENCY_RING_NS: f64 = 300_000.0; // 0.3 ms
+
+fn with_framework_overhead(mut p: ReducerProfile, strategy: Strategy) -> ReducerProfile {
+    p.latency_ns += match strategy {
+        Strategy::SwitchML => FRAMEWORK_LATENCY_SWITCHML_NS,
+        _ => FRAMEWORK_LATENCY_RING_NS,
+    };
+    p
+}
+
+/// Published single-node 8-GPU throughputs (Table 1's "Multi-GPU"
+/// column, from the TensorFlow benchmark suite [55]) — a hardware
+/// baseline we cannot simulate, quoted for comparison as the paper
+/// quotes it.
+fn multi_gpu_published(model: &str) -> Option<f64> {
+    match model {
+        "inception3" => Some(1079.0),
+        "resnet50" => Some(1630.0),
+        "vgg16" => Some(898.0),
+        _ => None,
+    }
+}
+
+/// Table 1: training throughput (images/s) for inception3, resnet50
+/// and vgg16 on 8 workers at 10 Gbps, batch 64.
+pub fn table1(quick: bool) -> ExperimentResult {
+    let n = 8;
+    let batch = 64;
+    let mut result = ExperimentResult::new(
+        "table1",
+        "Training throughput, images/s (8 workers, 10 Gbps, batch 64)",
+        &["model", "Ideal", "MultiGPU[55]", "NCCL", "SwitchML", "SwitchML_pct_ideal"],
+    );
+    let nccl = with_framework_overhead(
+        measure_profile(Strategy::NcclRing, n, G10, quick),
+        Strategy::NcclRing,
+    );
+    let swml = with_framework_overhead(
+        measure_profile(Strategy::SwitchML, n, G10, quick),
+        Strategy::SwitchML,
+    );
+    for name in ["inception3", "resnet50", "vgg16"] {
+        let model = by_name(name).expect("zoo model");
+        let ideal = ideal_throughput(&model, n);
+        let t_nccl = training_throughput(&model, n, batch, &nccl).images_per_sec;
+        let t_swml = training_throughput(&model, n, batch, &swml).images_per_sec;
+        result.row(vec![
+            name.to_string(),
+            format!("{:.0}", ideal),
+            multi_gpu_published(name)
+                .map(|x| format!("{x:.0}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}", t_nccl),
+            format!("{:.0}", t_swml),
+            format!("{:.1}%", 100.0 * t_swml / ideal),
+        ]);
+    }
+    result.note("paper: SwitchML reaches 95.3% / 76.8% / 38.5% of ideal for inception3 / resnet50 / vgg16; NCCL 70.6% / 49.6% / 17.5%");
+    result.note("expected shape: SwitchML ≫ NCCL everywhere; gap largest for vgg16 (network-bound), smallest for inception3 (compute-bound)");
+    result
+}
+
+/// Figure 3: per-model training speedup of SwitchML over the NCCL
+/// baseline at 10 and 100 Gbps.
+pub fn fig3_speedups(quick: bool) -> ExperimentResult {
+    let n = 8;
+    let mut result = ExperimentResult::new(
+        "fig3",
+        "Training speedup vs NCCL baseline (8 workers)",
+        &["model", "speedup_10G", "speedup_100G", "paper_10G", "paper_100G"],
+    );
+    let paper: &[(&str, f64, f64)] = &[
+        ("alexnet", 2.2, 2.6),
+        ("googlenet", 1.3, 1.4),
+        ("inception3", 1.3, 1.5),
+        ("inception4", 1.2, 1.2),
+        ("resnet50", 1.5, 1.8),
+        ("resnet101", 1.8, 1.6),
+        ("vgg11", 3.0, 2.8),
+        ("vgg16", 2.2, 2.8),
+        ("vgg19", 2.7, 2.6),
+    ];
+    let profiles: Vec<(u64, ReducerProfile, ReducerProfile)> = [G10, G100]
+        .iter()
+        .map(|&bw| {
+            (
+                bw,
+                with_framework_overhead(
+                    measure_profile(Strategy::NcclRing, n, bw, quick),
+                    Strategy::NcclRing,
+                ),
+                with_framework_overhead(
+                    measure_profile(Strategy::SwitchML, n, bw, quick),
+                    Strategy::SwitchML,
+                ),
+            )
+        })
+        .collect();
+    for model in zoo::all_models() {
+        let batch = model.batch_size;
+        let mut speedups = Vec::new();
+        for (_, nccl, swml) in &profiles {
+            let t_n = training_throughput(&model, n, batch, nccl).images_per_sec;
+            let t_s = training_throughput(&model, n, batch, swml).images_per_sec;
+            speedups.push(t_s / t_n);
+        }
+        let (p10, p100) = paper
+            .iter()
+            .find(|(m, _, _)| *m == model.name)
+            .map(|&(_, a, b)| (a, b))
+            .expect("paper row");
+        result.row(vec![
+            model.name.to_string(),
+            format!("{:.2}", speedups[0]),
+            format!("{:.2}", speedups[1]),
+            format!("{p10:.1}"),
+            format!("{p100:.1}"),
+        ]);
+    }
+    result.note("expected shape: VGG family and AlexNet (large updates per unit compute) gain 2–3×; Inception/GoogLeNet gain 1.2–1.5×; ordering matches the paper");
+    result
+}

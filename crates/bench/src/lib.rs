@@ -1,0 +1,8 @@
+//! # switchml-bench
+//!
+//! The reproduction harness: one experiment per table/figure of the
+//! paper's evaluation (run them with the `reproduce` binary), plus
+//! criterion microbenchmarks for the hot paths (quantization, switch
+//! packet processing, end-to-end all-reduce).
+
+pub mod experiments;

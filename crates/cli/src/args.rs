@@ -1,0 +1,132 @@
+//! A small, dependency-free flag parser.
+//!
+//! Supports `--flag value`, `--flag=value` and boolean `--flag`.
+//! Anything a downstream user would type at the `switchml-cli` prompt
+//! goes through here, so errors name the offending flag.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus its flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+    /// Flags given without a value (`--verbose`).
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(stripped) = a.strip_prefix("--") {
+                if stripped.is_empty() {
+                    return Err("empty flag '--'".into());
+                }
+                if let Some((k, v)) = stripped.split_once('=') {
+                    out.flags.insert(k.to_string(), v.to_string());
+                } else if iter
+                    .peek()
+                    .is_some_and(|next| !next.starts_with("--"))
+                {
+                    let v = iter.next().expect("peeked");
+                    out.flags.insert(stripped.to_string(), v);
+                } else {
+                    out.switches.push(stripped.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Typed flag with a default; errors name the flag.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Boolean switch (present without a value, or `--k=true/false`).
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+            || self.flags.get(key).is_some_and(|v| v == "true" || v == "1")
+    }
+
+    /// Flags the program never consumed (typo detection).
+    pub fn assert_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys().chain(self.switches.iter()) {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("simulate --workers 8 --loss=0.01 --json");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get::<usize>("workers", 0).unwrap(), 8);
+        assert_eq!(a.get::<f64>("loss", 0.0).unwrap(), 0.01);
+        assert!(a.switch("json"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("simulate");
+        assert_eq!(a.get::<u64>("bandwidth-gbps", 10).unwrap(), 10);
+        assert_eq!(a.get_str("mode", "f32"), "f32");
+    }
+
+    #[test]
+    fn bad_value_names_flag() {
+        let a = parse("x --workers eight");
+        let err = a.get::<usize>("workers", 1).unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = parse("x --wrokers 8");
+        assert!(a.assert_known(&["workers"]).is_err());
+        assert!(a.assert_known(&["wrokers"]).is_ok());
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(Args::parse(["a".into(), "b".into()]).is_err());
+        assert!(Args::parse(["--".into()]).is_err());
+    }
+
+    #[test]
+    fn boolean_before_flag() {
+        // `--json` followed by another flag must not swallow it.
+        let a = parse("run --json --workers 4");
+        assert!(a.switch("json"));
+        assert_eq!(a.get::<usize>("workers", 0).unwrap(), 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! The `switchml-cli` binary: parse, dispatch, print.
+
+use switchml_cli::args::Args;
+use switchml_cli::dispatch;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use switchml_baselines::{
+    run_hd, run_ps, run_ring, run_switchml, run_switchml_hierarchy, run_switchml_traced,
+    CollectiveOutcome, HdScenario, HierScenario, PsPlacement, PsScenario, RingScenario,
+    SwitchMLScenario,
+};
+use switchml_core::config::{NumericMode, Protocol};
+use switchml_core::switch::pipeline::PipelineModel;
+use switchml_core::tune_pool_size;
+use switchml_dnn::data::gaussian_blobs;
+use switchml_dnn::real_train::{train as train_model, Aggregation, TrainConfig};
+use switchml_netsim::prelude::*;
+use switchml_netsim::trace::EventLog;
+
+fn gbps(args: &Args) -> Result<u64, String> {
+    Ok(args.get::<u64>("bandwidth-gbps", 10)? * 1_000_000_000)
+}
+
+fn render_outcome(label: &str, elems: usize, out: &CollectiveOutcome, json: bool) -> String {
+    if json {
+        serde_json::json!({
+            "scenario": label,
+            "elems": elems,
+            "tat_ns": out.max_tat.0,
+            "mean_rtt_ns": out.mean_rtt_ns,
+            "ate_per_sec": out.ate_per_sec,
+            "retransmissions": out.total_retx,
+            "verified": out.verified,
+            "packets_sent": out.report.counters.sent,
+            "packets_dropped": out.report.counters.dropped_loss,
+        })
+        .to_string()
+    } else {
+        format!(
+            "{label}: aggregated {elems} elems in {} ({:.1} M elem/s)\n  \
+             verified: {}   retransmissions: {}   packets: {} sent / {} lost\n  \
+             mean per-packet RTT: {:.1} us",
+            out.max_tat,
+            out.ate_per_sec / 1e6,
+            out.verified,
+            out.total_retx,
+            out.report.counters.sent,
+            out.report.counters.dropped_loss,
+            out.mean_rtt_ns / 1e3,
+        )
+    }
+}
+
+/// `simulate`: SwitchML on the simulated rack (or multi-rack tree).
+pub fn simulate(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "workers", "elems", "bandwidth-gbps", "pool", "k", "cores", "rto-us", "loss", "mode",
+        "racks", "trace", "pcap", "json",
+    ])?;
+    let workers: usize = args.get("workers", 8)?;
+    let elems: usize = args.get("elems", 1_000_000)?;
+    let racks: usize = args.get("racks", 1)?;
+    let loss: f64 = args.get("loss", 0.0)?;
+    let mode = match args.get_str("mode", "f32").as_str() {
+        "f32" => NumericMode::Fixed32,
+        "f16" => NumericMode::Float16,
+        "i32" => NumericMode::NativeInt32,
+        other => return Err(format!("--mode: unknown '{other}' (f32|f16|i32)")),
+    };
+
+    let mut sc = SwitchMLScenario::new(workers, elems);
+    sc.link.bandwidth_bps = gbps(args)?;
+    sc.link = sc.link.with_loss(loss);
+    sc.proto.pool_size = args.get("pool", 128)?;
+    sc.proto.k = args.get("k", 32)?;
+    sc.proto.rto_ns = args.get::<u64>("rto-us", 1_000)? * 1_000;
+    sc.proto.mode = mode;
+    if mode == NumericMode::Float16 {
+        sc.proto.scaling_factor = 1000.0;
+    }
+    sc.n_cores = args.get("cores", 1)?;
+    let json = args.switch("json");
+
+    if racks > 1 {
+        if workers % racks != 0 {
+            return Err("--workers must divide evenly across --racks".into());
+        }
+        let mut hs = HierScenario::new(racks, workers / racks, elems);
+        hs.proto = sc.proto.clone();
+        hs.worker_link = sc.link;
+        hs.uplink = sc.link;
+        let out = run_switchml_hierarchy(&hs).map_err(|e| e.to_string())?;
+        return Ok(render_outcome(
+            &format!("switchml ({racks} racks x {} workers)", workers / racks),
+            elems,
+            &out,
+            json,
+        ));
+    }
+
+    let pcap_path = args.get_str("pcap", "");
+    if !pcap_path.is_empty() {
+        let mut cap = switchml_netsim::pcap::PcapCapture::new();
+        let out = run_switchml_traced(&sc, &mut cap).map_err(|e| e.to_string())?;
+        let frames = cap.frames;
+        std::fs::write(&pcap_path, cap.into_bytes()).map_err(|e| e.to_string())?;
+        let mut text = render_outcome(&format!("switchml ({workers} workers)"), elems, &out, json);
+        text.push_str(&format!("\n  wrote {frames} frames to {pcap_path}"));
+        return Ok(text);
+    }
+
+    let trace_n: usize = args.get("trace", 0)?;
+    let (out, trace_text) = if trace_n > 0 {
+        let mut log = EventLog::new(trace_n);
+        let out = run_switchml_traced(&sc, &mut log).map_err(|e| e.to_string())?;
+        (out, Some(log.render()))
+    } else {
+        (run_switchml(&sc).map_err(|e| e.to_string())?, None)
+    };
+    let mut text = render_outcome(&format!("switchml ({workers} workers)"), elems, &out, json);
+    if let Some(t) = trace_text {
+        text.push_str("\n--- first packet events ---\n");
+        text.push_str(&t);
+    }
+    Ok(text)
+}
+
+/// `baseline`: one of the comparison strategies.
+pub fn baseline(args: &Args) -> Result<String, String> {
+    args.assert_known(&["strategy", "workers", "elems", "bandwidth-gbps", "loss", "json"])?;
+    let workers: usize = args.get("workers", 8)?;
+    let elems: usize = args.get("elems", 1_000_000)?;
+    let loss: f64 = args.get("loss", 0.0)?;
+    let bw = gbps(args)?;
+    let json = args.switch("json");
+    let strategy = args.get_str("strategy", "gloo");
+
+    let out = match strategy.as_str() {
+        "gloo" | "nccl" => {
+            let mut sc = if strategy == "gloo" {
+                RingScenario::gloo(workers, elems)
+            } else {
+                RingScenario::nccl(workers, elems)
+            };
+            sc.link.bandwidth_bps = bw;
+            sc.link = sc.link.with_loss(loss);
+            run_ring(&sc).map_err(|e| e.to_string())?
+        }
+        "hd" => {
+            let mut sc = HdScenario::new(workers, elems);
+            sc.link.bandwidth_bps = bw;
+            sc.link = sc.link.with_loss(loss);
+            run_hd(&sc).map_err(|e| e.to_string())?
+        }
+        "ps-dedicated" | "ps-colocated" => {
+            let mut base = SwitchMLScenario::new(workers, elems);
+            base.link.bandwidth_bps = bw;
+            base.link = base.link.with_loss(loss);
+            let placement = if strategy == "ps-dedicated" {
+                PsPlacement::Dedicated
+            } else {
+                PsPlacement::Colocated
+            };
+            run_ps(&PsScenario::new(base, placement)).map_err(|e| e.to_string())?
+        }
+        other => {
+            return Err(format!(
+                "--strategy: unknown '{other}' (gloo|nccl|hd|ps-dedicated|ps-colocated)"
+            ))
+        }
+    };
+    Ok(render_outcome(&strategy, elems, &out, json))
+}
+
+/// `tune`: §3.6 pool sizing plus the pipeline resource report.
+pub fn tune(args: &Args) -> Result<String, String> {
+    args.assert_known(&["bandwidth-gbps", "delay-us", "k", "workers", "json"])?;
+    let bw = gbps(args)?;
+    let delay_ns = args.get::<u64>("delay-us", 15)? * 1_000;
+    let k: usize = args.get("k", 32)?;
+    let workers: usize = args.get("workers", 8)?;
+    let s = tune_pool_size(bw, delay_ns, k);
+    let proto = Protocol {
+        n_workers: workers,
+        k,
+        pool_size: s,
+        ..Protocol::default()
+    };
+    let model = PipelineModel::default();
+    let report = model.validate(&proto).map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        Ok(serde_json::json!({
+            "pool_size": s,
+            "stages_used": report.stages_used,
+            "pool_bytes": report.pool_bytes,
+            "bookkeeping_bytes": report.bookkeeping_bytes,
+            "sram_fraction": report.sram_fraction,
+            "parse_bytes": report.parse_bytes,
+        })
+        .to_string())
+    } else {
+        Ok(format!(
+            "pool size s = {s}  (BDP {} B / packet {} B)\n\
+             switch resources: {} stages, {} B pool registers + {} B bookkeeping \
+             ({:.2}% of SRAM), {} parsed bytes/packet",
+            bw as u128 * delay_ns as u128 / 8 / 1_000_000_000,
+            switchml_core::packet::wire_bytes(k),
+            report.stages_used,
+            report.pool_bytes,
+            report.bookkeeping_bytes,
+            report.sram_fraction * 100.0,
+            report.parse_bytes,
+        ))
+    }
+}
+
+/// `train`: real training with quantized aggregation.
+pub fn train(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "workers", "epochs", "scale", "mode", "hidden", "byzantine", "json",
+    ])?;
+    let scale: f64 = args.get("scale", 1e6)?;
+    let agg = match args.get_str("mode", "f32").as_str() {
+        "exact" => Aggregation::Exact,
+        "f32" => Aggregation::Fixed32 { f: scale },
+        "f16" => Aggregation::Float16 { f: scale.min(1000.0) },
+        "sign" => Aggregation::SignSgd,
+        other => return Err(format!("--mode: unknown '{other}' (exact|f32|f16|sign)")),
+    };
+    let cfg = TrainConfig {
+        n_workers: args.get("workers", 4)?,
+        epochs: args.get("epochs", 10)?,
+        batch_per_worker: 16,
+        lr: if agg == Aggregation::SignSgd { 0.02 } else { 0.1 },
+        seed: 3,
+        agg,
+        hidden: args.get("hidden", 0)?,
+        byzantine: args.get("byzantine", 0)?,
+    };
+    let (tr, te) = gaussian_blobs(1200, 8, 4, 4.0, 2024).train_test_split(0.25);
+    let r = train_model(&tr, &te, &cfg);
+    if args.switch("json") {
+        Ok(serde_json::json!({
+            "accuracy_per_epoch": r.accuracy_per_epoch,
+            "final_accuracy": r.final_accuracy,
+            "diverged": r.diverged,
+            "max_grad_abs": r.max_grad_abs,
+        })
+        .to_string())
+    } else {
+        Ok(format!(
+            "final accuracy {:.1}%  (diverged: {}, max |grad| {:.3})\nper-epoch: {}",
+            r.final_accuracy * 100.0,
+            r.diverged,
+            r.max_grad_abs,
+            r.accuracy_per_epoch
+                .iter()
+                .map(|a| format!("{:.1}", a * 100.0))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ))
+    }
+}
+
+/// `udp`: the protocol over real loopback sockets.
+pub fn udp(args: &Args) -> Result<String, String> {
+    args.assert_known(&["workers", "elems", "loss"])?;
+    use switchml_transport::channel::channel_fabric;
+    use switchml_transport::lossy::lossy_fabric;
+    use switchml_transport::runner::{run_allreduce, RunConfig};
+    use switchml_transport::udp::udp_fabric;
+
+    let workers: usize = args.get("workers", 2)?;
+    let elems: usize = args.get("elems", 4096)?;
+    let loss: f64 = args.get("loss", 0.0)?;
+    let proto = Protocol {
+        n_workers: workers,
+        pool_size: 32,
+        rto_ns: 2_000_000,
+        ..Protocol::default()
+    };
+    let updates: Vec<Vec<Vec<f32>>> = (0..workers)
+        .map(|w| vec![vec![(w + 1) as f32; elems]])
+        .collect();
+    let expect: f32 = (1..=workers).map(|x| x as f32).sum();
+
+    let report = if loss > 0.0 {
+        // UDP sockets can't inject loss portably; use the in-memory
+        // fabric with the deterministic loss wrapper instead.
+        let (ports, _) = lossy_fabric(channel_fabric(workers + 1), loss, 42);
+        run_allreduce(ports, updates, &proto, &RunConfig::default())
+    } else {
+        let ports = udp_fabric(workers + 1).map_err(|e| e.to_string())?;
+        run_allreduce(ports, updates, &proto, &RunConfig::default())
+    }
+    .map_err(|e| e.to_string())?;
+
+    let got = report.results[0][0][0];
+    Ok(format!(
+        "all-reduce of {elems} elems across {workers} workers in {:?}\n\
+         result[0] = {got} (expected {expect}), retransmissions: {}",
+        report.wall,
+        report.worker_stats.iter().map(|s| s.retx).sum::<u64>(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn simulate_small() {
+        let out = simulate(&args("simulate --workers 2 --elems 2048 --pool 8")).unwrap();
+        assert!(out.contains("verified: true"), "{out}");
+    }
+
+    #[test]
+    fn simulate_json() {
+        let out = simulate(&args("simulate --workers 2 --elems 1024 --pool 8 --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["verified"], true);
+        assert!(v["tat_ns"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn simulate_with_trace_and_f16() {
+        let out = simulate(&args(
+            "simulate --workers 2 --elems 512 --pool 4 --mode f16 --trace 5",
+        ))
+        .unwrap();
+        assert!(out.contains("SEND"), "{out}");
+    }
+
+    #[test]
+    fn simulate_pcap_writes_valid_capture() {
+        let path = std::env::temp_dir().join("switchml_cli_test.pcap");
+        let _ = std::fs::remove_file(&path);
+        let out = simulate(&args(&format!(
+            "simulate --workers 2 --elems 256 --pool 4 --pcap {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], &0xA1B2C3D4u32.to_le_bytes());
+        assert!(bytes.len() > 24, "capture has records");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_multirack() {
+        let out = simulate(&args("simulate --workers 4 --racks 2 --elems 2048 --pool 8")).unwrap();
+        assert!(out.contains("2 racks"), "{out}");
+        assert!(out.contains("verified: true"));
+    }
+
+    #[test]
+    fn baseline_strategies() {
+        for s in ["gloo", "nccl", "hd", "ps-dedicated", "ps-colocated"] {
+            let out = baseline(&args(&format!(
+                "baseline --strategy {s} --workers 4 --elems 2048"
+            )))
+            .unwrap();
+            assert!(out.contains("verified: true"), "{s}: {out}");
+        }
+        assert!(baseline(&args("baseline --strategy bogus")).is_err());
+    }
+
+    #[test]
+    fn tune_reports_paper_values() {
+        let out = tune(&args("tune --bandwidth-gbps 10 --delay-us 15")).unwrap();
+        assert!(out.contains("s = 128"), "{out}");
+    }
+
+    #[test]
+    fn train_smoke() {
+        let out = train(&args("train --workers 2 --epochs 2")).unwrap();
+        assert!(out.contains("final accuracy"), "{out}");
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(simulate(&args("simulate --wrokers 8")).is_err());
+        assert!(tune(&args("tune --bandwdith-gbps 10")).is_err());
+    }
+
+    #[test]
+    fn udp_smoke() {
+        let out = udp(&args("udp --workers 2 --elems 256")).unwrap();
+        assert!(out.contains("expected 3"), "{out}");
+    }
+}

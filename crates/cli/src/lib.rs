@@ -1,0 +1,52 @@
+//! # switchml-cli
+//!
+//! Command-line front end for the SwitchML reproduction: run simulated
+//! scenarios, compare baselines, tune pool sizes against the pipeline
+//! model, train a real model with quantized aggregation, and run the
+//! protocol over real UDP sockets — each a subcommand of one binary.
+
+pub mod args;
+pub mod commands;
+
+use args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+switchml-cli — SwitchML (NSDI 2021) reproduction toolkit
+
+USAGE: switchml-cli <command> [flags]
+
+COMMANDS:
+  simulate   Run SwitchML on the simulated rack
+             --workers N (8) --elems N (1000000) --bandwidth-gbps N (10)
+             --pool N (128) --k N (32) --cores N (1) --rto-us N (1000)
+             --loss P (0) --mode f32|f16|i32 (f32) --racks N (1)
+             --trace N (0: off) --pcap FILE (off)  --json
+  baseline   Run a baseline collective
+             --strategy gloo|nccl|hd|ps-dedicated|ps-colocated (gloo)
+             --workers N (8) --elems N (1000000) --bandwidth-gbps N (10)
+             --loss P (0)  --json
+  tune       Pool sizing + switch resource report
+             --bandwidth-gbps N (10) --delay-us N (15) --k N (32)
+             --workers N (8)  --json
+  train      Real data-parallel training through the protocol
+             --workers N (4) --epochs N (10) --scale F (1e6)
+             --mode exact|f32|f16|sign (f32) --hidden N (0)
+             --byzantine N (0)  --json
+  udp        Threaded all-reduce over real UDP loopback sockets
+             --workers N (2) --elems N (4096) --loss P (0)
+  help       This text
+";
+
+/// Dispatch a parsed command line; returns the text to print.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        Some("simulate") => commands::simulate(args),
+        Some("baseline") => commands::baseline(args),
+        Some("tune") => commands::tune(args),
+        Some("train") => commands::train(args),
+        Some("udp") => commands::udp(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}

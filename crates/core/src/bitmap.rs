@@ -1,0 +1,122 @@
+//! Worker-contribution bitmaps.
+//!
+//! Algorithm 3 keeps, per `(pool version, slot)`, a `seen` bitmask
+//! recording which workers have already contributed to that slot so
+//! duplicate (retransmitted) updates are ignored. The paper's P4
+//! implementation packs these into wide registers; we mirror that with
+//! a fixed four-word bitmap supporting up to 256 workers — the port
+//! count of a Tofino at 25 Gbps ("up to 64 nodes at 100 Gbps or 256 at
+//! 25 Gbps", §1).
+
+/// Maximum workers a single aggregation pool supports.
+pub const MAX_WORKERS: usize = 256;
+
+/// A set of worker ids in `[0, 256)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerBitmap {
+    words: [u64; 4],
+}
+
+impl WorkerBitmap {
+    /// The empty set.
+    pub const fn empty() -> Self {
+        WorkerBitmap { words: [0; 4] }
+    }
+
+    /// The set {0, 1, …, n-1}.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_WORKERS, "at most {MAX_WORKERS} workers");
+        let mut bm = WorkerBitmap::empty();
+        for w in 0..n {
+            bm.set(w);
+        }
+        bm
+    }
+
+    /// Mark worker `w` as seen. Returns `true` if it was newly set.
+    pub fn set(&mut self, w: usize) -> bool {
+        assert!(w < MAX_WORKERS);
+        let (word, bit) = (w / 64, w % 64);
+        let was = self.words[word] & (1 << bit) != 0;
+        self.words[word] |= 1 << bit;
+        !was
+    }
+
+    /// Clear worker `w`. Returns `true` if it was previously set.
+    pub fn clear(&mut self, w: usize) -> bool {
+        assert!(w < MAX_WORKERS);
+        let (word, bit) = (w / 64, w % 64);
+        let was = self.words[word] & (1 << bit) != 0;
+        self.words[word] &= !(1 << bit);
+        was
+    }
+
+    /// Is worker `w` in the set?
+    pub fn contains(&self, w: usize) -> bool {
+        assert!(w < MAX_WORKERS);
+        self.words[w / 64] & (1 << (w % 64)) != 0
+    }
+
+    /// Number of workers in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Remove every worker from the set.
+    pub fn reset(&mut self) {
+        self.words = [0; 4];
+    }
+
+    /// Iterate over set worker ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1u64 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_clear_contains() {
+        let mut bm = WorkerBitmap::empty();
+        assert!(bm.set(0));
+        assert!(bm.set(63));
+        assert!(bm.set(64));
+        assert!(bm.set(255));
+        assert!(!bm.set(0), "double-set reports already present");
+        assert_eq!(bm.count(), 4);
+        assert!(bm.contains(64));
+        assert!(!bm.contains(1));
+        assert!(bm.clear(64));
+        assert!(!bm.clear(64));
+        assert_eq!(bm.count(), 3);
+    }
+
+    #[test]
+    fn full_and_iter() {
+        let bm = WorkerBitmap::full(70);
+        assert_eq!(bm.count(), 70);
+        let ids: Vec<usize> = bm.iter().collect();
+        assert_eq!(ids, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_empties() {
+        let mut bm = WorkerBitmap::full(100);
+        bm.reset();
+        assert_eq!(bm.count(), 0);
+        assert_eq!(bm, WorkerBitmap::empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut bm = WorkerBitmap::empty();
+        bm.set(256);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the SwitchML protocol crate.
+
+use core::fmt;
+
+/// Errors surfaced by the protocol state machines and codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A packet failed to parse (truncated, bad magic, bad version).
+    Malformed(&'static str),
+    /// The packet checksum did not match (corruption in flight).
+    BadChecksum { expected: u32, actual: u32 },
+    /// A field value is outside the range the configuration allows
+    /// (e.g. slot index >= pool size, worker id >= n).
+    OutOfRange(&'static str),
+    /// The configuration itself is invalid or exceeds modeled switch
+    /// resources (see `switch::pipeline`).
+    InvalidConfig(String),
+    /// Scaling factor would overflow 32-bit aggregation (Appendix C,
+    /// Assumption 1/2 violated).
+    Overflow(&'static str),
+    /// The protocol reached a state the paper's invariants forbid —
+    /// indicates a bug, surfaced loudly rather than silently corrupting
+    /// gradients.
+    ProtocolViolation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Malformed(what) => write!(f, "malformed packet: {what}"),
+            Error::BadChecksum { expected, actual } => {
+                write!(f, "bad checksum: expected {expected:#010x}, got {actual:#010x}")
+            }
+            Error::OutOfRange(what) => write!(f, "field out of range: {what}"),
+            Error::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            Error::Overflow(what) => write!(f, "fixed-point overflow: {what}"),
+            Error::ProtocolViolation(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

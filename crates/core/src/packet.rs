@@ -1,0 +1,491 @@
+//! SwitchML wire format.
+//!
+//! Each packet carries the fields of Algorithm 3/4 — worker id `wid`,
+//! single-bit pool version `ver`, slot index `idx`, element offset
+//! `off` — plus a vector of `k` elements. The same packet layout is
+//! used for worker→switch *updates* and switch→worker *results*
+//! (the switch "rewrit\[es\] the packet's vector with the aggregated
+//! value", §3.3); a flag bit distinguishes direction so hierarchical
+//! switches (§6) can tell a child's update from a parent's result.
+//!
+//! Elements are encoded either as 32-bit fixed-point integers
+//! (big-endian, the `htonl`/`ntohl` of Appendix B) or as 16-bit IEEE
+//! floats when the switch-side f16 pipeline is in use (§3.7). A CRC-32
+//! trailer detects in-flight corruption.
+//!
+//! ## Wire-size accounting
+//!
+//! The paper's packets are `b = 180` bytes at `k = 32`: 128 bytes of
+//! vector data plus 52 bytes of Ethernet/IP/UDP/SwitchML headers
+//! (28.9% overhead, §5.5). Our software header (28 bytes including the
+//! CRC) is richer than the P4 one, so simulations charge
+//! [`SIM_FRAME_OVERHEAD`] bytes of L2/L3 framing on top of
+//! [`Packet::encode`] to keep the total at exactly 180 bytes — the
+//! quantity that governs all goodput arithmetic in the evaluation.
+
+use crate::checksum::{crc32, Crc32};
+use crate::error::{Error, Result};
+use crate::quant::f16;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Worker identifier (rank) within a job.
+pub type WorkerId = u16;
+/// Aggregator slot index within the pool.
+pub type SlotIndex = u32;
+/// Element offset into the (virtually contiguous) tensor stream.
+pub type ElemOffset = u64;
+
+/// Elements per packet in the paper's deployment ("In our deployment,
+/// k is 32", §3.3).
+pub const DEFAULT_K: usize = 32;
+
+/// Elements an MTU-sized packet would carry ("MTU-sized packets would
+/// carry 366 elements (1516-byte packets, including all headers)",
+/// §5.5).
+pub const MTU_K: usize = 366;
+
+/// Fixed per-packet header+framing budget used for wire-size math, so
+/// that `wire_bytes(DEFAULT_K) == 180` as in the paper.
+pub const HEADER_OVERHEAD_BYTES: usize = 52;
+
+/// Framing bytes charged by the simulator on top of the encoded packet
+/// (see module docs: 28-byte software header + 24 = the paper's 52).
+pub const SIM_FRAME_OVERHEAD: usize = HEADER_OVERHEAD_BYTES - HEADER_LEN;
+
+/// Serialized header length (including the CRC-32 trailer field).
+pub const HEADER_LEN: usize = 28;
+
+const MAGIC: u16 = 0x534D; // "SM"
+const PROTO_VERSION: u8 = 1;
+
+const FLAG_VER: u8 = 0b0000_0001;
+const FLAG_RESULT: u8 = 0b0000_0010;
+const FLAG_F16: u8 = 0b0000_0100;
+const FLAG_RETX: u8 = 0b0000_1000;
+
+/// Total on-the-wire bytes of a SwitchML packet carrying `k` 32-bit
+/// elements, per the paper's accounting.
+pub fn wire_bytes(k: usize) -> usize {
+    HEADER_OVERHEAD_BYTES + 4 * k
+}
+
+/// On-the-wire bytes when elements travel as 16-bit floats.
+pub fn wire_bytes_f16(k: usize) -> usize {
+    HEADER_OVERHEAD_BYTES + 2 * k
+}
+
+/// The two alternating aggregation pools of Algorithm 3 ("a single bit
+/// is enough to distinguish the two active phases for any slot").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PoolVersion {
+    #[default]
+    V0,
+    V1,
+}
+
+impl PoolVersion {
+    /// The other pool.
+    pub fn flip(self) -> Self {
+        match self {
+            PoolVersion::V0 => PoolVersion::V1,
+            PoolVersion::V1 => PoolVersion::V0,
+        }
+    }
+
+    /// 0 or 1, for indexing `pool[2, s]`-style state.
+    pub fn index(self) -> usize {
+        match self {
+            PoolVersion::V0 => 0,
+            PoolVersion::V1 => 1,
+        }
+    }
+
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            PoolVersion::V1
+        } else {
+            PoolVersion::V0
+        }
+    }
+}
+
+/// Update (worker → switch) or result (switch → worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    Update,
+    Result,
+}
+
+/// Element payload. The aggregation domain is always `i32`; 16-bit
+/// float payloads are converted at the switch (§3.7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// 32-bit fixed-point integers (host-converted, §3.7 option 2).
+    I32(Vec<i32>),
+    /// IEEE binary16 bit patterns (switch-converted, §3.7 option 1).
+    F16(Vec<u16>),
+}
+
+impl Payload {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::I32(v) => v.len(),
+            Payload::F16(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encoded payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            Payload::I32(v) => 4 * v.len(),
+            Payload::F16(v) => 2 * v.len(),
+        }
+    }
+
+    /// Convert to the switch's integer aggregation domain. For f16 the
+    /// switch rounds each value to the nearest integer — the lookup-
+    /// table conversion the paper verified with the chip vendor.
+    pub fn to_i32(&self) -> Vec<i32> {
+        match self {
+            Payload::I32(v) => v.clone(),
+            Payload::F16(v) => v
+                .iter()
+                .map(|&bits| {
+                    let x = f16::f16_to_f32(bits);
+                    // Saturating round-to-nearest; NaN becomes 0.
+                    if x.is_nan() {
+                        0
+                    } else {
+                        x.round().clamp(i32::MIN as f32, i32::MAX as f32) as i32
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-encode an aggregated integer vector in this payload's format
+    /// (the switch "converts fixed-point values back into equivalent
+    /// floating-point values" when generating responses).
+    pub fn from_i32_as(template: &Payload, values: &[i32]) -> Payload {
+        match template {
+            Payload::I32(_) => Payload::I32(values.to_vec()),
+            Payload::F16(_) => Payload::F16(
+                values
+                    .iter()
+                    .map(|&v| f16::f32_to_f16(v as f32))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// A SwitchML protocol packet (update or result).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    pub kind: PacketKind,
+    /// Sender's worker id. For results this echoes the slot's
+    /// completing update (workers ignore it); for unicast
+    /// retransmitted results it addresses the requesting worker.
+    pub wid: WorkerId,
+    /// Single-bit pool version (Algorithm 3's `ver`).
+    pub ver: PoolVersion,
+    /// Aggregator slot (Algorithm 1's `idx`).
+    pub idx: SlotIndex,
+    /// Element offset this vector starts at (Algorithm 2's `off`).
+    pub off: ElemOffset,
+    /// Job id, for multi-tenant pools (§6 "Multi-job (tenancy)").
+    pub job: u8,
+    /// Diagnostic flag: this packet is a retransmission. Carried on
+    /// the wire so traces can separate first transmissions from
+    /// retransmissions (Figure 6's "resent" series) but ignored by the
+    /// protocol logic.
+    pub retransmission: bool,
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// A fresh update packet with an i32 payload.
+    pub fn update(wid: WorkerId, ver: PoolVersion, idx: SlotIndex, off: ElemOffset, v: Vec<i32>) -> Self {
+        Packet {
+            kind: PacketKind::Update,
+            wid,
+            ver,
+            idx,
+            off,
+            job: 0,
+            retransmission: false,
+            payload: Payload::I32(v),
+        }
+    }
+
+    /// Number of elements carried.
+    pub fn k(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Total wire size the simulator should charge for this packet.
+    pub fn sim_wire_bytes(&self) -> usize {
+        HEADER_LEN + self.payload.byte_len() + SIM_FRAME_OVERHEAD
+    }
+
+    /// Serialize to bytes (header + payload, CRC-32 filled in).
+    pub fn encode(&self) -> Bytes {
+        let mut flags = 0u8;
+        if self.ver == PoolVersion::V1 {
+            flags |= FLAG_VER;
+        }
+        if self.kind == PacketKind::Result {
+            flags |= FLAG_RESULT;
+        }
+        if matches!(self.payload, Payload::F16(_)) {
+            flags |= FLAG_F16;
+        }
+        if self.retransmission {
+            flags |= FLAG_RETX;
+        }
+
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.byte_len());
+        buf.put_u16(MAGIC);
+        buf.put_u8(PROTO_VERSION);
+        buf.put_u8(flags);
+        buf.put_u8(self.job);
+        buf.put_u8(0); // reserved
+        buf.put_u16(self.wid);
+        buf.put_u32(self.idx);
+        buf.put_u64(self.off);
+        buf.put_u16(self.payload.len() as u16);
+        buf.put_u16(0); // reserved
+        buf.put_u32(0); // checksum placeholder
+        match &self.payload {
+            Payload::I32(v) => {
+                for &x in v {
+                    buf.put_i32(x);
+                }
+            }
+            Payload::F16(v) => {
+                for &x in v {
+                    buf.put_u16(x);
+                }
+            }
+        }
+        // CRC over the whole packet with the checksum field zeroed.
+        let mut crc = Crc32::new();
+        crc.update(&buf[..HEADER_LEN - 4]);
+        crc.update(&[0, 0, 0, 0]);
+        crc.update(&buf[HEADER_LEN..]);
+        let sum = crc.finalize();
+        buf[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&sum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Parse a packet, verifying magic, version, length and CRC.
+    pub fn decode(mut data: &[u8]) -> Result<Packet> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Malformed("short header"));
+        }
+        let full = data;
+        let magic = data.get_u16();
+        if magic != MAGIC {
+            return Err(Error::Malformed("bad magic"));
+        }
+        let version = data.get_u8();
+        if version != PROTO_VERSION {
+            return Err(Error::Malformed("unsupported protocol version"));
+        }
+        let flags = data.get_u8();
+        let job = data.get_u8();
+        let _reserved = data.get_u8();
+        let wid = data.get_u16();
+        let idx = data.get_u32();
+        let off = data.get_u64();
+        let count = data.get_u16() as usize;
+        let _reserved2 = data.get_u16();
+        let checksum = data.get_u32();
+
+        let elem_bytes = if flags & FLAG_F16 != 0 { 2 } else { 4 };
+        if data.len() != count * elem_bytes {
+            return Err(Error::Malformed("payload length mismatch"));
+        }
+
+        let mut crc = Crc32::new();
+        crc.update(&full[..HEADER_LEN - 4]);
+        crc.update(&[0, 0, 0, 0]);
+        crc.update(&full[HEADER_LEN..]);
+        let actual = crc.finalize();
+        if actual != checksum {
+            return Err(Error::BadChecksum {
+                expected: checksum,
+                actual,
+            });
+        }
+
+        let payload = if flags & FLAG_F16 != 0 {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                v.push(data.get_u16());
+            }
+            Payload::F16(v)
+        } else {
+            let mut v = Vec::with_capacity(count);
+            for _ in 0..count {
+                v.push(data.get_i32());
+            }
+            Payload::I32(v)
+        };
+
+        Ok(Packet {
+            kind: if flags & FLAG_RESULT != 0 {
+                PacketKind::Result
+            } else {
+                PacketKind::Update
+            },
+            wid,
+            ver: PoolVersion::from_bit(flags & FLAG_VER != 0),
+            idx,
+            off,
+            job,
+            retransmission: flags & FLAG_RETX != 0,
+            payload,
+        })
+    }
+
+    /// Peek the packet kind from encoded bytes without a full decode —
+    /// used by composite nodes (colocated worker + PS shard) to route
+    /// an arriving packet to the right half.
+    pub fn peek_kind(data: &[u8]) -> Option<PacketKind> {
+        if data.len() < 4 || u16::from_be_bytes([data[0], data[1]]) != MAGIC {
+            return None;
+        }
+        Some(if data[3] & FLAG_RESULT != 0 {
+            PacketKind::Result
+        } else {
+            PacketKind::Update
+        })
+    }
+
+    /// Quick integrity check of already-decoded bytes (used by tests
+    /// and fuzz-ish property tests).
+    pub fn verify_bytes(data: &[u8]) -> bool {
+        data.len() >= HEADER_LEN && {
+            let stored = u32::from_be_bytes([
+                data[HEADER_LEN - 4],
+                data[HEADER_LEN - 3],
+                data[HEADER_LEN - 2],
+                data[HEADER_LEN - 1],
+            ]);
+            let mut crc = Crc32::new();
+            crc.update(&data[..HEADER_LEN - 4]);
+            crc.update(&[0, 0, 0, 0]);
+            crc.update(&data[HEADER_LEN..]);
+            crc.finalize() == stored && crc32(&[]) == 0 // second term is trivially true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet {
+            kind: PacketKind::Update,
+            wid: 3,
+            ver: PoolVersion::V1,
+            idx: 17,
+            off: 123_456,
+            job: 2,
+            retransmission: true,
+            payload: Payload::I32((0..32).map(|i| i * 1000 - 16000).collect()),
+        }
+    }
+
+    #[test]
+    fn roundtrip_i32() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), HEADER_LEN + 128);
+        let q = Packet::decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_f16() {
+        let p = Packet {
+            kind: PacketKind::Result,
+            wid: 0,
+            ver: PoolVersion::V0,
+            idx: 0,
+            off: 64,
+            job: 0,
+            retransmission: false,
+            payload: Payload::F16((0..32).map(|i| f16::f32_to_f16(i as f32 * 0.5)).collect()),
+        };
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn wire_size_matches_paper() {
+        // k = 32 → 180 bytes (§3.4); MTU k = 366 → 1516 bytes (§5.5).
+        assert_eq!(wire_bytes(DEFAULT_K), 180);
+        assert_eq!(wire_bytes(MTU_K), 1516);
+        assert_eq!(sample().sim_wire_bytes(), 180);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let bytes = sample().encode().to_vec();
+        for pos in [0, 3, 10, HEADER_LEN - 4, HEADER_LEN, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            match Packet::decode(&bad) {
+                Err(Error::BadChecksum { .. }) | Err(Error::Malformed(_)) => {}
+                other => panic!("corruption at {pos} not detected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().encode();
+        assert!(Packet::decode(&bytes[..10]).is_err());
+        assert!(Packet::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn pool_version_flip() {
+        assert_eq!(PoolVersion::V0.flip(), PoolVersion::V1);
+        assert_eq!(PoolVersion::V1.flip(), PoolVersion::V0);
+        assert_eq!(PoolVersion::V0.index(), 0);
+        assert_eq!(PoolVersion::V1.index(), 1);
+    }
+
+    #[test]
+    fn f16_payload_converts_to_i32_by_rounding() {
+        let p = Payload::F16(vec![
+            f16::f32_to_f16(2.4),
+            f16::f32_to_f16(-7.6),
+            f16::f32_to_f16(0.0),
+        ]);
+        assert_eq!(p.to_i32(), vec![2, -8, 0]);
+    }
+
+    #[test]
+    fn from_i32_preserves_format() {
+        let t16 = Payload::F16(vec![0]);
+        match Payload::from_i32_as(&t16, &[5, -3]) {
+            Payload::F16(v) => {
+                assert_eq!(f16::f16_to_f32(v[0]), 5.0);
+                assert_eq!(f16::f16_to_f32(v[1]), -3.0);
+            }
+            _ => panic!("format changed"),
+        }
+        let t32 = Payload::I32(vec![]);
+        assert_eq!(Payload::from_i32_as(&t32, &[9]), Payload::I32(vec![9]));
+    }
+}

@@ -1,0 +1,227 @@
+//! IEEE 754 binary16 ("half") conversion, implemented from scratch.
+//!
+//! §3.7's first numerical option has the switch convert 16-bit floats
+//! to 32-bit fixed point in lookup tables. We own the conversion rather
+//! than pulling in a crate so the switch pipeline model can charge it
+//! to switch resources, and so the rounding behaviour (round to
+//! nearest, ties to even — what x86 F16C and the Tofino tables do) is
+//! explicit and testable.
+
+/// Positive infinity bit pattern.
+pub const F16_INFINITY: u16 = 0x7C00;
+/// Negative infinity bit pattern.
+pub const F16_NEG_INFINITY: u16 = 0xFC00;
+/// Largest finite f16 value (65504.0).
+pub const F16_MAX: f32 = 65504.0;
+/// Smallest positive normal f16 (2^-14).
+pub const F16_MIN_POSITIVE: f32 = 6.103515625e-5;
+
+/// Convert an `f32` to binary16 with round-to-nearest-even.
+///
+/// Overflow produces ±infinity; underflow denormalizes and eventually
+/// rounds to ±0. NaN payloads are canonicalized to a quiet NaN.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN.
+        return if man == 0 {
+            sign | F16_INFINITY
+        } else {
+            sign | 0x7E00 // canonical quiet NaN
+        };
+    }
+
+    // Unbiased exponent; f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    let half_exp = unbiased + 15;
+
+    if half_exp >= 0x1F {
+        // Overflow to infinity.
+        return sign | F16_INFINITY;
+    }
+
+    if half_exp <= 0 {
+        // Subnormal (or zero) in f16.
+        if half_exp < -10 {
+            // Too small even for a subnormal: round to zero.
+            return sign;
+        }
+        // Implicit leading 1 becomes explicit; shift right so the
+        // remaining 10-bit mantissa is aligned for the subnormal.
+        let man = man | 0x0080_0000;
+        let shift = 14 - half_exp; // in [14, 24]
+        let half_man = man >> shift;
+        // Round to nearest even on the bits shifted out.
+        let round_bit = 1u32 << (shift - 1);
+        let remainder = man & ((round_bit << 1) - 1);
+        let mut h = half_man as u16;
+        if remainder > round_bit || (remainder == round_bit && (h & 1) == 1) {
+            h += 1;
+        }
+        return sign | h;
+    }
+
+    // Normal case: keep top 10 mantissa bits, round to nearest even.
+    let half_man = (man >> 13) as u16;
+    let round_bit = man & 0x1000;
+    let sticky = man & 0x0FFF;
+    let mut h = sign | ((half_exp as u16) << 10) | half_man;
+    if round_bit != 0 && (sticky != 0 || (h & 1) == 1) {
+        h = h.wrapping_add(1); // may carry into the exponent — correct
+    }
+    h
+}
+
+/// Convert a binary16 bit pattern to `f32` (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+
+    let bits = if exp == 0 {
+        if man == 0 {
+            sign // ±0
+        } else {
+            // Subnormal: value = man × 2⁻²⁴. Normalize the mantissa;
+            // after `e` left-shifts the value is 1.m × 2^(−14−e), whose
+            // f32 biased exponent is 113 − e.
+            let mut e = 0i32;
+            let mut m = man;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e += 1;
+            }
+            m &= 0x03FF;
+            sign | (((113 - e) as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1F {
+        if man == 0 {
+            sign | 0x7F80_0000 // ±inf
+        } else {
+            sign | 0x7FC0_0000 | (man << 13) // NaN
+        }
+    } else {
+        sign | ((exp + 112) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Batch conversion of a slice; the hot path when workers emit f16
+/// wire payloads.
+pub fn f32_slice_to_f16(src: &[f32], dst: &mut Vec<u16>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&x| f32_to_f16(x)));
+}
+
+/// Batch conversion back to f32.
+pub fn f16_slice_to_f32(src: &[u16], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&h| f16_to_f32(h)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(f16_to_f32(f32_to_f16(x)), x, "integer {i}");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16(0.0), 0x0000);
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(1.0), 0x3C00);
+        assert_eq!(f32_to_f16(-2.0), 0xC000);
+        assert_eq!(f32_to_f16(65504.0), 0x7BFF);
+        assert_eq!(f32_to_f16(0.5), 0x3800);
+        assert_eq!(f32_to_f16(6.103515625e-5), 0x0400); // min normal
+        assert_eq!(f32_to_f16(5.960464477539063e-8), 0x0001); // min subnormal
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert_eq!(f32_to_f16(1e6), F16_INFINITY);
+        assert_eq!(f32_to_f16(-1e6), F16_NEG_INFINITY);
+        assert_eq!(f32_to_f16(f32::INFINITY), F16_INFINITY);
+        assert!(f16_to_f32(F16_INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let h = f32_to_f16(f32::NAN);
+        assert!(f16_to_f32(h).is_nan());
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(f32_to_f16(1e-10), 0x0000);
+        assert_eq!(f32_to_f16(-1e-10), 0x8000);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 (0x3C00) and the
+        // next representable value (0x3C01); ties go to even (0x3C00).
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway), 0x3C00);
+        // 1.0 + 3*2^-11 is halfway between 0x3C01 and 0x3C02; ties to
+        // even picks 0x3C02.
+        let halfway2 = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway2), 0x3C02);
+        // Just above halfway rounds up.
+        assert_eq!(f32_to_f16(1.0 + 2f32.powi(-11) + 2f32.powi(-20)), 0x3C01);
+    }
+
+    #[test]
+    fn rounding_carries_into_exponent() {
+        // Largest mantissa at exponent e rounds up into exponent e+1.
+        let x = f16_to_f32(0x3BFF); // just below 1.0
+        let y = (x + 1.0) / 2.0 + 0.0001; // near but above the midpoint
+        let h = f32_to_f16(y);
+        assert!(h == 0x3C00 || h == 0x3BFF);
+        // Explicit carry case: 2047.5 is halfway between 2047 and 2048
+        // (both representable); 2048 requires an exponent bump.
+        assert_eq!(f16_to_f32(f32_to_f16(2047.9)), 2048.0);
+    }
+
+    #[test]
+    fn exhaustive_f16_to_f32_to_f16_identity() {
+        // Every finite f16 value survives a roundtrip through f32.
+        for bits in 0..=0xFFFFu16 {
+            let exp = (bits >> 10) & 0x1F;
+            if exp == 0x1F {
+                continue; // inf/NaN handled elsewhere
+            }
+            let x = f16_to_f32(bits);
+            assert_eq!(f32_to_f16(x), bits, "bits {bits:#06x} (value {x})");
+        }
+    }
+
+    #[test]
+    fn subnormal_roundtrip() {
+        for bits in 1..0x0400u16 {
+            let x = f16_to_f32(bits);
+            assert!(x > 0.0 && x < F16_MIN_POSITIVE);
+            assert_eq!(f32_to_f16(x), bits);
+        }
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let src = vec![1.0f32, -2.5, 1000.0, 0.0];
+        let mut h = Vec::new();
+        f32_slice_to_f16(&src, &mut h);
+        let mut back = Vec::new();
+        f16_slice_to_f32(&h, &mut back);
+        assert_eq!(back, src);
+    }
+}

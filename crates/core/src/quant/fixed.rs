@@ -1,0 +1,171 @@
+//! Float ↔ fixed-point conversion (§3.7, Appendix C).
+//!
+//! Workers multiply each gradient by a model-dependent scaling factor
+//! `f`, round to the nearest integer (`ρ`), and ship `i32`s; the switch
+//! adds integers; receivers divide the aggregate by `f`. The paper
+//! implements this with SSE/AVX and measures negligible overhead
+//! (Figure 8); here the loops are written over chunks so LLVM
+//! auto-vectorizes them, and the benches in `switchml-bench` measure
+//! the same overhead question.
+
+/// The rounding operator ρ: round half away from zero, saturating to
+/// the `i32` range. Saturation (rather than wrapping) means a
+/// misconfigured scaling factor degrades gracefully and detectably
+/// instead of corrupting gradients silently.
+#[inline]
+pub fn rho(x: f64) -> i32 {
+    let r = x.round();
+    if r >= i32::MAX as f64 {
+        i32::MAX
+    } else if r <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        r as i32
+    }
+}
+
+/// Quantize one value: `ρ(f · x)`.
+#[inline]
+pub fn quantize_one(x: f32, f: f64) -> i32 {
+    rho(x as f64 * f)
+}
+
+/// Dequantize one value: `q / f`.
+#[inline]
+pub fn dequantize_one(q: i32, f: f64) -> f32 {
+    (q as f64 / f) as f32
+}
+
+/// Quantize a slice into a reusable output buffer.
+pub fn quantize(src: &[f32], f: f64, dst: &mut Vec<i32>) {
+    dst.clear();
+    dst.reserve(src.len());
+    dst.extend(src.iter().map(|&x| quantize_one(x, f)));
+}
+
+/// Dequantize a slice into a reusable output buffer.
+pub fn dequantize(src: &[i32], f: f64, dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.reserve(src.len());
+    dst.extend(src.iter().map(|&q| dequantize_one(q, f)));
+}
+
+/// Quantize directly into a fixed-size chunk (the per-packet hot path:
+/// no allocation, k is typically 32).
+pub fn quantize_into(src: &[f32], f: f64, dst: &mut [i32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = quantize_one(s, f);
+    }
+}
+
+/// Dequantize directly from a chunk into a tensor region.
+pub fn dequantize_into(src: &[i32], f: f64, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = dequantize_one(s, f);
+    }
+}
+
+/// Saturating element-wise vector addition — the switch's aggregation
+/// operator. Saturation models the Tofino's saturating ALU mode, which
+/// the paper relies on Assumption 2 to keep inactive.
+pub fn saturating_add_into(acc: &mut [i32], v: &[i32]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for (a, &b) in acc.iter_mut().zip(v) {
+        *a = a.saturating_add(b);
+    }
+}
+
+/// Wrapping (mod 2³²) element-wise vector addition — the Tofino ALU's
+/// other mode. Required when full-range additive masks must cancel
+/// exactly (Appendix D privacy; see `quant::masking`).
+pub fn wrapping_add_into(acc: &mut [i32], v: &[i32]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for (a, &b) in acc.iter_mut().zip(v) {
+        *a = a.wrapping_add(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_f100() {
+        // Appendix C: Δ₁ = 1.56, Δ₂ = 4.23, f = 100 → 156 + 423 = 579
+        // → 5.79 exactly.
+        let f = 100.0;
+        let q1 = quantize_one(1.56, f);
+        let q2 = quantize_one(4.23, f);
+        assert_eq!((q1, q2), (156, 423));
+        let sum = q1 + q2;
+        assert_eq!(sum, 579);
+        assert!((dequantize_one(sum, f) - 5.79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_worked_example_f10() {
+        // With f = 10: ρ(15.6) = 16, ρ(42.3) = 42 → 58 → 5.8 (error
+        // 0.01 versus the true 5.79).
+        let f = 10.0;
+        let q1 = quantize_one(1.56, f);
+        let q2 = quantize_one(4.23, f);
+        assert_eq!((q1, q2), (16, 42));
+        let approx = dequantize_one(q1 + q2, f);
+        assert!((approx - 5.8).abs() < 1e-6);
+        assert!(((approx - 5.79) as f64).abs() <= 2.0 / f + 1e-9, "Theorem 1 bound");
+    }
+
+    #[test]
+    fn rho_rounds_half_away_from_zero() {
+        assert_eq!(rho(2.5), 3);
+        assert_eq!(rho(-2.5), -3);
+        assert_eq!(rho(2.4), 2);
+        assert_eq!(rho(-2.4), -2);
+    }
+
+    #[test]
+    fn rho_saturates() {
+        assert_eq!(rho(1e300), i32::MAX);
+        assert_eq!(rho(-1e300), i32::MIN);
+        assert_eq!(quantize_one(f32::MAX, 1e9), i32::MAX);
+    }
+
+    #[test]
+    fn slice_roundtrip_error_bounded() {
+        let f = 1e6;
+        let src: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 0.001).collect();
+        let mut q = Vec::new();
+        quantize(&src, f, &mut q);
+        let mut back = Vec::new();
+        dequantize(&q, f, &mut back);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() <= (1.0 / f) as f32 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn saturating_add_saturates() {
+        let mut acc = vec![i32::MAX - 1, i32::MIN + 1, 100];
+        saturating_add_into(&mut acc, &[5, -5, 23]);
+        assert_eq!(acc, vec![i32::MAX, i32::MIN, 123]);
+    }
+
+    #[test]
+    fn chunk_paths_match_vec_paths() {
+        let src: Vec<f32> = (0..32).map(|i| i as f32 * 0.37 - 5.0).collect();
+        let f = 12345.0;
+        let mut v = Vec::new();
+        quantize(&src, f, &mut v);
+        let mut chunk = [0i32; 32];
+        quantize_into(&src, f, &mut chunk);
+        assert_eq!(v.as_slice(), chunk.as_slice());
+
+        let mut back_v = Vec::new();
+        dequantize(&v, f, &mut back_v);
+        let mut back_c = [0f32; 32];
+        dequantize_into(&chunk, f, &mut back_c);
+        assert_eq!(back_v.as_slice(), back_c.as_slice());
+    }
+}

@@ -1,0 +1,31 @@
+//! Numerical representations for gradient exchange (§3.7, Appendix C).
+//!
+//! Two wire representations, as in the paper:
+//!
+//! 1. **32-bit fixed point** ([`fixed`]) — workers scale by `f`, round,
+//!    and send `i32`; minimal switch resources, negligible host
+//!    overhead with vectorized conversion.
+//! 2. **16-bit float** ([`mod@f16`]) — workers send binary16; the switch
+//!    converts f16 → fixed point at ingress and back at egress,
+//!    halving bandwidth demand at the cost of switch lookup tables.
+//!
+//! [`scaling`] implements the scaling-factor theory: Theorem 1's error
+//! bound, Theorem 2's overflow-free bound, and the first-iterations
+//! gradient profiler. [`signsgd`] adds the majority-vote 1-bit scheme
+//! the paper cites as a natural companion to integer aggregation, and
+//! [`masking`] builds Appendix D's additively-homomorphic privacy
+//! sketch on the switch's wrapping-add mode.
+
+pub mod f16;
+pub mod fixed;
+pub mod masking;
+pub mod scaling;
+pub mod signsgd;
+
+pub use fixed::{
+    dequantize, dequantize_into, quantize, quantize_into, saturating_add_into, wrapping_add_into,
+};
+pub use scaling::{
+    aggregation_error_bound, check_no_overflow, combined_error_bound, max_safe_factor,
+    max_safe_factor_f16, GradientProfiler,
+};

@@ -1,0 +1,211 @@
+//! Algorithm 1 — switch logic without loss recovery.
+//!
+//! ```text
+//! Initialize State:
+//!   n = number of workers
+//!   pool[s], count[s] := {0}
+//! upon receive p(idx, off, vector)
+//!   pool[p.idx] ← pool[p.idx] + p.vector
+//!   count[p.idx]++
+//!   if count[p.idx] = n then
+//!     p.vector ← pool[p.idx]
+//!     pool[p.idx] ← 0; count[p.idx] ← 0
+//!     multicast p
+//!   else
+//!     drop p
+//! ```
+//!
+//! Valid only on a lossless fabric ("a SwitchML instance running in a
+//! lossless network such as Infiniband or lossless RoCE", §3.2).
+
+use super::{SwitchAction, SwitchStats};
+use crate::config::Protocol;
+use crate::error::{Error, Result};
+use crate::packet::{PacketKind, Packet, Payload};
+use crate::quant::{saturating_add_into, wrapping_add_into};
+
+/// The lossless-network aggregation core.
+#[derive(Debug)]
+pub struct BasicSwitch {
+    n: usize,
+    k: usize,
+    wrapping: bool,
+    pool: Vec<Vec<i32>>,
+    count: Vec<usize>,
+    stats: SwitchStats,
+}
+
+impl BasicSwitch {
+    pub fn new(proto: &Protocol) -> Result<Self> {
+        proto.validate()?;
+        Ok(BasicSwitch {
+            n: proto.n_workers,
+            k: proto.k,
+            wrapping: proto.wrapping_add,
+            pool: vec![vec![0; proto.k]; proto.pool_size],
+            count: vec![0; proto.pool_size],
+            stats: SwitchStats::default(),
+        })
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Process one update packet.
+    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        if p.kind != PacketKind::Update {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("result packet sent to switch"));
+        }
+        let idx = p.idx as usize;
+        if idx >= self.pool.len() {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("slot index >= pool size"));
+        }
+        if p.k() != self.k {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("element count != k"));
+        }
+        if (p.wid as usize) >= self.n {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("worker id >= n"));
+        }
+        self.stats.updates += 1;
+
+        let vec = p.payload.to_i32();
+        if self.wrapping {
+            wrapping_add_into(&mut self.pool[idx], &vec);
+        } else {
+            saturating_add_into(&mut self.pool[idx], &vec);
+        }
+        self.count[idx] += 1;
+
+        if self.count[idx] == self.n {
+            // Rewrite the packet's vector with the aggregate, reset the
+            // slot, and multicast.
+            p.payload = Payload::from_i32_as(&p.payload, &self.pool[idx]);
+            p.kind = PacketKind::Result;
+            self.pool[idx].iter_mut().for_each(|x| *x = 0);
+            self.count[idx] = 0;
+            self.stats.completions += 1;
+            Ok(SwitchAction::Multicast(p))
+        } else {
+            Ok(SwitchAction::Drop)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PoolVersion;
+
+    fn proto(n: usize, k: usize, s: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k,
+            pool_size: s,
+            ..Protocol::default()
+        }
+    }
+
+    fn update(wid: u16, idx: u32, off: u64, v: Vec<i32>) -> Packet {
+        Packet::update(wid, PoolVersion::V0, idx, off, v)
+    }
+
+    #[test]
+    fn aggregates_and_multicasts_on_nth() {
+        let mut sw = BasicSwitch::new(&proto(3, 4, 2)).unwrap();
+        assert_eq!(
+            sw.on_packet(update(0, 0, 0, vec![1, 2, 3, 4])).unwrap(),
+            SwitchAction::Drop
+        );
+        assert_eq!(
+            sw.on_packet(update(1, 0, 0, vec![10, 20, 30, 40])).unwrap(),
+            SwitchAction::Drop
+        );
+        match sw.on_packet(update(2, 0, 0, vec![100, 200, 300, 400])).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.payload, Payload::I32(vec![111, 222, 333, 444]));
+                assert_eq!(p.kind, PacketKind::Result);
+                assert_eq!(p.idx, 0);
+            }
+            other => panic!("expected multicast, got {other:?}"),
+        }
+        assert_eq!(sw.stats().completions, 1);
+    }
+
+    #[test]
+    fn slot_resets_for_reuse() {
+        let mut sw = BasicSwitch::new(&proto(2, 2, 1)).unwrap();
+        sw.on_packet(update(0, 0, 0, vec![5, 5])).unwrap();
+        sw.on_packet(update(1, 0, 0, vec![5, 5])).unwrap();
+        // Second phase on the same slot starts from zero.
+        sw.on_packet(update(0, 0, 4, vec![1, 1])).unwrap();
+        match sw.on_packet(update(1, 0, 4, vec![2, 2])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![3, 3])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut sw = BasicSwitch::new(&proto(2, 1, 4)).unwrap();
+        sw.on_packet(update(0, 0, 0, vec![1])).unwrap();
+        sw.on_packet(update(0, 3, 3, vec![7])).unwrap();
+        match sw.on_packet(update(1, 3, 3, vec![1])).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.idx, 3);
+                assert_eq!(p.payload, Payload::I32(vec![8]));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Slot 0 still waiting on worker 1.
+        match sw.on_packet(update(1, 0, 0, vec![2])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![3])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        // Addition is commutative/associative: any arrival order gives
+        // the same aggregate.
+        let orders: [[u16; 3]; 3] = [[0, 1, 2], [2, 0, 1], [1, 2, 0]];
+        for order in orders {
+            let mut sw = BasicSwitch::new(&proto(3, 1, 1)).unwrap();
+            let mut result = None;
+            for wid in order {
+                let v = vec![(wid as i32 + 1) * 10];
+                if let SwitchAction::Multicast(p) = sw.on_packet(update(wid, 0, 0, v)).unwrap() {
+                    result = Some(p.payload);
+                }
+            }
+            assert_eq!(result, Some(Payload::I32(vec![60])));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        let mut sw = BasicSwitch::new(&proto(2, 2, 2)).unwrap();
+        assert!(sw.on_packet(update(0, 9, 0, vec![1, 2])).is_err()); // bad slot
+        assert!(sw.on_packet(update(5, 0, 0, vec![1, 2])).is_err()); // bad wid
+        assert!(sw.on_packet(update(0, 0, 0, vec![1])).is_err()); // bad k
+        assert_eq!(sw.stats().rejected, 3);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut sw = BasicSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.on_packet(update(0, 0, 0, vec![i32::MAX])).unwrap();
+        match sw.on_packet(update(1, 0, 0, vec![1])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![i32::MAX])),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Hierarchical (multi-rack) aggregation — §6 "Scaling beyond a rack".
+//!
+//! Switches compose into a tree: a layer-i switch aggregates updates
+//! from its `d` downstream ports and forwards the *partial aggregate*
+//! upstream as if it were a single worker of its parent; the root
+//! completes the aggregation and multicasts downward, and each
+//! intermediate switch re-multicasts to its children.
+//!
+//! Loss recovery composes exactly as the paper argues: a worker
+//! retransmission that reaches a switch which already aggregated that
+//! packet is recognized via the `seen` bitmap; if the final result is
+//! not yet known the switch re-forwards its partial aggregate upward,
+//! "so that the switch affected by the loss is always reached", and if
+//! it is known (cached from the parent) the switch answers directly.
+
+use super::reliable::ReliableSwitch;
+use super::{SwitchAction, SwitchStats};
+use crate::config::Protocol;
+use crate::error::Result;
+use crate::packet::{ElemOffset, Packet, PacketKind, Payload, WorkerId};
+
+/// Position of a switch in the aggregation tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Completes aggregations and originates result multicasts.
+    Root,
+    /// Aggregates a subtree and appears to its parent as worker
+    /// `upstream_wid`.
+    Intermediate { upstream_wid: WorkerId },
+}
+
+/// Actions a hierarchical switch asks its embedding to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierAction {
+    /// Forward a (partial-aggregate) update packet to the parent.
+    SendUp(Packet),
+    /// Broadcast a result packet to every downstream child.
+    MulticastDown(Packet),
+    /// Send a result to one downstream child.
+    UnicastDown(WorkerId, Packet),
+}
+
+#[derive(Debug, Clone)]
+struct CachedResult {
+    off: ElemOffset,
+    values: Vec<i32>,
+}
+
+/// A switch in a multi-rack aggregation tree.
+#[derive(Debug)]
+pub struct HierarchicalSwitch {
+    inner: ReliableSwitch,
+    role: Role,
+    /// Final results cached from the parent, per (version, slot), so
+    /// children's retransmissions can be served locally.
+    results: [Vec<Option<CachedResult>>; 2],
+}
+
+impl HierarchicalSwitch {
+    /// `proto.n_workers` must be the number of *direct children*
+    /// (workers or child switches) of this switch.
+    pub fn new(proto: &Protocol, role: Role) -> Result<Self> {
+        let inner = ReliableSwitch::new(proto)?;
+        let s = proto.pool_size;
+        Ok(HierarchicalSwitch {
+            inner,
+            role,
+            results: [vec![None; s], vec![None; s]],
+        })
+    }
+
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.inner.stats()
+    }
+
+    /// Handle an update packet arriving from a downstream child.
+    pub fn on_update_from_below(&mut self, pkt: Packet) -> Result<Vec<HierAction>> {
+        let (ver, idx, off) = (pkt.ver, pkt.idx as usize, pkt.off);
+        match self.inner.on_packet(pkt)? {
+            SwitchAction::Multicast(result) => match self.role {
+                Role::Root => Ok(vec![HierAction::MulticastDown(result)]),
+                Role::Intermediate { upstream_wid } => {
+                    // A fresh phase completed here: any cached final
+                    // result for this (ver, slot) belongs to the phase
+                    // two iterations ago and is now dead.
+                    self.results[ver.index()][idx] = None;
+                    let up = Packet {
+                        kind: PacketKind::Update,
+                        wid: upstream_wid,
+                        retransmission: false,
+                        ..result
+                    };
+                    Ok(vec![HierAction::SendUp(up)])
+                }
+            },
+            SwitchAction::Unicast(wid, partial) => match self.role {
+                // Root already holds the final result in its shadow
+                // copy: answer the child directly.
+                Role::Root => Ok(vec![HierAction::UnicastDown(wid, partial)]),
+                Role::Intermediate { upstream_wid } => {
+                    if let Some(cached) = &self.results[ver.index()][idx] {
+                        if cached.off == off {
+                            // Final result known: serve it downward.
+                            let down = Packet {
+                                kind: PacketKind::Result,
+                                payload: Payload::from_i32_as(&partial.payload, &cached.values),
+                                ..partial
+                            };
+                            return Ok(vec![HierAction::UnicastDown(wid, down)]);
+                        }
+                    }
+                    // Final not yet known: re-forward our partial
+                    // aggregate upstream (it may have been lost).
+                    let up = Packet {
+                        kind: PacketKind::Update,
+                        wid: upstream_wid,
+                        retransmission: true,
+                        ..partial
+                    };
+                    Ok(vec![HierAction::SendUp(up)])
+                }
+            },
+            SwitchAction::Drop => Ok(vec![]),
+        }
+    }
+
+    /// Handle a result packet arriving from the parent (intermediate
+    /// switches only).
+    pub fn on_result_from_above(&mut self, pkt: Packet) -> Result<Vec<HierAction>> {
+        debug_assert!(
+            matches!(self.role, Role::Intermediate { .. }),
+            "root has no parent"
+        );
+        let idx = pkt.idx as usize;
+        self.results[pkt.ver.index()][idx] = Some(CachedResult {
+            off: pkt.off,
+            values: pkt.payload.to_i32(),
+        });
+        Ok(vec![HierAction::MulticastDown(pkt)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PoolVersion;
+
+    fn proto(n: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 1,
+            pool_size: 2,
+            ..Protocol::default()
+        }
+    }
+
+    fn upd(wid: u16, ver: PoolVersion, idx: u32, off: u64, v: i32) -> Packet {
+        Packet {
+            kind: PacketKind::Update,
+            wid,
+            ver,
+            idx,
+            off,
+            job: 0,
+            retransmission: false,
+            payload: Payload::I32(vec![v]),
+        }
+    }
+
+    /// Drive a full 2-rack aggregation by hand: rack switches with 2
+    /// workers each, one root with 2 children.
+    #[test]
+    fn two_rack_end_to_end() {
+        let mut rack0 =
+            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: 0 }).unwrap();
+        let mut rack1 =
+            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: 1 }).unwrap();
+        let mut root = HierarchicalSwitch::new(&proto(2), Role::Root).unwrap();
+        let v0 = PoolVersion::V0;
+
+        // Rack 0's workers contribute 1 and 2.
+        assert!(rack0.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap().is_empty());
+        let acts = rack0.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap();
+        let up0 = match &acts[..] {
+            [HierAction::SendUp(p)] => p.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(up0.payload, Payload::I32(vec![3]));
+        assert_eq!(up0.wid, 0); // rack 0 poses as worker 0 of the root
+
+        // Rack 1's workers contribute 10 and 20.
+        assert!(rack1.on_update_from_below(upd(0, v0, 0, 0, 10)).unwrap().is_empty());
+        let acts = rack1.on_update_from_below(upd(1, v0, 0, 0, 20)).unwrap();
+        let up1 = match &acts[..] {
+            [HierAction::SendUp(p)] => p.clone(),
+            other => panic!("{other:?}"),
+        };
+
+        // Root aggregates the partials.
+        assert!(root.on_update_from_below(up0).unwrap().is_empty());
+        let acts = root.on_update_from_below(up1).unwrap();
+        let down = match &acts[..] {
+            [HierAction::MulticastDown(p)] => p.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(down.payload, Payload::I32(vec![33]));
+        assert_eq!(down.kind, PacketKind::Result);
+
+        // Racks re-multicast to their workers.
+        let acts = rack0.on_result_from_above(down.clone()).unwrap();
+        assert!(matches!(&acts[..], [HierAction::MulticastDown(p)] if p.payload == Payload::I32(vec![33])));
+        let acts = rack1.on_result_from_above(down).unwrap();
+        assert!(matches!(&acts[..], [HierAction::MulticastDown(_)]));
+    }
+
+    #[test]
+    fn child_retx_before_final_triggers_upward_retx() {
+        let mut rack =
+            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: 3 }).unwrap();
+        let v0 = PoolVersion::V0;
+        rack.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap();
+        rack.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap(); // partial sent up (lost, say)
+        // Worker 0 times out and retransmits; rack has no final yet →
+        // it must re-forward the partial upward.
+        let acts = rack.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap();
+        match &acts[..] {
+            [HierAction::SendUp(p)] => {
+                assert_eq!(p.payload, Payload::I32(vec![3]));
+                assert_eq!(p.wid, 3);
+                assert!(p.retransmission);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn child_retx_after_final_served_from_cache() {
+        let mut rack =
+            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: 0 }).unwrap();
+        let v0 = PoolVersion::V0;
+        rack.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap();
+        rack.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap();
+        // Final arrives from the parent.
+        let final_pkt = Packet {
+            kind: PacketKind::Result,
+            wid: 0,
+            ver: v0,
+            idx: 0,
+            off: 0,
+            job: 0,
+            retransmission: false,
+            payload: Payload::I32(vec![33]),
+        };
+        rack.on_result_from_above(final_pkt).unwrap();
+        // Worker 1 missed the downward multicast and retransmits.
+        let acts = rack.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap();
+        match &acts[..] {
+            [HierAction::UnicastDown(wid, p)] => {
+                assert_eq!(*wid, 1);
+                assert_eq!(p.payload, Payload::I32(vec![33]));
+                assert_eq!(p.kind, PacketKind::Result);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn root_serves_retx_from_shadow() {
+        let mut root = HierarchicalSwitch::new(&proto(2), Role::Root).unwrap();
+        let v0 = PoolVersion::V0;
+        root.on_update_from_below(upd(0, v0, 0, 0, 5)).unwrap();
+        root.on_update_from_below(upd(1, v0, 0, 0, 6)).unwrap();
+        let acts = root.on_update_from_below(upd(0, v0, 0, 0, 5)).unwrap();
+        match &acts[..] {
+            [HierAction::UnicastDown(0, p)] => assert_eq!(p.payload, Payload::I32(vec![11])),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Switch-side aggregation (§3.3, §3.5, Appendix B).
+//!
+//! Two state machines, exactly mirroring the paper's pseudocode:
+//!
+//! * [`basic::BasicSwitch`] — Algorithm 1, the lossless-network core
+//!   primitive (a pool of integer aggregators with per-slot counters).
+//! * [`reliable::ReliableSwitch`] — Algorithm 3, adding the two-pool
+//!   shadow-copy scheme and per-worker `seen` bitmaps for packet-loss
+//!   recovery.
+//!
+//! Both are sans-IO: they consume decoded [`crate::packet::Packet`]s
+//! and return [`SwitchAction`]s; embedding layers (the simulator node,
+//! the threaded transports) move bytes.
+//!
+//! [`pipeline`] models the Tofino resource envelope the paper's P4
+//! program fits in, and [`hierarchy`] composes switches into the
+//! multi-rack tree of §6.
+
+pub mod basic;
+pub mod hierarchy;
+pub mod multijob;
+pub mod pipeline;
+pub mod reliable;
+
+use crate::packet::{Packet, WorkerId};
+
+/// What the switch does in response to one received packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchAction {
+    /// Slot completed: broadcast the aggregated result to every worker
+    /// (the traffic manager duplicates the packet, Appendix B).
+    Multicast(Packet),
+    /// A retransmission arrived for an already-completed slot: unicast
+    /// the cached result to just that worker (Algorithm 3, line 21).
+    Unicast(WorkerId, Packet),
+    /// Aggregated (or ignored as duplicate); nothing to send.
+    Drop,
+}
+
+/// Counters exposed by both switch variants, for tests and the
+/// evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Update packets processed (after decode).
+    pub updates: u64,
+    /// Updates ignored as duplicates (seen-bitmap hit).
+    pub duplicates: u64,
+    /// Completed aggregations (multicasts emitted).
+    pub completions: u64,
+    /// Unicast result retransmissions served.
+    pub result_retx: u64,
+    /// Packets rejected for malformed fields (bad slot, bad wid, bad
+    /// element count).
+    pub rejected: u64,
+}

@@ -1,0 +1,178 @@
+//! Multi-job (tenancy) support — §6 "Multi-job (tenancy)".
+//!
+//! "Every job requires a separate pool of aggregators to ensure
+//! correctness … an admission mechanism would be needed to control the
+//! assignment of jobs to pools." This module is that admission
+//! mechanism plus the per-job pool demultiplexer: packets carry a job
+//! id, and each admitted job gets its own [`ReliableSwitch`] pool,
+//! bounded by the modeled switch SRAM budget.
+
+use super::pipeline::PipelineModel;
+use super::reliable::ReliableSwitch;
+use super::{SwitchAction, SwitchStats};
+use crate::config::Protocol;
+use crate::error::{Error, Result};
+use crate::packet::Packet;
+use std::collections::HashMap;
+
+/// A switch dataplane hosting several independent aggregation jobs.
+#[derive(Debug)]
+pub struct MultiJobSwitch {
+    pipeline: PipelineModel,
+    jobs: HashMap<u8, ReliableSwitch>,
+    /// Register bytes already committed to admitted jobs.
+    committed_bytes: usize,
+}
+
+impl MultiJobSwitch {
+    pub fn new(pipeline: PipelineModel) -> Self {
+        MultiJobSwitch {
+            pipeline,
+            jobs: HashMap::new(),
+            committed_bytes: 0,
+        }
+    }
+
+    /// Admit a job: validates the configuration against the pipeline
+    /// model *including* the pools already committed to other jobs.
+    pub fn admit(&mut self, job: u8, proto: &Protocol) -> Result<()> {
+        if self.jobs.contains_key(&job) {
+            return Err(Error::InvalidConfig(format!("job {job} already admitted")));
+        }
+        let report = self.pipeline.validate(proto)?;
+        let needed = report.pool_bytes + report.bookkeeping_bytes;
+        if self.committed_bytes + needed > self.pipeline.register_sram_bytes {
+            return Err(Error::InvalidConfig(format!(
+                "admitting job {job} needs {needed} B but only {} B of register SRAM remain",
+                self.pipeline.register_sram_bytes - self.committed_bytes
+            )));
+        }
+        self.jobs.insert(job, ReliableSwitch::new(proto)?);
+        self.committed_bytes += needed;
+        Ok(())
+    }
+
+    /// Tear down a job, releasing its pool.
+    pub fn evict(&mut self, job: u8, proto: &Protocol) -> Result<()> {
+        if self.jobs.remove(&job).is_none() {
+            return Err(Error::InvalidConfig(format!("job {job} not admitted")));
+        }
+        let report = self.pipeline.validate(proto)?;
+        self.committed_bytes = self
+            .committed_bytes
+            .saturating_sub(report.pool_bytes + report.bookkeeping_bytes);
+        Ok(())
+    }
+
+    /// Number of admitted jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Register bytes currently committed.
+    pub fn committed_bytes(&self) -> usize {
+        self.committed_bytes
+    }
+
+    /// Route a packet to its job's pool.
+    pub fn on_packet(&mut self, pkt: Packet) -> Result<SwitchAction> {
+        let job = pkt.job;
+        self.jobs
+            .get_mut(&job)
+            .ok_or(Error::OutOfRange("packet for an unadmitted job"))?
+            .on_packet(pkt)
+    }
+
+    /// Per-job counters.
+    pub fn stats(&self, job: u8) -> Option<SwitchStats> {
+        self.jobs.get(&job).map(|s| s.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::pool_register_bytes;
+    use crate::packet::{PacketKind, Payload, PoolVersion};
+
+    fn proto(n: usize, s: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 32,
+            pool_size: s,
+            ..Protocol::default()
+        }
+    }
+
+    fn pkt(job: u8, wid: u16, idx: u32, v: i32) -> Packet {
+        Packet {
+            kind: PacketKind::Update,
+            wid,
+            ver: PoolVersion::V0,
+            idx,
+            off: idx as u64 * 32,
+            job,
+            retransmission: false,
+            payload: Payload::I32(vec![v; 32]),
+        }
+    }
+
+    #[test]
+    fn jobs_aggregate_independently() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(1, &proto(2, 8)).unwrap();
+        sw.admit(2, &proto(3, 8)).unwrap();
+        assert_eq!(sw.job_count(), 2);
+
+        // Job 1 completes with 2 contributions; job 2 needs 3.
+        assert_eq!(sw.on_packet(pkt(1, 0, 0, 5)).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.on_packet(pkt(2, 0, 0, 100)).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.on_packet(pkt(2, 1, 0, 100)).unwrap(), SwitchAction::Drop);
+        match sw.on_packet(pkt(1, 1, 0, 7)).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.job, 1);
+                assert_eq!(p.payload, Payload::I32(vec![12; 32]));
+            }
+            other => panic!("{other:?}"),
+        }
+        match sw.on_packet(pkt(2, 2, 0, 100)).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.job, 2);
+                assert_eq!(p.payload, Payload::I32(vec![300; 32]));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.stats(1).unwrap().completions, 1);
+        assert_eq!(sw.stats(2).unwrap().completions, 1);
+    }
+
+    #[test]
+    fn unadmitted_job_rejected() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        assert!(sw.on_packet(pkt(9, 0, 0, 1)).is_err());
+        assert!(sw.admit(1, &proto(2, 8)).is_ok());
+        assert!(sw.admit(1, &proto(2, 8)).is_err(), "double admission");
+    }
+
+    #[test]
+    fn admission_respects_sram_budget() {
+        let model = PipelineModel {
+            register_sram_bytes: 300 * 1024,
+            ..PipelineModel::default()
+        };
+        let mut sw = MultiJobSwitch::new(model);
+        // Each 512-slot pool costs 128 KB + bookkeeping (~36 KB).
+        sw.admit(0, &proto(8, 512)).unwrap();
+        assert_eq!(
+            sw.committed_bytes(),
+            pool_register_bytes(512, 32) + 2 * 512 * 36
+        );
+        assert!(sw.admit(1, &proto(8, 512)).is_err(), "budget exhausted");
+        // A smaller job still fits.
+        sw.admit(1, &proto(8, 64)).unwrap();
+        // Evicting frees budget.
+        sw.evict(0, &proto(8, 512)).unwrap();
+        sw.admit(2, &proto(8, 512)).unwrap();
+        assert!(sw.evict(9, &proto(8, 64)).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Tofino-class pipeline resource model (§3.1, Appendix B).
+//!
+//! The paper's P4 program had to fit aggregation of 32 elements per
+//! packet into a *single ingress pipeline*: limited parse budget,
+//! limited stages, limited register ALU operations per stage, and
+//! on-die SRAM shared with forwarding state. This module models that
+//! envelope so configurations the hardware could not run are rejected
+//! up front, and so experiments can report resource usage the way
+//! §5.5 ("Switch resources") does.
+//!
+//! The numbers are representative of a first-generation Tofino: they
+//! reproduce the paper's qualitative claims — k = 32 fits in one
+//! ingress pipeline, MTU-sized vectors (366 elements) do not, and a
+//! 512-slot pool uses well under 10% of register SRAM.
+
+use crate::config::{pool_register_bytes, Protocol};
+use crate::error::{Error, Result};
+use crate::packet::HEADER_OVERHEAD_BYTES;
+use serde::Serialize;
+
+/// Resource envelope of one switch pipeline.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineModel {
+    /// Match-action stages in the ingress pipeline.
+    pub stages: usize,
+    /// 32-bit register ALU actions available per stage. The paper's
+    /// program uses 64-bit-wide accesses so one action touches the
+    /// active and shadow pool values together.
+    pub reg_actions_per_stage: usize,
+    /// Stages consumed by non-element logic: parsing/validation,
+    /// bitmap update, counter update, multicast decision.
+    pub control_stages: usize,
+    /// Register SRAM available to the program, bytes.
+    pub register_sram_bytes: usize,
+    /// Maximum bytes the parser can expose to match-action processing
+    /// ("today on the order of a few hundred bytes", §3.3).
+    pub parse_budget_bytes: usize,
+    /// Ports on the switch (64 × 100 Gbps on the paper's testbed).
+    pub ports: usize,
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        PipelineModel {
+            stages: 12,
+            reg_actions_per_stage: 4,
+            control_stages: 4,
+            register_sram_bytes: 12 * 1024 * 1024, // ~tens of MB on-die, share for registers
+            parse_budget_bytes: 256,
+            ports: 64,
+        }
+    }
+}
+
+/// Resource usage of a validated configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResourceReport {
+    /// Stages needed: control + ceil(k / reg_actions_per_stage).
+    pub stages_used: usize,
+    /// Bytes of register SRAM for the two pools.
+    pub pool_bytes: usize,
+    /// Bytes for seen-bitmaps and counters.
+    pub bookkeeping_bytes: usize,
+    /// Fraction of modeled register SRAM consumed.
+    pub sram_fraction: f64,
+    /// Bytes of packet the parser must expose.
+    pub parse_bytes: usize,
+}
+
+impl PipelineModel {
+    /// Largest `k` this pipeline can aggregate at line rate.
+    pub fn max_k(&self) -> usize {
+        let elem_stages = self.stages.saturating_sub(self.control_stages);
+        let by_stages = elem_stages * self.reg_actions_per_stage;
+        let by_parser = (self.parse_budget_bytes.saturating_sub(HEADER_OVERHEAD_BYTES)) / 4;
+        by_stages.min(by_parser)
+    }
+
+    /// Validate a protocol configuration against this pipeline and
+    /// report its resource usage.
+    pub fn validate(&self, proto: &Protocol) -> Result<ResourceReport> {
+        proto.validate()?;
+        if proto.n_workers > self.ports {
+            return Err(Error::InvalidConfig(format!(
+                "{} workers exceed the {}-port switch",
+                proto.n_workers, self.ports
+            )));
+        }
+
+        let parse_bytes = HEADER_OVERHEAD_BYTES + 4 * proto.k;
+        if parse_bytes > self.parse_budget_bytes {
+            return Err(Error::InvalidConfig(format!(
+                "packet needs {parse_bytes} parsed bytes; parser budget is {} \
+                 (k = {} exceeds max_k = {})",
+                self.parse_budget_bytes,
+                proto.k,
+                self.max_k()
+            )));
+        }
+
+        let elem_stages = proto.k.div_ceil(self.reg_actions_per_stage);
+        let stages_used = self.control_stages + elem_stages;
+        if stages_used > self.stages {
+            return Err(Error::InvalidConfig(format!(
+                "needs {stages_used} stages; pipeline has {}",
+                self.stages
+            )));
+        }
+
+        let pool_bytes = pool_register_bytes(proto.pool_size, proto.k);
+        // Two pools of per-slot bitmaps (32B each for 256 workers) and
+        // counters (4B each).
+        let bookkeeping_bytes = 2 * proto.pool_size * (32 + 4);
+        let total = pool_bytes + bookkeeping_bytes;
+        if total > self.register_sram_bytes {
+            return Err(Error::InvalidConfig(format!(
+                "register usage {total} B exceeds SRAM {} B",
+                self.register_sram_bytes
+            )));
+        }
+
+        Ok(ResourceReport {
+            stages_used,
+            pool_bytes,
+            bookkeeping_bytes,
+            sram_fraction: total as f64 / self.register_sram_bytes as f64,
+            parse_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{DEFAULT_K, MTU_K};
+
+    #[test]
+    fn paper_deployment_fits() {
+        let model = PipelineModel::default();
+        let proto = Protocol {
+            n_workers: 8,
+            k: DEFAULT_K,
+            pool_size: 512,
+            ..Protocol::default()
+        };
+        let report = model.validate(&proto).unwrap();
+        assert!(report.stages_used <= model.stages);
+        // "even at 100 Gbps the memory requirement is << 10% of switch
+        // resources."
+        assert!(report.sram_fraction < 0.10, "{}", report.sram_fraction);
+    }
+
+    #[test]
+    fn k32_is_the_sweet_spot() {
+        // The model admits k = 32 but not much more — matching the
+        // paper's "we are limited to 32 elements per packet".
+        let model = PipelineModel::default();
+        assert!(model.max_k() >= DEFAULT_K);
+        assert!(model.max_k() < 2 * DEFAULT_K);
+    }
+
+    #[test]
+    fn mtu_sized_vectors_rejected() {
+        // Figure 7's MTU what-if (366 elements) exceeds a real
+        // pipeline; the harness emulates it the way the paper does
+        // (aggregate the first 32, forward the rest).
+        let model = PipelineModel::default();
+        let proto = Protocol {
+            k: MTU_K,
+            ..Protocol::default()
+        };
+        assert!(model.validate(&proto).is_err());
+    }
+
+    #[test]
+    fn too_many_workers_rejected() {
+        let model = PipelineModel::default();
+        let proto = Protocol {
+            n_workers: 100,
+            ..Protocol::default()
+        };
+        assert!(model.validate(&proto).is_err());
+    }
+
+    #[test]
+    fn giant_pool_rejected() {
+        let model = PipelineModel {
+            register_sram_bytes: 64 * 1024,
+            ..PipelineModel::default()
+        };
+        let proto = Protocol {
+            pool_size: 16384,
+            ..Protocol::default()
+        };
+        assert!(model.validate(&proto).is_err());
+    }
+
+    #[test]
+    fn resource_scaling_is_linear_in_pool() {
+        let model = PipelineModel::default();
+        let r128 = model
+            .validate(&Protocol {
+                pool_size: 128,
+                ..Protocol::default()
+            })
+            .unwrap();
+        let r512 = model
+            .validate(&Protocol {
+                pool_size: 512,
+                ..Protocol::default()
+            })
+            .unwrap();
+        assert_eq!(r128.pool_bytes, 32 * 1024);
+        assert_eq!(r512.pool_bytes, 128 * 1024);
+        assert_eq!(r512.pool_bytes, 4 * r128.pool_bytes);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_resources() {
+        // §5.5: "The number of workers does not influence the resource
+        // requirements to perform aggregation at line rate."
+        let model = PipelineModel::default();
+        let base = Protocol::default();
+        let r8 = model.validate(&Protocol { n_workers: 8, ..base.clone() }).unwrap();
+        let r64 = model.validate(&Protocol { n_workers: 64, ..base }).unwrap();
+        assert_eq!(r8.pool_bytes, r64.pool_bytes);
+        assert_eq!(r8.stages_used, r64.stages_used);
+        assert_eq!(r8.bookkeeping_bytes, r64.bookkeeping_bytes);
+    }
+}

@@ -1,0 +1,338 @@
+//! Algorithm 3 — switch logic with packet-loss recovery (§3.5).
+//!
+//! Extends Algorithm 1 with two pieces of state:
+//!
+//! * a per-(version, slot) **`seen` bitmap** of which workers already
+//!   contributed, so duplicate (retransmitted) updates are ignored;
+//! * a **shadow copy**: two complete pools used in alternating phases,
+//!   so a result lost on the downward path can be retransmitted even
+//!   after other workers have begun reusing the slot in the other
+//!   pool. Self-clocking guarantees no worker lags more than one phase
+//!   behind, so one shadow copy suffices.
+//!
+//! The first contribution of a phase *overwrites* the slot (Algorithm
+//! 3 line 10) — resetting and releasing slots implicitly, without a
+//! separate cleanup pass, which is what makes the switch dataplane
+//! simple enough for a single ingress pipeline.
+
+use super::{SwitchAction, SwitchStats};
+use crate::bitmap::WorkerBitmap;
+use crate::config::Protocol;
+use crate::error::{Error, Result};
+use crate::packet::{ElemOffset, Packet, PacketKind, Payload};
+use crate::quant::{saturating_add_into, wrapping_add_into};
+
+/// Per-(version, slot) aggregation state.
+#[derive(Debug, Clone)]
+struct Slot {
+    value: Vec<i32>,
+    count: usize,
+    seen: WorkerBitmap,
+    /// Offset of the phase currently (or last) aggregated in this
+    /// slot. Not part of the paper's switch state — a cheap software
+    /// tripwire that turns worker bugs into loud protocol violations
+    /// instead of silently corrupted gradients.
+    off: ElemOffset,
+}
+
+/// The loss-tolerant aggregation core (Algorithm 3).
+#[derive(Debug)]
+pub struct ReliableSwitch {
+    n: usize,
+    k: usize,
+    wrapping: bool,
+    /// pools[version][slot]
+    pools: [Vec<Slot>; 2],
+    stats: SwitchStats,
+}
+
+impl ReliableSwitch {
+    pub fn new(proto: &Protocol) -> Result<Self> {
+        proto.validate()?;
+        let mk = || {
+            (0..proto.pool_size)
+                .map(|_| Slot {
+                    value: vec![0; proto.k],
+                    count: 0,
+                    seen: WorkerBitmap::empty(),
+                    off: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        Ok(ReliableSwitch {
+            n: proto.n_workers,
+            k: proto.k,
+            wrapping: proto.wrapping_add,
+            pools: [mk(), mk()],
+            stats: SwitchStats::default(),
+        })
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.pools[0].len()
+    }
+
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Process one update packet, returning what to transmit.
+    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        if p.kind != PacketKind::Update {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("result packet sent to switch"));
+        }
+        let idx = p.idx as usize;
+        if idx >= self.pools[0].len() {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("slot index >= pool size"));
+        }
+        if p.k() != self.k {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("element count != k"));
+        }
+        let wid = p.wid as usize;
+        if wid >= self.n {
+            self.stats.rejected += 1;
+            return Err(Error::OutOfRange("worker id >= n"));
+        }
+        self.stats.updates += 1;
+
+        let ver = p.ver.index();
+        let other = 1 - ver;
+
+        if !self.pools[ver][idx].seen.contains(wid) {
+            // First time this worker contributes to this phase.
+            self.pools[ver][idx].seen.set(wid);
+            self.pools[other][idx].seen.clear(wid);
+
+            let slot = &mut self.pools[ver][idx];
+            let vec = p.payload.to_i32();
+            if slot.count == 0 {
+                // First contribution of the phase overwrites (implicit
+                // slot release of the phase before the shadow copy).
+                slot.value.copy_from_slice(&vec);
+                slot.off = p.off;
+            } else {
+                if slot.off != p.off {
+                    self.stats.rejected += 1;
+                    return Err(Error::ProtocolViolation(format!(
+                        "slot {idx} ver {ver}: worker {wid} sent off {} but phase off is {}",
+                        p.off, slot.off
+                    )));
+                }
+                if self.wrapping {
+                    wrapping_add_into(&mut slot.value, &vec);
+                } else {
+                    saturating_add_into(&mut slot.value, &vec);
+                }
+            }
+            slot.count = (slot.count + 1) % self.n;
+
+            if slot.count == 0 {
+                // All n contributions in: emit the aggregate. The slot
+                // retains the result as the shadow copy until the
+                // other pool's phase completes.
+                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
+                p.kind = PacketKind::Result;
+                self.stats.completions += 1;
+                Ok(SwitchAction::Multicast(p))
+            } else {
+                Ok(SwitchAction::Drop)
+            }
+        } else {
+            // Duplicate: this worker already contributed to this phase.
+            self.stats.duplicates += 1;
+            let slot = &self.pools[ver][idx];
+            if slot.count == 0 {
+                // Aggregation complete — the response must have been
+                // lost; unicast the cached result back (Alg 3 line 21).
+                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
+                p.kind = PacketKind::Result;
+                self.stats.result_retx += 1;
+                Ok(SwitchAction::Unicast(p.wid, p))
+            } else {
+                // Still aggregating; the original contribution is
+                // already folded in. Ignore.
+                Ok(SwitchAction::Drop)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PoolVersion;
+
+    fn proto(n: usize, k: usize, s: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k,
+            pool_size: s,
+            ..Protocol::default()
+        }
+    }
+
+    fn pkt(wid: u16, ver: PoolVersion, idx: u32, off: u64, v: Vec<i32>) -> Packet {
+        Packet {
+            kind: PacketKind::Update,
+            wid,
+            ver,
+            idx,
+            off,
+            job: 0,
+            retransmission: false,
+            payload: Payload::I32(v),
+        }
+    }
+
+    #[test]
+    fn normal_completion() {
+        let mut sw = ReliableSwitch::new(&proto(2, 2, 1)).unwrap();
+        assert_eq!(
+            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1, 2])).unwrap(),
+            SwitchAction::Drop
+        );
+        match sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![10, 20])).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.payload, Payload::I32(vec![11, 22]));
+                assert_eq!(p.kind, PacketKind::Result);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_before_completion_is_ignored() {
+        // Upward-path loss scenario, Appendix A t4/t5: retransmissions
+        // of already-aggregated updates are ignored, not double-added.
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap();
+        // Worker 0 times out and retransmits; must be ignored.
+        assert_eq!(
+            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap(),
+            SwitchAction::Drop
+        );
+        assert_eq!(sw.stats().duplicates, 1);
+        match sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![12])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_after_completion_gets_unicast_result() {
+        // Downward-path loss, Appendix A t7/t8: the worker that missed
+        // the multicast retransmits and receives a unicast result.
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap();
+        sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7])).unwrap();
+        match sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap() {
+            SwitchAction::Unicast(wid, p) => {
+                assert_eq!(wid, 0);
+                assert_eq!(p.payload, Payload::I32(vec![12]));
+                assert_eq!(p.kind, PacketKind::Result);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.stats().result_retx, 1);
+    }
+
+    #[test]
+    fn shadow_copy_survives_slot_reuse() {
+        // The laggard's result is retransmittable even after the other
+        // workers advanced the slot to the next phase in pool 1.
+        let mut sw = ReliableSwitch::new(&proto(3, 1, 1)).unwrap();
+        let v0 = PoolVersion::V0;
+        let v1 = PoolVersion::V1;
+        // Phase 0 completes in pool 0 (assume worker 2's result copy is
+        // lost on the downward path).
+        sw.on_packet(pkt(0, v0, 0, 0, vec![1])).unwrap();
+        sw.on_packet(pkt(1, v0, 0, 0, vec![2])).unwrap();
+        sw.on_packet(pkt(2, v0, 0, 0, vec![3])).unwrap();
+        // Workers 0 and 1 move on: phase 1 uses pool 1, same slot.
+        sw.on_packet(pkt(0, v1, 0, 10, vec![10])).unwrap();
+        sw.on_packet(pkt(1, v1, 0, 10, vec![20])).unwrap();
+        // Worker 2 retransmits phase 0: pool 0 still holds the result.
+        match sw.on_packet(pkt(2, v0, 0, 0, vec![3])).unwrap() {
+            SwitchAction::Unicast(wid, p) => {
+                assert_eq!(wid, 2);
+                assert_eq!(p.payload, Payload::I32(vec![6]));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Worker 2 then contributes to phase 1, completing it.
+        match sw.on_packet(pkt(2, v1, 0, 10, vec![30])).unwrap() {
+            SwitchAction::Multicast(p) => {
+                assert_eq!(p.payload, Payload::I32(vec![60]));
+                assert_eq!(p.ver, v1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_contribution_overwrites_stale_shadow() {
+        // After phases 0 and 1 complete, reusing pool 0 must not leak
+        // phase-0 values into phase 2.
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        let (v0, v1) = (PoolVersion::V0, PoolVersion::V1);
+        sw.on_packet(pkt(0, v0, 0, 0, vec![100])).unwrap();
+        sw.on_packet(pkt(1, v0, 0, 0, vec![100])).unwrap(); // phase 0 done, pool0 = 200
+        sw.on_packet(pkt(0, v1, 0, 5, vec![7])).unwrap();
+        sw.on_packet(pkt(1, v1, 0, 5, vec![7])).unwrap(); // phase 1 done
+        sw.on_packet(pkt(0, v0, 0, 9, vec![1])).unwrap(); // phase 2 overwrites
+        match sw.on_packet(pkt(1, v0, 0, 9, vec![2])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![3])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn seen_bit_cleared_in_other_pool() {
+        // Contributing to version v clears the worker's bit in the
+        // other pool, so phase parity alternation works indefinitely.
+        let mut sw = ReliableSwitch::new(&proto(1, 1, 1)).unwrap();
+        let (v0, v1) = (PoolVersion::V0, PoolVersion::V1);
+        for phase in 0u64..6 {
+            let ver = if phase % 2 == 0 { v0 } else { v1 };
+            match sw.on_packet(pkt(0, ver, 0, phase, vec![phase as i32])).unwrap() {
+                SwitchAction::Multicast(p) => {
+                    assert_eq!(p.payload, Payload::I32(vec![phase as i32]))
+                }
+                other => panic!("phase {phase}: {other:?}"),
+            }
+        }
+        assert_eq!(sw.stats().completions, 6);
+        assert_eq!(sw.stats().duplicates, 0);
+    }
+
+    #[test]
+    fn offset_mismatch_is_a_protocol_violation() {
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1])).unwrap();
+        let err = sw
+            .on_packet(pkt(1, PoolVersion::V0, 0, 999, vec![1]))
+            .unwrap_err();
+        assert!(matches!(err, Error::ProtocolViolation(_)));
+    }
+
+    #[test]
+    fn works_with_single_worker() {
+        // Degenerate n = 1: every packet completes immediately.
+        let mut sw = ReliableSwitch::new(&proto(1, 2, 4)).unwrap();
+        match sw.on_packet(pkt(0, PoolVersion::V0, 2, 8, vec![4, 5])).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![4, 5])),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut sw = ReliableSwitch::new(&proto(2, 2, 2)).unwrap();
+        assert!(sw.on_packet(pkt(0, PoolVersion::V0, 7, 0, vec![1, 2])).is_err());
+        assert!(sw.on_packet(pkt(9, PoolVersion::V0, 0, 0, vec![1, 2])).is_err());
+        assert!(sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1])).is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! The worker-side slot engine — Algorithms 2 and 4.
+//!
+//! Pure protocol state, independent of gradient data (which lives in
+//! [`crate::worker::stream::TensorStream`]): which chunk each slot is
+//! carrying, which pool version it is in, and when its retransmission
+//! timer fires. One engine drives a contiguous range of slots over a
+//! contiguous range of chunks, which is exactly the unit a DPDK core
+//! owns in the paper's sharded worker (Appendix B) — so the multi-core
+//! worker is simply several engines with disjoint ranges.
+//!
+//! With `rto = None` the engine is Algorithm 2 (no loss recovery);
+//! with a timeout it is Algorithm 4: on expiry the previous update is
+//! retransmitted *with the same slot and version*, and results that do
+//! not match the slot's outstanding (version, offset) are ignored as
+//! stale duplicates.
+
+use crate::config::{RtoPolicy, TimeNs};
+use crate::error::{Error, Result};
+use crate::packet::{ElemOffset, PoolVersion, SlotIndex, WorkerId};
+
+/// What to put on the wire: enough to materialize an update packet
+/// from the tensor stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendDescriptor {
+    pub slot: SlotIndex,
+    pub ver: PoolVersion,
+    pub off: ElemOffset,
+    pub retransmission: bool,
+}
+
+/// Outcome of feeding a result packet to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultOutcome {
+    /// Fresh result: the caller should install the aggregate at `off`
+    /// and, if `next` is set, transmit the described update.
+    Accepted {
+        off: ElemOffset,
+        next: Option<SendDescriptor>,
+    },
+    /// Duplicate or out-of-phase result; ignore it.
+    Stale,
+}
+
+/// Engine configuration: the slot range and chunk range this engine
+/// owns.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    pub wid: WorkerId,
+    /// Elements per chunk.
+    pub k: usize,
+    /// First slot index owned.
+    pub slot_base: SlotIndex,
+    /// Number of slots owned.
+    pub n_slots: usize,
+    /// First (global) chunk index owned.
+    pub chunk_base: u64,
+    /// Number of chunks owned.
+    pub n_chunks: u64,
+    /// Retransmission timeout; `None` disables retransmission
+    /// (Algorithm 2 semantics, for lossless fabrics).
+    pub rto: Option<TimeNs>,
+    /// How the timeout evolves on repeated expiries of a slot.
+    pub rto_policy: RtoPolicy,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    ver: PoolVersion,
+    /// Global chunk index currently in flight on this slot.
+    chunk: u64,
+    deadline: Option<TimeNs>,
+    /// Current timeout for this slot (grows under ExponentialBackoff).
+    cur_rto: TimeNs,
+    active: bool,
+}
+
+/// Cumulative engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// First transmissions.
+    pub sent: u64,
+    /// Retransmissions (timer expiries).
+    pub retx: u64,
+    /// Results accepted.
+    pub results: u64,
+    /// Results ignored as stale.
+    pub stale: u64,
+}
+
+/// Worker protocol engine for one slot range.
+#[derive(Debug, Clone)]
+pub struct SlotEngine {
+    cfg: EngineConfig,
+    slots: Vec<SlotState>,
+    completed: u64,
+    stats: EngineStats,
+}
+
+impl SlotEngine {
+    pub fn new(cfg: EngineConfig) -> Result<Self> {
+        if cfg.k == 0 || cfg.n_slots == 0 {
+            return Err(Error::InvalidConfig("k and n_slots must be > 0".into()));
+        }
+        if cfg.rto == Some(0) {
+            return Err(Error::InvalidConfig("rto must be > 0".into()));
+        }
+        Ok(SlotEngine {
+            cfg,
+            slots: vec![
+                SlotState {
+                    ver: PoolVersion::V0,
+                    chunk: 0,
+                    deadline: None,
+                    cur_rto: cfg.rto.unwrap_or(0),
+                    active: false,
+                };
+                cfg.n_slots
+            ],
+            completed: 0,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Like [`SlotEngine::new`], but seed each slot's pool version —
+    /// used to continue a session against a switch whose pools retain
+    /// state from earlier aggregations.
+    pub fn with_versions(cfg: EngineConfig, versions: &[PoolVersion]) -> Result<Self> {
+        if versions.len() != cfg.n_slots {
+            return Err(Error::InvalidConfig(
+                "one initial version per owned slot required".into(),
+            ));
+        }
+        let mut engine = SlotEngine::new(cfg)?;
+        for (slot, &v) in engine.slots.iter_mut().zip(versions) {
+            slot.ver = v;
+        }
+        Ok(engine)
+    }
+
+    /// The pool version each owned slot must use next — valid once
+    /// [`SlotEngine::is_done`], for seeding the next session.
+    pub fn next_versions(&self) -> Result<Vec<PoolVersion>> {
+        if !self.is_done() {
+            return Err(Error::ProtocolViolation(
+                "next_versions before the session completed".into(),
+            ));
+        }
+        Ok(self.slots.iter().map(|s| s.ver).collect())
+    }
+
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Does this engine own `slot`?
+    pub fn owns_slot(&self, slot: SlotIndex) -> bool {
+        slot >= self.cfg.slot_base && (slot - self.cfg.slot_base) < self.cfg.n_slots as SlotIndex
+    }
+
+    /// All owned chunks aggregated?
+    pub fn is_done(&self) -> bool {
+        self.completed == self.cfg.n_chunks
+    }
+
+    pub fn completed_chunks(&self) -> u64 {
+        self.completed
+    }
+
+    fn descriptor(&self, local: usize, retransmission: bool) -> SendDescriptor {
+        let st = &self.slots[local];
+        SendDescriptor {
+            slot: self.cfg.slot_base + local as SlotIndex,
+            ver: st.ver,
+            off: st.chunk * self.cfg.k as u64,
+            retransmission,
+        }
+    }
+
+    /// Emit the initial window: one packet per slot, covering the
+    /// first `min(n_slots, n_chunks)` chunks (Algorithm 2/4 lines 1–8).
+    pub fn start(&mut self, now: TimeNs) -> Vec<SendDescriptor> {
+        let initial = (self.cfg.n_slots as u64).min(self.cfg.n_chunks) as usize;
+        let mut out = Vec::with_capacity(initial);
+        for i in 0..initial {
+            self.slots[i] = SlotState {
+                // Preserve the slot's pool-version parity (V0 on a
+                // fresh engine; carried over on session continuation).
+                ver: self.slots[i].ver,
+                chunk: self.cfg.chunk_base + i as u64,
+                deadline: self.cfg.rto.map(|r| now + r),
+                cur_rto: self.cfg.rto.unwrap_or(0),
+                active: true,
+            };
+            self.stats.sent += 1;
+            out.push(self.descriptor(i, false));
+        }
+        out
+    }
+
+    /// Feed a result packet's protocol fields. On acceptance the slot
+    /// either advances to its next chunk (flip version, rearm timer)
+    /// or retires.
+    pub fn on_result(
+        &mut self,
+        slot: SlotIndex,
+        ver: PoolVersion,
+        off: ElemOffset,
+        now: TimeNs,
+    ) -> Result<ResultOutcome> {
+        if !self.owns_slot(slot) {
+            return Err(Error::OutOfRange("result for a slot this engine does not own"));
+        }
+        let local = (slot - self.cfg.slot_base) as usize;
+        let st = self.slots[local];
+        if !st.active || ver != st.ver || off != st.chunk * self.cfg.k as u64 {
+            self.stats.stale += 1;
+            return Ok(ResultOutcome::Stale);
+        }
+
+        self.stats.results += 1;
+        self.completed += 1;
+        let accepted_off = off;
+
+        // Advance by k·s elements — i.e. n_slots chunks (Alg 2 line 9;
+        // within this engine's chunk range).
+        let next_chunk = st.chunk + self.cfg.n_slots as u64;
+        let limit = self.cfg.chunk_base + self.cfg.n_chunks;
+        let next = if next_chunk < limit {
+            let ns = &mut self.slots[local];
+            ns.chunk = next_chunk;
+            ns.ver = st.ver.flip();
+            // Progress resets any backoff.
+            ns.cur_rto = self.cfg.rto.unwrap_or(0);
+            ns.deadline = self.cfg.rto.map(|r| now + r);
+            self.stats.sent += 1;
+            Some(self.descriptor(local, false))
+        } else {
+            let ns = &mut self.slots[local];
+            ns.active = false;
+            ns.deadline = None;
+            // Keep the parity rolling: the next aggregation session on
+            // this slot (Appendix B's continuous stream *across
+            // iterations*) must use the flipped pool.
+            ns.ver = st.ver.flip();
+            None
+        };
+        Ok(ResultOutcome::Accepted {
+            off: accepted_off,
+            next,
+        })
+    }
+
+    /// Earliest retransmission deadline among active slots.
+    pub fn next_deadline(&self) -> Option<TimeNs> {
+        self.slots
+            .iter()
+            .filter(|s| s.active)
+            .filter_map(|s| s.deadline)
+            .min()
+    }
+
+    /// Collect retransmissions for every slot whose timer has expired
+    /// at `now`, rearming each timer (Algorithm 4's timeout handler;
+    /// under [`RtoPolicy::ExponentialBackoff`] each expiry doubles
+    /// that slot's timeout up to the cap).
+    pub fn expired(&mut self, now: TimeNs) -> Vec<SendDescriptor> {
+        if self.cfg.rto.is_none() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for local in 0..self.slots.len() {
+            let st = &mut self.slots[local];
+            if st.active && st.deadline.is_some_and(|d| d <= now) {
+                if let RtoPolicy::ExponentialBackoff { max_ns } = self.cfg.rto_policy {
+                    st.cur_rto = (st.cur_rto.saturating_mul(2)).min(max_ns);
+                }
+                st.deadline = Some(now + st.cur_rto);
+                self.stats.retx += 1;
+                out.push(self.descriptor(local, true));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n_slots: usize, n_chunks: u64, rto: Option<TimeNs>) -> EngineConfig {
+        EngineConfig {
+            wid: 0,
+            k: 4,
+            slot_base: 0,
+            n_slots,
+            chunk_base: 0,
+            n_chunks,
+            rto,
+            rto_policy: RtoPolicy::Fixed,
+        }
+    }
+
+    #[test]
+    fn initial_window_covers_first_s_chunks() {
+        let mut e = SlotEngine::new(cfg(4, 10, None)).unwrap();
+        let descs = e.start(0);
+        assert_eq!(descs.len(), 4);
+        for (i, d) in descs.iter().enumerate() {
+            assert_eq!(d.slot, i as u32);
+            assert_eq!(d.off, (i * 4) as u64);
+            assert_eq!(d.ver, PoolVersion::V0);
+        }
+    }
+
+    #[test]
+    fn small_stream_uses_fewer_slots_than_pool() {
+        let mut e = SlotEngine::new(cfg(8, 3, None)).unwrap();
+        assert_eq!(e.start(0).len(), 3);
+    }
+
+    #[test]
+    fn advance_by_pool_stride_and_flip_version() {
+        let mut e = SlotEngine::new(cfg(2, 6, None)).unwrap();
+        e.start(0);
+        // Slot 0 finished chunk 0 → next carries chunk 2 (stride = 2)
+        // at offset 8, version flipped to V1.
+        match e.on_result(0, PoolVersion::V0, 0, 0).unwrap() {
+            ResultOutcome::Accepted { next: Some(d), .. } => {
+                assert_eq!(d.slot, 0);
+                assert_eq!(d.off, 8);
+                assert_eq!(d.ver, PoolVersion::V1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // And again: chunk 4 at offset 16, version back to V0.
+        match e.on_result(0, PoolVersion::V1, 8, 0).unwrap() {
+            ResultOutcome::Accepted { next: Some(d), .. } => {
+                assert_eq!(d.off, 16);
+                assert_eq!(d.ver, PoolVersion::V0);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Chunk 4 was the last for slot 0 (chunks 0,2,4): retire.
+        match e.on_result(0, PoolVersion::V0, 16, 0).unwrap() {
+            ResultOutcome::Accepted { next: None, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(!e.is_done()); // slot 1's chunks still pending
+    }
+
+    #[test]
+    fn completes_exactly_once_per_chunk() {
+        let mut e = SlotEngine::new(cfg(2, 5, None)).unwrap();
+        let mut inflight = e.start(0);
+        let mut completed = 0;
+        while let Some(d) = inflight.pop() {
+            match e.on_result(d.slot, d.ver, d.off, 0).unwrap() {
+                ResultOutcome::Accepted { next, .. } => {
+                    completed += 1;
+                    if let Some(n) = next {
+                        inflight.push(n);
+                    }
+                }
+                ResultOutcome::Stale => panic!("unexpected stale"),
+            }
+        }
+        assert_eq!(completed, 5);
+        assert!(e.is_done());
+    }
+
+    #[test]
+    fn stale_results_ignored() {
+        let mut e = SlotEngine::new(cfg(1, 3, Some(100))).unwrap();
+        e.start(0);
+        // Wrong version.
+        assert_eq!(
+            e.on_result(0, PoolVersion::V1, 0, 0).unwrap(),
+            ResultOutcome::Stale
+        );
+        // Wrong offset.
+        assert_eq!(
+            e.on_result(0, PoolVersion::V0, 4, 0).unwrap(),
+            ResultOutcome::Stale
+        );
+        // Correct one accepted.
+        assert!(matches!(
+            e.on_result(0, PoolVersion::V0, 0, 0).unwrap(),
+            ResultOutcome::Accepted { .. }
+        ));
+        // Duplicate of the accepted one (e.g. multicast + unicast
+        // retransmission both arrive) is now stale: the slot moved on.
+        assert_eq!(
+            e.on_result(0, PoolVersion::V0, 0, 0).unwrap(),
+            ResultOutcome::Stale
+        );
+        assert_eq!(e.stats().stale, 3);
+        // Result for a slot we don't own is an error.
+        assert!(e.on_result(7, PoolVersion::V0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut e = SlotEngine::new(cfg(2, 4, Some(100))).unwrap();
+        e.start(0);
+        assert_eq!(e.next_deadline(), Some(100));
+        assert!(e.expired(50).is_empty());
+        let rx = e.expired(100);
+        assert_eq!(rx.len(), 2);
+        assert!(rx.iter().all(|d| d.retransmission));
+        // Rearmed at 200.
+        assert_eq!(e.next_deadline(), Some(200));
+        assert_eq!(e.stats().retx, 2);
+        // A result cancels slot 0's timer and rearms for the next
+        // chunk.
+        e.on_result(0, PoolVersion::V0, 0, 150).unwrap();
+        assert_eq!(e.next_deadline(), Some(200)); // slot 1 still at 200
+        let rx = e.expired(260);
+        assert_eq!(rx.len(), 2); // slot 1 (200) and slot 0 (250)
+    }
+
+    #[test]
+    fn no_rto_means_no_retransmission() {
+        let mut e = SlotEngine::new(cfg(2, 4, None)).unwrap();
+        e.start(0);
+        assert_eq!(e.next_deadline(), None);
+        assert!(e.expired(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn retransmission_repeats_same_descriptor() {
+        let mut e = SlotEngine::new(cfg(1, 2, Some(10))).unwrap();
+        let first = e.start(0)[0];
+        let rx = e.expired(10)[0];
+        assert_eq!(rx.slot, first.slot);
+        assert_eq!(rx.ver, first.ver);
+        assert_eq!(rx.off, first.off);
+        assert!(rx.retransmission && !first.retransmission);
+    }
+
+    #[test]
+    fn sharded_ranges_respected() {
+        let mut e = SlotEngine::new(EngineConfig {
+            wid: 1,
+            k: 4,
+            slot_base: 8,
+            n_slots: 2,
+            chunk_base: 100,
+            n_chunks: 3,
+            rto: None,
+            rto_policy: RtoPolicy::Fixed,
+        })
+        .unwrap();
+        let descs = e.start(0);
+        assert_eq!(descs[0].slot, 8);
+        assert_eq!(descs[0].off, 400); // chunk 100 × k 4
+        assert_eq!(descs[1].slot, 9);
+        assert!(e.owns_slot(9) && !e.owns_slot(10) && !e.owns_slot(7));
+        // Finish all three chunks.
+        match e.on_result(8, PoolVersion::V0, 400, 0).unwrap() {
+            ResultOutcome::Accepted { next: Some(d), .. } => {
+                assert_eq!(d.off, 408); // chunk 102
+                e.on_result(8, d.ver, d.off, 0).unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+        e.on_result(9, PoolVersion::V0, 404, 0).unwrap();
+        assert!(e.is_done());
+    }
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let mut e = SlotEngine::new(EngineConfig {
+            rto_policy: RtoPolicy::ExponentialBackoff { max_ns: 700 },
+            ..cfg(1, 4, Some(100))
+        })
+        .unwrap();
+        e.start(0);
+        // Expiries at 100, then 100+200, then +400, then capped +700.
+        assert_eq!(e.expired(100).len(), 1);
+        assert_eq!(e.next_deadline(), Some(300));
+        assert_eq!(e.expired(300).len(), 1);
+        assert_eq!(e.next_deadline(), Some(700));
+        assert_eq!(e.expired(700).len(), 1);
+        assert_eq!(e.next_deadline(), Some(1400)); // 700 + capped 700
+        // Progress resets the backoff to the initial 100.
+        e.on_result(0, PoolVersion::V0, 0, 2000).unwrap();
+        assert_eq!(e.next_deadline(), Some(2100));
+    }
+
+    #[test]
+    fn empty_chunk_range_is_immediately_done() {
+        let mut e = SlotEngine::new(cfg(4, 0, None)).unwrap();
+        assert!(e.start(0).is_empty());
+        assert!(e.is_done());
+    }
+}

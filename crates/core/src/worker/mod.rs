@@ -1,0 +1,468 @@
+//! Worker-side protocol (§3.4, §3.5, Appendix B).
+//!
+//! A [`Worker`] combines:
+//!
+//! * one [`engine::SlotEngine`] per CPU core — the Algorithm 2/4 state
+//!   machine over a disjoint slot range and a contiguous chunk range
+//!   (the paper shards "slots and chunks of tensors across cores
+//!   without any shared state" via NIC Flow Director; our dispatch by
+//!   slot index models the same partitioning), and
+//! * a [`stream::TensorStream`] — the Appendix B virtual stream buffer
+//!   manager that quantizes outgoing chunks and steers aggregated
+//!   results back into per-tensor buffers.
+//!
+//! The worker is sans-IO: `start`/`on_result`/`expired` return fully
+//! formed [`Packet`]s for the embedding layer to transmit, and
+//! `next_deadline` tells it when to call back.
+
+pub mod engine;
+pub mod stream;
+
+use crate::config::{Protocol, TimeNs};
+use crate::error::{Error, Result};
+use crate::packet::{Packet, PacketKind, WorkerId};
+use engine::{EngineConfig, EngineStats, ResultOutcome, SendDescriptor, SlotEngine};
+use stream::TensorStream;
+
+/// A SwitchML worker endpoint.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    wid: WorkerId,
+    proto: Protocol,
+    engines: Vec<SlotEngine>,
+    stream: TensorStream,
+}
+
+impl Worker {
+    /// Single-core worker over the whole pool and stream.
+    pub fn new(wid: WorkerId, proto: &Protocol, stream: TensorStream) -> Result<Self> {
+        Worker::sharded(wid, proto, stream, 1)
+    }
+
+    /// Multi-core worker: the pool's slots and the stream's chunks are
+    /// partitioned into `n_cores` contiguous, disjoint ranges, one
+    /// engine per core.
+    pub fn sharded(
+        wid: WorkerId,
+        proto: &Protocol,
+        stream: TensorStream,
+        n_cores: usize,
+    ) -> Result<Self> {
+        proto.validate()?;
+        if (wid as usize) >= proto.n_workers {
+            return Err(Error::OutOfRange("worker id >= n_workers"));
+        }
+        if n_cores == 0 {
+            return Err(Error::InvalidConfig("n_cores must be > 0".into()));
+        }
+        if n_cores > proto.pool_size {
+            return Err(Error::InvalidConfig(format!(
+                "{n_cores} cores need at least {n_cores} pool slots"
+            )));
+        }
+        if stream.k() != proto.k {
+            return Err(Error::InvalidConfig(
+                "stream chunk size does not match protocol k".into(),
+            ));
+        }
+        let engines = Self::build_engines(wid, proto, &stream, n_cores, None)?;
+        Ok(Worker {
+            wid,
+            proto: proto.clone(),
+            engines,
+            stream,
+        })
+    }
+
+    /// Partition slots and chunks into per-core engines; `versions`
+    /// (one per pool slot, global order) seeds session continuation.
+    fn build_engines(
+        wid: WorkerId,
+        proto: &Protocol,
+        stream: &TensorStream,
+        n_cores: usize,
+        versions: Option<&[crate::packet::PoolVersion]>,
+    ) -> Result<Vec<SlotEngine>> {
+        let total_chunks = stream.total_chunks();
+        let s = proto.pool_size;
+        let mut engines = Vec::with_capacity(n_cores);
+        for j in 0..n_cores {
+            let slot_lo = j * s / n_cores;
+            let slot_hi = (j + 1) * s / n_cores;
+            let chunk_lo = (j as u64) * total_chunks / n_cores as u64;
+            let chunk_hi = (j as u64 + 1) * total_chunks / n_cores as u64;
+            let cfg = EngineConfig {
+                wid,
+                k: proto.k,
+                slot_base: slot_lo as u32,
+                n_slots: slot_hi - slot_lo,
+                chunk_base: chunk_lo,
+                n_chunks: chunk_hi - chunk_lo,
+                rto: Some(proto.rto_ns),
+                rto_policy: proto.rto_policy,
+            };
+            engines.push(match versions {
+                Some(v) => SlotEngine::with_versions(cfg, &v[slot_lo..slot_hi])?,
+                None => SlotEngine::new(cfg)?,
+            });
+        }
+        Ok(engines)
+    }
+
+    /// The pool version each slot will use on its next send — valid
+    /// once [`Worker::is_done`]. Used (usually via
+    /// [`Worker::into_next_session`]) to keep aggregating against a
+    /// switch whose pools retain state: Appendix B's "single,
+    /// continuous stream of data across iterations".
+    pub fn slot_versions(&self) -> Result<Vec<crate::packet::PoolVersion>> {
+        let mut out = vec![crate::packet::PoolVersion::V0; self.proto.pool_size];
+        for e in &self.engines {
+            let base = e.config().slot_base as usize;
+            for (i, v) in e.next_versions()?.into_iter().enumerate() {
+                out[base + i] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Finish this aggregation and start the next against the *same*
+    /// live switch: returns the aggregated tensors (raw sums) and a
+    /// successor worker whose slots continue the pool-version parity.
+    pub fn into_next_session(self, stream: TensorStream) -> Result<(Vec<Vec<f32>>, Worker)> {
+        if stream.k() != self.proto.k {
+            return Err(Error::InvalidConfig(
+                "stream chunk size does not match protocol k".into(),
+            ));
+        }
+        let versions = self.slot_versions()?;
+        let engines = Self::build_engines(
+            self.wid,
+            &self.proto,
+            &stream,
+            self.engines.len(),
+            Some(&versions),
+        )?;
+        let results = self.stream.result_tensors_f32(1)?;
+        Ok((
+            results,
+            Worker {
+                wid: self.wid,
+                proto: self.proto,
+                engines,
+                stream,
+            },
+        ))
+    }
+
+    /// Disable retransmission (Algorithm 2, for lossless fabrics and
+    /// for tests that must fail loudly on loss).
+    pub fn without_retransmission(mut self) -> Self {
+        for e in &mut self.engines {
+            let mut cfg = *e.config();
+            cfg.rto = None;
+            *e = SlotEngine::new(cfg).expect("config was already valid");
+        }
+        self
+    }
+
+    pub fn wid(&self) -> WorkerId {
+        self.wid
+    }
+
+    pub fn n_cores(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Total protocol stats across cores.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for e in &self.engines {
+            let s = e.stats();
+            total.sent += s.sent;
+            total.retx += s.retx;
+            total.results += s.results;
+            total.stale += s.stale;
+        }
+        total
+    }
+
+    /// Per-core stats (for cache-locality / sharding tests).
+    pub fn core_stats(&self) -> Vec<EngineStats> {
+        self.engines.iter().map(|e| e.stats()).collect()
+    }
+
+    /// Which core (engine) owns a slot — the dispatch the paper gets
+    /// from NIC Flow Director steering. `None` if no engine owns it.
+    pub fn core_for_slot(&self, slot: crate::packet::SlotIndex) -> Option<usize> {
+        self.engines.iter().position(|e| e.owns_slot(slot))
+    }
+
+    fn materialize(&self, d: SendDescriptor) -> Result<Packet> {
+        Ok(Packet {
+            kind: PacketKind::Update,
+            wid: self.wid,
+            ver: d.ver,
+            idx: d.slot,
+            off: d.off,
+            job: 0,
+            retransmission: d.retransmission,
+            payload: self.stream.payload_chunk(d.off)?,
+        })
+    }
+
+    /// Emit the initial window of update packets (one per usable slot
+    /// across all cores).
+    pub fn start(&mut self, now: TimeNs) -> Result<Vec<Packet>> {
+        let mut out = Vec::new();
+        let descs: Vec<SendDescriptor> = self
+            .engines
+            .iter_mut()
+            .flat_map(|e| e.start(now))
+            .collect();
+        for d in descs {
+            out.push(self.materialize(d)?);
+        }
+        Ok(out)
+    }
+
+    /// Handle a result packet from the switch. Returns the follow-up
+    /// update to transmit, if any. Corrupted packets should be dropped
+    /// by the transport before reaching this method (checksum), but
+    /// stale/duplicate results are handled here and ignored.
+    pub fn on_result(&mut self, pkt: &Packet, now: TimeNs) -> Result<Vec<Packet>> {
+        if pkt.kind != PacketKind::Result {
+            // Not addressed to a worker; ignore defensively.
+            return Ok(Vec::new());
+        }
+        let engine_idx = self
+            .engines
+            .iter()
+            .position(|e| e.owns_slot(pkt.idx))
+            .ok_or(Error::OutOfRange("result for unknown slot"))?;
+        let outcome = self.engines[engine_idx].on_result(pkt.idx, pkt.ver, pkt.off, now)?;
+        match outcome {
+            ResultOutcome::Accepted { off, next } => {
+                self.stream.write_result(off, &pkt.payload)?;
+                match next {
+                    Some(d) => Ok(vec![self.materialize(d)?]),
+                    None => Ok(Vec::new()),
+                }
+            }
+            ResultOutcome::Stale => Ok(Vec::new()),
+        }
+    }
+
+    /// Earliest retransmission deadline across cores.
+    pub fn next_deadline(&self) -> Option<TimeNs> {
+        self.engines.iter().filter_map(|e| e.next_deadline()).min()
+    }
+
+    /// Retransmit every expired slot (Algorithm 4's timeout handler).
+    pub fn expired(&mut self, now: TimeNs) -> Result<Vec<Packet>> {
+        let descs: Vec<SendDescriptor> = self
+            .engines
+            .iter_mut()
+            .flat_map(|e| e.expired(now))
+            .collect();
+        descs.into_iter().map(|d| self.materialize(d)).collect()
+    }
+
+    /// Has the entire model update been aggregated?
+    pub fn is_done(&self) -> bool {
+        self.engines.iter().all(|e| e.is_done())
+    }
+
+    /// Fraction of chunks aggregated (progress reporting).
+    pub fn progress(&self) -> f64 {
+        let total: u64 = self.engines.iter().map(|e| e.config().n_chunks).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let done: u64 = self.engines.iter().map(|e| e.completed_chunks()).sum();
+        done as f64 / total as f64
+    }
+
+    /// Access the underlying stream (e.g. to read results).
+    pub fn stream(&self) -> &TensorStream {
+        &self.stream
+    }
+
+    /// Consume the worker and return the aggregated tensors, divided
+    /// by `divide_by` (pass `n_workers` for the mean update; the
+    /// switch only sums — division is end-host work, §3.3).
+    pub fn into_results(self, divide_by: usize) -> Result<Vec<Vec<f32>>> {
+        self.stream.result_tensors_f32(divide_by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NumericMode;
+    use crate::packet::{Payload, PoolVersion};
+
+    fn proto(n: usize, k: usize, s: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k,
+            pool_size: s,
+            rto_ns: 1000,
+            scaling_factor: 100.0,
+            ..Protocol::default()
+        }
+    }
+
+    fn stream(elems: usize, k: usize) -> TensorStream {
+        let t: Vec<f32> = (0..elems).map(|i| i as f32 * 0.25).collect();
+        TensorStream::from_f32(&[t], NumericMode::Fixed32, 100.0, k).unwrap()
+    }
+
+    #[test]
+    fn initial_window_one_packet_per_slot() {
+        let p = proto(2, 4, 8);
+        let mut w = Worker::new(0, &p, stream(64, 4)).unwrap();
+        let pkts = w.start(0).unwrap();
+        assert_eq!(pkts.len(), 8);
+        for (i, pkt) in pkts.iter().enumerate() {
+            assert_eq!(pkt.idx, i as u32);
+            assert_eq!(pkt.off, (i * 4) as u64);
+            assert_eq!(pkt.wid, 0);
+            assert_eq!(pkt.kind, PacketKind::Update);
+        }
+    }
+
+    #[test]
+    fn result_advances_and_writes() {
+        let p = proto(1, 2, 2);
+        let mut w = Worker::new(0, &p, stream(8, 2)).unwrap();
+        let first = w.start(0).unwrap();
+        // Echo slot 0's own payload back as the "aggregate".
+        let result = Packet {
+            kind: PacketKind::Result,
+            ..first[0].clone()
+        };
+        let next = w.on_result(&result, 10).unwrap();
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].off, 4); // advanced by k*s = 4 elements
+        assert_eq!(next[0].ver, PoolVersion::V1);
+        assert_eq!(w.stream().done_chunks(), 1);
+    }
+
+    #[test]
+    fn sharding_partitions_slots_and_chunks() {
+        let p = proto(2, 4, 8);
+        let w = Worker::sharded(0, &p, stream(160, 4), 4).unwrap();
+        assert_eq!(w.n_cores(), 4);
+        let mut w = w;
+        let pkts = w.start(0).unwrap();
+        // 8 slots across 4 cores → 2 slots each, 40 chunks → 10 each.
+        assert_eq!(pkts.len(), 8);
+        // Core 1's slots are 2 and 3, starting at its chunk base 10.
+        let slot2 = pkts.iter().find(|p| p.idx == 2).unwrap();
+        assert_eq!(slot2.off, 40); // chunk 10 × k 4
+    }
+
+    #[test]
+    fn full_lockstep_aggregation_two_workers() {
+        use crate::switch::reliable::ReliableSwitch;
+        use crate::switch::SwitchAction;
+        let p = proto(2, 4, 4);
+        let elems = 40;
+        let t0: Vec<f32> = (0..elems).map(|i| i as f32).collect();
+        let t1: Vec<f32> = (0..elems).map(|i| (i as f32) * 2.0).collect();
+        let s0 = TensorStream::from_f32(&[t0.clone()], NumericMode::Fixed32, 100.0, 4).unwrap();
+        let s1 = TensorStream::from_f32(&[t1.clone()], NumericMode::Fixed32, 100.0, 4).unwrap();
+        let mut w0 = Worker::new(0, &p, s0).unwrap();
+        let mut w1 = Worker::new(1, &p, s1).unwrap();
+        let mut sw = ReliableSwitch::new(&p).unwrap();
+
+        let mut inflight: Vec<Packet> = Vec::new();
+        inflight.extend(w0.start(0).unwrap());
+        inflight.extend(w1.start(0).unwrap());
+        let mut guard = 0;
+        while let Some(pkt) = inflight.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "protocol did not converge");
+            match sw.on_packet(pkt).unwrap() {
+                SwitchAction::Multicast(result) => {
+                    inflight.extend(w0.on_result(&result, 0).unwrap());
+                    inflight.extend(w1.on_result(&result, 0).unwrap());
+                }
+                SwitchAction::Unicast(_, _) => panic!("no retransmissions in lossless run"),
+                SwitchAction::Drop => {}
+            }
+        }
+        assert!(w0.is_done() && w1.is_done());
+        let r0 = w0.into_results(1).unwrap();
+        let r1 = w1.into_results(1).unwrap();
+        for i in 0..elems {
+            let expect = t0[i] + t1[i];
+            assert!((r0[0][i] - expect).abs() < 0.05, "elem {i}");
+            assert_eq!(r0[0][i], r1[0][i]);
+        }
+    }
+
+    #[test]
+    fn timeout_produces_identical_retransmission() {
+        let p = proto(2, 4, 2);
+        let mut w = Worker::new(0, &p, stream(16, 4)).unwrap();
+        let first = w.start(100).unwrap();
+        assert_eq!(w.next_deadline(), Some(1100));
+        let retx = w.expired(1100).unwrap();
+        assert_eq!(retx.len(), 2);
+        for (a, b) in first.iter().zip(&retx) {
+            assert_eq!(a.idx, b.idx);
+            assert_eq!(a.ver, b.ver);
+            assert_eq!(a.off, b.off);
+            assert_eq!(a.payload, b.payload);
+            assert!(b.retransmission);
+        }
+    }
+
+    #[test]
+    fn stale_result_ignored_without_side_effects() {
+        let p = proto(1, 2, 1);
+        let mut w = Worker::new(0, &p, stream(4, 2)).unwrap();
+        w.start(0).unwrap();
+        let bogus = Packet {
+            kind: PacketKind::Result,
+            wid: 0,
+            ver: PoolVersion::V1, // wrong version
+            idx: 0,
+            off: 0,
+            job: 0,
+            retransmission: false,
+            payload: Payload::I32(vec![1, 1]),
+        };
+        assert!(w.on_result(&bogus, 0).unwrap().is_empty());
+        assert_eq!(w.stream().done_chunks(), 0);
+        assert_eq!(w.stats().stale, 1);
+    }
+
+    #[test]
+    fn update_packets_are_ignored_by_workers() {
+        let p = proto(1, 2, 1);
+        let mut w = Worker::new(0, &p, stream(4, 2)).unwrap();
+        let pkts = w.start(0).unwrap();
+        assert!(w.on_result(&pkts[0], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let p = proto(2, 4, 4);
+        assert!(Worker::new(5, &p, stream(16, 4)).is_err()); // wid too big
+        assert!(Worker::sharded(0, &p, stream(16, 4), 0).is_err());
+        assert!(Worker::sharded(0, &p, stream(16, 4), 8).is_err()); // cores > slots
+        assert!(Worker::new(0, &p, stream(16, 2)).is_err()); // k mismatch
+    }
+
+    #[test]
+    fn progress_and_empty_stream() {
+        let p = proto(1, 2, 2);
+        let empty = TensorStream::from_f32(&[], NumericMode::Fixed32, 1.0, 2).unwrap();
+        let mut w = Worker::new(0, &p, empty).unwrap();
+        assert!(w.start(0).unwrap().is_empty());
+        assert!(w.is_done());
+        assert_eq!(w.progress(), 1.0);
+    }
+}

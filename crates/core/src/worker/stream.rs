@@ -1,0 +1,382 @@
+//! The virtual tensor stream (Appendix B).
+//!
+//! A model update is a *set* of tensors (one per layer — e.g. 152 for
+//! ResNet-50 in Caffe2), but resetting protocol state per tensor would
+//! waste slots. The paper's worker "treats the set of tensors
+//! virtually as a single, continuous stream of data": the stream
+//! buffer manager presents the concatenation as one sequence of
+//! k-element chunks, quantizing on the way out and dequantizing +
+//! steering results back to the right tensor on the way in.
+
+use crate::config::NumericMode;
+use crate::error::{Error, Result};
+use crate::packet::{ElemOffset, Payload};
+use crate::quant::f16::{f16_to_f32, f32_to_f16};
+use crate::quant::fixed::{dequantize_one, quantize_one};
+
+/// Gradient data in its native (framework) representation.
+#[derive(Debug, Clone)]
+enum StreamBuf {
+    F32 { data: Vec<f32>, result: Vec<f32> },
+    I32 { data: Vec<i32>, result: Vec<i32> },
+}
+
+/// The worker-side stream buffer manager.
+#[derive(Debug, Clone)]
+pub struct TensorStream {
+    buf: StreamBuf,
+    /// Element ranges of each constituent tensor within the stream.
+    bounds: Vec<(usize, usize)>,
+    mode: NumericMode,
+    f: f64,
+    k: usize,
+    chunk_done: Vec<bool>,
+    done_chunks: u64,
+}
+
+impl TensorStream {
+    /// Build a stream over float tensors (Fixed32 or Float16 modes).
+    pub fn from_f32(tensors: &[Vec<f32>], mode: NumericMode, f: f64, k: usize) -> Result<Self> {
+        if mode == NumericMode::NativeInt32 {
+            return Err(Error::InvalidConfig(
+                "NativeInt32 mode requires integer tensors (use from_i32)".into(),
+            ));
+        }
+        if f <= 0.0 {
+            return Err(Error::InvalidConfig("scaling factor must be > 0".into()));
+        }
+        if k == 0 {
+            return Err(Error::InvalidConfig("k must be > 0".into()));
+        }
+        let mut data = Vec::new();
+        let mut bounds = Vec::with_capacity(tensors.len());
+        for t in tensors {
+            let start = data.len();
+            data.extend_from_slice(t);
+            bounds.push((start, data.len()));
+        }
+        let total = data.len();
+        let chunks = total.div_ceil(k);
+        Ok(TensorStream {
+            buf: StreamBuf::F32 {
+                result: vec![0.0; total],
+                data,
+            },
+            bounds,
+            mode,
+            f,
+            k,
+            chunk_done: vec![false; chunks],
+            done_chunks: 0,
+        })
+    }
+
+    /// Build a stream over native integer tensors (Figure 8's
+    /// conversion-overhead-isolation mode).
+    pub fn from_i32(tensors: &[Vec<i32>], k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(Error::InvalidConfig("k must be > 0".into()));
+        }
+        let mut data = Vec::new();
+        let mut bounds = Vec::with_capacity(tensors.len());
+        for t in tensors {
+            let start = data.len();
+            data.extend_from_slice(t);
+            bounds.push((start, data.len()));
+        }
+        let total = data.len();
+        let chunks = total.div_ceil(k);
+        Ok(TensorStream {
+            buf: StreamBuf::I32 {
+                result: vec![0; total],
+                data,
+            },
+            bounds,
+            mode: NumericMode::NativeInt32,
+            f: 1.0,
+            k,
+            chunk_done: vec![false; chunks],
+            done_chunks: 0,
+        })
+    }
+
+    /// Total elements in the stream.
+    pub fn total_elems(&self) -> usize {
+        match &self.buf {
+            StreamBuf::F32 { data, .. } => data.len(),
+            StreamBuf::I32 { data, .. } => data.len(),
+        }
+    }
+
+    /// Total k-element chunks (the final chunk may be zero-padded).
+    pub fn total_chunks(&self) -> u64 {
+        self.chunk_done.len() as u64
+    }
+
+    pub fn done_chunks(&self) -> u64 {
+        self.done_chunks
+    }
+
+    /// All chunks aggregated?
+    pub fn is_complete(&self) -> bool {
+        self.done_chunks == self.total_chunks()
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn mode(&self) -> NumericMode {
+        self.mode
+    }
+
+    /// Quantize the chunk starting at element offset `off` for the
+    /// wire. Offsets past the end are zero-padded (the stream length
+    /// need not be a multiple of k).
+    pub fn payload_chunk(&self, off: ElemOffset) -> Result<Payload> {
+        let off = off as usize;
+        if off % self.k != 0 {
+            return Err(Error::OutOfRange("offset not chunk-aligned"));
+        }
+        if off >= self.total_elems() && self.total_elems() > 0 {
+            return Err(Error::OutOfRange("offset past end of stream"));
+        }
+        match (&self.buf, self.mode) {
+            (StreamBuf::F32 { data, .. }, NumericMode::Fixed32) => {
+                let mut v = vec![0i32; self.k];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    if let Some(&x) = data.get(off + i) {
+                        *slot = quantize_one(x, self.f);
+                    }
+                }
+                Ok(Payload::I32(v))
+            }
+            (StreamBuf::F32 { data, .. }, NumericMode::Float16) => {
+                let mut v = vec![0u16; self.k];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    if let Some(&x) = data.get(off + i) {
+                        *slot = f32_to_f16((x as f64 * self.f) as f32);
+                    }
+                }
+                Ok(Payload::F16(v))
+            }
+            (StreamBuf::I32 { data, .. }, NumericMode::NativeInt32) => {
+                let mut v = vec![0i32; self.k];
+                for (i, slot) in v.iter_mut().enumerate() {
+                    if let Some(&x) = data.get(off + i) {
+                        *slot = x;
+                    }
+                }
+                Ok(Payload::I32(v))
+            }
+            _ => Err(Error::InvalidConfig(
+                "stream data type does not match numeric mode".into(),
+            )),
+        }
+    }
+
+    /// Install an aggregated chunk received from the switch.
+    /// Idempotent: writing the same chunk twice counts once.
+    pub fn write_result(&mut self, off: ElemOffset, payload: &Payload) -> Result<()> {
+        let off = off as usize;
+        if off % self.k != 0 {
+            return Err(Error::OutOfRange("offset not chunk-aligned"));
+        }
+        let chunk = off / self.k;
+        if chunk >= self.chunk_done.len() {
+            return Err(Error::OutOfRange("offset past end of stream"));
+        }
+        if payload.len() != self.k {
+            return Err(Error::OutOfRange("result element count != k"));
+        }
+        let total = self.total_elems();
+        match &mut self.buf {
+            StreamBuf::F32 { result, .. } => {
+                let write = |result: &mut Vec<f32>, i: usize, agg: f32| {
+                    if off + i < total {
+                        result[off + i] = agg;
+                    }
+                };
+                match payload {
+                    Payload::I32(v) => {
+                        for (i, &q) in v.iter().enumerate() {
+                            write(result, i, dequantize_one(q, self.f));
+                        }
+                    }
+                    Payload::F16(v) => {
+                        for (i, &h) in v.iter().enumerate() {
+                            write(result, i, (f16_to_f32(h) as f64 / self.f) as f32);
+                        }
+                    }
+                }
+            }
+            StreamBuf::I32 { result, .. } => match payload {
+                Payload::I32(v) => {
+                    for (i, &q) in v.iter().enumerate() {
+                        if off + i < total {
+                            result[off + i] = q;
+                        }
+                    }
+                }
+                Payload::F16(_) => {
+                    return Err(Error::InvalidConfig(
+                        "f16 result for a native-i32 stream".into(),
+                    ))
+                }
+            },
+        }
+        if !self.chunk_done[chunk] {
+            self.chunk_done[chunk] = true;
+            self.done_chunks += 1;
+        }
+        Ok(())
+    }
+
+    /// The aggregated float tensors, split back along the original
+    /// tensor boundaries. `divide_by` performs the end-host division
+    /// the switch cannot (pass `n` for an average, 1 for the raw sum).
+    pub fn result_tensors_f32(&self, divide_by: usize) -> Result<Vec<Vec<f32>>> {
+        if !self.is_complete() {
+            return Err(Error::ProtocolViolation(
+                "reading results before aggregation completed".into(),
+            ));
+        }
+        let d = divide_by.max(1) as f32;
+        match &self.buf {
+            StreamBuf::F32 { result, .. } => Ok(self
+                .bounds
+                .iter()
+                .map(|&(a, b)| result[a..b].iter().map(|&x| x / d).collect())
+                .collect()),
+            StreamBuf::I32 { .. } => Err(Error::InvalidConfig(
+                "native-i32 stream has no f32 results".into(),
+            )),
+        }
+    }
+
+    /// The aggregated integer tensors (NativeInt32 mode).
+    pub fn result_tensors_i32(&self) -> Result<Vec<Vec<i32>>> {
+        if !self.is_complete() {
+            return Err(Error::ProtocolViolation(
+                "reading results before aggregation completed".into(),
+            ));
+        }
+        match &self.buf {
+            StreamBuf::I32 { result, .. } => Ok(self
+                .bounds
+                .iter()
+                .map(|&(a, b)| result[a..b].to_vec())
+                .collect()),
+            StreamBuf::F32 { .. } => Err(Error::InvalidConfig(
+                "f32 stream has no i32 results".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensors_concatenate_with_boundaries() {
+        let s = TensorStream::from_f32(
+            &[vec![1.0, 2.0, 3.0], vec![4.0], vec![5.0, 6.0]],
+            NumericMode::Fixed32,
+            100.0,
+            4,
+        )
+        .unwrap();
+        assert_eq!(s.total_elems(), 6);
+        assert_eq!(s.total_chunks(), 2); // 6 elems, k=4 → 2 chunks
+    }
+
+    #[test]
+    fn chunk_quantizes_and_pads() {
+        let s = TensorStream::from_f32(&[vec![1.5, -2.25, 0.5]], NumericMode::Fixed32, 4.0, 4)
+            .unwrap();
+        match s.payload_chunk(0).unwrap() {
+            Payload::I32(v) => assert_eq!(v, vec![6, -9, 2, 0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_sum_and_average() {
+        // Simulate 2 workers: each writes the "aggregate" of both.
+        let t = vec![vec![1.0f32, 2.0], vec![3.0]];
+        let f = 1000.0;
+        let mut s = TensorStream::from_f32(&t, NumericMode::Fixed32, f, 2).unwrap();
+        // aggregate = 2x each element (two identical workers)
+        for chunk in 0..s.total_chunks() {
+            let off = chunk * 2;
+            let p = s.payload_chunk(off).unwrap();
+            let doubled = match p {
+                Payload::I32(v) => Payload::I32(v.iter().map(|x| x * 2).collect()),
+                _ => unreachable!(),
+            };
+            s.write_result(off, &doubled).unwrap();
+        }
+        assert!(s.is_complete());
+        let sum = s.result_tensors_f32(1).unwrap();
+        assert!((sum[0][0] - 2.0).abs() < 1e-3);
+        assert!((sum[1][0] - 6.0).abs() < 1e-3);
+        let avg = s.result_tensors_f32(2).unwrap();
+        assert!((avg[0][1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn f16_mode_roundtrip() {
+        let t = vec![vec![0.5f32, -1.25, 2.0, 7.0]];
+        let mut s = TensorStream::from_f32(&t, NumericMode::Float16, 8.0, 4).unwrap();
+        let p = s.payload_chunk(0).unwrap();
+        match &p {
+            Payload::F16(v) => {
+                assert_eq!(f16_to_f32(v[0]), 4.0); // 0.5 * 8
+                assert_eq!(f16_to_f32(v[1]), -10.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        s.write_result(0, &p).unwrap();
+        let r = s.result_tensors_f32(1).unwrap();
+        assert_eq!(r[0], vec![0.5, -1.25, 2.0, 7.0]);
+    }
+
+    #[test]
+    fn native_i32_mode() {
+        let mut s = TensorStream::from_i32(&[vec![1, 2, 3]], 2).unwrap();
+        let p0 = s.payload_chunk(0).unwrap();
+        assert_eq!(p0, Payload::I32(vec![1, 2]));
+        let p1 = s.payload_chunk(2).unwrap();
+        assert_eq!(p1, Payload::I32(vec![3, 0])); // padded
+        s.write_result(0, &Payload::I32(vec![10, 20])).unwrap();
+        s.write_result(2, &Payload::I32(vec![30, 99])).unwrap();
+        let r = s.result_tensors_i32().unwrap();
+        assert_eq!(r, vec![vec![10, 20, 30]]); // pad element dropped
+    }
+
+    #[test]
+    fn write_result_is_idempotent() {
+        let mut s =
+            TensorStream::from_f32(&[vec![1.0, 1.0]], NumericMode::Fixed32, 10.0, 2).unwrap();
+        let p = Payload::I32(vec![20, 20]);
+        s.write_result(0, &p).unwrap();
+        s.write_result(0, &p).unwrap();
+        assert_eq!(s.done_chunks(), 1);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let mut s =
+            TensorStream::from_f32(&[vec![1.0; 8]], NumericMode::Fixed32, 10.0, 4).unwrap();
+        assert!(s.payload_chunk(3).is_err()); // unaligned
+        assert!(s.payload_chunk(100).is_err()); // past end
+        assert!(s.write_result(3, &Payload::I32(vec![0; 4])).is_err());
+        assert!(s.write_result(100, &Payload::I32(vec![0; 4])).is_err());
+        assert!(s.write_result(0, &Payload::I32(vec![0; 2])).is_err()); // bad k
+        assert!(s.result_tensors_f32(1).is_err()); // incomplete
+        assert!(TensorStream::from_f32(&[vec![]], NumericMode::NativeInt32, 1.0, 4).is_err());
+        assert!(TensorStream::from_f32(&[vec![]], NumericMode::Fixed32, 0.0, 4).is_err());
+    }
+}

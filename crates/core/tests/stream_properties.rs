@@ -1,0 +1,131 @@
+//! Property-based tests of the Appendix B tensor stream manager.
+
+use proptest::prelude::*;
+use switchml_core::config::NumericMode;
+use switchml_core::packet::Payload;
+use switchml_core::worker::stream::TensorStream;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Round-tripping every chunk through quantize → (identity
+    /// aggregate) → dequantize reconstructs each tensor within 1/f,
+    /// for arbitrary tensor shape mixes and chunk sizes.
+    #[test]
+    fn roundtrip_arbitrary_shapes(
+        shapes in prop::collection::vec(0usize..40, 1..8),
+        k in 1usize..12,
+        fexp in 2i32..7,
+    ) {
+        let f = 10f64.powi(fexp);
+        let tensors: Vec<Vec<f32>> = shapes
+            .iter()
+            .enumerate()
+            .map(|(t, &len)| (0..len).map(|i| ((t * 31 + i) % 17) as f32 * 0.3 - 2.0).collect())
+            .collect();
+        let mut s = TensorStream::from_f32(&tensors, NumericMode::Fixed32, f, k).unwrap();
+        let total = s.total_elems();
+        prop_assert_eq!(total, shapes.iter().sum::<usize>());
+        prop_assert_eq!(s.total_chunks(), (total.div_ceil(k)) as u64);
+        for c in 0..s.total_chunks() {
+            let off = c * k as u64;
+            let p = s.payload_chunk(off).unwrap();
+            prop_assert_eq!(p.len(), k);
+            s.write_result(off, &p).unwrap();
+        }
+        prop_assert!(s.is_complete());
+        let out = s.result_tensors_f32(1).unwrap();
+        prop_assert_eq!(out.len(), tensors.len());
+        for (t, tensor) in tensors.iter().enumerate() {
+            prop_assert_eq!(out[t].len(), tensor.len());
+            for (i, &x) in tensor.iter().enumerate() {
+                prop_assert!(
+                    (out[t][i] - x).abs() <= (1.0 / f) as f32 + 1e-6,
+                    "tensor {} elem {}: {} vs {}", t, i, out[t][i], x
+                );
+            }
+        }
+    }
+
+    /// Writing results in any order, with duplicates, still completes
+    /// exactly once per chunk and steers values correctly.
+    #[test]
+    fn out_of_order_and_duplicate_writes(
+        elems in 1usize..60,
+        k in 1usize..8,
+        order_seed in any::<u64>(),
+        dup_every in 1u64..5,
+    ) {
+        let tensor: Vec<f32> = (0..elems).map(|i| i as f32 * 0.5).collect();
+        let mut s = TensorStream::from_f32(&[tensor.clone()], NumericMode::Fixed32, 100.0, k)
+            .unwrap();
+        let n_chunks = s.total_chunks();
+        // Pseudo-random chunk order.
+        let mut order: Vec<u64> = (0..n_chunks).collect();
+        let mut state = order_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        for (j, &c) in order.iter().enumerate() {
+            let off = c * k as u64;
+            let p = s.payload_chunk(off).unwrap();
+            s.write_result(off, &p).unwrap();
+            if j as u64 % dup_every == 0 {
+                s.write_result(off, &p).unwrap(); // duplicate
+            }
+        }
+        prop_assert_eq!(s.done_chunks(), n_chunks);
+        let out = s.result_tensors_f32(1).unwrap();
+        for (i, &x) in tensor.iter().enumerate() {
+            prop_assert!((out[0][i] - x).abs() <= 0.011);
+        }
+    }
+
+    /// The f16 wire payload stays within half-precision error of the
+    /// scaled values, chunk by chunk.
+    #[test]
+    fn f16_chunks_bounded_error(
+        elems in 1usize..50,
+        k in 1usize..8,
+    ) {
+        let f = 64.0;
+        let tensor: Vec<f32> = (0..elems).map(|i| (i as f32 - 25.0) * 0.1).collect();
+        let s = TensorStream::from_f32(&[tensor.clone()], NumericMode::Float16, f, k).unwrap();
+        for c in 0..s.total_chunks() {
+            let off = c * k as u64;
+            match s.payload_chunk(off).unwrap() {
+                Payload::F16(bits) => {
+                    for (i, &h) in bits.iter().enumerate() {
+                        let idx = off as usize + i;
+                        if idx < elems {
+                            let want = tensor[idx] as f64 * f;
+                            let got = switchml_core::quant::f16::f16_to_f32(h) as f64;
+                            let tol = want.abs() / 1024.0 + 1e-3;
+                            prop_assert!((got - want).abs() <= tol,
+                                "elem {}: {} vs {}", idx, got, want);
+                        }
+                    }
+                }
+                other => prop_assert!(false, "wrong payload type {:?}", other),
+            }
+        }
+    }
+
+    /// Native i32 streams round-trip exactly (no quantization at all).
+    #[test]
+    fn i32_stream_exact(
+        tensors in prop::collection::vec(
+            prop::collection::vec(any::<i32>(), 0..30), 1..5),
+        k in 1usize..8,
+    ) {
+        let mut s = TensorStream::from_i32(&tensors, k).unwrap();
+        for c in 0..s.total_chunks() {
+            let off = c * k as u64;
+            let p = s.payload_chunk(off).unwrap();
+            s.write_result(off, &p).unwrap();
+        }
+        prop_assert!(s.is_complete());
+        prop_assert_eq!(s.result_tensors_i32().unwrap(), tensors);
+    }
+}

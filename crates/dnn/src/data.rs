@@ -1,0 +1,183 @@
+//! Synthetic datasets for the real (CPU-scale) training experiments.
+//!
+//! The paper validates quantization on ImageNet/CIFAR10 (Appendix C);
+//! those are gated behind data and GPU access, so the Figure 10
+//! reproduction trains real models on seeded Gaussian-blob
+//! classification instead — small enough to run in tests, real enough
+//! that gradient magnitudes, convergence, and divergence behave like
+//! actual SGD.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labeled classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row-major features: `n_samples × dim`.
+    pub x: Vec<f32>,
+    pub y: Vec<usize>,
+    pub dim: usize,
+    pub classes: usize,
+}
+
+impl Dataset {
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.x[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Split off the last `test_frac` of samples as a held-out set
+    /// (labels are interleaved, so both halves stay balanced).
+    pub fn train_test_split(&self, test_frac: f64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac));
+        let cut = ((1.0 - test_frac) * self.len() as f64) as usize;
+        let train = Dataset {
+            x: self.x[..cut * self.dim].to_vec(),
+            y: self.y[..cut].to_vec(),
+            dim: self.dim,
+            classes: self.classes,
+        };
+        let test = Dataset {
+            x: self.x[cut * self.dim..].to_vec(),
+            y: self.y[cut..].to_vec(),
+            dim: self.dim,
+            classes: self.classes,
+        };
+        (train, test)
+    }
+
+    /// Split into `n` contiguous, near-equal shards (data parallelism).
+    pub fn shards(&self, n: usize) -> Vec<Dataset> {
+        assert!(n > 0);
+        (0..n)
+            .map(|j| {
+                let lo = j * self.len() / n;
+                let hi = (j + 1) * self.len() / n;
+                Dataset {
+                    x: self.x[lo * self.dim..hi * self.dim].to_vec(),
+                    y: self.y[lo..hi].to_vec(),
+                    dim: self.dim,
+                    classes: self.classes,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Box–Muller standard normal.
+fn normal(rng: &mut SmallRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Seeded Gaussian blobs: `classes` cluster centers on a sphere of
+/// radius `separation`, points scattered with unit variance.
+pub fn gaussian_blobs(
+    n_samples: usize,
+    dim: usize,
+    classes: usize,
+    separation: f32,
+    seed: u64,
+) -> Dataset {
+    assert!(dim >= 2 && classes >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Random unit centers, scaled.
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|_| {
+            let mut c: Vec<f32> = (0..dim).map(|_| normal(&mut rng)).collect();
+            let norm = c.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+            c.iter_mut().for_each(|v| *v *= separation / norm);
+            c
+        })
+        .collect();
+    let mut x = Vec::with_capacity(n_samples * dim);
+    let mut y = Vec::with_capacity(n_samples);
+    for i in 0..n_samples {
+        let label = i % classes; // balanced, interleaved so shards are balanced too
+        for d in 0..dim {
+            x.push(centers[label][d] + normal(&mut rng));
+        }
+        y.push(label);
+    }
+    Dataset {
+        x,
+        y,
+        dim,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_balanced() {
+        let a = gaussian_blobs(100, 4, 5, 3.0, 42);
+        let b = gaussian_blobs(100, 4, 5, 3.0, 42);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.y, b.y);
+        for c in 0..5 {
+            assert_eq!(a.y.iter().filter(|&&l| l == c).count(), 20);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gaussian_blobs(50, 4, 2, 3.0, 1);
+        let b = gaussian_blobs(50, 4, 2, 3.0, 2);
+        assert_ne!(a.x, b.x);
+    }
+
+    #[test]
+    fn shards_cover_everything() {
+        let d = gaussian_blobs(103, 3, 2, 3.0, 7);
+        let shards = d.shards(4);
+        assert_eq!(shards.iter().map(Dataset::len).sum::<usize>(), 103);
+        let rebuilt: Vec<usize> = shards.iter().flat_map(|s| s.y.clone()).collect();
+        assert_eq!(rebuilt, d.y);
+    }
+
+    #[test]
+    fn separated_blobs_are_separable() {
+        // Nearest-center classification should be nearly perfect at
+        // high separation.
+        let d = gaussian_blobs(200, 8, 3, 10.0, 9);
+        // Recompute centers from the data itself (class means).
+        let mut centers = vec![vec![0.0f32; 8]; 3];
+        let mut counts = [0usize; 3];
+        for i in 0..d.len() {
+            let c = d.y[i];
+            counts[c] += 1;
+            for k in 0..8 {
+                centers[c][k] += d.sample(i)[k];
+            }
+        }
+        for c in 0..3 {
+            centers[c].iter_mut().for_each(|v| *v /= counts[c] as f32);
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let s = d.sample(i);
+            let best = (0..3)
+                .min_by(|&a, &b| {
+                    let da: f32 = s.iter().zip(&centers[a]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let db: f32 = s.iter().zip(&centers[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == d.y[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+}

@@ -1,0 +1,22 @@
+//! # switchml-dnn
+//!
+//! The DNN-training substrate of the SwitchML reproduction:
+//!
+//! * [`zoo`] — the paper's nine-CNN benchmark suite as gradient tensor
+//!   inventories + single-GPU throughput calibration;
+//! * [`trainer`] — the synchronous data-parallel iteration model that
+//!   turns a measured all-reduce profile into training throughput
+//!   (Table 1, Figure 3);
+//! * [`data`] / [`real_train`] — real (CPU-scale) distributed training
+//!   whose gradient all-reduce runs through the actual SwitchML
+//!   protocol, for the quantization accuracy study (Figure 10,
+//!   Appendix C).
+
+pub mod data;
+pub mod real_train;
+pub mod trainer;
+pub mod zoo;
+
+pub use real_train::{train, Aggregation, TrainConfig, TrainResult};
+pub use trainer::{ideal_throughput, training_throughput, ReducerProfile, ThroughputReport};
+pub use zoo::{all_models, by_name, ModelSpec, TensorSpec};

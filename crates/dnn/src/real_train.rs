@@ -1,0 +1,596 @@
+//! Real distributed training with quantized in-network aggregation —
+//! the Figure 10 / Appendix C experiment, at CPU scale.
+//!
+//! Trains actual models (softmax regression and a one-hidden-layer
+//! MLP, gradients written by hand) with data-parallel synchronous SGD
+//! where the gradient all-reduce runs through the *actual SwitchML
+//! protocol* (`switchml_core::agg::allreduce` drives the real switch
+//! and worker state machines), under a selectable numeric mode:
+//! exact float, scaled 32-bit fixed point, or 16-bit float.
+//!
+//! The paper's finding to reproduce: over a wide band of scaling
+//! factors training matches unquantized accuracy; far too small an
+//! `f` quantizes gradients to zero (no learning); far too large an
+//! `f` overflows the 32-bit aggregation (divergence / broken
+//! updates).
+
+use crate::data::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use switchml_core::agg::allreduce;
+use switchml_core::config::{NumericMode, Protocol};
+
+/// How gradients are aggregated across workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Exact float sum (the "no quantization" baseline).
+    Exact,
+    /// SwitchML fixed-point path with scaling factor `f`.
+    Fixed32 { f: f64 },
+    /// SwitchML f16-on-the-wire path with scaling factor `f`.
+    Float16 { f: f64 },
+    /// signSGD with majority vote [6, 7]: workers send only gradient
+    /// signs; the switch tallies votes; the update is ±lr per
+    /// component. No scaling factor, Byzantine-tolerant.
+    SignSgd,
+}
+
+/// Training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    pub n_workers: usize,
+    pub epochs: usize,
+    pub batch_per_worker: usize,
+    pub lr: f32,
+    pub seed: u64,
+    pub agg: Aggregation,
+    /// Hidden width; 0 = plain softmax regression.
+    pub hidden: usize,
+    /// The first `byzantine` workers negate and amplify (×−10) their
+    /// gradients before aggregation. Majority-vote signSGD tolerates a
+    /// minority of these \[7\] — votes carry no magnitude — while
+    /// mean-based aggregation is dragged backward.
+    pub byzantine: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            n_workers: 4,
+            epochs: 5,
+            batch_per_worker: 16,
+            lr: 0.05,
+            seed: 7,
+            agg: Aggregation::Exact,
+            hidden: 0,
+            byzantine: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Accuracy on the held-out set after each epoch.
+    pub accuracy_per_epoch: Vec<f64>,
+    /// Final held-out accuracy.
+    pub final_accuracy: f64,
+    /// Loss became non-finite or accuracy collapsed.
+    pub diverged: bool,
+    /// Largest |gradient| observed (the empirical `B` of Appendix C).
+    pub max_grad_abs: f64,
+}
+
+/// A tiny feed-forward classifier with hand-written gradients.
+#[derive(Debug, Clone)]
+struct Net {
+    dim: usize,
+    classes: usize,
+    hidden: usize,
+    /// hidden == 0: [w (dim×classes), b (classes)]
+    /// hidden  > 0: [w1 (dim×hidden), b1, w2 (hidden×classes), b2]
+    params: Vec<Vec<f32>>,
+}
+
+impl Net {
+    fn new(dim: usize, classes: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut init = |n: usize, fan_in: usize| -> Vec<f32> {
+            let scale = (1.0 / fan_in as f32).sqrt();
+            (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+        };
+        let params = if hidden == 0 {
+            vec![init(dim * classes, dim), vec![0.0; classes]]
+        } else {
+            vec![
+                init(dim * hidden, dim),
+                vec![0.0; hidden],
+                init(hidden * classes, hidden),
+                vec![0.0; classes],
+            ]
+        };
+        Net {
+            dim,
+            classes,
+            hidden,
+            params,
+        }
+    }
+
+    fn forward_logits(&self, x: &[f32], scratch_h: &mut Vec<f32>) -> Vec<f32> {
+        if self.hidden == 0 {
+            let w = &self.params[0];
+            let b = &self.params[1];
+            (0..self.classes)
+                .map(|c| {
+                    b[c] + x
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &xd)| xd * w[d * self.classes + c])
+                        .sum::<f32>()
+                })
+                .collect()
+        } else {
+            let (w1, b1, w2, b2) = (
+                &self.params[0],
+                &self.params[1],
+                &self.params[2],
+                &self.params[3],
+            );
+            scratch_h.clear();
+            for h in 0..self.hidden {
+                let z = b1[h]
+                    + x.iter()
+                        .enumerate()
+                        .map(|(d, &xd)| xd * w1[d * self.hidden + h])
+                        .sum::<f32>();
+                scratch_h.push(z.max(0.0)); // ReLU
+            }
+            (0..self.classes)
+                .map(|c| {
+                    b2[c] + scratch_h
+                        .iter()
+                        .enumerate()
+                        .map(|(h, &hh)| hh * w2[h * self.classes + c])
+                        .sum::<f32>()
+                })
+                .collect()
+        }
+    }
+
+    /// Mean cross-entropy gradient over a batch of sample indices.
+    /// Returns per-parameter-tensor gradients shaped like `params`.
+    fn gradients(&self, data: &Dataset, batch: &[usize]) -> (Vec<Vec<f32>>, f32) {
+        let mut grads: Vec<Vec<f32>> = self.params.iter().map(|p| vec![0.0; p.len()]).collect();
+        let mut loss = 0.0f32;
+        let mut scratch_h = Vec::new();
+        let inv = 1.0 / batch.len() as f32;
+        for &i in batch {
+            let x = data.sample(i);
+            let y = data.y[i];
+            let logits = self.forward_logits(x, &mut scratch_h);
+            // Softmax.
+            let maxl = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&l| (l - maxl).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+            loss -= (probs[y].max(1e-12)).ln() * inv;
+            // dL/dlogit
+            let dl: Vec<f32> = (0..self.classes)
+                .map(|c| (probs[c] - if c == y { 1.0 } else { 0.0 }) * inv)
+                .collect();
+            if self.hidden == 0 {
+                for d in 0..self.dim {
+                    for c in 0..self.classes {
+                        grads[0][d * self.classes + c] += x[d] * dl[c];
+                    }
+                }
+                for c in 0..self.classes {
+                    grads[1][c] += dl[c];
+                }
+            } else {
+                let w2 = &self.params[2];
+                for h in 0..self.hidden {
+                    for c in 0..self.classes {
+                        grads[2][h * self.classes + c] += scratch_h[h] * dl[c];
+                    }
+                }
+                for c in 0..self.classes {
+                    grads[3][c] += dl[c];
+                }
+                // Back through ReLU.
+                let dh: Vec<f32> = (0..self.hidden)
+                    .map(|h| {
+                        if scratch_h[h] > 0.0 {
+                            (0..self.classes)
+                                .map(|c| dl[c] * w2[h * self.classes + c])
+                                .sum()
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                for d in 0..self.dim {
+                    for h in 0..self.hidden {
+                        grads[0][d * self.hidden + h] += x[d] * dh[h];
+                    }
+                }
+                for h in 0..self.hidden {
+                    grads[1][h] += dh[h];
+                }
+            }
+        }
+        (grads, loss)
+    }
+
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        let mut scratch = Vec::new();
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let logits = self.forward_logits(data.sample(i), &mut scratch);
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if pred == data.y[i] {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len().max(1) as f64
+    }
+}
+
+/// Aggregate per-worker gradient sets into the mean gradient, through
+/// the selected numeric path.
+fn aggregate(
+    per_worker: &[Vec<Vec<f32>>],
+    agg: Aggregation,
+    n_workers: usize,
+) -> Vec<Vec<f32>> {
+    match agg {
+        Aggregation::Exact => {
+            let mut sum = per_worker[0].clone();
+            for w in &per_worker[1..] {
+                for (t, tensor) in w.iter().enumerate() {
+                    for (i, &g) in tensor.iter().enumerate() {
+                        sum[t][i] += g;
+                    }
+                }
+            }
+            for t in &mut sum {
+                for g in t.iter_mut() {
+                    *g /= n_workers as f32;
+                }
+            }
+            sum
+        }
+        Aggregation::SignSgd => {
+            use switchml_core::quant::signsgd::{majority_decode, sign_encode};
+            // Workers transmit signs (as ±1 floats with f = 1, i.e.
+            // exact ±1 integers on the wire); the switch tallies.
+            let sign_sets: Vec<Vec<Vec<f32>>> = per_worker
+                .iter()
+                .map(|tensors| {
+                    tensors
+                        .iter()
+                        .map(|t| {
+                            let mut s = Vec::new();
+                            sign_encode(t, &mut s);
+                            s.into_iter().map(|x| x as f32).collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let proto = Protocol {
+                n_workers,
+                k: 16,
+                pool_size: 8,
+                scaling_factor: 1.0,
+                ..Protocol::default()
+            };
+            let tallies = allreduce(&sign_sets, &proto).expect("sign all-reduce failed");
+            tallies
+                .into_iter()
+                .map(|t| {
+                    let tally: Vec<i32> = t.iter().map(|&x| x.round() as i32).collect();
+                    let mut m = Vec::new();
+                    majority_decode(&tally, &mut m);
+                    m
+                })
+                .collect()
+        }
+        Aggregation::Fixed32 { f } | Aggregation::Float16 { f } => {
+            let mode = if matches!(agg, Aggregation::Fixed32 { .. }) {
+                NumericMode::Fixed32
+            } else {
+                NumericMode::Float16
+            };
+            let total: usize = per_worker[0].iter().map(Vec::len).sum();
+            let proto = Protocol {
+                n_workers,
+                k: 16,
+                pool_size: (total / 16).clamp(1, 64),
+                rto_ns: 1_000_000,
+                mode,
+                scaling_factor: f,
+                ..Protocol::default()
+            };
+            // Drive the real protocol (switch + workers, in process).
+            let mut sum = allreduce(per_worker, &proto)
+                .expect("in-process all-reduce failed");
+            for t in &mut sum {
+                for g in t.iter_mut() {
+                    *g /= n_workers as f32;
+                }
+            }
+            sum
+        }
+    }
+}
+
+/// Train on `train`, evaluating on `test` each epoch.
+pub fn train(train_set: &Dataset, test_set: &Dataset, cfg: &TrainConfig) -> TrainResult {
+    assert_eq!(train_set.dim, test_set.dim);
+    let shards = train_set.shards(cfg.n_workers);
+    let mut net = Net::new(train_set.dim, train_set.classes, cfg.hidden, cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5eed);
+    let mut acc_curve = Vec::with_capacity(cfg.epochs);
+    let mut max_grad: f64 = 0.0;
+    let mut diverged = false;
+
+    let iters_per_epoch = (shards[0].len() / cfg.batch_per_worker).max(1);
+    'epochs: for _epoch in 0..cfg.epochs {
+        for _ in 0..iters_per_epoch {
+            // Each worker samples a mini-batch from its own shard.
+            let per_worker: Vec<Vec<Vec<f32>>> = shards
+                .iter()
+                .enumerate()
+                .map(|(widx, shard)| {
+                    let batch: Vec<usize> = (0..cfg.batch_per_worker)
+                        .map(|_| rng.gen_range(0..shard.len()))
+                        .collect();
+                    let (mut grads, loss) = net.gradients(shard, &batch);
+                    if !loss.is_finite() {
+                        return vec![];
+                    }
+                    if widx < cfg.byzantine {
+                        // Adversary: negate and amplify. Amplification
+                        // is what makes the attack effective against
+                        // magnitude (mean) aggregation; sign-based
+                        // voting is immune to it by construction.
+                        for t in &mut grads {
+                            for g in t.iter_mut() {
+                                *g = -10.0 * *g;
+                            }
+                        }
+                    }
+                    for t in &grads {
+                        for &g in t {
+                            let a = g.abs() as f64;
+                            if a.is_finite() && a > max_grad {
+                                max_grad = a;
+                            }
+                        }
+                    }
+                    grads
+                })
+                .collect();
+            if per_worker.iter().any(|g| g.is_empty()) {
+                diverged = true;
+                break 'epochs;
+            }
+            let mean = aggregate(&per_worker, cfg.agg, cfg.n_workers);
+            let mut finite = true;
+            for (t, tensor) in mean.iter().enumerate() {
+                for (i, &g) in tensor.iter().enumerate() {
+                    if !g.is_finite() {
+                        finite = false;
+                        break;
+                    }
+                    net.params[t][i] -= cfg.lr * g;
+                }
+            }
+            if !finite || net.params.iter().any(|t| t.iter().any(|p| !p.is_finite())) {
+                diverged = true;
+                break 'epochs;
+            }
+        }
+        acc_curve.push(net.accuracy(test_set));
+    }
+
+    let final_accuracy = acc_curve.last().copied().unwrap_or(0.0);
+    // Accuracy at or below chance after training also counts as broken.
+    let chance = 1.0 / train_set.classes as f64;
+    if !diverged && final_accuracy <= chance + 0.05 {
+        diverged = true;
+    }
+    TrainResult {
+        accuracy_per_epoch: acc_curve,
+        final_accuracy,
+        diverged,
+        max_grad_abs: max_grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::gaussian_blobs;
+
+    fn sets() -> (Dataset, Dataset) {
+        gaussian_blobs(550, 6, 3, 4.0, 11).train_test_split(0.25)
+    }
+
+    #[test]
+    fn exact_softmax_learns() {
+        let (tr, te) = sets();
+        let r = train(&tr, &te, &TrainConfig::default());
+        assert!(!r.diverged);
+        assert!(r.final_accuracy > 0.85, "{}", r.final_accuracy);
+        assert!(r.max_grad_abs > 0.0);
+    }
+
+    #[test]
+    fn quantized_matches_exact_at_good_scale() {
+        let (tr, te) = sets();
+        let exact = train(&tr, &te, &TrainConfig::default());
+        let quant = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::Fixed32 { f: 1e6 },
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!quant.diverged);
+        assert!(
+            (exact.final_accuracy - quant.final_accuracy).abs() < 0.05,
+            "exact {} vs quant {}",
+            exact.final_accuracy,
+            quant.final_accuracy
+        );
+    }
+
+    #[test]
+    fn tiny_scale_factor_kills_learning() {
+        // f so small every gradient rounds to zero: model never moves.
+        let (tr, te) = sets();
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::Fixed32 { f: 1e-3 },
+                ..TrainConfig::default()
+            },
+        );
+        assert!(r.diverged, "accuracy {}", r.final_accuracy);
+    }
+
+    #[test]
+    fn huge_scale_factor_overflows() {
+        // f beyond the Theorem 2 bound: saturated aggregates break
+        // training (the divergence the right side of Fig. 10 shows).
+        let (tr, te) = sets();
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::Fixed32 { f: 1e12 },
+                lr: 0.5,
+                ..TrainConfig::default()
+            },
+        );
+        // Either diverged outright or visibly worse than exact.
+        let exact = train(&tr, &te, &TrainConfig::default());
+        assert!(
+            r.diverged || r.final_accuracy < exact.final_accuracy - 0.1,
+            "quant {} vs exact {}",
+            r.final_accuracy,
+            exact.final_accuracy
+        );
+    }
+
+    #[test]
+    fn f16_mode_trains() {
+        let (tr, te) = sets();
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::Float16 { f: 100.0 },
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!r.diverged);
+        assert!(r.final_accuracy > 0.8, "{}", r.final_accuracy);
+    }
+
+    #[test]
+    fn mlp_learns_too() {
+        let (tr, te) = sets();
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                hidden: 16,
+                epochs: 8,
+                agg: Aggregation::Fixed32 { f: 1e6 },
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!r.diverged);
+        assert!(r.final_accuracy > 0.85, "{}", r.final_accuracy);
+    }
+
+    #[test]
+    fn signsgd_learns() {
+        let (tr, te) = sets();
+        let r = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::SignSgd,
+                lr: 0.02,
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!r.diverged);
+        assert!(r.final_accuracy > 0.85, "{}", r.final_accuracy);
+    }
+
+    #[test]
+    fn signsgd_majority_tolerates_byzantine_minority() {
+        // 5 workers, 2 adversaries negating their gradients: the
+        // majority vote still points the right way [7]; the same
+        // adversaries poison a mean-based aggregation badly.
+        let (tr, te) = sets();
+        let base = TrainConfig {
+            n_workers: 5,
+            byzantine: 2,
+            lr: 0.02,
+            epochs: 12,
+            ..TrainConfig::default()
+        };
+        let vote = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::SignSgd,
+                ..base.clone()
+            },
+        );
+        assert!(!vote.diverged);
+        assert!(vote.final_accuracy > 0.8, "vote acc {}", vote.final_accuracy);
+
+        let mean = train(
+            &tr,
+            &te,
+            &TrainConfig {
+                agg: Aggregation::Fixed32 { f: 1e6 },
+                lr: 0.05,
+                ..base
+            },
+        );
+        assert!(
+            vote.final_accuracy > mean.final_accuracy + 0.05,
+            "vote {} should beat poisoned mean {}",
+            vote.final_accuracy,
+            mean.final_accuracy
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (tr, te) = sets();
+        let cfg = TrainConfig {
+            agg: Aggregation::Fixed32 { f: 1e6 },
+            ..TrainConfig::default()
+        };
+        let a = train(&tr, &te, &cfg);
+        let b = train(&tr, &te, &cfg);
+        assert_eq!(a.accuracy_per_epoch, b.accuracy_per_epoch);
+    }
+}

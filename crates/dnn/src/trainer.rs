@@ -1,0 +1,189 @@
+//! Data-parallel training-throughput model (§5.2).
+//!
+//! One synchronous-SGD iteration on each worker is: forward pass,
+//! backward pass (which emits gradient tensors output-layer-first,
+//! "partially overlapping communication with computation", Appendix
+//! B), and an all-reduce of every tensor that must complete before the
+//! next iteration. The compute phase is modeled from the model's
+//! measured single-GPU throughput; the communication phase is driven
+//! by a [`ReducerProfile`] — a (latency, sustained-ATE/s) pair
+//! *measured* by running the corresponding protocol on the netsim
+//! substrate (see `switchml-bench`), not assumed.
+//!
+//! Tensors are reduced "independently but sequentially" (Appendix B)
+//! in backward emission order; the iteration ends when the last
+//! reduction completes.
+
+use crate::zoo::ModelSpec;
+use serde::Serialize;
+
+/// Fraction of an iteration's compute spent in the forward pass (the
+/// backward pass is roughly 2× forward for CNN training).
+pub const FORWARD_FRACTION: f64 = 1.0 / 3.0;
+
+/// Calibrated communication performance of one all-reduce strategy.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReducerProfile {
+    pub name: String,
+    /// Sustained aggregation rate, elements per second, as measured at
+    /// one worker (Figure 4's ATE/s).
+    pub ate_per_sec: f64,
+    /// Fixed per-tensor startup cost (pipeline fill, collective setup).
+    pub latency_ns: f64,
+}
+
+impl ReducerProfile {
+    pub fn new(name: impl Into<String>, ate_per_sec: f64, latency_ns: f64) -> Self {
+        assert!(ate_per_sec > 0.0);
+        ReducerProfile {
+            name: name.into(),
+            ate_per_sec,
+            latency_ns: latency_ns.max(0.0),
+        }
+    }
+
+    /// Time to all-reduce one tensor, seconds.
+    pub fn tensor_time_s(&self, elems: usize) -> f64 {
+        self.latency_ns / 1e9 + elems as f64 / self.ate_per_sec
+    }
+}
+
+/// A training-throughput estimate for one (model, cluster, reducer)
+/// combination.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    pub model: String,
+    pub reducer: String,
+    pub n_workers: usize,
+    pub batch_per_worker: usize,
+    /// Aggregate images/s across the cluster.
+    pub images_per_sec: f64,
+    /// Seconds per iteration.
+    pub iter_time_s: f64,
+    /// Pure compute seconds per iteration.
+    pub compute_time_s: f64,
+    /// Total communication work (serialized, no overlap), seconds.
+    pub comm_time_s: f64,
+    /// Fraction of the iteration the network is the bottleneck for.
+    pub comm_stall_fraction: f64,
+}
+
+/// Estimate synchronous data-parallel training throughput.
+///
+/// Gradient tensor `i` (backward order) becomes available when the
+/// backward pass has covered its layer (approximated by cumulative
+/// parameter fraction); reductions run sequentially in that order.
+pub fn training_throughput(
+    model: &ModelSpec,
+    n_workers: usize,
+    batch_per_worker: usize,
+    reducer: &ReducerProfile,
+) -> ThroughputReport {
+    assert!(n_workers > 0 && batch_per_worker > 0);
+    let compute_s = batch_per_worker as f64 / model.single_gpu_ips;
+    let fwd_s = compute_s * FORWARD_FRACTION;
+    let bwd_s = compute_s - fwd_s;
+    let total_params = model.total_params() as f64;
+
+    let mut cum_params = 0.0f64;
+    let mut reduce_free_at = 0.0f64; // when the reducer is next idle
+    let mut comm_work = 0.0f64;
+    for t in &model.tensors {
+        cum_params += t.elems as f64;
+        let ready = fwd_s + bwd_s * (cum_params / total_params);
+        let dt = reducer.tensor_time_s(t.elems);
+        comm_work += dt;
+        reduce_free_at = reduce_free_at.max(ready) + dt;
+    }
+    let iter_s = reduce_free_at.max(compute_s);
+    let images = (n_workers * batch_per_worker) as f64 / iter_s;
+    ThroughputReport {
+        model: model.name.to_string(),
+        reducer: reducer.name.clone(),
+        n_workers,
+        batch_per_worker,
+        images_per_sec: images,
+        iter_time_s: iter_s,
+        compute_time_s: compute_s,
+        comm_time_s: comm_work,
+        comm_stall_fraction: ((iter_s - compute_s) / iter_s).max(0.0),
+    }
+}
+
+/// The "Ideal" column of Table 1: perfect linear scaling.
+pub fn ideal_throughput(model: &ModelSpec, n_workers: usize) -> f64 {
+    n_workers as f64 * model.single_gpu_ips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    fn fast() -> ReducerProfile {
+        ReducerProfile::new("fast", 1e12, 0.0)
+    }
+
+    #[test]
+    fn infinite_network_reaches_ideal() {
+        let m = zoo::resnet50();
+        let r = training_throughput(&m, 8, 64, &fast());
+        let ideal = ideal_throughput(&m, 8);
+        assert!((r.images_per_sec - ideal).abs() / ideal < 0.01);
+        assert!(r.comm_stall_fraction < 0.01);
+    }
+
+    #[test]
+    fn slow_network_bounds_throughput() {
+        let m = zoo::vgg16();
+        // 10 M elem/s: vgg16's 138 M params take ~13.8 s per iteration.
+        let slow = ReducerProfile::new("slow", 1e7, 0.0);
+        let r = training_throughput(&m, 8, 64, &slow);
+        assert!(r.iter_time_s > 13.0);
+        assert!(r.comm_stall_fraction > 0.9);
+    }
+
+    #[test]
+    fn network_bound_models_gain_more_from_faster_reducer() {
+        // The Figure 3 shape: VGG (huge update, modest compute) speeds
+        // up far more than Inception (small update, heavy compute).
+        let slow = ReducerProfile::new("gloo", 50e6, 20_000.0);
+        let fast = ReducerProfile::new("switchml", 220e6, 20_000.0);
+        let vgg = zoo::vgg16();
+        let inc = zoo::inception3();
+        let vgg_speedup = training_throughput(&vgg, 8, 64, &fast).images_per_sec
+            / training_throughput(&vgg, 8, 64, &slow).images_per_sec;
+        let inc_speedup = training_throughput(&inc, 8, 64, &fast).images_per_sec
+            / training_throughput(&inc, 8, 64, &slow).images_per_sec;
+        assert!(vgg_speedup > inc_speedup, "{vgg_speedup} vs {inc_speedup}");
+        assert!(vgg_speedup > 1.5);
+        assert!(inc_speedup >= 1.0);
+    }
+
+    #[test]
+    fn per_tensor_latency_matters_for_many_tensor_models() {
+        let m = zoo::resnet50(); // ~160 tensors
+        let lat0 = ReducerProfile::new("l0", 220e6, 0.0);
+        let lat1 = ReducerProfile::new("l1", 220e6, 1_000_000.0); // 1 ms per tensor
+        let a = training_throughput(&m, 8, 64, &lat0);
+        let b = training_throughput(&m, 8, 64, &lat1);
+        assert!(b.images_per_sec < a.images_per_sec);
+        // ~160 ms of extra per-iteration latency is substantial.
+        assert!(b.iter_time_s - a.iter_time_s > 0.1);
+    }
+
+    #[test]
+    fn throughput_scales_with_workers_when_compute_bound() {
+        let m = zoo::inception4();
+        let r4 = training_throughput(&m, 4, 64, &fast());
+        let r16 = training_throughput(&m, 16, 64, &fast());
+        assert!((r16.images_per_sec / r4.images_per_sec - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn tensor_time_composition() {
+        let r = ReducerProfile::new("x", 1e9, 500.0);
+        let t = r.tensor_time_s(1_000_000);
+        assert!((t - (0.0000005 + 0.001)).abs() < 1e-9);
+    }
+}

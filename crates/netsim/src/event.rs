@@ -1,0 +1,126 @@
+//! The discrete-event queue.
+//!
+//! Events are totally ordered by `(time, sequence)`: ties in simulated
+//! time break by insertion order, which makes every run with the same
+//! seed bit-for-bit reproducible.
+
+use crate::node::{NodeId, TimerToken};
+use crate::packet::SimPacket;
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet arrives at `at` (either its final destination or an
+    /// intermediate hop that must forward it).
+    Arrival { at: NodeId, pkt: SimPacket },
+    /// A timer armed by `node` expires.
+    Timer { node: NodeId, token: TimerToken },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, time: Nanos, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<(Nanos, EventKind)> {
+        self.heap.pop().map(|s| (s.time, s.kind))
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(
+            Nanos(50),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(1),
+            },
+        );
+        q.push(
+            Nanos(10),
+            EventKind::Timer {
+                node: NodeId(0),
+                token: TimerToken(2),
+            },
+        );
+        let (t, k) = q.pop().unwrap();
+        assert_eq!(t, Nanos(10));
+        assert!(matches!(k, EventKind::Timer { token: TimerToken(2), .. }));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(
+                Nanos(100),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: TimerToken(i),
+                },
+            );
+        }
+        for i in 0..10u64 {
+            let (_, k) = q.pop().unwrap();
+            match k {
+                EventKind::Timer { token, .. } => assert_eq!(token, TimerToken(i)),
+                _ => panic!(),
+            }
+        }
+        assert!(q.is_empty());
+    }
+}

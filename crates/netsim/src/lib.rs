@@ -1,0 +1,49 @@
+//! # switchml-netsim
+//!
+//! A deterministic discrete-event network simulator: the substrate on
+//! which the SwitchML protocol and the baseline collectives are
+//! evaluated in lieu of the paper's physical testbed (Tofino switch,
+//! DPDK hosts, 10/100 Gbps links).
+//!
+//! Design points:
+//!
+//! * **Sans-IO nodes** — protocol endpoints implement [`node::Node`]
+//!   and only ever react to packets and timers; the same state machines
+//!   also run over real threads/UDP in `switchml-transport`.
+//! * **Deterministic** — one seeded RNG drives all fault injection;
+//!   simultaneous events fire in insertion order. Same seed, same run.
+//! * **Faithful link model** — per-link serialization (store and
+//!   forward), propagation delay, finite tail-drop queues, uniform
+//!   random loss and corruption (the paper's §5.5 experiment knobs).
+//! * **Topologies** — the paper's single-rack star, plus the §6
+//!   multi-rack hierarchy.
+//!
+//! ```
+//! use switchml_netsim::prelude::*;
+//!
+//! let mut topo = Topology::new();
+//! let (_switch, workers) = topo.star(8, LinkSpec::clean(10_000_000_000, Nanos::from_micros(1)));
+//! assert_eq!(workers.len(), 8);
+//! ```
+
+pub mod event;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod pcap;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+/// Convenient glob-import of the common types.
+pub mod prelude {
+    pub use crate::link::LinkSpec;
+    pub use crate::node::{Node, NodeCtx, NodeId, TimerToken};
+    pub use crate::packet::SimPacket;
+    pub use crate::sim::{SimConfig, SimReport, Simulator};
+    pub use crate::time::{tx_time, Nanos};
+    pub use crate::topology::Topology;
+    pub use crate::pcap::PcapCapture;
+    pub use crate::trace::{CountingTrace, EventLog, RateTrace, TraceSink};
+}

@@ -1,0 +1,93 @@
+//! Node abstraction.
+//!
+//! A node is a protocol endpoint (a worker, a switch, a parameter
+//! server, …) attached to the simulated network. Nodes are sans-IO
+//! state machines: the simulator calls into them with packets and timer
+//! expirations, and they respond by queuing sends and arming timers on
+//! the provided [`NodeCtx`].
+
+use crate::packet::SimPacket;
+use crate::time::Nanos;
+
+/// Identifies a node in the simulation. Assigned densely from 0 by the
+/// topology builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An opaque timer token, echoed back to the node on expiry so it can
+/// tell its timers apart (e.g., one retransmission timer per slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// The interface a node uses to act on the world. Implemented by the
+/// simulator; actions take effect when the callback returns.
+pub trait NodeCtx {
+    /// Current simulated time.
+    fn now(&self) -> Nanos;
+    /// This node's own id.
+    fn self_id(&self) -> NodeId;
+    /// Queue a packet for transmission on the link toward `pkt.dst`.
+    /// Sends from the same callback are serialized in order onto the
+    /// node's uplink (NIC model).
+    fn send(&mut self, pkt: SimPacket);
+    /// Arm a one-shot timer `delay` from now. Timers are not cancelable
+    /// (the node is expected to ignore stale tokens), mirroring how
+    /// lightweight timer wheels are used in high-rate packet loops.
+    fn set_timer(&mut self, delay: Nanos, token: TimerToken);
+    /// Signal that this node has finished its work. The simulation
+    /// stops when every node that declared itself "completing" is done.
+    fn complete(&mut self);
+}
+
+/// A protocol endpoint attached to the simulated network.
+pub trait Node: std::any::Any {
+    /// Called once at simulation start (time 0) so the node can send
+    /// its initial window.
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx);
+    /// A packet addressed to this node has been delivered.
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx);
+    /// A timer armed via [`NodeCtx::set_timer`] has fired.
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx);
+    /// Whether the simulation should wait for this node to call
+    /// [`NodeCtx::complete`] before declaring the run finished.
+    /// Infrastructure nodes (switches, parameter servers) return false.
+    fn participates_in_completion(&self) -> bool {
+        true
+    }
+    /// Downcast support, so results and counters can be read back out
+    /// of the simulator after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A pure forwarding element (e.g. a non-programmable ToR switch on
+/// the path of host-based collectives). Packets transiting it are
+/// forwarded by the simulator core; it never terminates traffic.
+#[derive(Debug, Default)]
+pub struct Forwarder;
+
+impl Node for Forwarder {
+    fn on_start(&mut self, _ctx: &mut dyn NodeCtx) {}
+    fn on_packet(&mut self, _pkt: SimPacket, _ctx: &mut dyn NodeCtx) {
+        // A packet addressed *to* a forwarder is a configuration error;
+        // silently ignoring would mask bugs, but panicking in a node
+        // kills legitimate broadcast-style tests — so just drop it.
+    }
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn NodeCtx) {}
+    fn participates_in_completion(&self) -> bool {
+        false
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

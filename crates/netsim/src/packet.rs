@@ -1,0 +1,60 @@
+//! Simulator packets.
+//!
+//! The simulator is payload-agnostic: a [`SimPacket`] carries opaque
+//! bytes plus routing metadata. Protocol crates (switchml-core, the
+//! baselines) serialize their own wire formats into the payload.
+
+use crate::node::NodeId;
+use bytes::Bytes;
+
+/// A packet in flight in the simulator.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node (next hop is resolved by the topology).
+    pub dst: NodeId,
+    /// Opaque payload produced by the protocol layer.
+    pub payload: Bytes,
+    /// Bytes of header overhead *in addition to* the payload — models
+    /// Ethernet/IP/UDP framing so goodput vs. line rate is accounted
+    /// for the way the paper does (its 180-byte packets carry 128 bytes
+    /// of vector data: a 28.9% header overhead at k = 32).
+    pub header_bytes: usize,
+    /// Set by the fault injector when the packet was corrupted in
+    /// flight. Protocol layers discard corrupted packets, emulating a
+    /// checksum check (§3.4: "A simple checksum can be used to detect
+    /// corruption and discard corrupted packets").
+    pub corrupted: bool,
+}
+
+impl SimPacket {
+    /// Build a packet with the given framing overhead.
+    pub fn new(src: NodeId, dst: NodeId, payload: Bytes, header_bytes: usize) -> Self {
+        SimPacket {
+            src,
+            dst,
+            payload,
+            header_bytes,
+            corrupted: false,
+        }
+    }
+
+    /// Total on-the-wire size (headers + payload), which determines the
+    /// serialization delay on a link.
+    pub fn wire_bytes(&self) -> usize {
+        self.header_bytes + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_includes_headers() {
+        let p = SimPacket::new(NodeId(0), NodeId(1), Bytes::from(vec![0u8; 128]), 52);
+        assert_eq!(p.wire_bytes(), 180);
+        assert!(!p.corrupted);
+    }
+}

@@ -1,0 +1,170 @@
+//! Simulated time.
+//!
+//! The simulator uses a 64-bit nanosecond clock. All protocol timing
+//! (serialization delay, propagation delay, retransmission timeouts) is
+//! expressed in [`Nanos`]. A `u64` nanosecond clock wraps after ~584
+//! years of simulated time, which is far beyond any experiment here.
+
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The simulation epoch.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Largest representable instant; used as a sentinel for "never".
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from whole microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Construct from a floating-point number of seconds (rounds to ns).
+    pub fn from_secs_f64(s: f64) -> Self {
+        debug_assert!(s >= 0.0, "negative duration");
+        Nanos((s * 1e9).round() as u64)
+    }
+
+    /// This instant as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant as floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: Nanos) -> Self {
+        Nanos(self.0.saturating_add(d.0))
+    }
+
+    /// Saturating difference between two instants.
+    pub fn saturating_sub(self, other: Nanos) -> Self {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked difference; `None` if `other` is later than `self`.
+    pub fn checked_sub(self, other: Nanos) -> Option<Nanos> {
+        self.0.checked_sub(other.0).map(Nanos)
+    }
+}
+
+impl core::ops::Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// Time needed to serialize `bytes` onto a link of `bits_per_sec`.
+///
+/// This is the transmission (store-and-forward) delay component; the
+/// propagation delay is a property of the [`crate::link::Link`].
+pub fn tx_time(bytes: usize, bits_per_sec: u64) -> Nanos {
+    debug_assert!(bits_per_sec > 0);
+    // bytes * 8 / bps seconds => *1e9 ns. Use u128 to avoid overflow for
+    // large transfers on slow links.
+    let ns = (bytes as u128 * 8 * 1_000_000_000) / bits_per_sec as u128;
+    Nanos(ns as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos(1_000_000_000));
+        assert_eq!(Nanos::from_millis(3), Nanos(3_000_000));
+        assert_eq!(Nanos::from_micros(7), Nanos(7_000));
+        assert_eq!(Nanos::from_secs_f64(0.5), Nanos(500_000_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos(100);
+        let b = Nanos(40);
+        assert_eq!(a + b, Nanos(140));
+        assert_eq!(a - b, Nanos(60));
+        assert_eq!(a * 3, Nanos(300));
+        assert_eq!(b.saturating_sub(a), Nanos(0));
+        assert_eq!(a.checked_sub(b), Some(Nanos(60)));
+        assert_eq!(b.checked_sub(a), None);
+    }
+
+    #[test]
+    fn tx_time_10gbps() {
+        // 1250 bytes at 10 Gbps = 1 microsecond.
+        assert_eq!(tx_time(1250, 10_000_000_000), Nanos::from_micros(1));
+        // 180-byte SwitchML packet at 10 Gbps = 144 ns.
+        assert_eq!(tx_time(180, 10_000_000_000), Nanos(144));
+    }
+
+    #[test]
+    fn tx_time_no_overflow_large() {
+        // 1.5 GB at 1 Gbps = 12 seconds; must not overflow.
+        let t = tx_time(1_500_000_000, 1_000_000_000);
+        assert_eq!(t, Nanos::from_secs(12));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Nanos(5)), "5ns");
+        assert_eq!(format!("{}", Nanos::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(5)), "5.000s");
+    }
+}

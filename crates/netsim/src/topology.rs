@@ -1,0 +1,234 @@
+//! Network topologies.
+//!
+//! A [`Topology`] is a set of nodes joined by directed links plus a
+//! static routing table (shortest path, computed once). The paper's
+//! testbed is a star: every worker has a full-duplex link to one
+//! switch. §6 sketches a multi-rack hierarchy, which
+//! [`Topology::hierarchy`] helps construct.
+
+use crate::link::{Link, LinkSpec};
+use crate::node::NodeId;
+
+/// Index of a directed link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// A directed adjacency: `from --link--> to`.
+#[derive(Debug)]
+pub struct Edge {
+    pub from: NodeId,
+    pub to: NodeId,
+    pub link: Link,
+}
+
+/// The static structure of the simulated network.
+#[derive(Debug, Default)]
+pub struct Topology {
+    node_count: usize,
+    edges: Vec<Edge>,
+    /// adjacency[from] = list of (neighbor, link id)
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    /// next_hop[from][dst] = neighbor on the shortest path, or None.
+    next_hop: Vec<Vec<Option<NodeId>>>,
+    routes_dirty: bool,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    /// Reserve an id for a new node. Nodes themselves are registered
+    /// with the simulator; the topology only tracks connectivity.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        self.adjacency.push(Vec::new());
+        self.routes_dirty = true;
+        id
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Add a full-duplex link: two directed links with the same spec.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.add_simplex_link(a, b, spec);
+        self.add_simplex_link(b, a, spec);
+    }
+
+    /// Add one directed link.
+    pub fn add_simplex_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        assert!(from.0 < self.node_count && to.0 < self.node_count);
+        assert_ne!(from, to, "self-links are not allowed");
+        let id = LinkId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            link: Link::new(spec),
+        });
+        self.adjacency[from.0].push((to, id));
+        self.routes_dirty = true;
+    }
+
+    /// The directed link from `from` to adjacent `to`, if any.
+    pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<LinkId> {
+        self.adjacency[from.0]
+            .iter()
+            .find(|(n, _)| *n == to)
+            .map(|(_, l)| *l)
+    }
+
+    pub fn edge(&self, id: LinkId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    pub fn edge_mut(&mut self, id: LinkId) -> &mut Edge {
+        &mut self.edges[id.0]
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = (LinkId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (LinkId(i), e))
+    }
+
+    /// Recompute all-pairs next-hop routes (BFS per source; the graphs
+    /// here are tiny). Called lazily by [`Topology::next_hop`].
+    fn recompute_routes(&mut self) {
+        let n = self.node_count;
+        let mut table = vec![vec![None; n]; n];
+        for src in 0..n {
+            // BFS from src.
+            let mut dist = vec![usize::MAX; n];
+            let mut first_hop: Vec<Option<NodeId>> = vec![None; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[src] = 0;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &(v, _) in &self.adjacency[u] {
+                    if dist[v.0] == usize::MAX {
+                        dist[v.0] = dist[u] + 1;
+                        first_hop[v.0] = if u == src { Some(v) } else { first_hop[u] };
+                        queue.push_back(v.0);
+                    }
+                }
+            }
+            table[src] = first_hop;
+        }
+        self.next_hop = table;
+        self.routes_dirty = false;
+    }
+
+    /// Next hop from `from` toward `dst`, or `None` if unreachable.
+    pub fn next_hop(&mut self, from: NodeId, dst: NodeId) -> Option<NodeId> {
+        if self.routes_dirty {
+            self.recompute_routes();
+        }
+        self.next_hop[from.0][dst.0]
+    }
+
+    /// Build a star: returns (switch_id, worker_ids). `n` workers each
+    /// get a duplex link to the switch with `spec`.
+    pub fn star(&mut self, n: usize, spec: LinkSpec) -> (NodeId, Vec<NodeId>) {
+        let switch = self.add_node();
+        let workers: Vec<NodeId> = (0..n)
+            .map(|_| {
+                let w = self.add_node();
+                self.add_duplex_link(w, switch, spec);
+                w
+            })
+            .collect();
+        (switch, workers)
+    }
+
+    /// Build a two-level hierarchy (§6): `racks` rack switches, each
+    /// with `per_rack` workers, all rack switches connected to one root
+    /// switch by `uplink` links. Returns (root, rack_switches, workers
+    /// grouped by rack).
+    pub fn hierarchy(
+        &mut self,
+        racks: usize,
+        per_rack: usize,
+        worker_spec: LinkSpec,
+        uplink: LinkSpec,
+    ) -> (NodeId, Vec<NodeId>, Vec<Vec<NodeId>>) {
+        let root = self.add_node();
+        let mut rack_ids = Vec::with_capacity(racks);
+        let mut worker_ids = Vec::with_capacity(racks);
+        for _ in 0..racks {
+            let rack = self.add_node();
+            self.add_duplex_link(rack, root, uplink);
+            let ws: Vec<NodeId> = (0..per_rack)
+                .map(|_| {
+                    let w = self.add_node();
+                    self.add_duplex_link(w, rack, worker_spec);
+                    w
+                })
+                .collect();
+            rack_ids.push(rack);
+            worker_ids.push(ws);
+        }
+        (root, rack_ids, worker_ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Nanos;
+
+    fn spec() -> LinkSpec {
+        LinkSpec::clean(10_000_000_000, Nanos::from_micros(1))
+    }
+
+    #[test]
+    fn star_routes_through_switch() {
+        let mut t = Topology::new();
+        let (sw, ws) = t.star(4, spec());
+        assert_eq!(ws.len(), 4);
+        // Worker to worker routes via the switch.
+        assert_eq!(t.next_hop(ws[0], ws[3]), Some(sw));
+        assert_eq!(t.next_hop(sw, ws[3]), Some(ws[3]));
+        // Worker to switch is direct.
+        assert_eq!(t.next_hop(ws[1], sw), Some(sw));
+    }
+
+    #[test]
+    fn duplex_links_exist_both_ways() {
+        let mut t = Topology::new();
+        let (sw, ws) = t.star(2, spec());
+        assert!(t.link_between(ws[0], sw).is_some());
+        assert!(t.link_between(sw, ws[0]).is_some());
+        assert!(t.link_between(ws[0], ws[1]).is_none());
+    }
+
+    #[test]
+    fn hierarchy_routes() {
+        let mut t = Topology::new();
+        let (root, racks, workers) = t.hierarchy(2, 3, spec(), spec());
+        assert_eq!(racks.len(), 2);
+        assert_eq!(workers[0].len(), 3);
+        // Cross-rack worker traffic: up to rack, root, down.
+        let w_a = workers[0][0];
+        let w_b = workers[1][2];
+        assert_eq!(t.next_hop(w_a, w_b), Some(racks[0]));
+        assert_eq!(t.next_hop(racks[0], w_b), Some(root));
+        assert_eq!(t.next_hop(root, w_b), Some(racks[1]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        let b = t.add_node();
+        assert_eq!(t.next_hop(a, b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut t = Topology::new();
+        let a = t.add_node();
+        t.add_simplex_link(a, a, spec());
+    }
+}

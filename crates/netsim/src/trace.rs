@@ -1,0 +1,288 @@
+//! Simulation tracing.
+//!
+//! A [`TraceSink`] observes network-level events as they happen. The
+//! built-in [`RateTrace`] buckets per-node send counts over fixed
+//! windows — exactly the "packets sent per 10 ms" series of the
+//! paper's Figure 6.
+
+use crate::node::NodeId;
+use crate::time::Nanos;
+
+/// Reasons a packet never reached its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random in-flight loss (fault injection).
+    Loss,
+    /// Transmit queue overflow (tail drop).
+    QueueFull,
+    /// No route from the sender to the destination.
+    NoRoute,
+}
+
+/// A network-level trace event.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceEvent {
+    /// A node handed a packet to its NIC.
+    Sent {
+        time: Nanos,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    },
+    /// A packet reached its final destination.
+    Delivered {
+        time: Nanos,
+        src: NodeId,
+        dst: NodeId,
+        wire_bytes: usize,
+    },
+    /// A packet died in the network.
+    Dropped {
+        time: Nanos,
+        src: NodeId,
+        dst: NodeId,
+        reason: DropReason,
+    },
+}
+
+/// Observer of trace events.
+pub trait TraceSink {
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// A sink that discards everything (the default).
+#[derive(Debug, Default)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    fn record(&mut self, _ev: &TraceEvent) {}
+}
+
+/// Buckets packets sent by one node into fixed time windows
+/// (Figure 6's "packets per 10 ms" timeline).
+#[derive(Debug)]
+pub struct RateTrace {
+    /// Node whose sends are counted.
+    pub node: NodeId,
+    /// Bucket width.
+    pub bucket: Nanos,
+    /// `counts[i]` = packets sent in `[i*bucket, (i+1)*bucket)`.
+    pub counts: Vec<u64>,
+}
+
+impl RateTrace {
+    pub fn new(node: NodeId, bucket: Nanos) -> Self {
+        RateTrace {
+            node,
+            bucket,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The time series as (bucket start, count) pairs.
+    pub fn series(&self) -> impl Iterator<Item = (Nanos, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (Nanos(self.bucket.0 * i as u64), c))
+    }
+}
+
+impl TraceSink for RateTrace {
+    fn record(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::Sent { time, src, .. } = ev {
+            if *src == self.node {
+                let idx = (time.0 / self.bucket.0) as usize;
+                if idx >= self.counts.len() {
+                    self.counts.resize(idx + 1, 0);
+                }
+                self.counts[idx] += 1;
+            }
+        }
+    }
+}
+
+/// A bounded in-memory event log, renderable as a tcpdump-style text
+/// trace — the moral equivalent of the `--pcap` option smoltcp-style
+/// stacks ship for debugging. Stops recording (and counts the
+/// overflow) past `capacity`, so it is safe to attach to big runs.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    pub events: Vec<TraceEvent>,
+    /// Events that arrived after the log filled.
+    pub overflow: u64,
+}
+
+impl EventLog {
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            events: Vec::with_capacity(capacity.min(4096)),
+            overflow: 0,
+        }
+    }
+
+    /// Render one event as a trace line.
+    pub fn format_event(ev: &TraceEvent) -> String {
+        match ev {
+            TraceEvent::Sent {
+                time,
+                src,
+                dst,
+                wire_bytes,
+            } => format!("{time:>14} SEND {src} -> {dst} ({wire_bytes}B)"),
+            TraceEvent::Delivered {
+                time,
+                src,
+                dst,
+                wire_bytes,
+            } => format!("{time:>14} RECV {src} -> {dst} ({wire_bytes}B)"),
+            TraceEvent::Dropped {
+                time,
+                src,
+                dst,
+                reason,
+            } => format!("{time:>14} DROP {src} -> {dst} ({reason:?})"),
+        }
+    }
+
+    /// The whole log as a text trace.
+    pub fn render(&self) -> String {
+        let mut out: String = self
+            .events
+            .iter()
+            .map(|e| Self::format_event(e) + "\n")
+            .collect();
+        if self.overflow > 0 {
+            out.push_str(&format!("... {} more events (log full)\n", self.overflow));
+        }
+        out
+    }
+}
+
+impl TraceSink for EventLog {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(*ev);
+        } else {
+            self.overflow += 1;
+        }
+    }
+}
+
+/// Counts global sends/deliveries/drops; cheap enough to always enable.
+#[derive(Debug, Default, Clone)]
+pub struct CountingTrace {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped_loss: u64,
+    pub dropped_queue: u64,
+    pub bytes_delivered: u64,
+}
+
+impl TraceSink for CountingTrace {
+    fn record(&mut self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::Sent { .. } => self.sent += 1,
+            TraceEvent::Delivered { wire_bytes, .. } => {
+                self.delivered += 1;
+                self.bytes_delivered += *wire_bytes as u64;
+            }
+            TraceEvent::Dropped { reason, .. } => match reason {
+                DropReason::Loss => self.dropped_loss += 1,
+                DropReason::QueueFull => self.dropped_queue += 1,
+                DropReason::NoRoute => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_trace_buckets() {
+        let mut rt = RateTrace::new(NodeId(3), Nanos::from_millis(10));
+        for t in [0u64, 1, 9, 12, 25] {
+            rt.record(&TraceEvent::Sent {
+                time: Nanos::from_millis(t),
+                src: NodeId(3),
+                dst: NodeId(0),
+                wire_bytes: 180,
+            });
+        }
+        // A send from another node is ignored.
+        rt.record(&TraceEvent::Sent {
+            time: Nanos::ZERO,
+            src: NodeId(1),
+            dst: NodeId(0),
+            wire_bytes: 180,
+        });
+        assert_eq!(rt.counts, vec![3, 1, 1]);
+        let series: Vec<_> = rt.series().collect();
+        assert_eq!(series[1], (Nanos::from_millis(10), 1));
+    }
+
+    #[test]
+    fn event_log_records_and_overflows() {
+        let mut log = EventLog::new(2);
+        for i in 0..5u64 {
+            log.record(&TraceEvent::Sent {
+                time: Nanos(i),
+                src: NodeId(0),
+                dst: NodeId(1),
+                wire_bytes: 180,
+            });
+        }
+        assert_eq!(log.events.len(), 2);
+        assert_eq!(log.overflow, 3);
+        let text = log.render();
+        assert!(text.contains("SEND n0 -> n1 (180B)"));
+        assert!(text.contains("3 more events"));
+    }
+
+    #[test]
+    fn event_log_formats_all_kinds() {
+        let drop = TraceEvent::Dropped {
+            time: Nanos::from_micros(5),
+            src: NodeId(2),
+            dst: NodeId(3),
+            reason: DropReason::Loss,
+        };
+        assert!(EventLog::format_event(&drop).contains("DROP n2 -> n3 (Loss)"));
+        let recv = TraceEvent::Delivered {
+            time: Nanos(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            wire_bytes: 64,
+        };
+        assert!(EventLog::format_event(&recv).contains("RECV"));
+    }
+
+    #[test]
+    fn counting_trace_tallies() {
+        let mut ct = CountingTrace::default();
+        ct.record(&TraceEvent::Sent {
+            time: Nanos::ZERO,
+            src: NodeId(0),
+            dst: NodeId(1),
+            wire_bytes: 180,
+        });
+        ct.record(&TraceEvent::Delivered {
+            time: Nanos(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            wire_bytes: 180,
+        });
+        ct.record(&TraceEvent::Dropped {
+            time: Nanos(2),
+            src: NodeId(0),
+            dst: NodeId(1),
+            reason: DropReason::Loss,
+        });
+        assert_eq!((ct.sent, ct.delivered, ct.dropped_loss), (1, 1, 1));
+        assert_eq!(ct.bytes_delivered, 180);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use switchml_netsim::link::{Admission, Link, LinkSpec};
+use switchml_netsim::time::{tx_time, Nanos};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// tx_time is additive: serializing two packets takes exactly the
+    /// sum of their individual serialization times.
+    #[test]
+    fn tx_time_additive(a in 1usize..100_000, b in 1usize..100_000, bw in 1_000_000u64..200_000_000_000) {
+        let t_ab = tx_time(a + b, bw);
+        let t_sum = tx_time(a, bw) + tx_time(b, bw);
+        // Integer truncation can differ by at most 1 ns.
+        prop_assert!(t_ab.0.abs_diff(t_sum.0) <= 1);
+    }
+
+    /// A lossless link delivers in arrival order (FIFO) and never
+    /// faster than bandwidth allows.
+    #[test]
+    fn link_is_fifo_and_rate_limited(
+        sizes in prop::collection::vec(40usize..1500, 1..50),
+        bw in 1_000_000_000u64..100_000_000_000,
+    ) {
+        let spec = LinkSpec::clean(bw, Nanos::from_micros(1)).with_queue_bytes(usize::MAX / 2);
+        let mut link = Link::new(spec);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut last_arrival = Nanos::ZERO;
+        let mut total_bytes = 0usize;
+        for &s in &sizes {
+            total_bytes += s;
+            match link.admit(Nanos::ZERO, s, &mut rng) {
+                Admission::Deliver { arrival, .. } => {
+                    prop_assert!(arrival >= last_arrival, "reordering");
+                    last_arrival = arrival;
+                }
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        // Last arrival ≈ total serialization time + propagation, give
+        // or take 1 ns of integer truncation per packet.
+        let floor = tx_time(total_bytes, bw) + Nanos::from_micros(1);
+        let slack = sizes.len() as u64;
+        prop_assert!(
+            last_arrival.0 + slack >= floor.0,
+            "{last_arrival} < {floor}"
+        );
+        prop_assert!(last_arrival.0 <= floor.0 + slack);
+    }
+
+    /// Queue admission: with a finite queue, the backlog never exceeds
+    /// capacity — drops begin exactly when it would.
+    #[test]
+    fn queue_never_overflows(
+        qsize in 1500usize..20_000,
+        n in 1usize..100,
+    ) {
+        let bw = 1_000_000_000u64;
+        let spec = LinkSpec::clean(bw, Nanos::ZERO).with_queue_bytes(qsize);
+        let mut link = Link::new(spec);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut accepted_bytes = 0usize;
+        for _ in 0..n {
+            match link.admit(Nanos::ZERO, 1500, &mut rng) {
+                Admission::Deliver { .. } => accepted_bytes += 1500,
+                Admission::QueueFull => {}
+                Admission::Lost => prop_assert!(false, "lossless link lost a packet"),
+            }
+        }
+        prop_assert!(accepted_bytes <= qsize, "{accepted_bytes} > {qsize}");
+    }
+
+    /// Loss injection is seed-deterministic.
+    #[test]
+    fn loss_is_deterministic(seed in any::<u64>(), p_pct in 1u32..99) {
+        let run = || {
+            let spec = LinkSpec::clean(10_000_000_000, Nanos::ZERO)
+                .with_loss(p_pct as f64 / 100.0);
+            let mut link = Link::new(spec);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..200)
+                .map(|i| {
+                    matches!(
+                        link.admit(Nanos::from_micros(i * 10), 100, &mut rng),
+                        Admission::Lost
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn bdp_scales_linearly() {
+    let base = LinkSpec::clean(10_000_000_000, Nanos::from_micros(10));
+    let b1 = base.bdp_bytes(Nanos::ZERO);
+    let double_delay = LinkSpec::clean(10_000_000_000, Nanos::from_micros(20));
+    assert_eq!(double_delay.bdp_bytes(Nanos::ZERO), 2 * b1);
+    let double_bw = LinkSpec::clean(20_000_000_000, Nanos::from_micros(10));
+    assert_eq!(double_bw.bdp_bytes(Nanos::ZERO), 2 * b1);
+}

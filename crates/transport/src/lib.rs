@@ -1,0 +1,31 @@
+//! # switchml-transport
+//!
+//! Real (threaded) transports for the SwitchML protocol — the same
+//! sans-IO state machines `switchml-netsim` simulates, driven by OS
+//! threads with wall-clock retransmission timers:
+//!
+//! * [`channel`] — in-memory crossbeam-channel fabric (fast, hermetic);
+//! * [`udp`] — UDP sockets on loopback (real datagrams, real kernel);
+//! * [`lossy`] — deterministic fault injection for either;
+//! * [`runner`] — one switch thread + n worker threads running a full
+//!   synchronous all-reduce.
+//!
+//! ```no_run
+//! use switchml_transport::{channel::channel_fabric, runner::{run_allreduce, RunConfig}};
+//! use switchml_core::config::Protocol;
+//!
+//! let proto = Protocol { n_workers: 2, ..Protocol::default() };
+//! let ports = channel_fabric(3); // switch + 2 workers
+//! let updates = vec![vec![vec![1.0_f32; 64]], vec![vec![2.0_f32; 64]]];
+//! let report = run_allreduce(ports, updates, &proto, &RunConfig::default()).unwrap();
+//! assert!((report.results[0][0][0] - 3.0).abs() < 1e-3);
+//! ```
+
+pub mod channel;
+pub mod lossy;
+pub mod port;
+pub mod runner;
+pub mod udp;
+
+pub use port::{worker_endpoint, Port, SWITCH_ENDPOINT};
+pub use runner::{run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport};

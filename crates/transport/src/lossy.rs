@@ -1,0 +1,128 @@
+//! Fault-injecting transport wrapper: drops outgoing datagrams with a
+//! configured probability, deterministically per seed — the threaded
+//! analog of the simulator's per-link loss injection (§5.5).
+
+use crate::port::Port;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared drop-statistics across all wrapped ports of one fabric.
+#[derive(Debug, Default)]
+pub struct LossStats {
+    inner: Mutex<(u64, u64)>, // (sent, dropped)
+}
+
+impl LossStats {
+    pub fn sent(&self) -> u64 {
+        self.inner.lock().0
+    }
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().1
+    }
+}
+
+/// A port whose sends are dropped with probability `p`.
+pub struct LossyPort<P: Port> {
+    inner: P,
+    p: f64,
+    rng: SmallRng,
+    stats: Arc<LossStats>,
+}
+
+impl<P: Port> LossyPort<P> {
+    pub fn new(inner: P, p: f64, seed: u64, stats: Arc<LossStats>) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        LossyPort {
+            inner,
+            p,
+            rng: SmallRng::seed_from_u64(seed),
+            stats,
+        }
+    }
+}
+
+/// Wrap every port of a fabric with the same loss probability.
+/// Returns the ports plus the shared statistics handle.
+pub fn lossy_fabric<P: Port>(
+    ports: Vec<P>,
+    p: f64,
+    seed: u64,
+) -> (Vec<LossyPort<P>>, Arc<LossStats>) {
+    let stats = Arc::new(LossStats::default());
+    let wrapped = ports
+        .into_iter()
+        .enumerate()
+        .map(|(i, port)| LossyPort::new(port, p, seed.wrapping_add(i as u64), Arc::clone(&stats)))
+        .collect();
+    (wrapped, stats)
+}
+
+impl<P: Port> Port for LossyPort<P> {
+    fn n_endpoints(&self) -> usize {
+        self.inner.n_endpoints()
+    }
+
+    fn index(&self) -> usize {
+        self.inner.index()
+    }
+
+    fn send(&mut self, to: usize, data: &[u8]) {
+        let mut s = self.stats.inner.lock();
+        s.0 += 1;
+        if self.p > 0.0 && self.rng.gen_bool(self.p) {
+            s.1 += 1;
+            return;
+        }
+        drop(s);
+        self.inner.send(to, data);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        self.inner.recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_fabric;
+
+    #[test]
+    fn drops_at_configured_rate() {
+        let ports = channel_fabric(2);
+        let (mut ports, stats) = lossy_fabric(ports, 0.5, 42);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        for _ in 0..1000 {
+            tx.send(1, b"x");
+        }
+        let mut received = 0;
+        while rx.recv_timeout(Duration::from_millis(1)).is_some() {
+            received += 1;
+        }
+        assert_eq!(stats.sent(), 1000);
+        let dropped = stats.dropped();
+        assert_eq!(received + dropped as usize, 1000);
+        assert!((350..=650).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn zero_loss_passes_everything() {
+        let ports = channel_fabric(2);
+        let (mut ports, stats) = lossy_fabric(ports, 0.0, 1);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        for _ in 0..100 {
+            tx.send(1, b"y");
+        }
+        let mut received = 0;
+        while rx.recv_timeout(Duration::from_millis(1)).is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 100);
+        assert_eq!(stats.dropped(), 0);
+    }
+}

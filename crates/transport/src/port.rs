@@ -1,0 +1,30 @@
+//! The transport abstraction.
+//!
+//! A [`Port`] is one endpoint's view of the datagram fabric: fire-and-
+//! forget sends to a peer index, and blocking receives with a timeout
+//! (the worker's retransmission clock). Endpoint 0 is the switch;
+//! endpoint `w + 1` is worker `w`.
+
+use std::time::Duration;
+
+/// A datagram endpoint.
+pub trait Port: Send {
+    /// Number of endpoints on this fabric.
+    fn n_endpoints(&self) -> usize;
+    /// This endpoint's index.
+    fn index(&self) -> usize;
+    /// Send a datagram to endpoint `to`. Unreliable by contract: the
+    /// datagram may be silently dropped (lossy wrappers, UDP).
+    fn send(&mut self, to: usize, data: &[u8]);
+    /// Receive the next datagram, waiting at most `timeout`.
+    /// `None` means the timeout elapsed.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)>;
+}
+
+/// Conventional endpoint index of the switch.
+pub const SWITCH_ENDPOINT: usize = 0;
+
+/// Endpoint index of worker `wid`.
+pub fn worker_endpoint(wid: usize) -> usize {
+    wid + 1
+}

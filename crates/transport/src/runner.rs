@@ -1,0 +1,460 @@
+//! Threaded full-system runner: one switch thread, `n` worker threads,
+//! real clocks, real (or in-memory) datagrams.
+//!
+//! This is the deployment-shaped path: the same sans-IO state machines
+//! the simulator drives, but with true parallelism and wall-clock
+//! retransmission timers. The paper's equivalent is the DPDK worker
+//! component + Tofino switch; here the "switch" is a thread running
+//! Algorithm 3 verbatim.
+
+use crate::port::{Port, SWITCH_ENDPOINT};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use switchml_core::config::Protocol;
+use switchml_core::error::{Error, Result};
+use switchml_core::packet::Packet;
+use switchml_core::switch::reliable::ReliableSwitch;
+use switchml_core::switch::{SwitchAction, SwitchStats};
+use switchml_core::worker::engine::EngineStats;
+use switchml_core::worker::stream::TensorStream;
+use switchml_core::worker::Worker;
+
+/// Runner options.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Abort the run if it has not completed within this budget.
+    pub max_wall: Duration,
+    /// CPU cores per worker (engine shards).
+    pub n_cores: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            max_wall: Duration::from_secs(30),
+            n_cores: 1,
+        }
+    }
+}
+
+/// Result of a threaded all-reduce.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Per-worker aggregated tensors (sums; identical across workers).
+    pub results: Vec<Vec<Vec<f32>>>,
+    pub worker_stats: Vec<EngineStats>,
+    pub switch_stats: SwitchStats,
+    pub wall: Duration,
+}
+
+fn switch_loop<P: Port>(
+    mut port: P,
+    proto: &Protocol,
+    stop: &AtomicBool,
+    deadline: Instant,
+) -> Result<SwitchStats> {
+    let n = proto.n_workers;
+    let mut switch = ReliableSwitch::new(proto)?;
+    while !stop.load(Ordering::Acquire) {
+        if Instant::now() > deadline {
+            return Err(Error::ProtocolViolation(
+                "switch thread exceeded the wall-clock budget".into(),
+            ));
+        }
+        let Some((_, data)) = port.recv_timeout(Duration::from_micros(200)) else {
+            continue;
+        };
+        let Ok(pkt) = Packet::decode(&data) else {
+            continue; // corrupted / foreign datagram
+        };
+        match switch.on_packet(pkt)? {
+            SwitchAction::Multicast(result) => {
+                let bytes = result.encode();
+                for w in 0..n {
+                    port.send(crate::port::worker_endpoint(w), &bytes);
+                }
+            }
+            SwitchAction::Unicast(wid, result) => {
+                port.send(crate::port::worker_endpoint(wid as usize), &result.encode());
+            }
+            SwitchAction::Drop => {}
+        }
+    }
+    Ok(switch.stats())
+}
+
+/// Drive one worker until its current aggregation session completes.
+fn drive_worker<P: Port>(
+    port: &mut P,
+    worker: &mut Worker,
+    deadline: Instant,
+    epoch: Instant,
+) -> Result<()> {
+    let now_ns = || epoch.elapsed().as_nanos() as u64;
+    for pkt in worker.start(now_ns())? {
+        port.send(SWITCH_ENDPOINT, &pkt.encode());
+    }
+    while !worker.is_done() {
+        if Instant::now() > deadline {
+            return Err(Error::ProtocolViolation(format!(
+                "worker {} exceeded the wall-clock budget at {:.1}% progress",
+                worker.wid(),
+                worker.progress() * 100.0
+            )));
+        }
+        let wait = worker
+            .next_deadline()
+            .map(|d| d.saturating_sub(now_ns()))
+            .unwrap_or(1_000_000)
+            .clamp(1, 5_000_000); // poll at least every 5 ms
+        if let Some((_, data)) = port.recv_timeout(Duration::from_nanos(wait)) {
+            if let Ok(pkt) = Packet::decode(&data) {
+                for out in worker.on_result(&pkt, now_ns())? {
+                    port.send(SWITCH_ENDPOINT, &out.encode());
+                }
+            }
+        }
+        let t = now_ns();
+        if worker.next_deadline().is_some_and(|d| d <= t) {
+            for pkt in worker.expired(t)? {
+                port.send(SWITCH_ENDPOINT, &pkt.encode());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn worker_loop<P: Port>(
+    mut port: P,
+    wid: u16,
+    proto: &Protocol,
+    rounds: &[Vec<Vec<f32>>],
+    cfg: &RunConfig,
+    deadline: Instant,
+) -> Result<(Vec<Vec<Vec<f32>>>, EngineStats)> {
+    let epoch = Instant::now();
+    let mk_stream = |tensors: &Vec<Vec<f32>>| {
+        TensorStream::from_f32(tensors, proto.mode, proto.scaling_factor, proto.k)
+    };
+    let mut worker = Worker::sharded(wid, proto, mk_stream(&rounds[0])?, cfg.n_cores)?;
+    let mut results = Vec::with_capacity(rounds.len());
+    for (r, tensors) in rounds.iter().enumerate().skip(1) {
+        drive_worker(&mut port, &mut worker, deadline, epoch)?;
+        // Continue the session against the live switch: pool-version
+        // parity carries into round r (Appendix B's continuous stream
+        // across iterations).
+        let (res, next) = worker.into_next_session(mk_stream(tensors)?)?;
+        results.push(res);
+        worker = next;
+        let _ = r;
+    }
+    drive_worker(&mut port, &mut worker, deadline, epoch)?;
+    let stats = worker.stats();
+    results.push(worker.into_results(1)?);
+    Ok((results, stats))
+}
+
+/// Run a full synchronous all-reduce over a transport fabric.
+///
+/// `ports[0]` is the switch endpoint; `ports[w + 1]` is worker `w`.
+/// `updates[w]` is worker `w`'s tensor set (all workers must agree on
+/// shapes). Returns each worker's aggregated tensors (the element-wise
+/// sum across workers).
+pub fn run_allreduce<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    cfg: &RunConfig,
+) -> Result<RunReport> {
+    let n = updates.len();
+    let rounds: Vec<Vec<Vec<Vec<f32>>>> = vec![updates];
+    let mut multi = run_allreduce_session(ports, rounds, proto, cfg)?;
+    debug_assert_eq!(multi.rounds.len(), 1);
+    let results = multi.rounds.pop().expect("one round");
+    debug_assert_eq!(results.len(), n);
+    Ok(RunReport {
+        results,
+        worker_stats: multi.worker_stats,
+        switch_stats: multi.switch_stats,
+        wall: multi.wall,
+    })
+}
+
+/// Result of a multi-round session ([`run_allreduce_session`]).
+#[derive(Debug)]
+pub struct SessionReport {
+    /// `rounds[r][w]` = worker w's aggregated tensors for round r.
+    pub rounds: Vec<Vec<Vec<Vec<f32>>>>,
+    pub worker_stats: Vec<EngineStats>,
+    pub switch_stats: SwitchStats,
+    pub wall: Duration,
+}
+
+/// Run several back-to-back all-reduces against one *persistent*
+/// switch — one per training iteration, the way the paper's
+/// integration streams tensors "across iterations" without resetting
+/// switch state. Workers continue the pool-version parity between
+/// rounds, and no barrier separates rounds: a fast worker may begin
+/// round r+1 while a slow one finishes r, which the one-phase-lag
+/// invariant makes safe.
+///
+/// `rounds[r][w]` is worker `w`'s tensor set for round `r`; every
+/// round and worker must agree on shapes within the round.
+pub fn run_allreduce_session<P: Port + 'static>(
+    ports: Vec<P>,
+    rounds: Vec<Vec<Vec<Vec<f32>>>>,
+    proto: &Protocol,
+    cfg: &RunConfig,
+) -> Result<SessionReport> {
+    proto.validate()?;
+    if ports.len() != proto.n_workers + 1 {
+        return Err(Error::InvalidConfig(format!(
+            "need {} ports (switch + workers), got {}",
+            proto.n_workers + 1,
+            ports.len()
+        )));
+    }
+    if rounds.is_empty() {
+        return Err(Error::InvalidConfig("need at least one round".into()));
+    }
+    for (r, round) in rounds.iter().enumerate() {
+        if round.len() != proto.n_workers {
+            return Err(Error::InvalidConfig(format!(
+                "round {r}: one update set per worker"
+            )));
+        }
+    }
+    // Transpose into per-worker round sequences.
+    let n = proto.n_workers;
+    let mut per_worker: Vec<Vec<Vec<Vec<f32>>>> = (0..n).map(|_| Vec::new()).collect();
+    for round in rounds {
+        for (w, tensors) in round.into_iter().enumerate() {
+            per_worker[w].push(tensors);
+        }
+    }
+
+    let t0 = Instant::now();
+    let deadline = t0 + cfg.max_wall;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut ports = ports;
+    let worker_ports: Vec<P> = ports.drain(1..).collect();
+    let switch_port = ports.pop().expect("switch port");
+
+    std::thread::scope(|scope| {
+        let switch_handle = {
+            let stop = Arc::clone(&stop);
+            let proto = proto.clone();
+            scope.spawn(move || switch_loop(switch_port, &proto, &stop, deadline))
+        };
+
+        let worker_handles: Vec<_> = worker_ports
+            .into_iter()
+            .zip(&per_worker)
+            .enumerate()
+            .map(|(wid, (port, worker_rounds))| {
+                let proto = proto.clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    worker_loop(port, wid as u16, &proto, worker_rounds, &cfg, deadline)
+                })
+            })
+            .collect();
+
+        let mut per_worker_results = Vec::with_capacity(n);
+        let mut worker_stats = Vec::with_capacity(n);
+        let mut first_err = None;
+        for h in worker_handles {
+            match h.join().expect("worker thread panicked") {
+                Ok((r, s)) => {
+                    per_worker_results.push(r);
+                    worker_stats.push(s);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let switch_stats = switch_handle.join().expect("switch thread panicked")?;
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Transpose back to rounds-major.
+        let n_rounds = per_worker_results[0].len();
+        let mut rounds_out = Vec::with_capacity(n_rounds);
+        for r in 0..n_rounds {
+            rounds_out.push(
+                per_worker_results
+                    .iter_mut()
+                    .map(|w| std::mem::take(&mut w[r]))
+                    .collect(),
+            );
+        }
+        Ok(SessionReport {
+            rounds: rounds_out,
+            worker_stats,
+            switch_stats,
+            wall: t0.elapsed(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_fabric;
+    use crate::lossy::lossy_fabric;
+    use crate::udp::udp_fabric;
+
+    fn proto(n: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 8,
+            pool_size: 16,
+            rto_ns: 2_000_000, // 2 ms real time
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        }
+    }
+
+    fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|w| vec![(0..elems).map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1).collect()])
+            .collect()
+    }
+
+    fn expected(n: usize, elems: usize) -> Vec<f32> {
+        (0..elems)
+            .map(|i| {
+                (1..=n).map(|w| w as f32).sum::<f32>() + n as f32 * (i % 5) as f32 * 0.1
+            })
+            .collect()
+    }
+
+    fn check(report: &RunReport, n: usize, elems: usize) {
+        let want = expected(n, elems);
+        for r in &report.results {
+            for (a, b) in r[0].iter().zip(&want) {
+                assert!((a - b).abs() < 0.01, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_allreduce_4_workers() {
+        let n = 4;
+        let elems = 1000;
+        let ports = channel_fabric(n + 1);
+        let report =
+            run_allreduce(ports, updates(n, elems), &proto(n), &RunConfig::default()).unwrap();
+        check(&report, n, elems);
+        assert_eq!(report.worker_stats.len(), n);
+        assert_eq!(report.switch_stats.completions as usize, elems.div_ceil(8));
+    }
+
+    #[test]
+    fn channel_allreduce_with_loss_recovers() {
+        let n = 3;
+        let elems = 400;
+        let (ports, stats) = lossy_fabric(channel_fabric(n + 1), 0.05, 99);
+        let report =
+            run_allreduce(ports, updates(n, elems), &proto(n), &RunConfig::default()).unwrap();
+        check(&report, n, elems);
+        assert!(stats.dropped() > 0, "5% loss should drop something");
+        let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+        assert!(retx > 0, "losses must trigger retransmissions");
+    }
+
+    #[test]
+    fn udp_allreduce_2_workers() {
+        let n = 2;
+        let elems = 512;
+        let ports = udp_fabric(n + 1).unwrap();
+        let report =
+            run_allreduce(ports, updates(n, elems), &proto(n), &RunConfig::default()).unwrap();
+        check(&report, n, elems);
+    }
+
+    #[test]
+    fn sharded_workers_over_channels() {
+        let n = 2;
+        let elems = 2048;
+        let ports = channel_fabric(n + 1);
+        let cfg = RunConfig {
+            n_cores: 4,
+            ..RunConfig::default()
+        };
+        let report = run_allreduce(ports, updates(n, elems), &proto(n), &cfg).unwrap();
+        check(&report, n, elems);
+    }
+
+    #[test]
+    fn misconfiguration_rejected() {
+        let ports = channel_fabric(3);
+        assert!(run_allreduce(ports, updates(3, 8), &proto(3), &RunConfig::default()).is_err());
+        let ports = channel_fabric(4);
+        assert!(run_allreduce(ports, updates(2, 8), &proto(3), &RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn multi_round_session_against_persistent_switch() {
+        // Three back-to-back all-reduces through ONE switch whose pool
+        // state persists; pool-version parity must carry across rounds
+        // or the switch would treat round 2's updates as duplicates.
+        let n = 3;
+        let elems = 100; // odd chunk count → mixed slot parities
+        let p = proto(n);
+        let rounds: Vec<Vec<Vec<Vec<f32>>>> = (0..3)
+            .map(|r| {
+                (0..n)
+                    .map(|w| vec![vec![(r * 10 + w + 1) as f32; elems]])
+                    .collect()
+            })
+            .collect();
+        let ports = channel_fabric(n + 1);
+        let report =
+            run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        for (r, round) in report.rounds.iter().enumerate() {
+            let expect: f32 = (0..n).map(|w| (r * 10 + w + 1) as f32).sum();
+            for w in 0..n {
+                for &x in &round[w][0] {
+                    assert!((x - expect).abs() < 0.01, "round {r} worker {w}: {x}");
+                }
+            }
+        }
+        // One switch served all three rounds.
+        assert_eq!(
+            report.switch_stats.completions as usize,
+            3 * elems.div_ceil(8)
+        );
+    }
+
+    #[test]
+    fn multi_round_session_with_loss() {
+        let n = 2;
+        let p = proto(n);
+        let rounds: Vec<Vec<Vec<Vec<f32>>>> = (0..4)
+            .map(|r| (0..n).map(|w| vec![vec![(r + w) as f32; 64]]).collect())
+            .collect();
+        let (ports, _) = lossy_fabric(channel_fabric(n + 1), 0.03, 123);
+        let report =
+            run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
+        for (r, round) in report.rounds.iter().enumerate() {
+            let expect: f32 = (0..n).map(|w| (r + w) as f32).sum();
+            assert!((round[0][0][0] - expect).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn total_blackout_times_out_cleanly() {
+        let n = 2;
+        let (ports, _) = lossy_fabric(channel_fabric(n + 1), 1.0, 5);
+        let cfg = RunConfig {
+            max_wall: Duration::from_millis(300),
+            ..RunConfig::default()
+        };
+        let err = run_allreduce(ports, updates(n, 64), &proto(n), &cfg).unwrap_err();
+        assert!(matches!(err, Error::ProtocolViolation(_)));
+    }
+}

@@ -1,0 +1,114 @@
+//! UDP loopback transport: the protocol over real sockets.
+//!
+//! Each endpoint binds an ephemeral 127.0.0.1 socket; the fabric
+//! builder exchanges addresses up front (the static rack wiring of the
+//! paper's deployment). UDP gives exactly the delivery model SwitchML
+//! assumes — unordered, unreliable datagrams — so the worker-driven
+//! retransmission path is exercised for real whenever the kernel
+//! drops under load.
+
+use crate::port::Port;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+/// Largest datagram we expect (MTU-profile packets + headroom).
+const MAX_DATAGRAM: usize = 4096;
+
+/// One UDP endpoint of a loopback fabric.
+pub struct UdpPort {
+    index: usize,
+    socket: UdpSocket,
+    peers: Vec<SocketAddr>,
+    buf: Box<[u8; MAX_DATAGRAM]>,
+}
+
+/// Build a fabric of `n` UDP endpoints on loopback.
+pub fn udp_fabric(n: usize) -> io::Result<Vec<UdpPort>> {
+    let sockets: Vec<UdpSocket> = (0..n)
+        .map(|_| UdpSocket::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()?;
+    let peers: Vec<SocketAddr> = sockets
+        .iter()
+        .map(|s| s.local_addr())
+        .collect::<io::Result<_>>()?;
+    sockets
+        .into_iter()
+        .enumerate()
+        .map(|(index, socket)| {
+            Ok(UdpPort {
+                index,
+                socket,
+                peers: peers.clone(),
+                buf: Box::new([0u8; MAX_DATAGRAM]),
+            })
+        })
+        .collect()
+}
+
+impl Port for UdpPort {
+    fn n_endpoints(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn index(&self) -> usize {
+        self.index
+    }
+
+    fn send(&mut self, to: usize, data: &[u8]) {
+        debug_assert!(data.len() <= MAX_DATAGRAM);
+        // UDP send failures (e.g. ENOBUFS under load) are equivalent to
+        // loss; the protocol's retransmission handles them.
+        let _ = self.socket.send_to(data, self.peers[to]);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        // A zero timeout would mean "block forever" to the kernel.
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_micros(1))))
+            .ok()?;
+        match self.socket.recv_from(self.buf.as_mut_slice()) {
+            Ok((len, addr)) => {
+                let from = self.peers.iter().position(|&p| p == addr)?;
+                Some((from, self.buf[..len].to_vec()))
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip() {
+        let mut ports = udp_fabric(2).unwrap();
+        let mut b = ports.pop().unwrap();
+        let mut a = ports.pop().unwrap();
+        a.send(1, b"ping");
+        let (from, data) = b.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(from, 0);
+        assert_eq!(data, b"ping");
+        b.send(0, b"pong");
+        let (from, data) = a.recv_timeout(Duration::from_millis(500)).unwrap();
+        assert_eq!(from, 1);
+        assert_eq!(data, b"pong");
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let mut ports = udp_fabric(1).unwrap();
+        assert!(ports[0].recv_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn unknown_sender_is_filtered() {
+        let mut ports = udp_fabric(1).unwrap();
+        let stranger = UdpSocket::bind(("127.0.0.1", 0)).unwrap();
+        let dest = ports[0].socket.local_addr().unwrap();
+        stranger.send_to(b"spoof", dest).unwrap();
+        // Message from an address outside the fabric is dropped.
+        assert!(ports[0].recv_timeout(Duration::from_millis(50)).is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Train the paper's CNN benchmark suite on a simulated rack.
+//!
+//! The intro's motivating workload: synchronous data-parallel DNN
+//! training where gradient synchronization competes with computation.
+//! This example measures each communication strategy's sustained
+//! aggregation rate on the simulated network, then estimates training
+//! throughput for every model in the zoo — Figure 3 at your terminal.
+//!
+//! Run with: `cargo run --release --example train_cluster [n_workers]`
+
+use switchml::baselines::{run_ring, run_switchml, RingScenario, SwitchMLScenario};
+use switchml::dnn::{ideal_throughput, training_throughput, zoo, ReducerProfile};
+
+fn measure(name: &str, run: impl Fn(usize) -> (f64, f64)) -> ReducerProfile {
+    // Two-point fit: one large and one small run pin (rate, latency).
+    let (t_big, e_big) = run(500_000);
+    let (t_small, e_small) = run(25_000);
+    let rate = (e_big - e_small) / ((t_big - t_small) / 1e9);
+    let latency = (t_small - e_small / rate * 1e9).max(0.0);
+    ReducerProfile::new(name, rate, latency)
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    println!("calibrating reducers on the simulated 10 Gbps rack ({n} workers)...");
+    let switchml = measure("SwitchML", |elems| {
+        let out = run_switchml(&SwitchMLScenario::new(n, elems)).expect("switchml run");
+        assert!(out.verified);
+        (out.mean_tat_ns, elems as f64)
+    });
+    let nccl = measure("NCCL", |elems| {
+        let out = run_ring(&RingScenario::nccl(n, elems)).expect("nccl run");
+        assert!(out.verified);
+        (out.mean_tat_ns, elems as f64)
+    });
+    let gloo = measure("Gloo", |elems| {
+        let out = run_ring(&RingScenario::gloo(n, elems)).expect("gloo run");
+        assert!(out.verified);
+        (out.mean_tat_ns, elems as f64)
+    });
+    for p in [&switchml, &nccl, &gloo] {
+        println!(
+            "  {:<9} {:>7.1} M elem/s  (+{:.0} us/tensor)",
+            p.name,
+            p.ate_per_sec / 1e6,
+            p.latency_ns / 1e3
+        );
+    }
+
+    println!(
+        "\n{:<11} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "model", "Mparam", "ideal", "SwitchML", "NCCL", "speedup"
+    );
+    for model in zoo::all_models() {
+        let batch = model.batch_size;
+        let t_s = training_throughput(&model, n, batch, &switchml).images_per_sec;
+        let t_n = training_throughput(&model, n, batch, &nccl).images_per_sec;
+        println!(
+            "{:<11} {:>7.1} {:>9.0} {:>9.0} {:>9.0} {:>8.2}x",
+            model.name,
+            model.total_params() as f64 / 1e6,
+            ideal_throughput(&model, n),
+            t_s,
+            t_n,
+            t_s / t_n
+        );
+    }
+    println!("\n(throughputs in images/s; speedup = SwitchML vs NCCL, the paper's Figure 3)");
+}

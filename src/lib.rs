@@ -1,0 +1,41 @@
+//! # switchml
+//!
+//! A full reproduction of **SwitchML** — *Scaling Distributed Machine
+//! Learning with In-Network Aggregation* (NSDI 2021) — in Rust: the
+//! in-switch aggregation protocol, the end-host worker, quantized
+//! gradient exchange, a deterministic network simulator standing in
+//! for the Tofino testbed, the paper's baselines (ring and
+//! halving-doubling all-reduce, parameter servers), a DNN training
+//! substrate, and a harness regenerating every table and figure of the
+//! paper's evaluation.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | protocol state machines, wire format, quantization |
+//! | [`netsim`] | discrete-event network simulator |
+//! | [`baselines`] | SwitchML-over-netsim + baseline collectives |
+//! | [`dnn`] | model zoo, trainer model, real small-scale training |
+//! | [`transport`] | threaded channel/UDP transports |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use switchml::core::agg::allreduce_mean;
+//! use switchml::core::config::Protocol;
+//!
+//! let updates = vec![
+//!     vec![vec![2.0_f32, 4.0]],
+//!     vec![vec![4.0_f32, 8.0]],
+//! ];
+//! let proto = Protocol { n_workers: 2, ..Protocol::default() };
+//! let mean = allreduce_mean(&updates, &proto).unwrap();
+//! assert!((mean[0][0] - 3.0).abs() < 1e-3);
+//! ```
+
+pub use switchml_baselines as baselines;
+pub use switchml_core as core;
+pub use switchml_dnn as dnn;
+pub use switchml_netsim as netsim;
+pub use switchml_transport as transport;

@@ -1,0 +1,146 @@
+//! Cross-crate integration: the same aggregation, three drivers.
+//!
+//! The in-process virtual-clock harness, the timing-accurate netsim
+//! runner and the threaded channel transport all drive the same
+//! sans-IO state machines — so for identical inputs they must produce
+//! identical (bit-exact) aggregated tensors, and those must respect
+//! Appendix C's Theorem 1 error bound against the exact float sum.
+
+use switchml::baselines::{run_switchml, synthetic_gradient, SwitchMLScenario};
+use switchml::core::agg::allreduce;
+use switchml::core::config::Protocol;
+use switchml::core::quant::aggregation_error_bound;
+use switchml::transport::channel::channel_fabric;
+use switchml::transport::runner::{run_allreduce, RunConfig};
+
+fn proto(n: usize) -> Protocol {
+    Protocol {
+        n_workers: n,
+        k: 32,
+        pool_size: 16,
+        rto_ns: 2_000_000,
+        scaling_factor: 1_000_000.0,
+        ..Protocol::default()
+    }
+}
+
+#[test]
+fn three_drivers_agree_bit_exactly() {
+    let n = 4;
+    let elems = 2048;
+    let updates: Vec<Vec<Vec<f32>>> = (0..n)
+        .map(|w| vec![synthetic_gradient(w, elems)])
+        .collect();
+    let p = proto(n);
+
+    // Driver 1: in-process virtual clock.
+    let inproc = allreduce(&updates, &p).unwrap();
+
+    // Driver 2: real threads over channels.
+    let ports = channel_fabric(n + 1);
+    let threaded = run_allreduce(ports, updates.clone(), &p, &RunConfig::default()).unwrap();
+
+    // Integer aggregation is deterministic: results are bit-exact
+    // across drivers and across workers.
+    for w in 0..n {
+        assert_eq!(inproc[0], threaded.results[w][0], "worker {w} differs");
+    }
+
+    // Driver 3: netsim (its runner generates the same synthetic
+    // gradients internally and self-verifies).
+    let mut sc = SwitchMLScenario::new(n, elems);
+    sc.proto = p.clone();
+    let sim = run_switchml(&sc).unwrap();
+    assert!(sim.verified);
+}
+
+#[test]
+fn theorem1_bound_holds_end_to_end() {
+    let n = 8;
+    let elems = 512;
+    // Adversarially non-uniform values (different magnitudes/signs).
+    let updates: Vec<Vec<Vec<f32>>> = (0..n)
+        .map(|w| {
+            vec![(0..elems)
+                .map(|i| ((w * 37 + i * 13) % 97) as f32 * 0.093 - 4.5)
+                .collect()]
+        })
+        .collect();
+    let p = proto(n);
+    let got = allreduce(&updates, &p).unwrap();
+    let bound = aggregation_error_bound(n, p.scaling_factor) as f32;
+    for i in 0..elems {
+        let exact: f64 = updates.iter().map(|u| u[0][i] as f64).sum();
+        let err = (got[0][i] as f64 - exact).abs() as f32;
+        assert!(
+            err <= bound + 1e-4,
+            "elem {i}: err {err} exceeds Theorem 1 bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn multi_tensor_stream_preserves_boundaries() {
+    // Appendix B: many tensors reduced as one virtual stream; results
+    // must land back in the right tensors even when chunk boundaries
+    // straddle tensor boundaries.
+    let n = 2;
+    let shapes = [33usize, 1, 7, 129, 64]; // deliberately k-unaligned
+    let updates: Vec<Vec<Vec<f32>>> = (0..n)
+        .map(|w| {
+            shapes
+                .iter()
+                .enumerate()
+                .map(|(t, &len)| (0..len).map(|i| (w + t + i) as f32 * 0.01).collect())
+                .collect()
+        })
+        .collect();
+    let got = allreduce(&updates, &proto(n)).unwrap();
+    assert_eq!(got.len(), shapes.len());
+    for (t, &len) in shapes.iter().enumerate() {
+        assert_eq!(got[t].len(), len, "tensor {t} length");
+        for i in 0..len {
+            let exact: f32 = (0..n).map(|w| (w + t + i) as f32 * 0.01).sum();
+            assert!((got[t][i] - exact).abs() < 1e-3, "tensor {t} elem {i}");
+        }
+    }
+}
+
+#[test]
+fn f16_wire_mode_end_to_end() {
+    use switchml::core::config::NumericMode;
+    let n = 4;
+    let updates: Vec<Vec<Vec<f32>>> = (0..n)
+        .map(|w| vec![(0..200).map(|i| (w as f32 + 1.0) * 0.5 + (i % 3) as f32 * 0.25).collect()])
+        .collect();
+    let p = Protocol {
+        mode: NumericMode::Float16,
+        scaling_factor: 256.0,
+        ..proto(n)
+    };
+    let got = allreduce(&updates, &p).unwrap();
+    for i in 0..200 {
+        let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
+        // f16 wire precision: scaled values ≤ ~1000 → abs error ≤ n·0.5/f·scale…
+        assert!((got[0][i] - exact).abs() < 0.05, "elem {i}: {} vs {exact}", got[0][i]);
+    }
+}
+
+#[test]
+fn pool_tuning_feeds_protocol() {
+    // §3.6 end to end: tune s from the link's BDP, validate against
+    // the pipeline model, then run with the tuned pool.
+    use switchml::core::switch::pipeline::PipelineModel;
+    use switchml::core::tune_pool_size;
+    let s = tune_pool_size(10_000_000_000, 15_000, 32);
+    assert_eq!(s, 128); // the paper's 10 Gbps deployment value
+    let p = Protocol {
+        n_workers: 8,
+        pool_size: s,
+        ..Protocol::default()
+    };
+    PipelineModel::default().validate(&p).unwrap();
+    let updates: Vec<Vec<Vec<f32>>> = (0..8).map(|w| vec![vec![w as f32; 64]]).collect();
+    let got = allreduce(&updates, &p).unwrap();
+    assert!((got[0][0] - 28.0).abs() < 1e-3); // 0+1+…+7
+}

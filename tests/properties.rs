@@ -1,0 +1,197 @@
+//! Property-based tests over the full protocol stack.
+
+use proptest::prelude::*;
+use switchml::core::agg::{allreduce, run_inprocess, HarnessConfig, Hop};
+use switchml::core::config::{NumericMode, Protocol};
+use switchml::core::packet::{Packet, PacketKind, Payload, PoolVersion};
+use switchml::core::quant::aggregation_error_bound;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<bool>(),
+        any::<u16>(),
+        any::<bool>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u8>(),
+        any::<bool>(),
+        prop::collection::vec(any::<i32>(), 0..64),
+    )
+        .prop_map(|(result, wid, ver, idx, off, job, retx, vals)| Packet {
+            kind: if result {
+                PacketKind::Result
+            } else {
+                PacketKind::Update
+            },
+            wid,
+            ver: PoolVersion::from_bit(ver),
+            idx,
+            off,
+            job,
+            retransmission: retx,
+            payload: Payload::I32(vals),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wire format: encode/decode is the identity for any field values.
+    #[test]
+    fn packet_roundtrip(pkt in arb_packet()) {
+        let decoded = Packet::decode(&pkt.encode()).unwrap();
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    /// Wire format: any single-byte mutation is rejected.
+    #[test]
+    fn packet_bitflip_rejected(pkt in arb_packet(), pos in any::<u16>(), mask in 1u8..=255) {
+        let mut bytes = pkt.encode().to_vec();
+        let pos = pos as usize % bytes.len();
+        bytes[pos] ^= mask;
+        prop_assert!(Packet::decode(&bytes).is_err());
+    }
+
+    /// Decoding arbitrary garbage never panics.
+    #[test]
+    fn decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Packet::decode(&data);
+    }
+
+    /// Lossless all-reduce matches the exact sum within Theorem 1.
+    #[test]
+    fn allreduce_within_theorem1(
+        n in 1usize..6,
+        elems in 1usize..80,
+        seed in any::<u32>(),
+    ) {
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| {
+                        let h = (w as u32)
+                            .wrapping_mul(2654435761)
+                            .wrapping_add((i as u32).wrapping_mul(40503))
+                            .wrapping_add(seed);
+                        (h % 2000) as f32 * 0.005 - 5.0
+                    })
+                    .collect()]
+            })
+            .collect();
+        let proto = Protocol {
+            n_workers: n,
+            k: 4,
+            pool_size: 4,
+            scaling_factor: 100_000.0,
+            ..Protocol::default()
+        };
+        let got = allreduce(&updates, &proto).unwrap();
+        let bound = aggregation_error_bound(n, proto.scaling_factor) as f32 + 1e-4;
+        for i in 0..elems {
+            let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
+            prop_assert!((got[0][i] - exact).abs() <= bound,
+                "elem {}: {} vs {}", i, got[0][i], exact);
+        }
+    }
+
+    /// Under arbitrary deterministic loss patterns (bounded rate), the
+    /// protocol converges, every worker sees the identical result, and
+    /// it equals the exact sum.
+    #[test]
+    fn allreduce_survives_random_loss(
+        n in 2usize..5,
+        elems in 8usize..64,
+        seed in any::<u64>(),
+        loss_num in 0u64..30, // loss probability = loss_num / 100
+    ) {
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| vec![(0..elems).map(|i| (w * 3 + i) as f32 * 0.125).collect()])
+            .collect();
+        let proto = Protocol {
+            n_workers: n,
+            k: 4,
+            pool_size: 4,
+            rto_ns: 50_000,
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        };
+        // Hash-based deterministic "random" drops so the case is
+        // perfectly reproducible from the proptest seed.
+        let mut counter = 0u64;
+        let harness = HarnessConfig { latency_ns: 500, deadline_ns: 120_000_000_000 };
+        let out = run_inprocess(&updates, &proto, &harness, |_, _| {
+            counter = counter.wrapping_mul(6364136223846793005).wrapping_add(seed | 1);
+            (counter >> 33) % 100 < loss_num
+        }).unwrap();
+        for w in 1..n {
+            prop_assert_eq!(&out.results[0], &out.results[w]);
+        }
+        for i in 0..elems {
+            let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
+            prop_assert!((out.results[0][0][i] - exact).abs() < 0.01);
+        }
+    }
+
+    /// The f16 wire mode stays within its coarser precision envelope.
+    #[test]
+    fn f16_mode_bounded_error(
+        n in 2usize..5,
+        elems in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| ((w as u32 * 7 + i as u32 * 3 + seed) % 100) as f32 * 0.02 - 1.0)
+                    .collect()]
+            })
+            .collect();
+        let f = 1000.0;
+        let proto = Protocol {
+            n_workers: n,
+            k: 4,
+            pool_size: 2,
+            mode: NumericMode::Float16,
+            scaling_factor: f,
+            ..Protocol::default()
+        };
+        let got = allreduce(&updates, &proto).unwrap();
+        // Scaled magnitudes ≤ 1000 → f16 quantization step ≤ 1.0 per
+        // contribution; aggregate error ≤ n·1/f plus rounding.
+        let tol = n as f32 * 1.0 / f as f32 + 2e-3;
+        for i in 0..elems {
+            let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
+            prop_assert!((got[0][i] - exact).abs() <= tol,
+                "elem {}: {} vs {} (tol {})", i, got[0][i], exact, tol);
+        }
+    }
+
+    /// Deterministic loss + same seed ⇒ identical outcome (stats and
+    /// results), across the whole stack.
+    #[test]
+    fn loss_runs_are_reproducible(seed in any::<u64>()) {
+        let updates: Vec<Vec<Vec<f32>>> =
+            (0..3).map(|w| vec![vec![w as f32 + 0.5; 32]]).collect();
+        let proto = Protocol {
+            n_workers: 3,
+            k: 4,
+            pool_size: 2,
+            rto_ns: 50_000,
+            scaling_factor: 1000.0,
+            ..Protocol::default()
+        };
+        let run = || {
+            let mut c = 0u64;
+            run_inprocess(&updates, &proto, &HarnessConfig::default(), |_, hop| {
+                c = c.wrapping_mul(25214903917).wrapping_add(seed | 1);
+                hop == Hop::Up && (c >> 30) % 10 == 0
+            })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.duration_ns, b.duration_ns);
+        prop_assert_eq!(a.switch_stats, b.switch_stats);
+    }
+}
