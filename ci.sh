@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, build, tests. Run before every PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "CI green."

@@ -107,9 +107,7 @@ mod tests {
         let ring = ring_line_rate_ate(10_000_000_000, 8);
         assert!(ring < ate && ring > 150e6, "{ring}");
         // Colocated PS is half of SwitchML's bound.
-        assert!(
-            (colocated_ps_line_rate_ate(10_000_000_000, 32) * 2.0 - ate).abs() < 1.0
-        );
+        assert!((colocated_ps_line_rate_ate(10_000_000_000, 32) * 2.0 - ate).abs() < 1.0);
     }
 
     #[test]

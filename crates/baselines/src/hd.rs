@@ -301,6 +301,7 @@ mod tests {
         let plans: Vec<Vec<StepPlan>> = (0..n)
             .map(|r| HdNode::plan(&HdParams::new(r, n, e)))
             .collect();
+        #[allow(clippy::needless_range_loop)] // double-indexing via computed partners
         for t in 0..plans[0].len() {
             for a in 0..n {
                 let b = plans[a][t].partner;

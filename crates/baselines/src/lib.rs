@@ -28,6 +28,6 @@ pub mod switchml;
 
 pub use run::{
     expected_sum, expected_sum_i32, run_hd, run_ps, run_ring, run_switchml, run_switchml_hierarchy,
-    run_switchml_traced, synthetic_gradient, synthetic_gradient_i32, CollectiveOutcome, HdScenario, HierScenario,
-    PsPlacement, PsScenario, RingScenario, SwitchMLScenario,
+    run_switchml_traced, synthetic_gradient, synthetic_gradient_i32, CollectiveOutcome, HdScenario,
+    HierScenario, PsPlacement, PsScenario, RingScenario, SwitchMLScenario,
 };

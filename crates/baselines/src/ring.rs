@@ -211,8 +211,7 @@ impl RingNode {
             if self.done_recv >= self.p.n - 1 {
                 let stash_step = (self.done_recv + 1 - self.p.n) as u32;
                 let (lo, hi) = self.bounds[seg];
-                self.history
-                    .insert(stash_step, self.data[lo..hi].to_vec());
+                self.history.insert(stash_step, self.data[lo..hi].to_vec());
             }
         }
     }
@@ -251,7 +250,8 @@ impl RingNode {
             return;
         }
         let now = ctx.now();
-        if now.saturating_sub(self.last_nack) < self.p.nack_cooldown && self.last_nack != Nanos::ZERO
+        if now.saturating_sub(self.last_nack) < self.p.nack_cooldown
+            && self.last_nack != Nanos::ZERO
         {
             return;
         }
@@ -385,15 +385,13 @@ impl Node for RingNode {
             }
             return;
         }
-        if token.0 & STALL_TOKEN_BIT != 0 {
-            if !self.completed {
-                // Still stuck on an incomplete step: request everything
-                // missing (TCP RTO-style recovery), then rearm.
-                if self.recv_count < self.recv_seen.len() {
-                    self.send_nack(ctx);
-                }
-                self.arm_stall(ctx);
+        if token.0 & STALL_TOKEN_BIT != 0 && !self.completed {
+            // Still stuck on an incomplete step: request everything
+            // missing (TCP RTO-style recovery), then rearm.
+            if self.recv_count < self.recv_seen.len() {
+                self.send_nack(ctx);
             }
+            self.arm_stall(ctx);
         }
     }
 

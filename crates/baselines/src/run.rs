@@ -54,11 +54,7 @@ pub fn expected_sum_i32(n: usize, elems: usize) -> Vec<i32> {
 }
 
 fn close_enough(got: &[f32], want: &[f32], tol: f32) -> bool {
-    got.len() == want.len()
-        && got
-            .iter()
-            .zip(want)
-            .all(|(a, b)| (a - b).abs() <= tol)
+    got.len() == want.len() && got.iter().zip(want).all(|(a, b)| (a - b).abs() <= tol)
 }
 
 /// Metrics shared by all collective runners.
@@ -282,7 +278,11 @@ pub fn run_switchml_traced(
             };
         }
     }
-    let mean_rtt = if rtt_n > 0 { rtt_sum / rtt_n as f64 } else { 0.0 };
+    let mean_rtt = if rtt_n > 0 {
+        rtt_sum / rtt_n as f64
+    } else {
+        0.0
+    };
     outcome_from(report, &ws, sc.elems, mean_rtt, p99, verified, total_retx)
 }
 
@@ -413,7 +413,9 @@ pub fn run_ps(sc: &PsScenario) -> Result<CollectiveOutcome> {
         let worker_node: &SwitchMLWorkerNode = match sc.placement {
             PsPlacement::Dedicated => any.downcast_ref().expect("worker node"),
             PsPlacement::Colocated => {
-                &any.downcast_ref::<ColocatedNode>().expect("colocated").worker
+                &any.downcast_ref::<ColocatedNode>()
+                    .expect("colocated")
+                    .worker
             }
         };
         total_retx += worker_node.stats().retx;
@@ -426,7 +428,11 @@ pub fn run_ps(sc: &PsScenario) -> Result<CollectiveOutcome> {
             verified = close_enough(&got[0], &want, tol);
         }
     }
-    let mean_rtt = if rtt_n > 0 { rtt_sum / rtt_n as f64 } else { 0.0 };
+    let mean_rtt = if rtt_n > 0 {
+        rtt_sum / rtt_n as f64
+    } else {
+        0.0
+    };
     outcome_from(report, &ws, base.elems, mean_rtt, 0, verified, total_retx)
 }
 
@@ -745,12 +751,15 @@ mod tests {
 
     #[test]
     fn switchml_with_loss_still_verifies() {
-        let mut sc = SwitchMLScenario::new(2, 1024);
+        // Large enough that zero drops is astronomically unlikely for
+        // any healthy RNG stream (~0.97^512), rather than depending on
+        // one specific generator's sequence at a fixed seed.
+        let mut sc = SwitchMLScenario::new(2, 4096);
         sc.proto.pool_size = 8;
-        sc.link = sc.link.with_loss(0.02);
+        sc.link = sc.link.with_loss(0.03);
         let out = run_switchml(&sc).unwrap();
         assert!(out.verified);
-        assert!(out.total_retx > 0, "2% loss must trigger retransmissions");
+        assert!(out.total_retx > 0, "3% loss must trigger retransmissions");
     }
 
     #[test]

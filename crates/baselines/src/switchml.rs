@@ -94,20 +94,15 @@ impl RttSampler {
                 if self.stride == 0 {
                     self.stride = 1;
                 }
-                if self.count % self.stride == 0 {
+                if self.count.is_multiple_of(self.stride) {
                     if self.reservoir.len() >= RTT_RESERVOIR {
                         // Halve the reservoir, double the stride: keeps
                         // a uniform systematic sample of all RTTs.
-                        let kept: Vec<u64> = self
-                            .reservoir
-                            .iter()
-                            .step_by(2)
-                            .copied()
-                            .collect();
+                        let kept: Vec<u64> = self.reservoir.iter().step_by(2).copied().collect();
                         self.reservoir = kept;
                         self.stride *= 2;
                     }
-                    if self.count % self.stride == 0 {
+                    if self.count.is_multiple_of(self.stride) {
                         self.reservoir.push(rtt);
                     }
                 }
@@ -189,7 +184,12 @@ impl SwitchMLWorkerNode {
             .on_send(pkt.idx, pkt.off, ctx.now(), pkt.retransmission);
         let dest = self.router.dest(pkt.idx);
         let bytes = pkt.encode();
-        ctx.send(SimPacket::new(ctx.self_id(), dest, bytes, SIM_FRAME_OVERHEAD));
+        ctx.send(SimPacket::new(
+            ctx.self_id(),
+            dest,
+            bytes,
+            SIM_FRAME_OVERHEAD,
+        ));
     }
 
     fn rearm(&mut self, ctx: &mut dyn NodeCtx) {
@@ -223,10 +223,7 @@ impl SwitchMLWorkerNode {
 
 impl Node for SwitchMLWorkerNode {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
-        let initial = self
-            .worker
-            .start(ctx.now().0)
-            .expect("worker start failed");
+        let initial = self.worker.start(ctx.now().0).expect("worker start failed");
         if initial.is_empty() && self.worker.is_done() {
             self.completed = true;
             ctx.complete();
@@ -332,7 +329,12 @@ impl SwitchMLSwitchNode {
             SwitchAction::Multicast(result) => {
                 let bytes = result.encode();
                 for &w in &self.worker_ids {
-                    ctx.send(SimPacket::new(ctx.self_id(), w, bytes.clone(), SIM_FRAME_OVERHEAD));
+                    ctx.send(SimPacket::new(
+                        ctx.self_id(),
+                        w,
+                        bytes.clone(),
+                        SIM_FRAME_OVERHEAD,
+                    ));
                 }
             }
             SwitchAction::Unicast(wid, result) => {
@@ -432,12 +434,22 @@ impl HierSwitchNode {
                 HierAction::MulticastDown(p) => {
                     let bytes = p.encode();
                     for &c in &self.children {
-                        ctx.send(SimPacket::new(ctx.self_id(), c, bytes.clone(), SIM_FRAME_OVERHEAD));
+                        ctx.send(SimPacket::new(
+                            ctx.self_id(),
+                            c,
+                            bytes.clone(),
+                            SIM_FRAME_OVERHEAD,
+                        ));
                     }
                 }
                 HierAction::UnicastDown(wid, p) => {
                     let dest = self.children[wid as usize];
-                    ctx.send(SimPacket::new(ctx.self_id(), dest, p.encode(), SIM_FRAME_OVERHEAD));
+                    ctx.send(SimPacket::new(
+                        ctx.self_id(),
+                        dest,
+                        p.encode(),
+                        SIM_FRAME_OVERHEAD,
+                    ));
                 }
             }
         }
@@ -537,11 +549,9 @@ mod tests {
             scaling_factor: 10.0,
             ..Protocol::default()
         };
-        let stream =
-            TensorStream::from_f32(&[vec![1.0, 2.0]], proto.mode, 10.0, proto.k).unwrap();
+        let stream = TensorStream::from_f32(&[vec![1.0, 2.0]], proto.mode, 10.0, proto.k).unwrap();
         let worker = switchml_core::worker::Worker::new(0, &proto, stream).unwrap();
-        let mut node =
-            SwitchMLWorkerNode::new(worker, SlotRouter::Single(NodeId(0)), Nanos::ZERO);
+        let mut node = SwitchMLWorkerNode::new(worker, SlotRouter::Single(NodeId(0)), Nanos::ZERO);
 
         struct NullCtx;
         impl NodeCtx for NullCtx {

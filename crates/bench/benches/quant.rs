@@ -73,5 +73,11 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_quantize, bench_f16, bench_aggregation_op, bench_codec);
+criterion_group!(
+    benches,
+    bench_quantize,
+    bench_f16,
+    bench_aggregation_op,
+    bench_codec
+);
 criterion_main!(benches);

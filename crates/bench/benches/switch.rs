@@ -38,7 +38,11 @@ fn bench_switches(c: &mut Criterion) {
     let mut phase = 0u64;
     group.bench_function("reliable_round_n8_k32", |b| {
         b.iter(|| {
-            let ver = if phase % 2 == 0 { PoolVersion::V0 } else { PoolVersion::V1 };
+            let ver = if phase.is_multiple_of(2) {
+                PoolVersion::V0
+            } else {
+                PoolVersion::V1
+            };
             for w in 0..n as u16 {
                 let p = Packet::update(w, ver, 0, phase * 32, vec![1i32; 32]);
                 black_box(reliable.on_packet(p).unwrap());

@@ -25,7 +25,10 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: reproduce [all|{}] [--quick] [--out <dir>]", ALL_IDS.join("|"));
+        eprintln!(
+            "usage: reproduce [all|{}] [--quick] [--out <dir>]",
+            ALL_IDS.join("|")
+        );
         std::process::exit(2);
     }
     if let Some(dir) = &out_dir {
@@ -38,13 +41,21 @@ fn main() {
             std::process::exit(2);
         };
         println!("{}", result.render());
-        println!("  ({} completed in {:.1}s{})\n", id, t0.elapsed().as_secs_f64(),
-                 if quick { ", --quick" } else { "" });
+        println!(
+            "  ({} completed in {:.1}s{})\n",
+            id,
+            t0.elapsed().as_secs_f64(),
+            if quick { ", --quick" } else { "" }
+        );
         if let Some(dir) = &out_dir {
             let path = format!("{dir}/{id}.json");
             let mut f = std::fs::File::create(&path).expect("create json");
-            f.write_all(serde_json::to_string_pretty(&result).expect("serialize").as_bytes())
-                .expect("write json");
+            f.write_all(
+                serde_json::to_string_pretty(&result)
+                    .expect("serialize")
+                    .as_bytes(),
+            )
+            .expect("write json");
         }
     }
 }

@@ -47,7 +47,11 @@ pub fn ablation_rto(quick: bool) -> ExperimentResult {
         ]);
     };
     for &rto_us in &[100u64, 300, 1_000, 3_000, 10_000] {
-        run_one(format!("{:.1}", rto_us as f64 / 1000.0), rto_us, RtoPolicy::Fixed);
+        run_one(
+            format!("{:.1}", rto_us as f64 / 1000.0),
+            rto_us,
+            RtoPolicy::Fixed,
+        );
     }
     // §6's adaptation, concretely: start aggressive, back off on
     // repeated expiries of the same slot.

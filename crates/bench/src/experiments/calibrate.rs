@@ -7,9 +7,7 @@
 //! run backs out the fixed per-tensor latency — the same calibration
 //! one would do on a real testbed with a microbenchmark.
 
-use switchml_baselines::{
-    run_ring, run_switchml, RingScenario, SwitchMLScenario,
-};
+use switchml_baselines::{run_ring, run_switchml, RingScenario, SwitchMLScenario};
 use switchml_dnn::ReducerProfile;
 use switchml_netsim::time::Nanos;
 
@@ -63,10 +61,8 @@ pub fn measure_profile(
 
     let run = |elems: usize| -> (f64, f64) {
         let out = match strategy {
-            Strategy::SwitchML => {
-                run_switchml(&switchml_scenario(n_workers, elems, bandwidth_bps))
-                    .expect("calibration run failed")
-            }
+            Strategy::SwitchML => run_switchml(&switchml_scenario(n_workers, elems, bandwidth_bps))
+                .expect("calibration run failed"),
             Strategy::GlooRing => run_ring(&ring_scenario(n_workers, elems, bandwidth_bps, false))
                 .expect("calibration run failed"),
             Strategy::NcclRing => run_ring(&ring_scenario(n_workers, elems, bandwidth_bps, true))

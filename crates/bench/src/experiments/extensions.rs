@@ -58,7 +58,14 @@ pub fn ext_resources(_quick: bool) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "ext_resources",
         "Switch resource usage (pipeline model)",
-        &["config", "pool_KB", "bookkeeping_KB", "sram_pct", "stages", "parse_B"],
+        &[
+            "config",
+            "pool_KB",
+            "bookkeeping_KB",
+            "sram_pct",
+            "stages",
+            "parse_B",
+        ],
     );
     let model = PipelineModel::default();
     for (name, pool, k) in [
@@ -88,8 +95,12 @@ pub fn ext_resources(_quick: bool) -> ExperimentResult {
         k: MTU_K,
         ..Protocol::default()
     };
-    let err = model.validate(&mtu).expect_err("MTU must exceed the parse budget");
-    result.note(format!("MTU-sized vectors rejected as the paper expects: {err}"));
+    let err = model
+        .validate(&mtu)
+        .expect_err("MTU must exceed the parse budget");
+    result.note(format!(
+        "MTU-sized vectors rejected as the paper expects: {err}"
+    ));
     result.note("paper: s=128/512 occupy 32/128 KB — 'even at 100 Gbps the memory requirement is << 10% of switch resources'; worker count does not change usage");
     result
 }
@@ -180,7 +191,12 @@ pub fn ext_straggler(quick: bool) -> ExperimentResult {
         ..Protocol::default()
     };
     let mut base_tat = 0.0f64;
-    for &bw in &[10_000_000_000u64, 5_000_000_000, 2_500_000_000, 1_000_000_000] {
+    for &bw in &[
+        10_000_000_000u64,
+        5_000_000_000,
+        2_500_000_000,
+        1_000_000_000,
+    ] {
         let mut topo = Topology::new();
         let sw = topo.add_node();
         let ws: Vec<NodeId> = (0..8)
@@ -197,13 +213,16 @@ pub fn ext_straggler(quick: bool) -> ExperimentResult {
         let mut sim = Simulator::new(topo, SimConfig::default());
         for (rank, &id) in ws.iter().enumerate() {
             let data = vec![rank as f32 + 1.0; elems];
-            let stream =
-                TensorStream::from_f32(&[data], proto.mode, proto.scaling_factor, proto.k)
-                    .expect("stream");
+            let stream = TensorStream::from_f32(&[data], proto.mode, proto.scaling_factor, proto.k)
+                .expect("stream");
             let worker = Worker::new(rank as u16, &proto, stream).expect("worker");
             sim.bind(
                 id,
-                Box::new(SwitchMLWorkerNode::new(worker, SlotRouter::Single(sw), Nanos(90))),
+                Box::new(SwitchMLWorkerNode::new(
+                    worker,
+                    SlotRouter::Single(sw),
+                    Nanos(90),
+                )),
             );
         }
         sim.bind(
@@ -289,7 +308,7 @@ mod tests {
         let r = ext_resources(true);
         assert_eq!(r.rows[0][1], "32"); // 32 KB at s=128
         assert_eq!(r.rows[1][1], "128"); // 128 KB at s=512
-        // Worker count row identical to the 8-worker s=512 row.
+                                         // Worker count row identical to the 8-worker s=512 row.
         assert_eq!(r.rows[1][1..], r.rows[2][1..]);
     }
 }

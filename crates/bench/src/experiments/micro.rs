@@ -34,7 +34,13 @@ pub fn fig2_pool_size(quick: bool) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "fig2",
         "Effect of pool size on TAT and per-packet RTT (8 workers, 100 Gbps)",
-        &["pool_size", "TAT_ms", "RTT_us", "p99_RTT_us", "at_line_rate"],
+        &[
+            "pool_size",
+            "TAT_ms",
+            "RTT_us",
+            "p99_RTT_us",
+            "at_line_rate",
+        ],
     );
     let pools: &[usize] = if quick {
         &[32, 128, 512, 2048, 8192]
@@ -152,11 +158,7 @@ pub fn fig5_loss_inflation(quick: bool) -> ExperimentResult {
         let c = run_ring(&nc).expect("fig5 nccl");
         assert!(c.verified);
 
-        let tats = [
-            s.max_tat.0 as f64,
-            g.max_tat.0 as f64,
-            c.max_tat.0 as f64,
-        ];
+        let tats = [s.max_tat.0 as f64, g.max_tat.0 as f64, c.max_tat.0 as f64];
         if li == 0 {
             base_tat = tats;
         }

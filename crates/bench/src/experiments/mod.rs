@@ -87,9 +87,23 @@ impl ExperimentResult {
 /// All experiment ids: the paper's artifacts in paper order, then the
 /// ablations of DESIGN.md's called-out design choices.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
-    "ablation_rto", "ablation_cores", "ablation_pool",
-    "ext_rdma", "ext_resources", "ext_compression", "ext_straggler", "ext_multirack",
+    "table1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig10",
+    "ablation_rto",
+    "ablation_cores",
+    "ablation_pool",
+    "ext_rdma",
+    "ext_resources",
+    "ext_compression",
+    "ext_straggler",
+    "ext_multirack",
 ];
 
 /// Run one experiment by id.

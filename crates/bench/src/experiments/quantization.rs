@@ -46,7 +46,9 @@ pub fn fig10_scaling_sweep(quick: bool) -> ExperimentResult {
     let factors: &[f64] = if quick {
         &[1e-2, 1e2, 1e6, 1e9, 1e12]
     } else {
-        &[1e-3, 1e-2, 1e-1, 1.0, 1e2, 1e4, 1e6, 1e7, 1e8, 1e9, 1e10, 1e12]
+        &[
+            1e-3, 1e-2, 1e-1, 1.0, 1e2, 1e4, 1e6, 1e7, 1e8, 1e9, 1e10, 1e12,
+        ]
     };
     let b = exact.max_grad_abs.max(1e-6);
     let f_max = max_safe_factor(cfg0.n_workers, b);

@@ -48,7 +48,14 @@ pub fn table1(quick: bool) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "table1",
         "Training throughput, images/s (8 workers, 10 Gbps, batch 64)",
-        &["model", "Ideal", "MultiGPU[55]", "NCCL", "SwitchML", "SwitchML_pct_ideal"],
+        &[
+            "model",
+            "Ideal",
+            "MultiGPU[55]",
+            "NCCL",
+            "SwitchML",
+            "SwitchML_pct_ideal",
+        ],
     );
     let nccl = with_framework_overhead(
         measure_profile(Strategy::NcclRing, n, G10, quick),
@@ -86,7 +93,13 @@ pub fn fig3_speedups(quick: bool) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "fig3",
         "Training speedup vs NCCL baseline (8 workers)",
-        &["model", "speedup_10G", "speedup_100G", "paper_10G", "paper_100G"],
+        &[
+            "model",
+            "speedup_10G",
+            "speedup_100G",
+            "paper_10G",
+            "paper_100G",
+        ],
     );
     let paper: &[(&str, f64, f64)] = &[
         ("alexnet", 2.2, 2.6),

@@ -27,10 +27,7 @@ impl Args {
                 }
                 if let Some((k, v)) = stripped.split_once('=') {
                     out.flags.insert(k.to_string(), v.to_string());
-                } else if iter
-                    .peek()
-                    .is_some_and(|next| !next.starts_with("--"))
-                {
+                } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
                     let v = iter.next().expect("peeked");
                     out.flags.insert(stripped.to_string(), v);
                 } else {
@@ -47,7 +44,10 @@ impl Args {
 
     /// String flag with a default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Typed flag with a default; errors name the flag.

@@ -11,7 +11,6 @@ use switchml_core::switch::pipeline::PipelineModel;
 use switchml_core::tune_pool_size;
 use switchml_dnn::data::gaussian_blobs;
 use switchml_dnn::real_train::{train as train_model, Aggregation, TrainConfig};
-use switchml_netsim::prelude::*;
 use switchml_netsim::trace::EventLog;
 
 fn gbps(args: &Args) -> Result<u64, String> {
@@ -51,8 +50,19 @@ fn render_outcome(label: &str, elems: usize, out: &CollectiveOutcome, json: bool
 /// `simulate`: SwitchML on the simulated rack (or multi-rack tree).
 pub fn simulate(args: &Args) -> Result<String, String> {
     args.assert_known(&[
-        "workers", "elems", "bandwidth-gbps", "pool", "k", "cores", "rto-us", "loss", "mode",
-        "racks", "trace", "pcap", "json",
+        "workers",
+        "elems",
+        "bandwidth-gbps",
+        "pool",
+        "k",
+        "cores",
+        "rto-us",
+        "loss",
+        "mode",
+        "racks",
+        "trace",
+        "pcap",
+        "json",
     ])?;
     let workers: usize = args.get("workers", 8)?;
     let elems: usize = args.get("elems", 1_000_000)?;
@@ -79,7 +89,7 @@ pub fn simulate(args: &Args) -> Result<String, String> {
     let json = args.switch("json");
 
     if racks > 1 {
-        if workers % racks != 0 {
+        if !workers.is_multiple_of(racks) {
             return Err("--workers must divide evenly across --racks".into());
         }
         let mut hs = HierScenario::new(racks, workers / racks, elems);
@@ -124,7 +134,14 @@ pub fn simulate(args: &Args) -> Result<String, String> {
 
 /// `baseline`: one of the comparison strategies.
 pub fn baseline(args: &Args) -> Result<String, String> {
-    args.assert_known(&["strategy", "workers", "elems", "bandwidth-gbps", "loss", "json"])?;
+    args.assert_known(&[
+        "strategy",
+        "workers",
+        "elems",
+        "bandwidth-gbps",
+        "loss",
+        "json",
+    ])?;
     let workers: usize = args.get("workers", 8)?;
     let elems: usize = args.get("elems", 1_000_000)?;
     let loss: f64 = args.get("loss", 0.0)?;
@@ -214,13 +231,21 @@ pub fn tune(args: &Args) -> Result<String, String> {
 /// `train`: real training with quantized aggregation.
 pub fn train(args: &Args) -> Result<String, String> {
     args.assert_known(&[
-        "workers", "epochs", "scale", "mode", "hidden", "byzantine", "json",
+        "workers",
+        "epochs",
+        "scale",
+        "mode",
+        "hidden",
+        "byzantine",
+        "json",
     ])?;
     let scale: f64 = args.get("scale", 1e6)?;
     let agg = match args.get_str("mode", "f32").as_str() {
         "exact" => Aggregation::Exact,
         "f32" => Aggregation::Fixed32 { f: scale },
-        "f16" => Aggregation::Float16 { f: scale.min(1000.0) },
+        "f16" => Aggregation::Float16 {
+            f: scale.min(1000.0),
+        },
         "sign" => Aggregation::SignSgd,
         other => return Err(format!("--mode: unknown '{other}' (exact|f32|f16|sign)")),
     };
@@ -228,7 +253,11 @@ pub fn train(args: &Args) -> Result<String, String> {
         n_workers: args.get("workers", 4)?,
         epochs: args.get("epochs", 10)?,
         batch_per_worker: 16,
-        lr: if agg == Aggregation::SignSgd { 0.02 } else { 0.1 },
+        lr: if agg == Aggregation::SignSgd {
+            0.02
+        } else {
+            0.1
+        },
         seed: 3,
         agg,
         hidden: args.get("hidden", 0)?,
@@ -301,6 +330,98 @@ pub fn udp(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// `ctrl`: controller-managed jobs on the simulated rack — lifecycle,
+/// heartbeat-driven failure detection, live shrink, switch failover.
+pub fn ctrl(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "workers",
+        "jobs",
+        "switches",
+        "elems",
+        "k",
+        "pool",
+        "loss",
+        "seed",
+        "fail-worker",
+        "fail-at-us",
+        "failover-at-us",
+        "json",
+    ])?;
+    use switchml_ctrl::netsim::{run_ctrl, CtrlScenario};
+
+    let mut sc = CtrlScenario {
+        n_workers: args.get("workers", 4)?,
+        n_jobs: args.get("jobs", 1)?,
+        n_switches: args.get("switches", 1)?,
+        elems: args.get("elems", 4096)?,
+        k: args.get("k", 8)?,
+        pool_size: args.get("pool", 8)?,
+        loss: args.get("loss", 0.0)?,
+        seed: args.get("seed", 1)?,
+        deadline_ms: 5_000,
+        ..CtrlScenario::default()
+    };
+    let fail_worker: i64 = args.get("fail-worker", -1)?;
+    if fail_worker >= 0 {
+        sc.fail_worker = Some((fail_worker as usize, args.get("fail-at-us", 25)?));
+    }
+    let failover_at: i64 = args.get("failover-at-us", -1)?;
+    if failover_at >= 0 {
+        if sc.n_switches < 2 {
+            return Err("--failover-at-us needs --switches 2 (or more)".into());
+        }
+        sc.fail_over = Some((failover_at as u64, 0, 1));
+    }
+
+    let out = run_ctrl(&sc);
+    if args.switch("json") {
+        let jobs: Vec<serde_json::Value> = (0..sc.n_jobs)
+            .map(|j| {
+                serde_json::json!({
+                    "job": j,
+                    "epoch": out.final_epoch[j],
+                    "workers": out.final_n[j],
+                    "scaling_factor": out.final_f[j],
+                })
+            })
+            .collect();
+        Ok(serde_json::json!({
+            "finished": out.finished,
+            "jobs": jobs,
+            "events": out.events,
+            "sim_end_ns": out.report.end_time.0,
+        })
+        .to_string())
+    } else {
+        let mut text = format!(
+            "control plane: {} job(s) x {} worker(s), {} switch(es) — {}\n",
+            sc.n_jobs,
+            sc.n_workers,
+            sc.n_switches,
+            if out.finished {
+                "all surviving workers completed"
+            } else {
+                "DID NOT COMPLETE within the deadline"
+            },
+        );
+        for j in 0..sc.n_jobs {
+            text.push_str(&format!(
+                "  job {j}: epoch {} with {} worker(s), f = {:.3e}\n",
+                out.final_epoch[j], out.final_n[j], out.final_f[j],
+            ));
+        }
+        if out.events.is_empty() {
+            text.push_str("  (no controller events)");
+        } else {
+            text.push_str("  controller events:\n");
+            for e in &out.events {
+                text.push_str(&format!("    {e}\n"));
+            }
+        }
+        Ok(text.trim_end().to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +471,10 @@ mod tests {
 
     #[test]
     fn simulate_multirack() {
-        let out = simulate(&args("simulate --workers 4 --racks 2 --elems 2048 --pool 8")).unwrap();
+        let out = simulate(&args(
+            "simulate --workers 4 --racks 2 --elems 2048 --pool 8",
+        ))
+        .unwrap();
         assert!(out.contains("2 racks"), "{out}");
         assert!(out.contains("verified: true"));
     }
@@ -389,5 +513,34 @@ mod tests {
     fn udp_smoke() {
         let out = udp(&args("udp --workers 2 --elems 256")).unwrap();
         assert!(out.contains("expected 3"), "{out}");
+    }
+
+    #[test]
+    fn ctrl_healthy_smoke() {
+        let out = ctrl(&args("ctrl --workers 3 --elems 256")).unwrap();
+        assert!(out.contains("all surviving workers completed"), "{out}");
+        assert!(out.contains("epoch 0 with 3 worker(s)"), "{out}");
+    }
+
+    #[test]
+    fn ctrl_kill_shrinks_json() {
+        let out = ctrl(&args(
+            "ctrl --workers 4 --elems 256 --fail-worker 1 --fail-at-us 25 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["finished"], true, "{out}");
+        assert_eq!(v["jobs"][0]["epoch"].as_u64(), Some(1), "{out}");
+        assert_eq!(v["jobs"][0]["workers"].as_u64(), Some(3), "{out}");
+    }
+
+    #[test]
+    fn ctrl_failover_needs_standby() {
+        assert!(ctrl(&args("ctrl --failover-at-us 100")).is_err());
+        let out = ctrl(&args(
+            "ctrl --workers 3 --elems 256 --switches 2 --failover-at-us 100",
+        ))
+        .unwrap();
+        assert!(out.contains("failover: switch 0 -> 1"), "{out}");
     }
 }

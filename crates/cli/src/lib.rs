@@ -35,6 +35,12 @@ COMMANDS:
              --byzantine N (0)  --json
   udp        Threaded all-reduce over real UDP loopback sockets
              --workers N (2) --elems N (4096) --loss P (0)
+  ctrl       Controller-managed jobs: lifecycle, failure detection,
+             live reconfiguration, switch failover (simulated rack)
+             --workers N (4) --jobs N (1) --switches N (1)
+             --elems N (4096) --k N (8) --pool N (8) --loss P (0)
+             --seed N (1) --fail-worker N (off) --fail-at-us N (25)
+             --failover-at-us N (off)  --json
   help       This text
 ";
 
@@ -46,6 +52,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("tune") => commands::tune(args),
         Some("train") => commands::train(args),
         Some("udp") => commands::udp(args),
+        Some("ctrl") => commands::ctrl(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }

@@ -145,11 +145,11 @@ where
     let mut now: TimeNs = 0;
 
     let push = |queue: &mut BinaryHeap<Reverse<InFlight>>,
-                    seq: &mut u64,
-                    time: TimeNs,
-                    hop: Hop,
-                    pkt: Packet,
-                    drop: &mut F| {
+                seq: &mut u64,
+                time: TimeNs,
+                hop: Hop,
+                pkt: Packet,
+                drop: &mut F| {
         if !drop(&pkt, hop) {
             *seq += 1;
             queue.push(Reverse(InFlight {
@@ -163,7 +163,14 @@ where
 
     for w in workers.iter_mut() {
         for pkt in w.start(now)? {
-            push(&mut queue, &mut seq, now + harness.latency_ns, Hop::Up, pkt, &mut drop);
+            push(
+                &mut queue,
+                &mut seq,
+                now + harness.latency_ns,
+                Hop::Up,
+                pkt,
+                &mut drop,
+            );
         }
     }
 
@@ -197,7 +204,14 @@ where
         for w in workers.iter_mut() {
             if w.next_deadline().is_some_and(|d| d <= now) {
                 for pkt in w.expired(now)? {
-                    push(&mut queue, &mut seq, now + harness.latency_ns, Hop::Up, pkt, &mut drop);
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        now + harness.latency_ns,
+                        Hop::Up,
+                        pkt,
+                        &mut drop,
+                    );
                 }
             }
         }
@@ -234,7 +248,14 @@ where
                 Hop::Down { to } => {
                     let w = &mut workers[to as usize];
                     for pkt in w.on_result(&flight.pkt, now)? {
-                        push(&mut queue, &mut seq, now + harness.latency_ns, Hop::Up, pkt, &mut drop);
+                        push(
+                            &mut queue,
+                            &mut seq,
+                            now + harness.latency_ns,
+                            Hop::Up,
+                            pkt,
+                            &mut drop,
+                        );
                     }
                 }
             }
@@ -361,14 +382,20 @@ mod tests {
     fn survives_deterministic_upward_loss() {
         let updates = make_updates(2, &[40]);
         let mut dropped = false;
-        let outcome = run_inprocess(&updates, &proto(2), &HarnessConfig::default(), |pkt, hop| {
-            // Drop exactly one upward packet (worker 1, slot 2, first try).
-            if !dropped && hop == Hop::Up && pkt.wid == 1 && pkt.idx == 2 && !pkt.retransmission {
-                dropped = true;
-                return true;
-            }
-            false
-        })
+        let outcome = run_inprocess(
+            &updates,
+            &proto(2),
+            &HarnessConfig::default(),
+            |pkt, hop| {
+                // Drop exactly one upward packet (worker 1, slot 2, first try).
+                if !dropped && hop == Hop::Up && pkt.wid == 1 && pkt.idx == 2 && !pkt.retransmission
+                {
+                    dropped = true;
+                    return true;
+                }
+                false
+            },
+        )
         .unwrap();
         assert!(dropped);
         let expect = expected_sum(&updates);
@@ -383,13 +410,18 @@ mod tests {
     fn survives_deterministic_downward_loss() {
         let updates = make_updates(2, &[40]);
         let mut dropped = false;
-        let outcome = run_inprocess(&updates, &proto(2), &HarnessConfig::default(), |pkt, hop| {
-            if !dropped && matches!(hop, Hop::Down { to: 0 }) && pkt.idx == 1 {
-                dropped = true;
-                return true;
-            }
-            false
-        })
+        let outcome = run_inprocess(
+            &updates,
+            &proto(2),
+            &HarnessConfig::default(),
+            |pkt, hop| {
+                if !dropped && matches!(hop, Hop::Down { to: 0 }) && pkt.idx == 1 {
+                    dropped = true;
+                    return true;
+                }
+                false
+            },
+        )
         .unwrap();
         assert!(dropped);
         // Worker 0 had to retransmit to refetch the result; switch

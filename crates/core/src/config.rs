@@ -52,7 +52,7 @@ pub enum RtoPolicy {
 }
 
 /// Static configuration shared by the switch and all workers of a job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Protocol {
     /// Number of workers `n`.
     pub n_workers: usize,
@@ -199,12 +199,37 @@ mod tests {
     fn validate_catches_bad_configs() {
         let ok = Protocol::default();
         ok.validate().unwrap();
-        assert!(Protocol { n_workers: 0, ..ok.clone() }.validate().is_err());
-        assert!(Protocol { n_workers: 300, ..ok.clone() }.validate().is_err());
+        assert!(Protocol {
+            n_workers: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(Protocol {
+            n_workers: 300,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         assert!(Protocol { k: 0, ..ok.clone() }.validate().is_err());
-        assert!(Protocol { pool_size: 0, ..ok.clone() }.validate().is_err());
-        assert!(Protocol { rto_ns: 0, ..ok.clone() }.validate().is_err());
-        assert!(Protocol { scaling_factor: 0.0, ..ok.clone() }.validate().is_err());
+        assert!(Protocol {
+            pool_size: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(Protocol {
+            rto_ns: 0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(Protocol {
+            scaling_factor: 0.0,
+            ..ok.clone()
+        }
+        .validate()
+        .is_err());
         assert!(Protocol {
             scaling_factor: 0.0,
             mode: NumericMode::NativeInt32,

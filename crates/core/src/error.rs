@@ -29,7 +29,10 @@ impl fmt::Display for Error {
         match self {
             Error::Malformed(what) => write!(f, "malformed packet: {what}"),
             Error::BadChecksum { expected, actual } => {
-                write!(f, "bad checksum: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "bad checksum: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             Error::OutOfRange(what) => write!(f, "field out of range: {what}"),
             Error::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),

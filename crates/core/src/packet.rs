@@ -174,12 +174,9 @@ impl Payload {
     pub fn from_i32_as(template: &Payload, values: &[i32]) -> Payload {
         match template {
             Payload::I32(_) => Payload::I32(values.to_vec()),
-            Payload::F16(_) => Payload::F16(
-                values
-                    .iter()
-                    .map(|&v| f16::f32_to_f16(v as f32))
-                    .collect(),
-            ),
+            Payload::F16(_) => {
+                Payload::F16(values.iter().map(|&v| f16::f32_to_f16(v as f32)).collect())
+            }
         }
     }
 }
@@ -210,7 +207,13 @@ pub struct Packet {
 
 impl Packet {
     /// A fresh update packet with an i32 payload.
-    pub fn update(wid: WorkerId, ver: PoolVersion, idx: SlotIndex, off: ElemOffset, v: Vec<i32>) -> Self {
+    pub fn update(
+        wid: WorkerId,
+        ver: PoolVersion,
+        idx: SlotIndex,
+        off: ElemOffset,
+        v: Vec<i32>,
+    ) -> Self {
         Packet {
             kind: PacketKind::Update,
             wid,

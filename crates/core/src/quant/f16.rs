@@ -14,7 +14,7 @@ pub const F16_NEG_INFINITY: u16 = 0xFC00;
 /// Largest finite f16 value (65504.0).
 pub const F16_MAX: f32 = 65504.0;
 /// Smallest positive normal f16 (2^-14).
-pub const F16_MIN_POSITIVE: f32 = 6.103515625e-5;
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
 
 /// Convert an `f32` to binary16 with round-to-nearest-even.
 ///
@@ -143,8 +143,8 @@ mod tests {
         assert_eq!(f32_to_f16(-2.0), 0xC000);
         assert_eq!(f32_to_f16(65504.0), 0x7BFF);
         assert_eq!(f32_to_f16(0.5), 0x3800);
-        assert_eq!(f32_to_f16(6.103515625e-5), 0x0400); // min normal
-        assert_eq!(f32_to_f16(5.960464477539063e-8), 0x0001); // min subnormal
+        assert_eq!(f32_to_f16(6.103_515_6e-5), 0x0400); // min normal
+        assert_eq!(f32_to_f16(5.960_464_5e-8), 0x0001); // min subnormal
     }
 
     #[test]

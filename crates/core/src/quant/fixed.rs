@@ -114,7 +114,10 @@ mod tests {
         assert_eq!((q1, q2), (16, 42));
         let approx = dequantize_one(q1 + q2, f);
         assert!((approx - 5.8).abs() < 1e-6);
-        assert!(((approx - 5.79) as f64).abs() <= 2.0 / f + 1e-9, "Theorem 1 bound");
+        assert!(
+            ((approx - 5.79) as f64).abs() <= 2.0 / f + 1e-9,
+            "Theorem 1 bound"
+        );
     }
 
     #[test]

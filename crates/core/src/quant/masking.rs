@@ -49,11 +49,7 @@ pub struct Masker {
 impl Masker {
     pub fn new(wid: usize, n: usize, group_seed: u64) -> Self {
         assert!(wid < n, "worker id out of range");
-        Masker {
-            wid,
-            n,
-            group_seed,
-        }
+        Masker { wid, n, group_seed }
     }
 
     /// Seed for the ordered pair (i, j), i < j.
@@ -150,9 +146,7 @@ mod tests {
         let updates: Vec<Vec<i32>> = (0..n)
             .map(|w| (0..k).map(|i| (w * 100 + i) as i32).collect())
             .collect();
-        let expected: Vec<i32> = (0..k)
-            .map(|i| updates.iter().map(|u| u[i]).sum())
-            .collect();
+        let expected: Vec<i32> = (0..k).map(|i| updates.iter().map(|u| u[i]).sum()).collect();
         let mut result = None;
         for (w, u) in updates.iter().enumerate() {
             let mut masked = u.clone();

@@ -21,7 +21,7 @@
 use super::{SwitchAction, SwitchStats};
 use crate::config::Protocol;
 use crate::error::{Error, Result};
-use crate::packet::{PacketKind, Packet, Payload};
+use crate::packet::{Packet, PacketKind, Payload};
 use crate::quant::{saturating_add_into, wrapping_add_into};
 
 /// The lossless-network aggregation core.
@@ -129,7 +129,10 @@ mod tests {
             sw.on_packet(update(1, 0, 0, vec![10, 20, 30, 40])).unwrap(),
             SwitchAction::Drop
         );
-        match sw.on_packet(update(2, 0, 0, vec![100, 200, 300, 400])).unwrap() {
+        match sw
+            .on_packet(update(2, 0, 0, vec![100, 200, 300, 400]))
+            .unwrap()
+        {
             SwitchAction::Multicast(p) => {
                 assert_eq!(p.payload, Payload::I32(vec![111, 222, 333, 444]));
                 assert_eq!(p.kind, PacketKind::Result);

@@ -183,7 +183,10 @@ mod tests {
         let v0 = PoolVersion::V0;
 
         // Rack 0's workers contribute 1 and 2.
-        assert!(rack0.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap().is_empty());
+        assert!(rack0
+            .on_update_from_below(upd(0, v0, 0, 0, 1))
+            .unwrap()
+            .is_empty());
         let acts = rack0.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap();
         let up0 = match &acts[..] {
             [HierAction::SendUp(p)] => p.clone(),
@@ -193,7 +196,10 @@ mod tests {
         assert_eq!(up0.wid, 0); // rack 0 poses as worker 0 of the root
 
         // Rack 1's workers contribute 10 and 20.
-        assert!(rack1.on_update_from_below(upd(0, v0, 0, 0, 10)).unwrap().is_empty());
+        assert!(rack1
+            .on_update_from_below(upd(0, v0, 0, 0, 10))
+            .unwrap()
+            .is_empty());
         let acts = rack1.on_update_from_below(upd(1, v0, 0, 0, 20)).unwrap();
         let up1 = match &acts[..] {
             [HierAction::SendUp(p)] => p.clone(),
@@ -212,7 +218,9 @@ mod tests {
 
         // Racks re-multicast to their workers.
         let acts = rack0.on_result_from_above(down.clone()).unwrap();
-        assert!(matches!(&acts[..], [HierAction::MulticastDown(p)] if p.payload == Payload::I32(vec![33])));
+        assert!(
+            matches!(&acts[..], [HierAction::MulticastDown(p)] if p.payload == Payload::I32(vec![33]))
+        );
         let acts = rack1.on_result_from_above(down).unwrap();
         assert!(matches!(&acts[..], [HierAction::MulticastDown(_)]));
     }
@@ -224,8 +232,8 @@ mod tests {
         let v0 = PoolVersion::V0;
         rack.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap();
         rack.on_update_from_below(upd(1, v0, 0, 0, 2)).unwrap(); // partial sent up (lost, say)
-        // Worker 0 times out and retransmits; rack has no final yet →
-        // it must re-forward the partial upward.
+                                                                 // Worker 0 times out and retransmits; rack has no final yet →
+                                                                 // it must re-forward the partial upward.
         let acts = rack.on_update_from_below(upd(0, v0, 0, 0, 1)).unwrap();
         match &acts[..] {
             [HierAction::SendUp(p)] => {

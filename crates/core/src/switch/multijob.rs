@@ -15,11 +15,22 @@ use crate::error::{Error, Result};
 use crate::packet::Packet;
 use std::collections::HashMap;
 
+/// One admitted job: its aggregation pool, the configuration it was
+/// admitted under, and the SRAM cost recorded at admission time.
+#[derive(Debug)]
+struct JobEntry {
+    switch: ReliableSwitch,
+    proto: Protocol,
+    /// Register bytes charged at `admit`; released verbatim at `evict`
+    /// so accounting can never drift from a caller-supplied proto.
+    committed: usize,
+}
+
 /// A switch dataplane hosting several independent aggregation jobs.
 #[derive(Debug)]
 pub struct MultiJobSwitch {
     pipeline: PipelineModel,
-    jobs: HashMap<u8, ReliableSwitch>,
+    jobs: HashMap<u8, JobEntry>,
     /// Register bytes already committed to admitted jobs.
     committed_bytes: usize,
 }
@@ -47,20 +58,58 @@ impl MultiJobSwitch {
                 self.pipeline.register_sram_bytes - self.committed_bytes
             )));
         }
-        self.jobs.insert(job, ReliableSwitch::new(proto)?);
+        self.jobs.insert(
+            job,
+            JobEntry {
+                switch: ReliableSwitch::new(proto)?,
+                proto: proto.clone(),
+                committed: needed,
+            },
+        );
         self.committed_bytes += needed;
         Ok(())
     }
 
-    /// Tear down a job, releasing its pool.
-    pub fn evict(&mut self, job: u8, proto: &Protocol) -> Result<()> {
-        if self.jobs.remove(&job).is_none() {
-            return Err(Error::InvalidConfig(format!("job {job} not admitted")));
-        }
+    /// Tear down a job, releasing exactly the bytes recorded at
+    /// admission.
+    pub fn evict(&mut self, job: u8) -> Result<()> {
+        let entry = self
+            .jobs
+            .remove(&job)
+            .ok_or_else(|| Error::InvalidConfig(format!("job {job} not admitted")))?;
+        self.committed_bytes = self.committed_bytes.saturating_sub(entry.committed);
+        Ok(())
+    }
+
+    /// Replace a job's pool with a fresh one under `proto` (same or
+    /// different worker count / pool size), atomically: on any failure
+    /// the job keeps its old pool and accounting is unchanged. This is
+    /// the live-reconfiguration primitive — after quiescing a job, the
+    /// control plane shrinks n and restarts aggregation on clean slots.
+    pub fn reset_job(&mut self, job: u8, proto: &Protocol) -> Result<()> {
+        let old_committed = match self.jobs.get(&job) {
+            Some(entry) => entry.committed,
+            None => return Err(Error::InvalidConfig(format!("job {job} not admitted"))),
+        };
         let report = self.pipeline.validate(proto)?;
-        self.committed_bytes = self
-            .committed_bytes
-            .saturating_sub(report.pool_bytes + report.bookkeeping_bytes);
+        let needed = report.pool_bytes + report.bookkeeping_bytes;
+        let without_old = self.committed_bytes.saturating_sub(old_committed);
+        if without_old + needed > self.pipeline.register_sram_bytes {
+            return Err(Error::InvalidConfig(format!(
+                "resizing job {job} needs {needed} B but only {} B of register SRAM remain",
+                self.pipeline.register_sram_bytes - without_old
+            )));
+        }
+        let switch = ReliableSwitch::new(proto)?;
+        self.jobs.insert(
+            job,
+            JobEntry {
+                switch,
+                proto: proto.clone(),
+                committed: needed,
+            },
+        );
+        self.committed_bytes = without_old + needed;
         Ok(())
     }
 
@@ -69,9 +118,28 @@ impl MultiJobSwitch {
         self.jobs.len()
     }
 
+    /// Ids of admitted jobs, ascending (deterministic for drain loops).
+    pub fn job_ids(&self) -> Vec<u8> {
+        let mut ids: Vec<u8> = self.jobs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The configuration a job was admitted under.
+    pub fn job_proto(&self, job: u8) -> Option<&Protocol> {
+        self.jobs.get(&job).map(|e| &e.proto)
+    }
+
     /// Register bytes currently committed.
     pub fn committed_bytes(&self) -> usize {
         self.committed_bytes
+    }
+
+    /// Register bytes still available for admission.
+    pub fn remaining_bytes(&self) -> usize {
+        self.pipeline
+            .register_sram_bytes
+            .saturating_sub(self.committed_bytes)
     }
 
     /// Route a packet to its job's pool.
@@ -80,12 +148,13 @@ impl MultiJobSwitch {
         self.jobs
             .get_mut(&job)
             .ok_or(Error::OutOfRange("packet for an unadmitted job"))?
+            .switch
             .on_packet(pkt)
     }
 
     /// Per-job counters.
     pub fn stats(&self, job: u8) -> Option<SwitchStats> {
-        self.jobs.get(&job).map(|s| s.stats())
+        self.jobs.get(&job).map(|e| e.switch.stats())
     }
 }
 
@@ -171,8 +240,50 @@ mod tests {
         // A smaller job still fits.
         sw.admit(1, &proto(8, 64)).unwrap();
         // Evicting frees budget.
-        sw.evict(0, &proto(8, 512)).unwrap();
+        sw.evict(0).unwrap();
         sw.admit(2, &proto(8, 512)).unwrap();
-        assert!(sw.evict(9, &proto(8, 64)).is_err());
+        assert!(sw.evict(9).is_err());
+    }
+
+    #[test]
+    fn evict_releases_exactly_the_admitted_bytes() {
+        // Regression: evict used to recompute the released amount from
+        // a caller-supplied proto, so a mismatched proto corrupted the
+        // ledger. Now the amount recorded at admit time is released.
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(0, &proto(8, 512)).unwrap();
+        let big = sw.committed_bytes();
+        sw.admit(1, &proto(8, 64)).unwrap();
+        let small = sw.committed_bytes() - big;
+        sw.evict(0).unwrap();
+        assert_eq!(sw.committed_bytes(), small);
+        sw.evict(1).unwrap();
+        assert_eq!(sw.committed_bytes(), 0);
+        assert_eq!(sw.job_count(), 0);
+    }
+
+    #[test]
+    fn reset_job_swaps_pool_and_reaccounts() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(0, &proto(4, 512)).unwrap();
+        let before = sw.committed_bytes();
+        assert_eq!(sw.job_proto(0).unwrap().n_workers, 4);
+
+        // Shrink to 3 workers on a smaller pool: accounting follows.
+        sw.reset_job(0, &proto(3, 64)).unwrap();
+        assert!(sw.committed_bytes() < before);
+        assert_eq!(sw.job_proto(0).unwrap().n_workers, 3);
+        assert_eq!(sw.job_ids(), vec![0]);
+
+        // The fresh pool aggregates under the new n.
+        assert_eq!(sw.on_packet(pkt(0, 0, 0, 1)).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.on_packet(pkt(0, 1, 0, 1)).unwrap(), SwitchAction::Drop);
+        match sw.on_packet(pkt(0, 2, 0, 1)).unwrap() {
+            SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![3; 32])),
+            other => panic!("{other:?}"),
+        }
+
+        // Unknown job refused; state untouched.
+        assert!(sw.reset_job(7, &proto(2, 8)).is_err());
     }
 }

@@ -72,7 +72,10 @@ impl PipelineModel {
     pub fn max_k(&self) -> usize {
         let elem_stages = self.stages.saturating_sub(self.control_stages);
         let by_stages = elem_stages * self.reg_actions_per_stage;
-        let by_parser = (self.parse_budget_bytes.saturating_sub(HEADER_OVERHEAD_BYTES)) / 4;
+        let by_parser = (self
+            .parse_budget_bytes
+            .saturating_sub(HEADER_OVERHEAD_BYTES))
+            / 4;
         by_stages.min(by_parser)
     }
 
@@ -221,8 +224,18 @@ mod tests {
         // requirements to perform aggregation at line rate."
         let model = PipelineModel::default();
         let base = Protocol::default();
-        let r8 = model.validate(&Protocol { n_workers: 8, ..base.clone() }).unwrap();
-        let r64 = model.validate(&Protocol { n_workers: 64, ..base }).unwrap();
+        let r8 = model
+            .validate(&Protocol {
+                n_workers: 8,
+                ..base.clone()
+            })
+            .unwrap();
+        let r64 = model
+            .validate(&Protocol {
+                n_workers: 64,
+                ..base
+            })
+            .unwrap();
         assert_eq!(r8.pool_bytes, r64.pool_bytes);
         assert_eq!(r8.stages_used, r64.stages_used);
         assert_eq!(r8.bookkeeping_bytes, r64.bookkeeping_bytes);

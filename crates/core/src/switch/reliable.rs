@@ -191,10 +191,14 @@ mod tests {
     fn normal_completion() {
         let mut sw = ReliableSwitch::new(&proto(2, 2, 1)).unwrap();
         assert_eq!(
-            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1, 2])).unwrap(),
+            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1, 2]))
+                .unwrap(),
             SwitchAction::Drop
         );
-        match sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![10, 20])).unwrap() {
+        match sw
+            .on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![10, 20]))
+            .unwrap()
+        {
             SwitchAction::Multicast(p) => {
                 assert_eq!(p.payload, Payload::I32(vec![11, 22]));
                 assert_eq!(p.kind, PacketKind::Result);
@@ -208,14 +212,19 @@ mod tests {
         // Upward-path loss scenario, Appendix A t4/t5: retransmissions
         // of already-aggregated updates are ignored, not double-added.
         let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
-        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5]))
+            .unwrap();
         // Worker 0 times out and retransmits; must be ignored.
         assert_eq!(
-            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap(),
+            sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5]))
+                .unwrap(),
             SwitchAction::Drop
         );
         assert_eq!(sw.stats().duplicates, 1);
-        match sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7])).unwrap() {
+        match sw
+            .on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7]))
+            .unwrap()
+        {
             SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![12])),
             other => panic!("{other:?}"),
         }
@@ -226,9 +235,14 @@ mod tests {
         // Downward-path loss, Appendix A t7/t8: the worker that missed
         // the multicast retransmits and receives a unicast result.
         let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
-        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap();
-        sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7])).unwrap();
-        match sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5])).unwrap() {
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5]))
+            .unwrap();
+        sw.on_packet(pkt(1, PoolVersion::V0, 0, 0, vec![7]))
+            .unwrap();
+        match sw
+            .on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5]))
+            .unwrap()
+        {
             SwitchAction::Unicast(wid, p) => {
                 assert_eq!(wid, 0);
                 assert_eq!(p.payload, Payload::I32(vec![12]));
@@ -297,7 +311,10 @@ mod tests {
         let (v0, v1) = (PoolVersion::V0, PoolVersion::V1);
         for phase in 0u64..6 {
             let ver = if phase % 2 == 0 { v0 } else { v1 };
-            match sw.on_packet(pkt(0, ver, 0, phase, vec![phase as i32])).unwrap() {
+            match sw
+                .on_packet(pkt(0, ver, 0, phase, vec![phase as i32]))
+                .unwrap()
+            {
                 SwitchAction::Multicast(p) => {
                     assert_eq!(p.payload, Payload::I32(vec![phase as i32]))
                 }
@@ -311,7 +328,8 @@ mod tests {
     #[test]
     fn offset_mismatch_is_a_protocol_violation() {
         let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
-        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1])).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1]))
+            .unwrap();
         let err = sw
             .on_packet(pkt(1, PoolVersion::V0, 0, 999, vec![1]))
             .unwrap_err();
@@ -322,7 +340,10 @@ mod tests {
     fn works_with_single_worker() {
         // Degenerate n = 1: every packet completes immediately.
         let mut sw = ReliableSwitch::new(&proto(1, 2, 4)).unwrap();
-        match sw.on_packet(pkt(0, PoolVersion::V0, 2, 8, vec![4, 5])).unwrap() {
+        match sw
+            .on_packet(pkt(0, PoolVersion::V0, 2, 8, vec![4, 5]))
+            .unwrap()
+        {
             SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![4, 5])),
             other => panic!("{other:?}"),
         }
@@ -331,8 +352,14 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let mut sw = ReliableSwitch::new(&proto(2, 2, 2)).unwrap();
-        assert!(sw.on_packet(pkt(0, PoolVersion::V0, 7, 0, vec![1, 2])).is_err());
-        assert!(sw.on_packet(pkt(9, PoolVersion::V0, 0, 0, vec![1, 2])).is_err());
-        assert!(sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1])).is_err());
+        assert!(sw
+            .on_packet(pkt(0, PoolVersion::V0, 7, 0, vec![1, 2]))
+            .is_err());
+        assert!(sw
+            .on_packet(pkt(9, PoolVersion::V0, 0, 0, vec![1, 2]))
+            .is_err());
+        assert!(sw
+            .on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![1]))
+            .is_err());
     }
 }

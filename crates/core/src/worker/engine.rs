@@ -92,6 +92,13 @@ pub struct EngineStats {
 pub struct SlotEngine {
     cfg: EngineConfig,
     slots: Vec<SlotState>,
+    /// When set, the engine streams this explicit (ordered) list of
+    /// global chunk indices instead of the contiguous range
+    /// `chunk_base..chunk_base + n_chunks`. `SlotState::chunk` then
+    /// holds a *position* in this list. Used to resume a partially
+    /// aggregated stream: after a reconfiguration only the chunks not
+    /// yet aggregated everywhere are re-streamed.
+    chunk_list: Option<Vec<u64>>,
     completed: u64,
     stats: EngineStats,
 }
@@ -116,9 +123,34 @@ impl SlotEngine {
                 };
                 cfg.n_slots
             ],
+            chunk_list: None,
             completed: 0,
             stats: EngineStats::default(),
         })
+    }
+
+    /// Engine over an explicit list of global chunk indices (resume
+    /// mode). `cfg.chunk_base` must be 0 and `cfg.n_chunks` must equal
+    /// `chunks.len()`; descriptors carry the listed chunks' offsets in
+    /// list order.
+    pub fn with_chunk_list(cfg: EngineConfig, chunks: Vec<u64>) -> Result<Self> {
+        if cfg.chunk_base != 0 || cfg.n_chunks != chunks.len() as u64 {
+            return Err(Error::InvalidConfig(
+                "chunk-list engine needs chunk_base 0 and n_chunks == list length".into(),
+            ));
+        }
+        let mut engine = SlotEngine::new(cfg)?;
+        engine.chunk_list = Some(chunks);
+        Ok(engine)
+    }
+
+    /// Map a logical chunk (position) to the global chunk index it
+    /// carries on the wire.
+    fn global_chunk(&self, logical: u64) -> u64 {
+        match &self.chunk_list {
+            Some(list) => list[logical as usize],
+            None => logical,
+        }
     }
 
     /// Like [`SlotEngine::new`], but seed each slot's pool version —
@@ -170,12 +202,21 @@ impl SlotEngine {
         self.completed
     }
 
+    /// Irreversibly turn off loss recovery (Algorithm 2 semantics).
+    pub fn disable_retransmission(&mut self) {
+        self.cfg.rto = None;
+        for s in &mut self.slots {
+            s.deadline = None;
+            s.cur_rto = 0;
+        }
+    }
+
     fn descriptor(&self, local: usize, retransmission: bool) -> SendDescriptor {
         let st = &self.slots[local];
         SendDescriptor {
             slot: self.cfg.slot_base + local as SlotIndex,
             ver: st.ver,
-            off: st.chunk * self.cfg.k as u64,
+            off: self.global_chunk(st.chunk) * self.cfg.k as u64,
             retransmission,
         }
     }
@@ -212,11 +253,13 @@ impl SlotEngine {
         now: TimeNs,
     ) -> Result<ResultOutcome> {
         if !self.owns_slot(slot) {
-            return Err(Error::OutOfRange("result for a slot this engine does not own"));
+            return Err(Error::OutOfRange(
+                "result for a slot this engine does not own",
+            ));
         }
         let local = (slot - self.cfg.slot_base) as usize;
         let st = self.slots[local];
-        if !st.active || ver != st.ver || off != st.chunk * self.cfg.k as u64 {
+        if !st.active || ver != st.ver || off != self.global_chunk(st.chunk) * self.cfg.k as u64 {
             self.stats.stale += 1;
             return Ok(ResultOutcome::Stale);
         }
@@ -486,9 +529,45 @@ mod tests {
         assert_eq!(e.next_deadline(), Some(700));
         assert_eq!(e.expired(700).len(), 1);
         assert_eq!(e.next_deadline(), Some(1400)); // 700 + capped 700
-        // Progress resets the backoff to the initial 100.
+                                                   // Progress resets the backoff to the initial 100.
         e.on_result(0, PoolVersion::V0, 0, 2000).unwrap();
         assert_eq!(e.next_deadline(), Some(2100));
+    }
+
+    #[test]
+    fn chunk_list_streams_exactly_the_listed_chunks() {
+        // Resume mode: only chunks 1, 4, 5 remain (k=4).
+        let mut e = SlotEngine::with_chunk_list(cfg(2, 3, None), vec![1, 4, 5]).unwrap();
+        let descs = e.start(0);
+        assert_eq!(descs.len(), 2);
+        assert_eq!(descs[0].off, 4); // chunk 1
+        assert_eq!(descs[1].off, 16); // chunk 4
+                                      // Finishing chunk 1 advances slot 0 by the slot stride (2)
+                                      // through the *list* → chunk 5 at offset 20.
+        match e.on_result(0, PoolVersion::V0, 4, 0).unwrap() {
+            ResultOutcome::Accepted { next: Some(d), .. } => assert_eq!(d.off, 20),
+            other => panic!("{other:?}"),
+        }
+        // A result carrying the logical offset is stale, not accepted.
+        assert_eq!(
+            e.on_result(1, PoolVersion::V0, 4, 0).unwrap(),
+            ResultOutcome::Stale
+        );
+        e.on_result(1, PoolVersion::V0, 16, 0).unwrap();
+        e.on_result(0, PoolVersion::V1, 20, 0).unwrap();
+        assert!(e.is_done());
+        // Config invariants enforced.
+        assert!(SlotEngine::with_chunk_list(cfg(2, 2, None), vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn disable_retransmission_clears_timers() {
+        let mut e = SlotEngine::new(cfg(2, 4, Some(100))).unwrap();
+        e.start(0);
+        assert_eq!(e.next_deadline(), Some(100));
+        e.disable_retransmission();
+        assert_eq!(e.next_deadline(), None);
+        assert!(e.expired(u64::MAX).is_empty());
     }
 
     #[test]

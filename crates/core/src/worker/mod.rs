@@ -154,13 +154,76 @@ impl Worker {
         ))
     }
 
+    /// Resume a partially aggregated stream under a (possibly
+    /// different) configuration and a *fresh* switch pool: only the
+    /// chunks not yet aggregated are re-streamed, in order, sharded
+    /// across `n_cores` engines. This is the worker half of live
+    /// reconfiguration — after a peer dies, survivors are rebuilt with
+    /// `proto.n_workers` shrunk (and `wid` renumbered densely),
+    /// `stream.set_scaling` already applied, and the switch's pool
+    /// reset, then they finish the remaining chunks.
+    pub fn resume(
+        wid: WorkerId,
+        proto: &Protocol,
+        stream: TensorStream,
+        n_cores: usize,
+    ) -> Result<Self> {
+        proto.validate()?;
+        if (wid as usize) >= proto.n_workers {
+            return Err(Error::OutOfRange("worker id >= n_workers"));
+        }
+        if n_cores == 0 {
+            return Err(Error::InvalidConfig("n_cores must be > 0".into()));
+        }
+        if n_cores > proto.pool_size {
+            return Err(Error::InvalidConfig(format!(
+                "{n_cores} cores need at least {n_cores} pool slots"
+            )));
+        }
+        if stream.k() != proto.k {
+            return Err(Error::InvalidConfig(
+                "stream chunk size does not match protocol k".into(),
+            ));
+        }
+        let undone = stream.undone_chunks();
+        let s = proto.pool_size;
+        let mut engines = Vec::with_capacity(n_cores);
+        for j in 0..n_cores {
+            let slot_lo = j * s / n_cores;
+            let slot_hi = (j + 1) * s / n_cores;
+            let lo = j * undone.len() / n_cores;
+            let hi = (j + 1) * undone.len() / n_cores;
+            let cfg = EngineConfig {
+                wid,
+                k: proto.k,
+                slot_base: slot_lo as u32,
+                n_slots: slot_hi - slot_lo,
+                chunk_base: 0,
+                n_chunks: (hi - lo) as u64,
+                rto: Some(proto.rto_ns),
+                rto_policy: proto.rto_policy,
+            };
+            engines.push(SlotEngine::with_chunk_list(cfg, undone[lo..hi].to_vec())?);
+        }
+        Ok(Worker {
+            wid,
+            proto: proto.clone(),
+            engines,
+            stream,
+        })
+    }
+
+    /// Consume the worker, recovering its stream (with whatever chunks
+    /// have been aggregated so far) for a later [`Worker::resume`].
+    pub fn into_stream(self) -> TensorStream {
+        self.stream
+    }
+
     /// Disable retransmission (Algorithm 2, for lossless fabrics and
     /// for tests that must fail loudly on loss).
     pub fn without_retransmission(mut self) -> Self {
         for e in &mut self.engines {
-            let mut cfg = *e.config();
-            cfg.rto = None;
-            *e = SlotEngine::new(cfg).expect("config was already valid");
+            e.disable_retransmission();
         }
         self
     }
@@ -214,11 +277,8 @@ impl Worker {
     /// across all cores).
     pub fn start(&mut self, now: TimeNs) -> Result<Vec<Packet>> {
         let mut out = Vec::new();
-        let descs: Vec<SendDescriptor> = self
-            .engines
-            .iter_mut()
-            .flat_map(|e| e.start(now))
-            .collect();
+        let descs: Vec<SendDescriptor> =
+            self.engines.iter_mut().flat_map(|e| e.start(now)).collect();
         for d in descs {
             out.push(self.materialize(d)?);
         }
@@ -370,8 +430,10 @@ mod tests {
         let elems = 40;
         let t0: Vec<f32> = (0..elems).map(|i| i as f32).collect();
         let t1: Vec<f32> = (0..elems).map(|i| (i as f32) * 2.0).collect();
-        let s0 = TensorStream::from_f32(&[t0.clone()], NumericMode::Fixed32, 100.0, 4).unwrap();
-        let s1 = TensorStream::from_f32(&[t1.clone()], NumericMode::Fixed32, 100.0, 4).unwrap();
+        let s0 = TensorStream::from_f32(std::slice::from_ref(&t0), NumericMode::Fixed32, 100.0, 4)
+            .unwrap();
+        let s1 = TensorStream::from_f32(std::slice::from_ref(&t1), NumericMode::Fixed32, 100.0, 4)
+            .unwrap();
         let mut w0 = Worker::new(0, &p, s0).unwrap();
         let mut w1 = Worker::new(1, &p, s1).unwrap();
         let mut sw = ReliableSwitch::new(&p).unwrap();
@@ -454,6 +516,86 @@ mod tests {
         assert!(Worker::sharded(0, &p, stream(16, 4), 0).is_err());
         assert!(Worker::sharded(0, &p, stream(16, 4), 8).is_err()); // cores > slots
         assert!(Worker::new(0, &p, stream(16, 2)).is_err()); // k mismatch
+    }
+
+    #[test]
+    fn resume_finishes_only_undone_chunks() {
+        use crate::switch::reliable::ReliableSwitch;
+        use crate::switch::SwitchAction;
+        // 10 chunks; pretend chunks 0..5 were aggregated under an
+        // earlier 3-worker epoch, then a worker died. Two survivors
+        // resume the remaining 5 chunks under n=2 with a rescaled f.
+        let elems = 40;
+        let t0: Vec<f32> = (0..elems).map(|i| i as f32 * 0.5).collect();
+        let t1: Vec<f32> = (0..elems).map(|i| i as f32 * 0.25).collect();
+        let mk = |t: &Vec<f32>| {
+            TensorStream::from_f32(std::slice::from_ref(t), NumericMode::Fixed32, 100.0, 4).unwrap()
+        };
+        let (mut s0, mut s1) = (mk(&t0), mk(&t1));
+        for chunk in 0..5u64 {
+            let frozen = Payload::I32(vec![7; 4]);
+            s0.write_result(chunk * 4, &frozen).unwrap();
+            s1.write_result(chunk * 4, &frozen).unwrap();
+        }
+        s0.set_scaling(200.0).unwrap();
+        s1.set_scaling(200.0).unwrap();
+
+        let p = proto(2, 4, 4);
+        let p = Protocol {
+            scaling_factor: 200.0,
+            ..p
+        };
+        let mut w0 = Worker::resume(0, &p, s0, 2).unwrap();
+        let mut w1 = Worker::resume(1, &p, s1, 2).unwrap();
+        assert!((w0.progress() - 0.0).abs() < 1e-9, "undone work only");
+        let mut sw = ReliableSwitch::new(&p).unwrap();
+
+        let mut inflight: Vec<Packet> = Vec::new();
+        inflight.extend(w0.start(0).unwrap());
+        inflight.extend(w1.start(0).unwrap());
+        // 4 slots but only 5 chunks left: initial window ≤ pool size.
+        assert!(inflight.len() <= 8);
+        for pkt in &inflight {
+            assert!(pkt.off >= 20, "done chunks must not be re-sent");
+        }
+        let mut guard = 0;
+        while let Some(pkt) = inflight.pop() {
+            guard += 1;
+            assert!(guard < 10_000, "resume did not converge");
+            if let SwitchAction::Multicast(result) = sw.on_packet(pkt).unwrap() {
+                inflight.extend(w0.on_result(&result, 0).unwrap());
+                inflight.extend(w1.on_result(&result, 0).unwrap());
+            }
+        }
+        assert!(w0.is_done() && w1.is_done());
+        let r0 = w0.into_results(1).unwrap();
+        // Chunks 0..5 keep the frozen epoch-0 values (installed under
+        // f=100); chunks 5..10 carry the fresh 2-worker sums.
+        for (i, &v) in r0[0][..20].iter().enumerate() {
+            assert!((v - 0.07).abs() < 1e-6, "elem {i}: {v}");
+        }
+        for i in 20..elems {
+            let expect = t0[i] + t1[i];
+            assert!((r0[0][i] - expect).abs() < 0.05, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn into_stream_roundtrips_partial_progress() {
+        let p = proto(1, 2, 2);
+        let mut w = Worker::new(0, &p, stream(8, 2)).unwrap();
+        let first = w.start(0).unwrap();
+        let result = Packet {
+            kind: PacketKind::Result,
+            ..first[0].clone()
+        };
+        w.on_result(&result, 0).unwrap();
+        let s = w.into_stream();
+        assert_eq!(s.done_chunks(), 1);
+        assert_eq!(s.undone_chunks(), vec![1, 2, 3]);
+        // A resumed worker picks up exactly those three chunks.
+        let w2 = Worker::resume(0, &p, s, 1).unwrap();
+        assert!((w2.progress() - 0.0).abs() < 1e-9);
     }
 
     #[test]

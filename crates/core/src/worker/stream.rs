@@ -117,6 +117,64 @@ impl TensorStream {
         self.done_chunks
     }
 
+    /// Has the chunk at `chunk` been aggregated?
+    pub fn chunk_is_done(&self, chunk: u64) -> bool {
+        self.chunk_done
+            .get(chunk as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Global indices of chunks not yet aggregated, ascending — the
+    /// work list for resuming after a reconfiguration.
+    pub fn undone_chunks(&self) -> Vec<u64> {
+        self.chunk_done
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    /// Un-mark a chunk as aggregated, so a later [`Worker::resume`]
+    /// re-streams it. Used when a reconfiguration's *frontier* (chunks
+    /// aggregated at every survivor) is smaller than this worker's own
+    /// done set: locally-done chunks outside the frontier must be
+    /// re-aggregated under the new membership. The stale value stays in
+    /// the buffer until the re-aggregated result overwrites it.
+    ///
+    /// [`Worker::resume`]: crate::worker::Worker::resume
+    pub fn mark_undone(&mut self, chunk: u64) {
+        if let Some(d) = self.chunk_done.get_mut(chunk as usize) {
+            if *d {
+                *d = false;
+                self.done_chunks -= 1;
+            }
+        }
+    }
+
+    /// The quantization scaling factor in effect.
+    pub fn scaling(&self) -> f64 {
+        self.f
+    }
+
+    /// Re-scale the stream (live reconfiguration: when n shrinks, the
+    /// Theorem 1 overflow bound admits a larger f). Applies to chunks
+    /// quantized *and* dequantized from now on; results already
+    /// installed keep the values produced under the old factor.
+    pub fn set_scaling(&mut self, f: f64) -> Result<()> {
+        if f <= 0.0 {
+            return Err(Error::InvalidConfig("scaling factor must be > 0".into()));
+        }
+        if matches!(self.buf, StreamBuf::I32 { .. }) {
+            return Err(Error::InvalidConfig(
+                "native-i32 streams are not scaled".into(),
+            ));
+        }
+        self.f = f;
+        Ok(())
+    }
+
     /// All chunks aggregated?
     pub fn is_complete(&self) -> bool {
         self.done_chunks == self.total_chunks()
@@ -135,7 +193,7 @@ impl TensorStream {
     /// need not be a multiple of k).
     pub fn payload_chunk(&self, off: ElemOffset) -> Result<Payload> {
         let off = off as usize;
-        if off % self.k != 0 {
+        if !off.is_multiple_of(self.k) {
             return Err(Error::OutOfRange("offset not chunk-aligned"));
         }
         if off >= self.total_elems() && self.total_elems() > 0 {
@@ -179,7 +237,7 @@ impl TensorStream {
     /// Idempotent: writing the same chunk twice counts once.
     pub fn write_result(&mut self, off: ElemOffset, payload: &Payload) -> Result<()> {
         let off = off as usize;
-        if off % self.k != 0 {
+        if !off.is_multiple_of(self.k) {
             return Err(Error::OutOfRange("offset not chunk-aligned"));
         }
         let chunk = off / self.k;
@@ -267,9 +325,9 @@ impl TensorStream {
                 .iter()
                 .map(|&(a, b)| result[a..b].to_vec())
                 .collect()),
-            StreamBuf::F32 { .. } => Err(Error::InvalidConfig(
-                "f32 stream has no i32 results".into(),
-            )),
+            StreamBuf::F32 { .. } => {
+                Err(Error::InvalidConfig("f32 stream has no i32 results".into()))
+            }
         }
     }
 }
@@ -293,8 +351,8 @@ mod tests {
 
     #[test]
     fn chunk_quantizes_and_pads() {
-        let s = TensorStream::from_f32(&[vec![1.5, -2.25, 0.5]], NumericMode::Fixed32, 4.0, 4)
-            .unwrap();
+        let s =
+            TensorStream::from_f32(&[vec![1.5, -2.25, 0.5]], NumericMode::Fixed32, 4.0, 4).unwrap();
         match s.payload_chunk(0).unwrap() {
             Payload::I32(v) => assert_eq!(v, vec![6, -9, 2, 0]),
             other => panic!("{other:?}"),
@@ -367,9 +425,34 @@ mod tests {
     }
 
     #[test]
-    fn misuse_is_rejected() {
+    fn undone_chunks_and_rescaling() {
         let mut s =
-            TensorStream::from_f32(&[vec![1.0; 8]], NumericMode::Fixed32, 10.0, 4).unwrap();
+            TensorStream::from_f32(&[vec![1.0; 12]], NumericMode::Fixed32, 10.0, 4).unwrap();
+        assert_eq!(s.undone_chunks(), vec![0, 1, 2]);
+        s.write_result(4, &Payload::I32(vec![20; 4])).unwrap();
+        assert_eq!(s.undone_chunks(), vec![0, 2]);
+        assert!(s.chunk_is_done(1) && !s.chunk_is_done(0));
+        s.mark_undone(1);
+        assert_eq!(s.undone_chunks(), vec![0, 1, 2]);
+        s.mark_undone(1); // idempotent
+        s.mark_undone(99); // out of range: no-op
+        assert_eq!(s.done_chunks(), 0);
+
+        // Rescale: outgoing chunks now quantize under f = 100.
+        assert_eq!(s.scaling(), 10.0);
+        s.set_scaling(100.0).unwrap();
+        match s.payload_chunk(0).unwrap() {
+            Payload::I32(v) => assert_eq!(v, vec![100; 4]),
+            other => panic!("{other:?}"),
+        }
+        assert!(s.set_scaling(0.0).is_err());
+        let mut native = TensorStream::from_i32(&[vec![1]], 2).unwrap();
+        assert!(native.set_scaling(2.0).is_err());
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let mut s = TensorStream::from_f32(&[vec![1.0; 8]], NumericMode::Fixed32, 10.0, 4).unwrap();
         assert!(s.payload_chunk(3).is_err()); // unaligned
         assert!(s.payload_chunk(100).is_err()); // past end
         assert!(s.write_result(3, &Payload::I32(vec![0; 4])).is_err());

@@ -90,9 +90,9 @@ proptest! {
         let mut result = None;
         let mut sent = vec![0usize; n];
         // First transmissions interleaved with arbitrary duplicates.
-        for w in 0..n {
+        for (w, s) in sent.iter_mut().enumerate().take(n) {
             sw.on_packet(upd(w as u16, PoolVersion::V0, 0, 0, vec![w as i32 + 1])).ok();
-            sent[w] += 1;
+            *s += 1;
             for &(dw, _) in dup_pattern.iter().filter(|&&(dw, _)| (dw as usize) <= w) {
                 let dw = dw as usize % (w + 1);
                 match sw.on_packet(upd(dw as u16, PoolVersion::V0, 0, 0, vec![dw as i32 + 1])).unwrap() {

@@ -57,7 +57,7 @@ proptest! {
         dup_every in 1u64..5,
     ) {
         let tensor: Vec<f32> = (0..elems).map(|i| i as f32 * 0.5).collect();
-        let mut s = TensorStream::from_f32(&[tensor.clone()], NumericMode::Fixed32, 100.0, k)
+        let mut s = TensorStream::from_f32(std::slice::from_ref(&tensor), NumericMode::Fixed32, 100.0, k)
             .unwrap();
         let n_chunks = s.total_chunks();
         // Pseudo-random chunk order.
@@ -71,7 +71,7 @@ proptest! {
             let off = c * k as u64;
             let p = s.payload_chunk(off).unwrap();
             s.write_result(off, &p).unwrap();
-            if j as u64 % dup_every == 0 {
+            if (j as u64).is_multiple_of(dup_every) {
                 s.write_result(off, &p).unwrap(); // duplicate
             }
         }
@@ -91,7 +91,7 @@ proptest! {
     ) {
         let f = 64.0;
         let tensor: Vec<f32> = (0..elems).map(|i| (i as f32 - 25.0) * 0.1).collect();
-        let s = TensorStream::from_f32(&[tensor.clone()], NumericMode::Float16, f, k).unwrap();
+        let s = TensorStream::from_f32(std::slice::from_ref(&tensor), NumericMode::Float16, f, k).unwrap();
         for c in 0..s.total_chunks() {
             let off = c * k as u64;
             match s.payload_chunk(off).unwrap() {

@@ -1,0 +1,987 @@
+//! Control plane on the discrete-event simulator.
+//!
+//! Three node types wrap the sans-IO state machines: a
+//! [`CtrlControllerNode`] (the [`Controller`] plus a tick timer and an
+//! optional scheduled switch failover), a [`CtrlSwitchNode`] (a
+//! physical [`MultiJobSwitch`] whose pools are installed and torn down
+//! by `AdmitJob`/`EvictJob` control messages), and a
+//! [`CtrlWorkerNode`] (registers, streams, heartbeats, quiesces,
+//! resumes — and can be killed mid-run at a scheduled instant).
+//!
+//! [`run_ctrl`] builds the star topology (center forwarder; leaves =
+//! controller, switches, workers), runs a [`CtrlScenario`] to
+//! completion, and extracts every surviving worker's aggregated
+//! tensors. Runs are deterministic: same scenario → same packets →
+//! same aggregates, which is what lets tests assert *exact* equality
+//! between a kill-and-reconfigure run and a fresh smaller run.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use switchml_core::config::{NumericMode, Protocol, RtoPolicy};
+use switchml_core::packet::{Packet, SIM_FRAME_OVERHEAD};
+use switchml_core::switch::multijob::MultiJobSwitch;
+use switchml_core::switch::pipeline::PipelineModel;
+use switchml_core::switch::SwitchAction;
+use switchml_core::worker::stream::TensorStream;
+use switchml_core::worker::Worker;
+use switchml_netsim::prelude::*;
+
+use crate::controller::{Action, Controller, CtrlConfig};
+use crate::msg::{bitmap_contains, chunk_bitmap, CtrlMsg};
+
+/// Timer-token namespaces. Retransmission tokens carry the raw
+/// deadline (always far below 2^62); the top two bits select the
+/// heartbeat tick and the scheduled-failure timer.
+const HB_BIT: u64 = 1 << 63;
+const FAIL_BIT: u64 = 1 << 62;
+
+const TICK_TOKEN: TimerToken = TimerToken(1);
+const FAILOVER_TOKEN: TimerToken = TimerToken(2);
+
+fn ctrl_frame(src: NodeId, dst: NodeId, msg: &CtrlMsg) -> SimPacket {
+    SimPacket::new(src, dst, msg.encode(), SIM_FRAME_OVERHEAD)
+}
+
+// ---------------------------------------------------------------- controller
+
+/// The controller attached to the simulated network.
+pub struct CtrlControllerNode {
+    ctrl: Controller,
+    tick: Nanos,
+    /// Scheduled switch failover: at `at`, drain `from` onto `to`.
+    failover: Option<(Nanos, usize, usize)>,
+    /// NodeId per physical switch index.
+    switch_ids: Vec<NodeId>,
+    /// Operator-visible event log (deaths, reconfigurations, …).
+    pub events: Vec<String>,
+}
+
+impl CtrlControllerNode {
+    pub fn new(
+        ctrl: Controller,
+        tick: Nanos,
+        switch_ids: Vec<NodeId>,
+        failover: Option<(Nanos, usize, usize)>,
+    ) -> Self {
+        CtrlControllerNode {
+            ctrl,
+            tick,
+            failover,
+            switch_ids,
+            events: Vec::new(),
+        }
+    }
+
+    /// The inner state machine (for post-run inspection).
+    pub fn controller(&self) -> &Controller {
+        &self.ctrl
+    }
+
+    fn execute(&mut self, actions: Vec<Action>, ctx: &mut dyn NodeCtx) {
+        for act in actions {
+            match act {
+                Action::Send { to, msg } => {
+                    let pkt = ctrl_frame(ctx.self_id(), NodeId(to as usize), &msg);
+                    ctx.send(pkt);
+                }
+                Action::SwitchCtl { switch, msg } => {
+                    let pkt = ctrl_frame(ctx.self_id(), self.switch_ids[switch], &msg);
+                    ctx.send(pkt);
+                }
+                Action::WorkerDead { job, wid } => {
+                    self.events.push(format!("job {job}: worker {wid} dead"));
+                }
+                Action::Reconfigured { job, epoch, n, f } => {
+                    self.events
+                        .push(format!("job {job}: epoch {epoch} n={n} f={f}"));
+                }
+                Action::JobComplete { job } => {
+                    self.events.push(format!("job {job}: complete"));
+                }
+            }
+        }
+    }
+}
+
+impl Node for CtrlControllerNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        ctx.set_timer(self.tick, TICK_TOKEN);
+        if let Some((at, _, _)) = self.failover {
+            ctx.set_timer(at, FAILOVER_TOKEN);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            return;
+        }
+        let Ok(msg) = CtrlMsg::decode(&pkt.payload) else {
+            return;
+        };
+        let actions = self.ctrl.on_message(pkt.src.0 as u64, msg, ctx.now().0);
+        self.execute(actions, ctx);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        match token {
+            TICK_TOKEN => {
+                let actions = self.ctrl.on_tick(ctx.now().0);
+                self.execute(actions, ctx);
+                ctx.set_timer(self.tick, TICK_TOKEN);
+            }
+            FAILOVER_TOKEN => {
+                if let Some((_, from, to)) = self.failover.take() {
+                    self.events.push(format!("failover: switch {from} -> {to}"));
+                    let actions = self.ctrl.fail_over_all(from, to, ctx.now().0);
+                    self.execute(actions, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn participates_in_completion(&self) -> bool {
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------- switch
+
+/// A physical aggregation switch: pools come and go at the
+/// controller's command, dataplane packets route by wire job id.
+pub struct CtrlSwitchNode {
+    switch: MultiJobSwitch,
+    /// wire job id → worker NodeId per wid.
+    members: HashMap<u8, Vec<NodeId>>,
+    /// Dataplane packets for unadmitted jobs (stale epochs, drained
+    /// pools) — dropped by design, counted for observability.
+    pub stale: u64,
+}
+
+impl CtrlSwitchNode {
+    pub fn new(pipeline: PipelineModel) -> Self {
+        CtrlSwitchNode {
+            switch: MultiJobSwitch::new(pipeline),
+            members: HashMap::new(),
+            stale: 0,
+        }
+    }
+
+    /// The inner multi-job switch (ledger state, per-job stats).
+    pub fn switch(&self) -> &MultiJobSwitch {
+        &self.switch
+    }
+}
+
+impl Node for CtrlSwitchNode {
+    fn on_start(&mut self, _ctx: &mut dyn NodeCtx) {}
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted {
+            return;
+        }
+        if CtrlMsg::is_ctrl(&pkt.payload) {
+            match CtrlMsg::decode(&pkt.payload) {
+                Ok(CtrlMsg::AdmitJob {
+                    job,
+                    proto,
+                    members,
+                }) if self.switch.admit(job, &proto).is_ok() => {
+                    self.members
+                        .insert(job, members.iter().map(|&p| NodeId(p as usize)).collect());
+                }
+                Ok(CtrlMsg::EvictJob { job }) => {
+                    let _ = self.switch.evict(job);
+                    self.members.remove(&job);
+                }
+                _ => {}
+            }
+            return;
+        }
+        let Ok(decoded) = Packet::decode(&pkt.payload) else {
+            return;
+        };
+        let job = decoded.job;
+        match self.switch.on_packet(decoded) {
+            Ok(SwitchAction::Multicast(result)) => {
+                let bytes = result.encode();
+                if let Some(ws) = self.members.get(&job) {
+                    for &w in ws {
+                        ctx.send(SimPacket::new(
+                            ctx.self_id(),
+                            w,
+                            bytes.clone(),
+                            SIM_FRAME_OVERHEAD,
+                        ));
+                    }
+                }
+            }
+            Ok(SwitchAction::Unicast(wid, result)) => {
+                if let Some(&w) = self.members.get(&job).and_then(|ws| ws.get(wid as usize)) {
+                    ctx.send(SimPacket::new(
+                        ctx.self_id(),
+                        w,
+                        result.encode(),
+                        SIM_FRAME_OVERHEAD,
+                    ));
+                }
+            }
+            Ok(SwitchAction::Drop) => {}
+            Err(_) => self.stale += 1,
+        }
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut dyn NodeCtx) {}
+
+    fn participates_in_completion(&self) -> bool {
+        false
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------- worker
+
+enum WState {
+    /// Re-sending `Register` until `Welcome` lands.
+    Registering,
+    /// Welcomed, waiting for `Start`.
+    Ready,
+    /// Streaming the tensor through the switch pool.
+    Running(Box<Worker>),
+    /// Dataplane stopped; holding the partially aggregated stream for
+    /// the reconfiguration in flight.
+    Quiesced(Box<TensorStream>),
+    /// Every chunk aggregated.
+    Finished(Box<TensorStream>),
+    /// Killed by the scenario's fault injector.
+    Dead,
+}
+
+/// A controllable worker: registers with the controller, streams under
+/// the negotiated config, heartbeats, and survives reconfigurations.
+pub struct CtrlWorkerNode {
+    job: u8,
+    tensors: Vec<Vec<f32>>,
+    /// Template protocol (k, pool, RTO); n and f come from the
+    /// controller at Welcome/Reconfigure time.
+    base: Protocol,
+    n_cores: usize,
+    controller: NodeId,
+    /// NodeId per physical switch index (Reconfigure names an index).
+    switch_ids: Vec<NodeId>,
+    heartbeat: Nanos,
+    /// Die at this instant, if scheduled.
+    fail_at: Option<Nanos>,
+
+    state: WState,
+    wid: u16,
+    epoch: u32,
+    wire_job: u8,
+    cur_switch: NodeId,
+    armed_rto: Option<u64>,
+    /// Stale dataplane packets dropped (wrong wire job id).
+    pub stale: u64,
+    completed: bool,
+}
+
+impl CtrlWorkerNode {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        job: u8,
+        tensors: Vec<Vec<f32>>,
+        base: Protocol,
+        n_cores: usize,
+        controller: NodeId,
+        switch_ids: Vec<NodeId>,
+        heartbeat: Nanos,
+        fail_at: Option<Nanos>,
+    ) -> Self {
+        let cur_switch = switch_ids[0];
+        CtrlWorkerNode {
+            job,
+            tensors,
+            base,
+            n_cores,
+            controller,
+            switch_ids,
+            heartbeat,
+            fail_at,
+            state: WState::Registering,
+            wid: 0,
+            epoch: 0,
+            wire_job: 0,
+            cur_switch,
+            armed_rto: None,
+            stale: 0,
+            completed: false,
+        }
+    }
+
+    /// Aggregated tensors (raw sums), once finished.
+    pub fn results(&self) -> Option<Vec<Vec<f32>>> {
+        match &self.state {
+            WState::Finished(stream) => stream.result_tensors_f32(1).ok(),
+            _ => None,
+        }
+    }
+
+    /// Was this worker killed by the scenario?
+    pub fn is_dead(&self) -> bool {
+        matches!(self.state, WState::Dead)
+    }
+
+    fn send_ctrl(&self, msg: &CtrlMsg, ctx: &mut dyn NodeCtx) {
+        ctx.send(ctrl_frame(ctx.self_id(), self.controller, msg));
+    }
+
+    fn transmit(&mut self, mut pkt: Packet, ctx: &mut dyn NodeCtx) {
+        pkt.job = self.wire_job;
+        ctx.send(SimPacket::new(
+            ctx.self_id(),
+            self.cur_switch,
+            pkt.encode(),
+            SIM_FRAME_OVERHEAD,
+        ));
+    }
+
+    fn rearm(&mut self, ctx: &mut dyn NodeCtx) {
+        if let WState::Running(w) = &self.state {
+            if let Some(nd) = w.next_deadline() {
+                if self.armed_rto != Some(nd) {
+                    self.armed_rto = Some(nd);
+                    let delay = Nanos(nd.saturating_sub(ctx.now().0));
+                    ctx.set_timer(delay, TimerToken(nd));
+                }
+            }
+        }
+    }
+
+    /// Move Running → Finished once the stream is fully aggregated,
+    /// reporting `Done` upstream and completing the sim node.
+    fn check_done(&mut self, ctx: &mut dyn NodeCtx) {
+        let done = matches!(&self.state, WState::Running(w) if w.is_done());
+        if !done {
+            return;
+        }
+        let WState::Running(w) = std::mem::replace(&mut self.state, WState::Dead) else {
+            unreachable!()
+        };
+        self.state = WState::Finished(Box::new(w.into_stream()));
+        self.send_ctrl(
+            &CtrlMsg::Done {
+                job: self.job,
+                wid: self.wid,
+                epoch: self.epoch,
+            },
+            ctx,
+        );
+        if !self.completed {
+            self.completed = true;
+            ctx.complete();
+        }
+    }
+
+    fn quiesce_bitmap(stream: &TensorStream) -> Vec<u8> {
+        chunk_bitmap(stream.total_chunks(), |c| stream.chunk_is_done(c))
+    }
+
+    fn handle_ctrl(&mut self, msg: CtrlMsg, ctx: &mut dyn NodeCtx) {
+        match msg {
+            CtrlMsg::Welcome {
+                job,
+                wid,
+                epoch,
+                n,
+                f,
+                wire_job,
+                switch,
+            } if job == self.job => {
+                if matches!(self.state, WState::Registering) {
+                    self.wid = wid;
+                    self.epoch = epoch;
+                    self.wire_job = wire_job;
+                    self.cur_switch = self.switch_ids[switch as usize];
+                    self.base.n_workers = n as usize;
+                    self.base.scaling_factor = f;
+                    self.state = WState::Ready;
+                }
+            }
+            CtrlMsg::Start { job, epoch } if job == self.job && epoch == self.epoch => {
+                if matches!(self.state, WState::Ready) {
+                    let stream = TensorStream::from_f32(
+                        &self.tensors,
+                        self.base.mode,
+                        self.base.scaling_factor,
+                        self.base.k,
+                    )
+                    .expect("scenario stream must build");
+                    let worker = Worker::new(self.wid, &self.base, stream)
+                        .expect("welcomed config must be valid");
+                    self.begin_streaming(worker, ctx);
+                }
+            }
+            CtrlMsg::Quiesce { job, epoch } if job == self.job && epoch == self.epoch => {
+                let bitmap = match std::mem::replace(&mut self.state, WState::Dead) {
+                    WState::Running(w) => {
+                        let stream = w.into_stream();
+                        let bm = Self::quiesce_bitmap(&stream);
+                        self.state = WState::Quiesced(Box::new(stream));
+                        Some(bm)
+                    }
+                    // Duplicate Quiesce (our ack was lost): re-ack.
+                    s @ (WState::Quiesced(_) | WState::Finished(_)) => {
+                        let bm = match &s {
+                            WState::Quiesced(st) | WState::Finished(st) => Self::quiesce_bitmap(st),
+                            _ => unreachable!(),
+                        };
+                        self.state = s;
+                        Some(bm)
+                    }
+                    // Welcomed but never started: nothing aggregated.
+                    s @ WState::Ready => {
+                        self.state = s;
+                        Some(Vec::new())
+                    }
+                    s => {
+                        self.state = s;
+                        None
+                    }
+                };
+                if let Some(done) = bitmap {
+                    self.send_ctrl(
+                        &CtrlMsg::QuiesceAck {
+                            job: self.job,
+                            wid: self.wid,
+                            epoch: self.epoch,
+                            done,
+                        },
+                        ctx,
+                    );
+                }
+            }
+            CtrlMsg::Reconfigure {
+                job,
+                epoch,
+                n,
+                new_wid,
+                f,
+                switch,
+                wire_job,
+                frontier,
+            } if job == self.job && epoch == self.epoch + 1 => {
+                let stream = match std::mem::replace(&mut self.state, WState::Dead) {
+                    WState::Quiesced(s) | WState::Finished(s) => Some(*s),
+                    // Never started (lost Start): begin from scratch.
+                    WState::Ready => None,
+                    other => {
+                        self.state = other;
+                        return;
+                    }
+                };
+                self.epoch = epoch;
+                self.wid = new_wid;
+                self.wire_job = wire_job;
+                self.cur_switch = self.switch_ids[switch as usize];
+                self.base.n_workers = n as usize;
+                self.base.scaling_factor = f;
+                let mut stream = stream.unwrap_or_else(|| {
+                    TensorStream::from_f32(&self.tensors, self.base.mode, f, self.base.k)
+                        .expect("scenario stream must build")
+                });
+                // Keep only chunks aggregated at *every* survivor;
+                // everything else re-streams under the new n and f.
+                for c in 0..stream.total_chunks() {
+                    if stream.chunk_is_done(c) && !bitmap_contains(&frontier, c) {
+                        stream.mark_undone(c);
+                    }
+                }
+                stream
+                    .set_scaling(f)
+                    .expect("controller-negotiated f must be valid");
+                let worker = Worker::resume(self.wid, &self.base, stream, self.n_cores)
+                    .expect("resume under negotiated config must succeed");
+                self.begin_streaming(worker, ctx);
+                // Sync immediately so the controller stops re-sending.
+                self.send_ctrl(
+                    &CtrlMsg::Heartbeat {
+                        job: self.job,
+                        wid: self.wid,
+                        epoch: self.epoch,
+                    },
+                    ctx,
+                );
+            }
+            CtrlMsg::Probe { job, .. }
+                if job == self.job && !matches!(self.state, WState::Registering | WState::Dead) =>
+            {
+                self.send_ctrl(
+                    &CtrlMsg::Heartbeat {
+                        job: self.job,
+                        wid: self.wid,
+                        epoch: self.epoch,
+                    },
+                    ctx,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn begin_streaming(&mut self, mut worker: Worker, ctx: &mut dyn NodeCtx) {
+        let initial = worker.start(ctx.now().0).expect("worker start");
+        self.armed_rto = None;
+        self.state = WState::Running(Box::new(worker));
+        for p in initial {
+            self.transmit(p, ctx);
+        }
+        self.check_done(ctx);
+        self.rearm(ctx);
+    }
+}
+
+impl Node for CtrlWorkerNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx) {
+        self.send_ctrl(&CtrlMsg::Register { job: self.job }, ctx);
+        ctx.set_timer(self.heartbeat, TimerToken(HB_BIT));
+        if let Some(at) = self.fail_at {
+            ctx.set_timer(at, TimerToken(FAIL_BIT));
+        }
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut dyn NodeCtx) {
+        if pkt.corrupted || matches!(self.state, WState::Dead) {
+            return;
+        }
+        if CtrlMsg::is_ctrl(&pkt.payload) {
+            if let Ok(msg) = CtrlMsg::decode(&pkt.payload) {
+                self.handle_ctrl(msg, ctx);
+            }
+            return;
+        }
+        let Ok(decoded) = Packet::decode(&pkt.payload) else {
+            return;
+        };
+        if decoded.job != self.wire_job {
+            self.stale += 1; // result from a drained epoch
+            return;
+        }
+        if let WState::Running(w) = &mut self.state {
+            let followups = w
+                .on_result(&decoded, ctx.now().0)
+                .expect("worker rejected a well-formed result");
+            for p in followups {
+                self.transmit(p, ctx);
+            }
+            self.check_done(ctx);
+            self.rearm(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut dyn NodeCtx) {
+        if matches!(self.state, WState::Dead) {
+            return;
+        }
+        if token.0 == FAIL_BIT {
+            self.state = WState::Dead;
+            if !self.completed {
+                self.completed = true;
+                ctx.complete();
+            }
+            return;
+        }
+        if token.0 == HB_BIT {
+            match &self.state {
+                WState::Registering => self.send_ctrl(&CtrlMsg::Register { job: self.job }, ctx),
+                WState::Finished(_) => {
+                    // Re-offer Done in case the first one was lost.
+                    self.send_ctrl(
+                        &CtrlMsg::Done {
+                            job: self.job,
+                            wid: self.wid,
+                            epoch: self.epoch,
+                        },
+                        ctx,
+                    );
+                }
+                _ => self.send_ctrl(
+                    &CtrlMsg::Heartbeat {
+                        job: self.job,
+                        wid: self.wid,
+                        epoch: self.epoch,
+                    },
+                    ctx,
+                ),
+            }
+            ctx.set_timer(self.heartbeat, TimerToken(HB_BIT));
+            return;
+        }
+        // Retransmission deadline.
+        if self.armed_rto == Some(token.0) {
+            self.armed_rto = None;
+        }
+        if let WState::Running(w) = &mut self.state {
+            let now = ctx.now();
+            if w.next_deadline().is_some_and(|d| d <= now.0) {
+                let retx = w.expired(now.0).expect("retransmission materialization");
+                for p in retx {
+                    self.transmit(p, ctx);
+                }
+            }
+        }
+        self.rearm(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------- scenarios
+
+/// A deterministic control-plane scenario.
+#[derive(Debug, Clone)]
+pub struct CtrlScenario {
+    /// Workers per job.
+    pub n_workers: usize,
+    /// Jobs (each with its own disjoint worker set).
+    pub n_jobs: usize,
+    /// Physical switches (index 0 hosts all jobs initially).
+    pub n_switches: usize,
+    /// Elements in each worker's (single) tensor.
+    pub elems: usize,
+    /// Elements per packet.
+    pub k: usize,
+    /// Pool slots per job.
+    pub pool_size: usize,
+    /// Worker cores (engines) per worker.
+    pub n_cores: usize,
+    /// Requested scaling factor (clamped by Theorem 2 per epoch).
+    pub requested_f: f64,
+    /// Per-worker gradient magnitude bound `B`.
+    pub bound: f64,
+    /// Link bandwidth in Gbit/s.
+    pub bandwidth_gbps: f64,
+    /// One-way propagation per link, microseconds.
+    pub latency_us: u64,
+    /// Loss probability on *worker* links (controller and switch links
+    /// stay clean — the interesting loss is on the data path).
+    pub loss: f64,
+    /// Simulator seed (loss draw sequence).
+    pub seed: u64,
+    /// Dataplane retransmission timeout, microseconds.
+    pub rto_us: u64,
+    /// Worker heartbeat interval, microseconds.
+    pub heartbeat_us: u64,
+    /// Controller failure timeout, microseconds.
+    pub timeout_us: u64,
+    /// Kill worker `(global index, at microseconds)`.
+    pub fail_worker: Option<(usize, u64)>,
+    /// At `(microseconds, from, to)`: drain switch `from` onto `to`.
+    pub fail_over: Option<(u64, usize, usize)>,
+    /// When building tensors, skip this global worker slot — so a
+    /// fresh (n−1)-worker run can be given *exactly* the tensors of
+    /// another run's survivors.
+    pub tensor_skip: Option<usize>,
+    /// Simulated-time budget, milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl Default for CtrlScenario {
+    fn default() -> Self {
+        CtrlScenario {
+            n_workers: 4,
+            n_jobs: 1,
+            n_switches: 1,
+            elems: 256,
+            k: 8,
+            pool_size: 8,
+            n_cores: 1,
+            requested_f: 1e9,
+            bound: 16.0,
+            bandwidth_gbps: 10.0,
+            latency_us: 10,
+            loss: 0.0,
+            seed: 1,
+            rto_us: 300,
+            heartbeat_us: 50,
+            timeout_us: 250,
+            fail_worker: None,
+            fail_over: None,
+            tensor_skip: None,
+            deadline_ms: 500,
+        }
+    }
+}
+
+/// The deterministic tensor of global worker slot `slot`: values in
+/// `(-bound, bound)`, distinct per slot and element.
+pub fn scenario_tensor(slot: usize, elems: usize, bound: f64) -> Vec<f32> {
+    (0..elems)
+        .map(|i| {
+            let h = (slot * 1_000_003 + i * 7_919 + 13) % 20_011;
+            ((h as f64 / 20_011.0) * 2.0 - 1.0) as f32 * (bound as f32 * 0.99)
+        })
+        .collect()
+}
+
+/// What a control-plane run produced.
+pub struct CtrlOutcome {
+    /// All surviving workers completed within the deadline.
+    pub finished: bool,
+    /// `results[job][worker]`: aggregated tensors (raw sums) of each
+    /// surviving worker, `None` for killed workers.
+    pub results: Vec<Vec<Option<Vec<Vec<f32>>>>>,
+    /// Controller event log, in order.
+    pub events: Vec<String>,
+    /// Final epoch per job.
+    pub final_epoch: Vec<u32>,
+    /// Final worker count per job.
+    pub final_n: Vec<usize>,
+    /// Final negotiated scaling factor per job.
+    pub final_f: Vec<f64>,
+    /// The raw simulation report.
+    pub report: SimReport,
+}
+
+/// Run a [`CtrlScenario`] to completion.
+pub fn run_ctrl(sc: &CtrlScenario) -> CtrlOutcome {
+    assert!(sc.n_switches >= 1 && sc.n_jobs >= 1 && sc.n_workers >= 1);
+    let us = 1_000u64;
+    let bw = (sc.bandwidth_gbps * 1e9) as u64;
+    let prop = Nanos(sc.latency_us * us);
+    let clean = LinkSpec::clean(bw, prop);
+    let lossy = clean.with_loss(sc.loss);
+
+    // Star: center forwarder; leaves = controller, switches, workers.
+    let mut topo = Topology::new();
+    let center = topo.add_node();
+    let controller_id = topo.add_node();
+    topo.add_duplex_link(controller_id, center, clean);
+    let switch_ids: Vec<NodeId> = (0..sc.n_switches)
+        .map(|_| {
+            let id = topo.add_node();
+            topo.add_duplex_link(id, center, clean);
+            id
+        })
+        .collect();
+    let mut worker_ids = Vec::new();
+    for _ in 0..sc.n_jobs * sc.n_workers {
+        let id = topo.add_node();
+        topo.add_duplex_link(id, center, lossy);
+        worker_ids.push(id);
+    }
+
+    let base = Protocol {
+        n_workers: sc.n_workers,
+        k: sc.k,
+        pool_size: sc.pool_size,
+        rto_ns: sc.rto_us * us,
+        rto_policy: RtoPolicy::ExponentialBackoff {
+            max_ns: sc.rto_us * us * 8,
+        },
+        mode: NumericMode::Fixed32,
+        scaling_factor: sc.requested_f,
+        ..Protocol::default()
+    };
+
+    // Tensor slots: global worker index, with the scenario's skip
+    // applied (slot s maps to tensor s, or s+1 past the skip).
+    let tensor_of = |global: usize| {
+        let slot = match sc.tensor_skip {
+            Some(skip) if global >= skip => global + 1,
+            _ => global,
+        };
+        scenario_tensor(slot, sc.elems, sc.bound)
+    };
+    let probe_stream =
+        TensorStream::from_f32(&[tensor_of(0)], base.mode, 1.0, sc.k).expect("probe stream");
+    let n_chunks = probe_stream.total_chunks();
+
+    let ctrl_cfg = CtrlConfig {
+        heartbeat_interval_ns: sc.heartbeat_us * us,
+        failure_timeout_ns: sc.timeout_us * us,
+        probe_rto_ns: sc.heartbeat_us * us,
+        probe_policy: RtoPolicy::ExponentialBackoff {
+            max_ns: sc.timeout_us * us,
+        },
+        probe_limit: 3,
+    };
+    let mut controller = Controller::new(
+        ctrl_cfg,
+        (0..sc.n_switches)
+            .map(|_| PipelineModel::default())
+            .collect(),
+    );
+    for job in 0..sc.n_jobs {
+        controller
+            .create_job(job as u8, base.clone(), sc.bound, n_chunks, 0)
+            .expect("job admission");
+    }
+
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig {
+            seed: sc.seed,
+            deadline: Some(Nanos(sc.deadline_ms * 1_000 * us)),
+            ..SimConfig::default()
+        },
+    );
+    sim.bind(center, Box::new(switchml_netsim::node::Forwarder));
+    sim.bind(
+        controller_id,
+        Box::new(CtrlControllerNode::new(
+            controller,
+            Nanos(sc.heartbeat_us * us / 2),
+            switch_ids.clone(),
+            sc.fail_over.map(|(at, f, t)| (Nanos(at * us), f, t)),
+        )),
+    );
+    for &id in &switch_ids {
+        sim.bind(id, Box::new(CtrlSwitchNode::new(PipelineModel::default())));
+    }
+    for (g, &id) in worker_ids.iter().enumerate() {
+        let job = (g / sc.n_workers) as u8;
+        let fail_at = match sc.fail_worker {
+            Some((victim, at)) if victim == g => Some(Nanos(at * us)),
+            _ => None,
+        };
+        sim.bind(
+            id,
+            Box::new(CtrlWorkerNode::new(
+                job,
+                vec![tensor_of(g)],
+                base.clone(),
+                sc.n_cores,
+                controller_id,
+                switch_ids.clone(),
+                Nanos(sc.heartbeat_us * us),
+                fail_at,
+            )),
+        );
+    }
+
+    let report = sim.run();
+
+    let mut results = Vec::new();
+    for job in 0..sc.n_jobs {
+        let mut per_job = Vec::new();
+        for w in 0..sc.n_workers {
+            let id = worker_ids[job * sc.n_workers + w];
+            let node = sim
+                .node(id)
+                .as_any()
+                .downcast_ref::<CtrlWorkerNode>()
+                .expect("worker node");
+            per_job.push(node.results());
+        }
+        results.push(per_job);
+    }
+    let ctrl_node = sim
+        .node(controller_id)
+        .as_any()
+        .downcast_ref::<CtrlControllerNode>()
+        .expect("controller node");
+    let ctrl = ctrl_node.controller();
+    let mut final_epoch = Vec::new();
+    let mut final_n = Vec::new();
+    let mut final_f = Vec::new();
+    for job in 0..sc.n_jobs as u8 {
+        final_epoch.push(ctrl.epoch(job).unwrap_or(0));
+        final_n.push(ctrl.alive_count(job).unwrap_or(0));
+        final_f.push(ctrl.negotiated_f(job).unwrap_or(0.0));
+    }
+
+    CtrlOutcome {
+        finished: report.finished,
+        results,
+        events: ctrl_node.events.clone(),
+        final_epoch,
+        final_n,
+        final_f,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_job_completes_with_exact_sums() {
+        let sc = CtrlScenario::default();
+        let out = run_ctrl(&sc);
+        assert!(out.finished, "events: {:?}", out.events);
+        assert_eq!(out.final_epoch[0], 0);
+        assert_eq!(out.final_n[0], sc.n_workers);
+        // Every worker holds identical aggregates.
+        let first = out.results[0][0].as_ref().unwrap();
+        for w in 1..sc.n_workers {
+            assert_eq!(out.results[0][w].as_ref().unwrap(), first);
+        }
+        // And they match the quantized elementwise sum exactly.
+        let f = out.final_f[0];
+        for (i, &got) in first[0].iter().enumerate() {
+            let q: i64 = (0..sc.n_workers)
+                .map(|w| {
+                    switchml_core::quant::fixed::quantize_one(
+                        scenario_tensor(w, sc.elems, sc.bound)[i],
+                        f,
+                    ) as i64
+                })
+                .sum();
+            let expect = (q as f64 / f) as f32;
+            assert_eq!(got, expect, "elem {i}");
+        }
+    }
+
+    #[test]
+    fn two_jobs_share_one_switch() {
+        let sc = CtrlScenario {
+            n_jobs: 2,
+            n_workers: 3,
+            ..CtrlScenario::default()
+        };
+        let out = run_ctrl(&sc);
+        assert!(out.finished, "events: {:?}", out.events);
+        for job in 0..2 {
+            let first = out.results[job][0].as_ref().unwrap();
+            for w in 1..3 {
+                assert_eq!(out.results[job][w].as_ref().unwrap(), first);
+            }
+        }
+        // Jobs see disjoint tensors, so their sums differ.
+        assert_ne!(out.results[0][0], out.results[1][0]);
+    }
+
+    #[test]
+    fn lossy_links_still_converge() {
+        let sc = CtrlScenario {
+            loss: 0.02,
+            seed: 7,
+            ..CtrlScenario::default()
+        };
+        let out = run_ctrl(&sc);
+        assert!(out.finished, "events: {:?}", out.events);
+        let first = out.results[0][0].as_ref().unwrap();
+        for w in 1..sc.n_workers {
+            assert_eq!(out.results[0][w].as_ref().unwrap(), first);
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The control plane over real transport ports and threads.
+//!
+//! Same state machines as [`crate::netsim`], deployment-shaped: the
+//! controller, the multi-job switch, and each worker run on their own
+//! threads with wall-clock heartbeats and retransmission timers,
+//! exchanging datagrams over a [`Port`] fabric (in-memory channels or
+//! UDP). Endpoint layout: `0` = switch, `1..=n` = workers, `n + 1` =
+//! controller; control-plane peer ids are the endpoint indices.
+//!
+//! [`run_controlled`] drives one job end to end — including an
+//! optional scheduled worker kill, in which case the controller
+//! detects the death by heartbeat timeout, quiesces the survivors,
+//! shrinks the job, and the survivors finish under the reconfigured
+//! `n` and `f`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use switchml_core::config::{Protocol, RtoPolicy};
+use switchml_core::error::{Error, Result};
+use switchml_core::packet::Packet;
+use switchml_core::switch::multijob::MultiJobSwitch;
+use switchml_core::switch::pipeline::PipelineModel;
+use switchml_core::switch::SwitchAction;
+use switchml_core::worker::stream::TensorStream;
+use switchml_core::worker::Worker;
+use switchml_transport::{Port, SWITCH_ENDPOINT};
+
+use crate::controller::{Action, Controller, CtrlConfig};
+use crate::msg::{bitmap_contains, chunk_bitmap, CtrlMsg};
+
+/// Options for a controlled run.
+#[derive(Debug, Clone)]
+pub struct CtrlRunConfig {
+    /// Abort if the job has not completed within this budget.
+    pub max_wall: Duration,
+    /// Engine shards per worker.
+    pub n_cores: usize,
+    /// Worker heartbeat interval.
+    pub heartbeat: Duration,
+    /// Controller failure timeout (silence before probing).
+    pub failure_timeout: Duration,
+    /// Crash worker `wid` (by endpoint order) after the given delay.
+    pub kill: Option<(u16, Duration)>,
+    /// Per-worker gradient magnitude bound `B` for Theorem-2 clamping.
+    pub bound: f64,
+}
+
+impl Default for CtrlRunConfig {
+    fn default() -> Self {
+        CtrlRunConfig {
+            max_wall: Duration::from_secs(30),
+            n_cores: 1,
+            heartbeat: Duration::from_millis(5),
+            failure_timeout: Duration::from_millis(25),
+            kill: None,
+            bound: 16.0,
+        }
+    }
+}
+
+/// What a controlled run produced.
+#[derive(Debug)]
+pub struct CtrlRunReport {
+    /// Aggregated tensors per worker, endpoint order (`None` for a
+    /// killed worker).
+    pub results: Vec<Option<Vec<Vec<f32>>>>,
+    /// Controller event log (deaths, reconfigurations, completion).
+    pub events: Vec<String>,
+    /// Final epoch of the job.
+    pub final_epoch: u32,
+    /// Surviving worker count.
+    pub final_n: usize,
+    /// Final negotiated scaling factor.
+    pub final_f: f64,
+    pub wall: Duration,
+}
+
+fn controller_endpoint(n_workers: usize) -> usize {
+    n_workers + 1
+}
+
+fn switch_thread<P: Port>(mut port: P, stop: &AtomicBool, deadline: Instant) -> Result<()> {
+    let mut switch = MultiJobSwitch::new(PipelineModel::default());
+    let mut members: std::collections::HashMap<u8, Vec<usize>> = Default::default();
+    while !stop.load(Ordering::Acquire) {
+        if Instant::now() > deadline {
+            return Err(Error::ProtocolViolation(
+                "switch thread exceeded the wall-clock budget".into(),
+            ));
+        }
+        let Some((_, data)) = port.recv_timeout(Duration::from_micros(200)) else {
+            continue;
+        };
+        if CtrlMsg::is_ctrl(&data) {
+            match CtrlMsg::decode(&data) {
+                Ok(CtrlMsg::AdmitJob {
+                    job,
+                    proto,
+                    members: peers,
+                }) if switch.admit(job, &proto).is_ok() => {
+                    members.insert(job, peers.iter().map(|&p| p as usize).collect());
+                }
+                Ok(CtrlMsg::EvictJob { job }) => {
+                    let _ = switch.evict(job);
+                    members.remove(&job);
+                }
+                _ => {}
+            }
+            continue;
+        }
+        let Ok(pkt) = Packet::decode(&data) else {
+            continue; // corrupted / foreign datagram
+        };
+        let job = pkt.job;
+        // An error means traffic for an unadmitted (stale-epoch) job;
+        // dropping it is exactly the eviction semantics we want.
+        match switch.on_packet(pkt) {
+            Ok(SwitchAction::Multicast(result)) => {
+                let bytes = result.encode();
+                if let Some(ws) = members.get(&job) {
+                    for &w in ws {
+                        port.send(w, &bytes);
+                    }
+                }
+            }
+            Ok(SwitchAction::Unicast(wid, result)) => {
+                if let Some(&w) = members.get(&job).and_then(|ws| ws.get(wid as usize)) {
+                    port.send(w, &result.encode());
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+struct CtrlThreadOut {
+    final_epoch: u32,
+    final_n: usize,
+    final_f: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn controller_thread<P: Port>(
+    mut port: P,
+    mut ctrl: Controller,
+    epoch0: Instant,
+    tick: Duration,
+    stop: &AtomicBool,
+    job_done: &AtomicBool,
+    deadline: Instant,
+    events: &Mutex<Vec<String>>,
+) -> Result<CtrlThreadOut> {
+    let now_ns = || epoch0.elapsed().as_nanos() as u64;
+    let mut next_tick = Instant::now();
+    while !stop.load(Ordering::Acquire) {
+        if Instant::now() > deadline {
+            return Err(Error::ProtocolViolation(
+                "controller thread exceeded the wall-clock budget".into(),
+            ));
+        }
+        let mut actions = Vec::new();
+        if let Some((from, data)) = port.recv_timeout(tick / 4) {
+            if let Ok(msg) = CtrlMsg::decode(&data) {
+                actions.extend(ctrl.on_message(from as u64, msg, now_ns()));
+            }
+        }
+        if Instant::now() >= next_tick {
+            actions.extend(ctrl.on_tick(now_ns()));
+            next_tick = Instant::now() + tick;
+        }
+        for act in actions {
+            match act {
+                Action::Send { to, msg } => port.send(to as usize, &msg.encode()),
+                Action::SwitchCtl { msg, .. } => port.send(SWITCH_ENDPOINT, &msg.encode()),
+                Action::WorkerDead { job, wid } => events
+                    .lock()
+                    .unwrap()
+                    .push(format!("job {job}: worker {wid} declared dead")),
+                Action::Reconfigured { job, epoch, n, f } => events.lock().unwrap().push(format!(
+                    "job {job}: reconfigured to epoch {epoch} n={n} f={f}"
+                )),
+                Action::JobComplete { job } => {
+                    events.lock().unwrap().push(format!("job {job}: complete"));
+                    job_done.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+    Ok(CtrlThreadOut {
+        final_epoch: ctrl.epoch(0).unwrap_or(0),
+        final_n: ctrl.alive_count(0).unwrap_or(0),
+        final_f: ctrl.negotiated_f(0).unwrap_or(0.0),
+    })
+}
+
+enum RState {
+    Registering,
+    Ready,
+    Running(Box<Worker>),
+    Quiesced(Box<TensorStream>),
+    Finished(Box<TensorStream>),
+}
+
+fn send_update<P: Port>(port: &mut P, mut pkt: Packet, wire_job: u8) {
+    pkt.job = wire_job;
+    port.send(SWITCH_ENDPOINT, &pkt.encode());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_thread<P: Port>(
+    mut port: P,
+    tensors: Vec<Vec<f32>>,
+    mut base: Protocol,
+    cfg: &CtrlRunConfig,
+    epoch0: Instant,
+    kill_after: Option<Duration>,
+    stop: &AtomicBool,
+    deadline: Instant,
+) -> Result<Option<Vec<Vec<f32>>>> {
+    let now_ns = || epoch0.elapsed().as_nanos() as u64;
+    let ctrl_ep = controller_endpoint(base.n_workers);
+    let quiesce_bitmap = |s: &TensorStream| chunk_bitmap(s.total_chunks(), |c| s.chunk_is_done(c));
+
+    let mut state = RState::Registering;
+    let (mut wid, mut epoch, mut wire_job) = (0u16, 0u32, 0u8);
+    let mut next_beat = Instant::now();
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            // Run torn down (job complete or aborted): hand back
+            // whatever this worker aggregated.
+            return Ok(match state {
+                RState::Finished(s) => Some(s.result_tensors_f32(1)?),
+                _ => None,
+            });
+        }
+        if kill_after.is_some_and(|k| epoch0.elapsed() >= k) {
+            return Ok(None); // simulated crash: silent exit, no teardown
+        }
+        if Instant::now() > deadline {
+            return Err(Error::ProtocolViolation(
+                "worker thread exceeded the wall-clock budget".into(),
+            ));
+        }
+
+        // Periodic control traffic: Register until welcomed, Done after
+        // finishing (the completion report is retried until the job is
+        // torn down), heartbeats otherwise.
+        if Instant::now() >= next_beat {
+            let msg = match &state {
+                RState::Registering => CtrlMsg::Register { job: 0 },
+                RState::Finished(_) => CtrlMsg::Done { job: 0, wid, epoch },
+                _ => CtrlMsg::Heartbeat { job: 0, wid, epoch },
+            };
+            port.send(ctrl_ep, &msg.encode());
+            next_beat = Instant::now() + cfg.heartbeat;
+        }
+
+        if let Some((_, data)) = port.recv_timeout(Duration::from_micros(500)) {
+            if CtrlMsg::is_ctrl(&data) {
+                let Ok(msg) = CtrlMsg::decode(&data) else {
+                    continue;
+                };
+                match msg {
+                    CtrlMsg::Welcome {
+                        job: 0,
+                        wid: w,
+                        epoch: e,
+                        n,
+                        f,
+                        wire_job: wj,
+                        ..
+                    } if matches!(state, RState::Registering) => {
+                        wid = w;
+                        epoch = e;
+                        wire_job = wj;
+                        base.n_workers = n as usize;
+                        base.scaling_factor = f;
+                        state = RState::Ready;
+                    }
+                    CtrlMsg::Start { job: 0, epoch: e }
+                        if e == epoch && matches!(state, RState::Ready) =>
+                    {
+                        let stream = TensorStream::from_f32(
+                            &tensors,
+                            base.mode,
+                            base.scaling_factor,
+                            base.k,
+                        )?;
+                        let mut w = Worker::sharded(wid, &base, stream, cfg.n_cores)?;
+                        for pkt in w.start(now_ns())? {
+                            send_update(&mut port, pkt, wire_job);
+                        }
+                        state = RState::Running(Box::new(w));
+                    }
+                    CtrlMsg::Quiesce { job: 0, epoch: e } if e == epoch => {
+                        let (next, done) = match std::mem::replace(&mut state, RState::Registering)
+                        {
+                            RState::Running(w) => {
+                                let s = w.into_stream();
+                                let bm = quiesce_bitmap(&s);
+                                (RState::Quiesced(Box::new(s)), Some(bm))
+                            }
+                            RState::Quiesced(s) => {
+                                let bm = quiesce_bitmap(&s);
+                                (RState::Quiesced(s), Some(bm))
+                            }
+                            RState::Finished(s) => {
+                                let bm = quiesce_bitmap(&s);
+                                (RState::Finished(s), Some(bm))
+                            }
+                            // Welcomed but never started: nothing done.
+                            RState::Ready => (RState::Ready, Some(Vec::new())),
+                            other => (other, None),
+                        };
+                        state = next;
+                        if let Some(done) = done {
+                            port.send(
+                                ctrl_ep,
+                                &CtrlMsg::QuiesceAck {
+                                    job: 0,
+                                    wid,
+                                    epoch,
+                                    done,
+                                }
+                                .encode(),
+                            );
+                        }
+                    }
+                    CtrlMsg::Reconfigure {
+                        job: 0,
+                        epoch: e,
+                        n,
+                        new_wid,
+                        f,
+                        wire_job: wj,
+                        frontier,
+                        ..
+                    } if e == epoch + 1 => {
+                        let stream = match std::mem::replace(&mut state, RState::Registering) {
+                            RState::Quiesced(s) | RState::Finished(s) => Some(*s),
+                            // Never started (lost Start): from scratch.
+                            RState::Ready => None,
+                            other => {
+                                state = other;
+                                continue;
+                            }
+                        };
+                        epoch = e;
+                        wid = new_wid;
+                        wire_job = wj;
+                        base.n_workers = n as usize;
+                        base.scaling_factor = f;
+                        let mut stream = match stream {
+                            Some(s) => s,
+                            None => TensorStream::from_f32(&tensors, base.mode, f, base.k)?,
+                        };
+                        // Keep only chunks aggregated at *every*
+                        // survivor; the rest re-stream under new n, f.
+                        for c in 0..stream.total_chunks() {
+                            if stream.chunk_is_done(c) && !bitmap_contains(&frontier, c) {
+                                stream.mark_undone(c);
+                            }
+                        }
+                        stream.set_scaling(f)?;
+                        let mut w = Worker::resume(wid, &base, stream, cfg.n_cores)?;
+                        for pkt in w.start(now_ns())? {
+                            send_update(&mut port, pkt, wire_job);
+                        }
+                        // Immediate heartbeat marks this member synced.
+                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job: 0, wid, epoch }.encode());
+                        state = RState::Running(Box::new(w));
+                    }
+                    CtrlMsg::Probe { job: 0, .. } if !matches!(state, RState::Registering) => {
+                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job: 0, wid, epoch }.encode());
+                    }
+                    _ => {}
+                }
+            } else if let Ok(pkt) = Packet::decode(&data) {
+                // Results from a pre-reconfiguration epoch carry the
+                // old wire job id and are dropped here.
+                if pkt.job == wire_job {
+                    if let RState::Running(w) = &mut state {
+                        for out in w.on_result(&pkt, now_ns())? {
+                            send_update(&mut port, out, wire_job);
+                        }
+                    }
+                }
+            }
+        }
+
+        if let RState::Running(w) = &mut state {
+            let t = now_ns();
+            if w.next_deadline().is_some_and(|d| d <= t) {
+                for pkt in w.expired(t)? {
+                    send_update(&mut port, pkt, wire_job);
+                }
+            }
+        }
+        if matches!(&state, RState::Running(w) if w.is_done()) {
+            let RState::Running(w) = std::mem::replace(&mut state, RState::Registering) else {
+                unreachable!()
+            };
+            state = RState::Finished(Box::new(w.into_stream()));
+            port.send(ctrl_ep, &CtrlMsg::Done { job: 0, wid, epoch }.encode());
+        }
+    }
+}
+
+/// Run one controller-managed job over a transport fabric.
+///
+/// `ports` layout: `[switch, worker 0, …, worker n−1, controller]`.
+/// `updates[w]` is worker `w`'s tensor set. With `cfg.kill` set, the
+/// named worker crashes mid-run; the controller detects the silence,
+/// quiesces, shrinks the job, and the survivors complete under the
+/// reconfigured membership.
+pub fn run_controlled<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    cfg: &CtrlRunConfig,
+) -> Result<CtrlRunReport> {
+    proto.validate()?;
+    let n = proto.n_workers;
+    if updates.len() != n {
+        return Err(Error::InvalidConfig("one update set per worker".into()));
+    }
+    if ports.len() != n + 2 {
+        return Err(Error::InvalidConfig(format!(
+            "need {} ports (switch + workers + controller), got {}",
+            n + 2,
+            ports.len()
+        )));
+    }
+
+    let probe = TensorStream::from_f32(&updates[0], proto.mode, 1.0, proto.k)?;
+    let n_chunks = probe.total_chunks();
+    let hb = cfg.heartbeat.as_nanos() as u64;
+    let ctrl_cfg = CtrlConfig {
+        heartbeat_interval_ns: hb,
+        failure_timeout_ns: cfg.failure_timeout.as_nanos() as u64,
+        probe_rto_ns: hb,
+        probe_policy: RtoPolicy::ExponentialBackoff {
+            max_ns: cfg.failure_timeout.as_nanos() as u64,
+        },
+        probe_limit: 3,
+    };
+    let mut controller = Controller::new(ctrl_cfg, vec![PipelineModel::default()]);
+    controller.create_job(0, proto.clone(), cfg.bound, n_chunks, 0)?;
+
+    let t0 = Instant::now();
+    let deadline = t0 + cfg.max_wall;
+    let stop = Arc::new(AtomicBool::new(false));
+    let job_done = Arc::new(AtomicBool::new(false));
+    let events = Arc::new(Mutex::new(Vec::new()));
+
+    let mut ports = ports;
+    let ctrl_port = ports.pop().expect("controller port");
+    let worker_ports: Vec<P> = ports.drain(1..).collect();
+    let switch_port = ports.pop().expect("switch port");
+
+    std::thread::scope(|scope| {
+        let switch_handle = {
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || switch_thread(switch_port, &stop, deadline))
+        };
+        let ctrl_handle = {
+            let stop = Arc::clone(&stop);
+            let job_done = Arc::clone(&job_done);
+            let events = Arc::clone(&events);
+            let tick = cfg.heartbeat / 2;
+            scope.spawn(move || {
+                controller_thread(
+                    ctrl_port, controller, t0, tick, &stop, &job_done, deadline, &events,
+                )
+            })
+        };
+        let worker_handles: Vec<_> = worker_ports
+            .into_iter()
+            .enumerate()
+            .map(|(w, port)| {
+                let stop = Arc::clone(&stop);
+                let tensors = updates[w].clone();
+                let base = proto.clone();
+                let cfg = cfg.clone();
+                let kill = match cfg.kill {
+                    Some((victim, after)) if victim as usize == w => Some(after),
+                    _ => None,
+                };
+                scope.spawn(move || {
+                    worker_thread(port, tensors, base, &cfg, t0, kill, &stop, deadline)
+                })
+            })
+            .collect();
+
+        // Tear the fabric down once the controller declares the job
+        // complete, or the budget runs out (threads then report why).
+        while !job_done.load(Ordering::Acquire) && Instant::now() <= deadline {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        stop.store(true, Ordering::Release);
+
+        let mut results = Vec::with_capacity(n);
+        let mut first_err = None;
+        for h in worker_handles {
+            match h.join().expect("worker thread panicked") {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    results.push(None);
+                    first_err = first_err.or(Some(e));
+                }
+            }
+        }
+        let ctrl_out = ctrl_handle.join().expect("controller thread panicked")?;
+        switch_handle.join().expect("switch thread panicked")?;
+        if !job_done.load(Ordering::Acquire) {
+            return Err(first_err.unwrap_or_else(|| {
+                Error::ProtocolViolation("job did not complete within the budget".into())
+            }));
+        }
+        Ok(CtrlRunReport {
+            results,
+            events: events.lock().unwrap().clone(),
+            final_epoch: ctrl_out.final_epoch,
+            final_n: ctrl_out.final_n,
+            final_f: ctrl_out.final_f,
+            wall: t0.elapsed(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchml_transport::channel::channel_fabric;
+
+    fn proto(n: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 8,
+            pool_size: 16,
+            rto_ns: 2_000_000,   // 2 ms real time
+            scaling_factor: 1e9, // deliberately high; controller clamps
+            ..Protocol::default()
+        }
+    }
+
+    fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 * 0.5 + (i % 7) as f32 * 0.25)
+                    .collect()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn controlled_allreduce_completes() {
+        let n = 3;
+        let ports = channel_fabric(n + 2);
+        let report =
+            run_controlled(ports, updates(n, 256), &proto(n), &CtrlRunConfig::default()).unwrap();
+        assert_eq!(report.final_epoch, 0);
+        assert_eq!(report.final_n, n);
+        let first = report.results[0].as_ref().unwrap();
+        for w in 1..n {
+            assert_eq!(report.results[w].as_ref().unwrap(), first);
+        }
+        assert!(report.events.iter().any(|e| e.contains("complete")));
+    }
+
+    #[test]
+    fn killed_worker_triggers_shrink_and_survivors_finish() {
+        let n = 3;
+        let cfg = CtrlRunConfig {
+            kill: Some((1, Duration::from_millis(8))),
+            heartbeat: Duration::from_millis(2),
+            failure_timeout: Duration::from_millis(10),
+            ..CtrlRunConfig::default()
+        };
+        let ports = channel_fabric(n + 2);
+        // Large enough that the stream is still in flight at kill time.
+        let report = run_controlled(ports, updates(n, 16384), &proto(n), &cfg).unwrap();
+        assert_eq!(report.final_n, n - 1, "events: {:?}", report.events);
+        assert!(report.final_epoch >= 1);
+        assert!(
+            report.events.iter().any(|e| e.contains("dead")),
+            "events: {:?}",
+            report.events
+        );
+        assert!(report.results[1].is_none());
+        let a = report.results[0].as_ref().unwrap();
+        let b = report.results[2].as_ref().unwrap();
+        assert_eq!(a, b, "survivors must agree exactly");
+    }
+}

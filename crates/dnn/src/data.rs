@@ -102,17 +102,12 @@ pub fn gaussian_blobs(
     let mut y = Vec::with_capacity(n_samples);
     for i in 0..n_samples {
         let label = i % classes; // balanced, interleaved so shards are balanced too
-        for d in 0..dim {
-            x.push(centers[label][d] + normal(&mut rng));
+        for c in &centers[label] {
+            x.push(c + normal(&mut rng));
         }
         y.push(label);
     }
-    Dataset {
-        x,
-        y,
-        dim,
-        classes,
-    }
+    Dataset { x, y, dim, classes }
 }
 
 #[cfg(test)]
@@ -157,8 +152,8 @@ mod tests {
         for i in 0..d.len() {
             let c = d.y[i];
             counts[c] += 1;
-            for k in 0..8 {
-                centers[c][k] += d.sample(i)[k];
+            for (ck, &sk) in centers[c].iter_mut().zip(d.sample(i)) {
+                *ck += sk;
             }
         }
         for c in 0..3 {
@@ -169,8 +164,16 @@ mod tests {
             let s = d.sample(i);
             let best = (0..3)
                 .min_by(|&a, &b| {
-                    let da: f32 = s.iter().zip(&centers[a]).map(|(x, c)| (x - c).powi(2)).sum();
-                    let db: f32 = s.iter().zip(&centers[b]).map(|(x, c)| (x - c).powi(2)).sum();
+                    let da: f32 = s
+                        .iter()
+                        .zip(&centers[a])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
+                    let db: f32 = s
+                        .iter()
+                        .zip(&centers[b])
+                        .map(|(x, c)| (x - c).powi(2))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .unwrap();

@@ -61,10 +61,7 @@ fn conv(cin: usize, cout: usize, k: usize) -> [TensorSpec; 2] {
 }
 
 fn fc(cin: usize, cout: usize) -> [TensorSpec; 2] {
-    [
-        TensorSpec { elems: cin * cout },
-        TensorSpec { elems: cout },
-    ]
+    [TensorSpec { elems: cin * cout }, TensorSpec { elems: cout }]
 }
 
 fn push(v: &mut Vec<TensorSpec>, t: impl IntoIterator<Item = TensorSpec>) {
@@ -230,11 +227,7 @@ pub fn resnet101() -> ModelSpec {
 
 /// Inception-family approximation: a list of (tensor count, elems)
 /// block groups matching the published totals within a few percent.
-fn inception_like(
-    name: &'static str,
-    groups: &[(usize, usize)],
-    ips: f64,
-) -> ModelSpec {
+fn inception_like(name: &'static str, groups: &[(usize, usize)], ips: f64) -> ModelSpec {
     let mut t = Vec::new();
     for &(count, elems) in groups {
         for _ in 0..count {
@@ -324,23 +317,59 @@ mod tests {
 
     #[test]
     fn exact_models_match_published_totals() {
-        assert!((mparams(&alexnet()) - 61.1).abs() < 1.5, "{}", mparams(&alexnet()));
-        assert!((mparams(&vgg11()) - 132.9).abs() < 1.0, "{}", mparams(&vgg11()));
-        assert!((mparams(&vgg16()) - 138.4).abs() < 1.0, "{}", mparams(&vgg16()));
-        assert!((mparams(&vgg19()) - 143.7).abs() < 1.0, "{}", mparams(&vgg19()));
+        assert!(
+            (mparams(&alexnet()) - 61.1).abs() < 1.5,
+            "{}",
+            mparams(&alexnet())
+        );
+        assert!(
+            (mparams(&vgg11()) - 132.9).abs() < 1.0,
+            "{}",
+            mparams(&vgg11())
+        );
+        assert!(
+            (mparams(&vgg16()) - 138.4).abs() < 1.0,
+            "{}",
+            mparams(&vgg16())
+        );
+        assert!(
+            (mparams(&vgg19()) - 143.7).abs() < 1.0,
+            "{}",
+            mparams(&vgg19())
+        );
     }
 
     #[test]
     fn resnet_family_close_to_published() {
-        assert!((mparams(&resnet50()) - 25.6).abs() < 2.0, "{}", mparams(&resnet50()));
-        assert!((mparams(&resnet101()) - 44.6).abs() < 3.0, "{}", mparams(&resnet101()));
+        assert!(
+            (mparams(&resnet50()) - 25.6).abs() < 2.0,
+            "{}",
+            mparams(&resnet50())
+        );
+        assert!(
+            (mparams(&resnet101()) - 44.6).abs() < 3.0,
+            "{}",
+            mparams(&resnet101())
+        );
     }
 
     #[test]
     fn inception_family_close_to_published() {
-        assert!((mparams(&googlenet()) - 6.8).abs() < 1.0, "{}", mparams(&googlenet()));
-        assert!((mparams(&inception3()) - 23.9).abs() < 2.0, "{}", mparams(&inception3()));
-        assert!((mparams(&inception4()) - 42.7).abs() < 3.0, "{}", mparams(&inception4()));
+        assert!(
+            (mparams(&googlenet()) - 6.8).abs() < 1.0,
+            "{}",
+            mparams(&googlenet())
+        );
+        assert!(
+            (mparams(&inception3()) - 23.9).abs() < 2.0,
+            "{}",
+            mparams(&inception3())
+        );
+        assert!(
+            (mparams(&inception4()) - 42.7).abs() < 3.0,
+            "{}",
+            mparams(&inception4())
+        );
     }
 
     #[test]

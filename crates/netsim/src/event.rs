@@ -99,7 +99,13 @@ mod tests {
         );
         let (t, k) = q.pop().unwrap();
         assert_eq!(t, Nanos(10));
-        assert!(matches!(k, EventKind::Timer { token: TimerToken(2), .. }));
+        assert!(matches!(
+            k,
+            EventKind::Timer {
+                token: TimerToken(2),
+                ..
+            }
+        ));
     }
 
     #[test]

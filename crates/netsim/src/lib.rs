@@ -41,9 +41,9 @@ pub mod prelude {
     pub use crate::link::LinkSpec;
     pub use crate::node::{Node, NodeCtx, NodeId, TimerToken};
     pub use crate::packet::SimPacket;
+    pub use crate::pcap::PcapCapture;
     pub use crate::sim::{SimConfig, SimReport, Simulator};
     pub use crate::time::{tx_time, Nanos};
     pub use crate::topology::Topology;
-    pub use crate::pcap::PcapCapture;
     pub use crate::trace::{CountingTrace, EventLog, RateTrace, TraceSink};
 }

@@ -31,7 +31,14 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 /// ("SM") + the node id.
 fn mac_of(n: NodeId) -> [u8; 6] {
     let id = n.0 as u32;
-    [0x02, 0x53, 0x4D, (id >> 16) as u8, (id >> 8) as u8, id as u8]
+    [
+        0x02,
+        0x53,
+        0x4D,
+        (id >> 16) as u8,
+        (id >> 8) as u8,
+        id as u8,
+    ]
 }
 
 /// Synthesized IPv4 for a node: 10.83.x.y from the node id.

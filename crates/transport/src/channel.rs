@@ -16,10 +16,11 @@ pub struct ChannelPort {
     txs: Vec<Sender<(usize, Vec<u8>)>>,
 }
 
+type Endpoint = (Sender<(usize, Vec<u8>)>, Receiver<(usize, Vec<u8>)>);
+
 /// Build a fully-connected in-memory fabric of `n` endpoints.
 pub fn channel_fabric(n: usize) -> Vec<ChannelPort> {
-    let pairs: Vec<(Sender<(usize, Vec<u8>)>, Receiver<(usize, Vec<u8>)>)> =
-        (0..n).map(|_| unbounded()).collect();
+    let pairs: Vec<Endpoint> = (0..n).map(|_| unbounded()).collect();
     let txs: Vec<Sender<(usize, Vec<u8>)>> = pairs.iter().map(|(t, _)| t.clone()).collect();
     pairs
         .into_iter()

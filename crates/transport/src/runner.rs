@@ -319,15 +319,17 @@ mod tests {
 
     fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
         (0..n)
-            .map(|w| vec![(0..elems).map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1).collect()])
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
+                    .collect()]
+            })
             .collect()
     }
 
     fn expected(n: usize, elems: usize) -> Vec<f32> {
         (0..elems)
-            .map(|i| {
-                (1..=n).map(|w| w as f32).sum::<f32>() + n as f32 * (i % 5) as f32 * 0.1
-            })
+            .map(|i| (1..=n).map(|w| w as f32).sum::<f32>() + n as f32 * (i % 5) as f32 * 0.1)
             .collect()
     }
 
@@ -412,13 +414,12 @@ mod tests {
             })
             .collect();
         let ports = channel_fabric(n + 1);
-        let report =
-            run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
+        let report = run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
         assert_eq!(report.rounds.len(), 3);
         for (r, round) in report.rounds.iter().enumerate() {
             let expect: f32 = (0..n).map(|w| (r * 10 + w + 1) as f32).sum();
-            for w in 0..n {
-                for &x in &round[w][0] {
+            for (w, rw) in round.iter().enumerate() {
+                for &x in &rw[0] {
                     assert!((x - expect).abs() < 0.01, "round {r} worker {w}: {x}");
                 }
             }
@@ -438,8 +439,7 @@ mod tests {
             .map(|r| (0..n).map(|w| vec![vec![(r + w) as f32; 64]]).collect())
             .collect();
         let (ports, _) = lossy_fabric(channel_fabric(n + 1), 0.03, 123);
-        let report =
-            run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
+        let report = run_allreduce_session(ports, rounds, &p, &RunConfig::default()).unwrap();
         for (r, round) in report.rounds.iter().enumerate() {
             let expect: f32 = (0..n).map(|w| (r + w) as f32).sum();
             assert!((round[0][0][0] - expect).abs() < 0.01);

@@ -65,9 +65,7 @@ fn main() {
         rto_ns: 2_000_000,
         ..Protocol::default()
     };
-    let updates: Vec<_> = (0..4)
-        .map(|w| vec![vec![(w + 1) as f32; 4096]])
-        .collect();
+    let updates: Vec<_> = (0..4).map(|w| vec![vec![(w + 1) as f32; 4096]]).collect();
     let (ports, loss_stats) = lossy_fabric(channel_fabric(5), 0.05, 7);
     let report =
         run_allreduce(ports, updates, &proto, &RunConfig::default()).expect("threaded run");

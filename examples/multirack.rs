@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example multirack`
 
-use switchml::baselines::{
-    run_switchml, run_switchml_hierarchy, HierScenario, SwitchMLScenario,
-};
+use switchml::baselines::{run_switchml, run_switchml_hierarchy, HierScenario, SwitchMLScenario};
 
 fn main() {
     let elems = 1_000_000;

@@ -37,7 +37,10 @@ fn main() {
         f_max
     );
 
-    println!("{:>10}  {:>9}  {:>12}  regime", "f", "accuracy", "err bound");
+    println!(
+        "{:>10}  {:>9}  {:>12}  regime",
+        "f", "accuracy", "err bound"
+    );
     for exp in [-3i32, -1, 1, 2, 4, 6, 7, 8, 9, 10, 12] {
         let f = 10f64.powi(exp);
         let r = train(

@@ -18,6 +18,7 @@
 //! | [`baselines`] | SwitchML-over-netsim + baseline collectives |
 //! | [`dnn`] | model zoo, trainer model, real small-scale training |
 //! | [`transport`] | threaded channel/UDP transports |
+//! | [`ctrl`] | control plane: job lifecycle, failure detection, live reconfiguration |
 //!
 //! ## Quick start
 //!
@@ -36,6 +37,7 @@
 
 pub use switchml_baselines as baselines;
 pub use switchml_core as core;
+pub use switchml_ctrl as ctrl;
 pub use switchml_dnn as dnn;
 pub use switchml_netsim as netsim;
 pub use switchml_transport as transport;

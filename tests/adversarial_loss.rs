@@ -23,17 +23,21 @@ fn proto(n: usize) -> Protocol {
 
 fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
     (0..n)
-        .map(|w| vec![(0..elems).map(|i| (w + 1) as f32 + (i % 4) as f32 * 0.25).collect()])
+        .map(|w| {
+            vec![(0..elems)
+                .map(|i| (w + 1) as f32 + (i % 4) as f32 * 0.25)
+                .collect()]
+        })
         .collect()
 }
 
 fn check_exact(results: &[Vec<Vec<f32>>], updates: &[Vec<Vec<f32>>]) {
     let n = updates.len();
     let elems = updates[0][0].len();
-    for w in 0..n {
+    for (w, res) in results.iter().enumerate().take(n) {
         for i in 0..elems {
             let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
-            let got = results[w][0][i];
+            let got = res[0][i];
             assert!(
                 (got - exact).abs() < 0.01,
                 "worker {w} elem {i}: {got} vs {exact}"
@@ -154,6 +158,73 @@ fn loss_of_retransmitted_results_too() {
         }
         false
     });
+}
+
+#[test]
+fn worker_dies_mid_tensor_under_loss() {
+    // The compound adversary: per-link loss on every worker link AND a
+    // worker crash partway through the tensor. The controller must
+    // detect the death through the loss, quiesce, shrink 6 → 5, and
+    // the survivors must converge on a consistent tensor: every
+    // element is *exactly* the quantized 6-worker sum (chunks inside
+    // the frontier, aggregated before the crash) or *exactly* the
+    // quantized 5-worker sum at the rescaled factor (chunks re-done
+    // after the shrink).
+    use switchml::core::quant::fixed::quantize_one;
+    use switchml::core::quant::scaling::max_safe_factor;
+    use switchml::ctrl::netsim::{run_ctrl, scenario_tensor, CtrlScenario};
+
+    let sc = CtrlScenario {
+        n_workers: 6,
+        elems: 2048,
+        k: 8,
+        pool_size: 8,
+        loss: 0.02,
+        seed: 7,
+        fail_worker: Some((2, 300)), // dies ~1/4 of the way through
+        deadline_ms: 3_000,
+        ..CtrlScenario::default()
+    };
+    let out = run_ctrl(&sc);
+    assert!(out.finished, "events: {:?}", out.events);
+    assert_eq!(out.final_n[0], 5);
+    assert!(out.events.iter().any(|e| e.contains("worker 2 dead")));
+    assert!(out.results[0][2].is_none(), "the dead worker holds nothing");
+
+    // All survivors agree bitwise.
+    let got = &out.results[0][0].as_ref().expect("survivor finished")[0];
+    for w in [1usize, 3, 4, 5] {
+        assert_eq!(&out.results[0][w].as_ref().unwrap()[0], got, "worker {w}");
+    }
+
+    // Per-element ground truth for both epochs.
+    let f6 = sc.requested_f.min(max_safe_factor(6, sc.bound));
+    let f5 = out.final_f[0];
+    assert_eq!(f5, sc.requested_f.min(max_safe_factor(5, sc.bound)));
+    let tensors: Vec<Vec<f32>> = (0..6)
+        .map(|w| scenario_tensor(w, sc.elems, sc.bound))
+        .collect();
+    let (mut with_dead, mut without_dead) = (0usize, 0usize);
+    for i in 0..sc.elems {
+        let sum6: i64 = (0..6).map(|w| quantize_one(tensors[w][i], f6) as i64).sum();
+        let v6 = (sum6 as f64 / f6) as f32;
+        let sum5: i64 = [0usize, 1, 3, 4, 5]
+            .iter()
+            .map(|&w| quantize_one(tensors[w][i], f5) as i64)
+            .sum();
+        let v5 = (sum5 as f64 / f5) as f32;
+        if got[i] == v6 {
+            with_dead += 1;
+        } else if got[i] == v5 {
+            without_dead += 1;
+        } else {
+            panic!("elem {i}: {} is neither {v6} (n=6) nor {v5} (n=5)", got[i]);
+        }
+    }
+    // The crash really was mid-tensor: some chunks carry the dead
+    // worker's contribution (frontier), some were re-aggregated.
+    assert!(with_dead > 0, "frontier empty: crash was not mid-tensor");
+    assert!(without_dead > 0, "nothing re-aggregated after the shrink");
 }
 
 #[test]

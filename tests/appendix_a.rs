@@ -45,18 +45,30 @@ fn figure9_scripted_trace() {
     let next_off = (K * 2) as u64; // off + k·s
 
     // t0: w1 sends its update for slot x, offset off.
-    assert_eq!(sw.on_packet(update(0, v0, off, 1, false)).unwrap(), SwitchAction::Drop);
+    assert_eq!(
+        sw.on_packet(update(0, v0, off, 1, false)).unwrap(),
+        SwitchAction::Drop
+    );
     // t1: w2 sends its update.
-    assert_eq!(sw.on_packet(update(1, v0, off, 2, false)).unwrap(), SwitchAction::Drop);
+    assert_eq!(
+        sw.on_packet(update(1, v0, off, 2, false)).unwrap(),
+        SwitchAction::Drop
+    );
     // t2/t3: w3's update is lost on the upstream path — the switch
     // simply never sees it.
 
     // t4: w1's timeout fires; it retransmits. The switch ignores the
     // duplicate (seen bit set) and does not double-apply.
-    assert_eq!(sw.on_packet(update(0, v0, off, 1, true)).unwrap(), SwitchAction::Drop);
+    assert_eq!(
+        sw.on_packet(update(0, v0, off, 1, true)).unwrap(),
+        SwitchAction::Drop
+    );
     assert_eq!(sw.stats().duplicates, 1);
     // t5: w2 retransmits; ignored likewise.
-    assert_eq!(sw.on_packet(update(1, v0, off, 2, true)).unwrap(), SwitchAction::Drop);
+    assert_eq!(
+        sw.on_packet(update(1, v0, off, 2, true)).unwrap(),
+        SwitchAction::Drop
+    );
     assert_eq!(sw.stats().duplicates, 2);
 
     // t6: w3's retransmission finally arrives; the aggregation
@@ -131,9 +143,7 @@ fn figure9_scripted_trace() {
 fn figure9_end_to_end() {
     use switchml_core::agg::{run_inprocess, HarnessConfig, Hop};
 
-    let updates: Vec<Vec<Vec<f32>>> = (0..3)
-        .map(|w| vec![vec![(w + 1) as f32; 16]])
-        .collect();
+    let updates: Vec<Vec<Vec<f32>>> = (0..3).map(|w| vec![vec![(w + 1) as f32; 16]]).collect();
     let proto = Protocol {
         n_workers: 3,
         k: 4,

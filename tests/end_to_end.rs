@@ -28,9 +28,7 @@ fn proto(n: usize) -> Protocol {
 fn three_drivers_agree_bit_exactly() {
     let n = 4;
     let elems = 2048;
-    let updates: Vec<Vec<Vec<f32>>> = (0..n)
-        .map(|w| vec![synthetic_gradient(w, elems)])
-        .collect();
+    let updates: Vec<Vec<Vec<f32>>> = (0..n).map(|w| vec![synthetic_gradient(w, elems)]).collect();
     let p = proto(n);
 
     // Driver 1: in-process virtual clock.
@@ -99,9 +97,9 @@ fn multi_tensor_stream_preserves_boundaries() {
     assert_eq!(got.len(), shapes.len());
     for (t, &len) in shapes.iter().enumerate() {
         assert_eq!(got[t].len(), len, "tensor {t} length");
-        for i in 0..len {
+        for (i, &g) in got[t].iter().enumerate() {
             let exact: f32 = (0..n).map(|w| (w + t + i) as f32 * 0.01).sum();
-            assert!((got[t][i] - exact).abs() < 1e-3, "tensor {t} elem {i}");
+            assert!((g - exact).abs() < 1e-3, "tensor {t} elem {i}");
         }
     }
 }
@@ -111,7 +109,11 @@ fn f16_wire_mode_end_to_end() {
     use switchml::core::config::NumericMode;
     let n = 4;
     let updates: Vec<Vec<Vec<f32>>> = (0..n)
-        .map(|w| vec![(0..200).map(|i| (w as f32 + 1.0) * 0.5 + (i % 3) as f32 * 0.25).collect()])
+        .map(|w| {
+            vec![(0..200)
+                .map(|i| (w as f32 + 1.0) * 0.5 + (i % 3) as f32 * 0.25)
+                .collect()]
+        })
         .collect();
     let p = Protocol {
         mode: NumericMode::Float16,
@@ -122,7 +124,11 @@ fn f16_wire_mode_end_to_end() {
     for i in 0..200 {
         let exact: f32 = updates.iter().map(|u| u[0][i]).sum();
         // f16 wire precision: scaled values ≤ ~1000 → abs error ≤ n·0.5/f·scale…
-        assert!((got[0][i] - exact).abs() < 0.05, "elem {i}: {} vs {exact}", got[0][i]);
+        assert!(
+            (got[0][i] - exact).abs() < 0.05,
+            "elem {i}: {} vs {exact}",
+            got[0][i]
+        );
     }
 }
 

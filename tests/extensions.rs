@@ -99,14 +99,24 @@ fn three_level_hierarchy_aggregates() {
     // 2 leaves per mid, 2 mids: 8 workers total, 2 per leaf.
     let mut leaves: Vec<HierarchicalSwitch> = (0..4)
         .map(|i| {
-            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: (i % 2) as u16 })
-                .unwrap()
+            HierarchicalSwitch::new(
+                &proto(2),
+                Role::Intermediate {
+                    upstream_wid: (i % 2) as u16,
+                },
+            )
+            .unwrap()
         })
         .collect();
     let mut mids: Vec<HierarchicalSwitch> = (0..2)
         .map(|i| {
-            HierarchicalSwitch::new(&proto(2), Role::Intermediate { upstream_wid: i as u16 })
-                .unwrap()
+            HierarchicalSwitch::new(
+                &proto(2),
+                Role::Intermediate {
+                    upstream_wid: i as u16,
+                },
+            )
+            .unwrap()
         })
         .collect();
     let mut root = HierarchicalSwitch::new(&proto(2), Role::Root).unwrap();

@@ -2,9 +2,12 @@
 
 use proptest::prelude::*;
 use switchml::core::agg::{allreduce, run_inprocess, HarnessConfig, Hop};
-use switchml::core::config::{NumericMode, Protocol};
+use switchml::core::config::{NumericMode, Protocol, RtoPolicy};
 use switchml::core::packet::{Packet, PacketKind, Payload, PoolVersion};
 use switchml::core::quant::aggregation_error_bound;
+use switchml::core::switch::pipeline::PipelineModel;
+use switchml::ctrl::controller::{Action, Controller, CtrlConfig, Phase};
+use switchml::ctrl::msg::{bitmap_and, chunk_bitmap, CtrlMsg};
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
     (
@@ -166,6 +169,175 @@ proptest! {
         }
     }
 
+    /// Any sequence of join / crash membership transitions keeps the
+    /// control plane and the switch SRAM ledger consistent: the
+    /// controller never declares a live worker dead, its alive count
+    /// tracks the crash model exactly, every `Reconfigure` frontier is
+    /// the AND of the survivors' acked bitmaps, and the ledger's
+    /// committed bytes always equal the recomputed cost of the jobs it
+    /// holds — reaching exactly zero at completion.
+    #[test]
+    fn membership_transitions_keep_ledger_consistent(
+        n in 2usize..6,
+        steps in prop::collection::vec(any::<u8>(), 10..120),
+    ) {
+        const CHUNKS: u64 = 16;
+        let cfg = CtrlConfig {
+            heartbeat_interval_ns: 10,
+            failure_timeout_ns: 50,
+            probe_rto_ns: 10,
+            probe_policy: RtoPolicy::ExponentialBackoff { max_ns: 40 },
+            probe_limit: 2,
+        };
+        let pipeline = PipelineModel::default();
+        let mut ctrl = Controller::new(cfg, vec![pipeline.clone()]);
+        let proto = Protocol {
+            n_workers: n,
+            k: 4,
+            pool_size: 4,
+            scaling_factor: 1e6,
+            ..Protocol::default()
+        };
+        ctrl.create_job(0, proto, 16.0, CHUNKS, 0).unwrap();
+
+        // Each worker always acks a quiesce with the same bitmap, so
+        // the expected frontier is a pure function of the survivors.
+        let ack_bitmap =
+            |w: usize| chunk_bitmap(CHUNKS, |c| !(c + w as u64).is_multiple_of(3));
+
+        let mut t: u64 = 0;
+        let mut registered = 0usize;
+        let mut crashed = vec![false; n]; // what we did to each worker
+        let mut declared = vec![false; n]; // what the controller knows
+        let mut wid_of: Vec<u16> = (0..n as u16).collect();
+        let mut reconfigs = 0u32;
+        let mut complete = false;
+
+        // Action batches are checked one call at a time so the model
+        // is current when a death or reconfiguration lands.
+        macro_rules! absorb {
+            ($acts:expr) => {
+                for a in $acts {
+                    match a {
+                        Action::WorkerDead { job: 0, wid } => {
+                            let w = (0..n)
+                                .find(|&w| !declared[w] && wid_of[w] == wid)
+                                .expect("death of an unknown wid");
+                            prop_assert!(crashed[w], "false death: worker {}", w);
+                            declared[w] = true;
+                        }
+                        Action::Reconfigured { job: 0, n: n_new, epoch, .. } => {
+                            reconfigs += 1;
+                            prop_assert_eq!(epoch, reconfigs);
+                            let mut next = 0u16;
+                            for w in 0..n {
+                                if !declared[w] {
+                                    wid_of[w] = next;
+                                    next += 1;
+                                }
+                            }
+                            prop_assert_eq!(n_new as usize, next as usize);
+                        }
+                        Action::Send { msg: CtrlMsg::Reconfigure { frontier, .. }, .. } => {
+                            // Every survivor's Reconfigure carries the
+                            // AND of the (undeclared) survivors' acked
+                            // bitmaps. `declared` is current here: the
+                            // deaths behind this quiesce arrived in
+                            // earlier action batches.
+                            let mut expected = chunk_bitmap(CHUNKS, |_| true);
+                            for w in (0..n).filter(|&w| !declared[w]) {
+                                bitmap_and(&mut expected, &ack_bitmap(w));
+                            }
+                            prop_assert_eq!(&frontier, &expected);
+                        }
+                        Action::JobComplete { job: 0 } => complete = true,
+                        _ => {}
+                    }
+                }
+            };
+        }
+
+        let mut drive = steps.clone();
+        // Tail of deterministic steps so every run drains: pending
+        // deaths get declared and the quiesce in flight completes.
+        drive.resize(drive.len() + 200, 1);
+        for op in drive {
+            t += 10;
+            if registered < n {
+                absorb!(ctrl.on_message(
+                    100 + registered as u64,
+                    CtrlMsg::Register { job: 0 },
+                    t
+                ));
+                registered += 1;
+                continue;
+            }
+            // Maybe crash one worker — always leaving a survivor.
+            if op % 4 == 0 {
+                let victim = (op as usize / 4) % n;
+                let live = crashed.iter().filter(|c| !**c).count();
+                if !crashed[victim] && live > 1 {
+                    crashed[victim] = true;
+                }
+            }
+            // Live workers speak; crashed ones are silent forever.
+            let epoch = ctrl.epoch(0).unwrap();
+            let phase = ctrl.phase(0).unwrap();
+            for w in 0..n {
+                if crashed[w] || complete {
+                    continue;
+                }
+                let msg = match phase {
+                    Phase::Running => CtrlMsg::Heartbeat { job: 0, wid: wid_of[w], epoch },
+                    Phase::Quiescing => CtrlMsg::QuiesceAck {
+                        job: 0,
+                        wid: wid_of[w],
+                        epoch,
+                        done: ack_bitmap(w),
+                    },
+                    _ => continue,
+                };
+                absorb!(ctrl.on_message(100 + w as u64, msg, t));
+            }
+            absorb!(ctrl.on_tick(t));
+
+            // Invariants, every step.
+            let undeclared = (0..n).filter(|&w| !declared[w]).count();
+            prop_assert_eq!(ctrl.alive_count(0), Some(undeclared));
+            let ledger = ctrl.ledger(0);
+            let recomputed: usize = ledger
+                .job_ids()
+                .iter()
+                .map(|&id| {
+                    let r = pipeline.validate(ledger.job_proto(id).unwrap()).unwrap();
+                    r.pool_bytes + r.bookkeeping_bytes
+                })
+                .sum();
+            prop_assert_eq!(ledger.committed_bytes(), recomputed);
+            prop_assert!(recomputed <= pipeline.register_sram_bytes);
+        }
+
+        // The drain tail declared every crashed worker and finished
+        // any in-flight quiesce; now the survivors finish the job.
+        prop_assert_eq!(ctrl.phase(0), Some(Phase::Running));
+        for w in 0..n {
+            prop_assert_eq!(declared[w], crashed[w]);
+        }
+        let epoch = ctrl.epoch(0).unwrap();
+        prop_assert_eq!(epoch, reconfigs);
+        for w in (0..n).filter(|&w| !crashed[w]) {
+            absorb!(ctrl.on_message(
+                100 + w as u64,
+                CtrlMsg::Done { job: 0, wid: wid_of[w], epoch },
+                t + 10
+            ));
+        }
+        prop_assert!(complete);
+        prop_assert_eq!(ctrl.phase(0), Some(Phase::Complete));
+        prop_assert_eq!(ctrl.ledger(0).committed_bytes(), 0);
+        prop_assert_eq!(ctrl.ledger(0).job_count(), 0);
+    }
+
     /// Deterministic loss + same seed ⇒ identical outcome (stats and
     /// results), across the whole stack.
     #[test]
@@ -184,7 +356,7 @@ proptest! {
             let mut c = 0u64;
             run_inprocess(&updates, &proto, &HarnessConfig::default(), |_, hop| {
                 c = c.wrapping_mul(25214903917).wrapping_add(seed | 1);
-                hop == Hop::Up && (c >> 30) % 10 == 0
+                hop == Hop::Up && (c >> 30).is_multiple_of(10)
             })
             .unwrap()
         };

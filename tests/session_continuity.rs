@@ -139,5 +139,8 @@ fn fresh_worker_against_dirty_switch_gets_stale_data() {
     );
     // And the switch never even aggregated the new contributions.
     assert_eq!(switch.stats().completions, 4, "only session 1 completed");
-    assert!(switch.stats().result_retx >= 4, "all served from stale cache");
+    assert!(
+        switch.stats().result_retx >= 4,
+        "all served from stale cache"
+    );
 }

@@ -39,8 +39,8 @@ fn build_and_run(n: usize, elems: usize, slow_worker: Option<(usize, u64)>) -> S
     let mut sim = Simulator::new(topo, SimConfig::default());
     for (rank, &id) in ws.iter().enumerate() {
         let data = vec![rank as f32 + 1.0; elems];
-        let stream = TensorStream::from_f32(&[data], proto.mode, proto.scaling_factor, proto.k)
-            .unwrap();
+        let stream =
+            TensorStream::from_f32(&[data], proto.mode, proto.scaling_factor, proto.k).unwrap();
         let worker = Worker::new(rank as u16, &proto, stream).unwrap();
         sim.bind(
             id,

@@ -1,0 +1,40 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel` is used by this workspace, and only the
+//! mpsc-shaped subset of it (clonable senders, one receiver per
+//! endpoint, `recv_timeout`). `std::sync::mpsc` provides exactly those
+//! semantics with matching type and error names, so this shim is a
+//! re-export plus an `unbounded` constructor.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender};
+
+    /// An unbounded mpsc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(50)), Ok(5));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let tx2 = tx.clone();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

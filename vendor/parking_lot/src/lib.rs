@@ -1,0 +1,99 @@
+//! Offline stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives with parking_lot's ergonomics: `lock()`
+//! returns the guard directly rather than a poison `Result`. Poisoning
+//! is ignored (parking_lot has no poisoning), recovering the inner
+//! guard from a poisoned std lock.
+
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Mutual exclusion, parking_lot-style API over `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking. Never returns a poison error.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Reader-writer lock, parking_lot-style API over `std::sync::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(1u64);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn rwlock_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn default_derives() {
+        #[derive(Debug, Default)]
+        struct Stats {
+            counters: Mutex<(u64, u64)>,
+        }
+        let s = Stats::default();
+        s.counters.lock().0 += 1;
+        assert_eq!(format!("{:?}", s.counters.lock().0), "1");
+    }
+}

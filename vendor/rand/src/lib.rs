@@ -1,0 +1,203 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the subset this workspace uses: `SmallRng` seeded via
+//! `seed_from_u64`, and the `Rng` extension methods `gen_range` (over
+//! `Range` / `RangeInclusive` of the primitive numeric types) and
+//! `gen_bool`. The generator is xoshiro256++ seeded through SplitMix64
+//! — the same algorithm family as the real `SmallRng` on 64-bit
+//! targets. Determinism for a given seed is the property the codebase
+//! relies on (reproducible simulations), not the exact stream of the
+//! upstream crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction. Only `seed_from_u64` is used here.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range. Panics on an empty range, like the
+    /// real crate.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            unit_f64(self.next_u64()) < p
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform f64 in [0, 1).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $ty
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let u = unit_f64(rng.next_u64()) as $ty;
+                    let v = self.start + (self.end - self.start) * u;
+                    // Guard the end against rounding (half-open contract).
+                    if v < self.end { v } else { self.start }
+                }
+            }
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let u = unit_f64(rng.next_u64()) as $ty;
+                    lo + (hi - lo) * u
+                }
+            }
+        )*
+    };
+}
+
+float_range!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and plenty for simulation use.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the real rand crate does.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let differs = (0..100).any(|_| a.gen_range(0u64..1 << 40) != c.gen_range(0u64..1 << 40));
+        assert!(differs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i32..7);
+            assert!((-5..7).contains(&v));
+            let f: f32 = r.gen_range(f32::EPSILON..1.0);
+            assert!(f >= f32::EPSILON && f < 1.0);
+            let u = r.gen_range(3u64..=9);
+            assert!((3..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rate() {
+        let mut r = SmallRng::seed_from_u64(1);
+        assert!(!(0..1000).any(|_| r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro
+//! crate re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the subset of shapes the workspace actually derives on:
+//! named-field structs, tuple structs (newtype included), and enums
+//! with unit variants. It parses the raw `TokenStream` by hand rather
+//! than pulling in `syn`/`quote`.
+//!
+//! The generated `Serialize` impl targets the vendored `serde` shim's
+//! tree-model contract (`fn to_value(&self) -> serde::Value`), which is
+//! all `serde_json::to_string*` needs. `Deserialize` derives expand to
+//! nothing: the shim's `Deserialize` trait is a marker with a blanket
+//! impl, since nothing in the workspace deserializes into typed data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .expect("serde_derive shim: generated code must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    // Marker trait with a blanket impl in the serde shim; nothing to do.
+    TokenStream::new()
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility qualifiers until the `struct`/`enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [...]
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, `crate`, ...
+            }
+            Some(TokenTree::Group(_)) => i += 1, // `(crate)` after `pub`
+            Some(_) => i += 1,
+            None => return Err("serde derive: no struct or enum found".into()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde derive: missing type name".into()),
+    };
+    i += 1;
+
+    // Generic type parameters are not supported (none of the workspace's
+    // derive targets have them); detect and reject loudly.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive shim: generic type `{name}` unsupported"
+            ));
+        }
+    }
+
+    // Skip a `where` clause if present (scan to the body group).
+    while i < tokens.len() {
+        if let TokenTree::Group(_) = &tokens[i] {
+            break;
+        }
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == ';' {
+                return Err(format!(
+                    "serde derive shim: unit struct `{name}` unsupported"
+                ));
+            }
+        }
+        i += 1;
+    }
+
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        _ => return Err(format!("serde derive shim: `{name}` has no body")),
+    };
+
+    let body = if kind == "enum" {
+        let variants = parse_unit_variants(group.stream())?;
+        let arms: String = variants
+            .iter()
+            .map(|v| {
+                format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),\n")
+            })
+            .collect();
+        format!("match self {{ {arms} }}")
+    } else if group.delimiter() == Delimiter::Brace {
+        let fields = parse_named_fields(group.stream())?;
+        let entries: String = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),\n"
+                )
+            })
+            .collect();
+        format!("::serde::Value::Object(::std::vec![\n{entries}])")
+    } else if group.delimiter() == Delimiter::Parenthesis {
+        let n = count_tuple_fields(group.stream());
+        if n == 1 {
+            // Newtype: serialize transparently as the inner value.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        } else {
+            let entries: String = (0..n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx}),\n"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![\n{entries}])")
+        }
+    } else {
+        return Err(format!("serde derive shim: unsupported body for `{name}`"));
+    };
+
+    Ok(format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    ))
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(_)) = tokens.get(i) {
+                    i += 1; // pub(crate) / pub(super)
+                }
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive shim: expected field name, got `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde derive shim: expected `:` after `{name}`")),
+        }
+        // Skip the type: scan to the next top-level `,` (angle-bracket
+        // depth 0; parens/brackets arrive as single Group tokens).
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Variant names of a unit-variant enum body (discriminants allowed,
+/// payload-carrying variants rejected).
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive shim: expected variant, got `{other}`"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip the discriminant expression to the next `,`.
+                while i < tokens.len() {
+                    if let TokenTree::Punct(q) = &tokens[i] {
+                        if q.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde derive shim: variant `{name}` carries data (unsupported)"
+                ));
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde derive shim: unexpected `{other}` after `{name}`"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut angle = 0i32;
+    let mut pending = false; // any tokens since the last top-level comma
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => {
+                angle += 1;
+                pending = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == '>' => {
+                angle -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ',' && angle == 0 => {
+                if pending {
+                    n += 1;
+                }
+                pending = false;
+            }
+            _ => pending = true,
+        }
+    }
+    if pending {
+        n += 1;
+    }
+    n
+}

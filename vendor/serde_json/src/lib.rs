@@ -1,0 +1,347 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the vendored serde shim's [`Value`], and provides the
+//! pieces the workspace uses: the [`json!`] macro, [`to_string`] /
+//! [`to_string_pretty`] over any `Serialize`, and [`from_str`] parsing
+//! JSON text into a `Value`.
+
+pub use serde::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(t: &T) -> Value {
+    t.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(t: &T) -> Result<String> {
+    Ok(t.to_value().to_string())
+}
+
+/// Pretty JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(t: &T) -> Result<String> {
+    let mut out = String::new();
+    t.to_value().write_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Supports the subset used in
+/// this workspace: object literals with literal keys, array literals,
+/// `null`, and arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($v:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($v) ),* ])
+    };
+    ({ $($k:tt : $v:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($k), $crate::to_value(&$v)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Parse JSON text. The target type is nominally generic to keep
+/// call-site turbofish/type-ascription working, but only `Value` (and
+/// types convertible from it) is supported — matching how the
+/// workspace uses it.
+pub fn from_str<T: FromJson>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_json(v)
+}
+
+/// Conversion out of a parsed [`Value`].
+pub trait FromJson: Sized {
+    fn from_json(v: Value) -> Result<Self>;
+}
+
+impl FromJson for Value {
+    fn from_json(v: Value) -> Result<Self> {
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{lit}` at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => {
+                self.expect("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.expect("null")?;
+                Ok(Value::Null)
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.bump()?; // '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(":")?;
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Object(entries)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got `{}`",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.bump()?; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Array(items)),
+                c => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got `{}`",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        if self.bump()? != b'"' {
+            return Err(Error::new("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| Error::new("bad \\u escape"))?;
+                        }
+                        out.push(char::from_u32(code).ok_or_else(|| Error::new("bad \\u escape"))?);
+                    }
+                    c => {
+                        return Err(Error::new(format!("bad escape `\\{}`", c as char)));
+                    }
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Re-assemble multi-byte UTF-8 (input is a &str, so
+                    // the bytes are valid by construction).
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + width;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("bad number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::new(format!("bad number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("bad number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_roundtrip() {
+        let v = json!({
+            "name": "run",
+            "ok": true,
+            "count": 42u64,
+            "ratio": 0.5,
+            "seq": vec![1.0f64, 2.0],
+        });
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back["name"], "run");
+        assert_eq!(back["ok"], true);
+        assert_eq!(back["count"].as_u64(), Some(42));
+        assert_eq!(back["ratio"].as_f64(), Some(0.5));
+        assert_eq!(back["seq"][1].as_f64(), Some(2.0));
+        assert!(back["missing"].is_null());
+    }
+
+    #[test]
+    fn parses_nested_and_escapes() {
+        let v: Value = from_str(r#"{"a": [1, -2, 3.5], "s": "x\nyA"}"#).unwrap();
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert_eq!(v["s"], "x\nyA");
+    }
+
+    #[test]
+    fn pretty_print_is_reparseable() {
+        let v = json!({"outer": vec![1u64, 2], "flag": false});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{invalid").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}
