@@ -15,4 +15,10 @@ cargo build --workspace --release
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== cargo bench --no-run (criterion benches must compile)"
+cargo bench --workspace --no-run
+
+echo "== hotpath smoke (release, sharded runner with n_cores > 1, zero-alloc check)"
+cargo run --release -q -p switchml-bench --bin hotpath -- --smoke
+
 echo "CI green."

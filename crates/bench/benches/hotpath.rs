@@ -1,0 +1,105 @@
+//! Packet-codec and kernel hot-path microbenchmarks: the allocating
+//! legacy paths (`Packet::encode` / `Packet::decode` / scalar
+//! quantize) against their zero-allocation replacements
+//! (`encode_into` / `PacketView::parse` / `quantize_chunk`), plus the
+//! full switch ingest round through the borrowed-view path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use switchml_core::config::Protocol;
+use switchml_core::packet::{Packet, PacketView, PoolVersion};
+use switchml_core::quant::fixed::{quantize_chunk, quantize_one};
+use switchml_core::switch::reliable::ReliableSwitch;
+
+const K: usize = 32;
+
+fn update(w: u16, phase: u64) -> Packet {
+    let ver = if phase.is_multiple_of(2) {
+        PoolVersion::V0
+    } else {
+        PoolVersion::V1
+    };
+    Packet::update(w, ver, 0, phase * K as u64, vec![7i32; K])
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let pkt = update(3, 0);
+    let wire = pkt.encode();
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("encode_alloc_k32", |b| {
+        b.iter(|| black_box(black_box(&pkt).encode()))
+    });
+    let mut scratch = Vec::with_capacity(wire.len());
+    group.bench_function("encode_into_k32", |b| {
+        b.iter(|| {
+            black_box(&pkt).encode_into(&mut scratch);
+            black_box(scratch.len())
+        })
+    });
+    group.bench_function("decode_alloc_k32", |b| {
+        b.iter(|| black_box(Packet::decode(black_box(&wire)).unwrap()))
+    });
+    group.bench_function("view_parse_k32", |b| {
+        b.iter(|| {
+            let v = PacketView::parse(black_box(&wire)).unwrap();
+            black_box(v.idx())
+        })
+    });
+    group.finish();
+}
+
+/// One full aggregation round (n update packets → one result) through
+/// the borrowed-view switch path, wire bytes in, wire bytes out.
+fn bench_switch_view(c: &mut Criterion) {
+    let n = 8;
+    let proto = Protocol {
+        n_workers: n,
+        k: K,
+        pool_size: 128,
+        ..Protocol::default()
+    };
+    let mut sw = ReliableSwitch::new(&proto).unwrap();
+    let mut tx = Vec::new();
+    let mut phase = 0u64;
+    let mut group = c.benchmark_group("switch");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("on_view_round_n8_k32", |b| {
+        b.iter(|| {
+            for w in 0..n as u16 {
+                let wire = update(w, phase).encode();
+                let v = PacketView::parse(&wire).unwrap();
+                black_box(sw.on_view(&v, &mut tx).unwrap());
+            }
+            phase += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let elems = 64 * 1024;
+    let src: Vec<f32> = (0..elems).map(|i| (i as f32) * 0.001 - 30.0).collect();
+    let mut dst = vec![0i32; elems];
+    let f = 1e6;
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Bytes((elems * 4) as u64));
+    group.bench_function("scalar_64k", |b| {
+        b.iter(|| {
+            for (s, d) in src.iter().zip(dst.iter_mut()) {
+                *d = quantize_one(*s, f);
+            }
+            black_box(dst[0])
+        })
+    });
+    group.bench_function("chunk_kernel_64k", |b| {
+        b.iter(|| {
+            quantize_chunk(&src, f, &mut dst);
+            black_box(dst[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_switch_view, bench_quantize);
+criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! Hot-path measurement harness: proves the zero-allocation claim and
+//! records the numbers behind it.
+//!
+//! ```text
+//! hotpath [--quick] [--smoke] [--out <path>]
+//! ```
+//!
+//! Measures, in-process:
+//!
+//! * **codec** — ns/packet for the allocating `Packet::encode` /
+//!   `Packet::decode` against `encode_into` / `PacketView::parse`;
+//! * **switch hot path** — ns/packet for a steady-state reliable-switch
+//!   ingest loop over the borrowed-view path, with a counting global
+//!   allocator verifying **zero heap allocations per packet** (the
+//!   harness aborts if any allocation sneaks in);
+//! * **quantize** — GB/s of the scalar reference loop vs the
+//!   chunk-wise kernels;
+//! * **threaded ATE/s** — aggregated tensor elements per second through
+//!   [`switchml_transport::run_allreduce_sharded`] at 1, 2 and 4
+//!   cores. `hardware_threads` is recorded alongside: scaling is only
+//!   expected to be monotonic when the host actually has the cores.
+//!
+//! Writes pretty JSON to `BENCH_hotpath.json` (override with `--out`).
+//! `--smoke` runs everything at tiny sizes and skips the JSON write —
+//! CI uses it as a release-mode end-to-end check of the sharded runner
+//! plus the allocation invariant.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use switchml_core::config::Protocol;
+use switchml_core::packet::{encode_update_into, Packet, PacketView, PoolVersion};
+use switchml_core::quant::fixed::{dequantize_chunk, dequantize_one, quantize_chunk, quantize_one};
+use switchml_core::switch::reliable::ReliableSwitch;
+use switchml_core::switch::WireAction;
+use switchml_transport::runner::RunConfig;
+use switchml_transport::shard::{run_allreduce_sharded, sharded_channel_fabric};
+
+/// Counts every heap allocation so steady-state loops can assert they
+/// make none.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Mean ns per call of `f`, after a 10% warmup.
+fn ns_per_iter<F: FnMut()>(iters: u64, mut f: F) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+const K: usize = 32;
+
+fn codec_section(iters: u64) -> serde_json::Value {
+    let pkt = Packet::update(3, PoolVersion::V0, 7, 224, vec![42i32; K]);
+    let wire = pkt.encode();
+    let mut scratch = Vec::with_capacity(wire.len());
+
+    let encode_alloc = ns_per_iter(iters, || {
+        std::hint::black_box(pkt.encode());
+    });
+    let encode_into = ns_per_iter(iters, || {
+        pkt.encode_into(&mut scratch);
+        std::hint::black_box(scratch.len());
+    });
+    let decode_alloc = ns_per_iter(iters, || {
+        std::hint::black_box(Packet::decode(&wire).unwrap());
+    });
+    let view_parse = ns_per_iter(iters, || {
+        let v = PacketView::parse(&wire).unwrap();
+        std::hint::black_box(v.idx());
+    });
+    println!(
+        "codec k={K}: encode {encode_alloc:.1} -> encode_into {encode_into:.1} ns/pkt, \
+         decode {decode_alloc:.1} -> view_parse {view_parse:.1} ns/pkt"
+    );
+    serde_json::json!({
+        "k": K,
+        "encode_alloc_ns": encode_alloc,
+        "encode_into_ns": encode_into,
+        "decode_alloc_ns": decode_alloc,
+        "view_parse_ns": view_parse,
+    })
+}
+
+/// Steady-state switch ingest: generate → parse → aggregate → encode
+/// response, all in reused buffers. Returns (ns/packet, allocs/packet);
+/// aborts the process if allocs/packet != 0.
+fn switch_section(phases: u64) -> serde_json::Value {
+    let n = 8usize;
+    let proto = Protocol {
+        n_workers: n,
+        k: K,
+        pool_size: 128,
+        ..Protocol::default()
+    };
+    let mut sw = ReliableSwitch::new(&proto).unwrap();
+    let mut wire = Vec::new();
+    let mut tx = Vec::new();
+    let vals = [9i32; K];
+    let run_phase = |phase: u64, sw: &mut ReliableSwitch, wire: &mut Vec<u8>, tx: &mut Vec<u8>| {
+        let ver = if phase.is_multiple_of(2) {
+            PoolVersion::V0
+        } else {
+            PoolVersion::V1
+        };
+        for w in 0..n as u16 {
+            encode_update_into(w, ver, 0, phase * K as u64, false, &vals, wire);
+            let v = PacketView::parse(wire).unwrap();
+            let action = sw.on_view(&v, tx).unwrap();
+            if w as usize == n - 1 {
+                assert!(matches!(action, WireAction::Multicast));
+            }
+        }
+    };
+
+    // Warm up: let every scratch buffer reach its steady-state
+    // capacity before counting.
+    let mut phase = 0u64;
+    for _ in 0..8 {
+        run_phase(phase, &mut sw, &mut wire, &mut tx);
+        phase += 1;
+    }
+
+    let a0 = allocations();
+    let t0 = Instant::now();
+    for _ in 0..phases {
+        run_phase(phase, &mut sw, &mut wire, &mut tx);
+        phase += 1;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = allocations() - a0;
+    let packets = phases * n as u64;
+    let ns_per_packet = wall * 1e9 / packets as f64;
+    let allocs_per_packet = allocs as f64 / packets as f64;
+    println!(
+        "switch hot path: {ns_per_packet:.1} ns/pkt, {allocs} allocations over {packets} packets"
+    );
+    assert_eq!(
+        allocs, 0,
+        "switch aggregation hot path must not allocate (got {allocs} over {packets} packets)"
+    );
+    serde_json::json!({
+        "n_workers": n,
+        "k": K,
+        "packets": packets,
+        "ns_per_packet": ns_per_packet,
+        "allocs_per_packet": allocs_per_packet,
+    })
+}
+
+fn quantize_section(elems: usize, reps: u64) -> serde_json::Value {
+    let f = 1e6;
+    let src: Vec<f32> = (0..elems).map(|i| (i as f32) * 0.001 - 30.0).collect();
+    let mut q = vec![0i32; elems];
+    let mut back = vec![0.0f32; elems];
+    let bytes = (elems * 4) as f64;
+
+    let scalar_q = ns_per_iter(reps, || {
+        for (s, d) in src.iter().zip(q.iter_mut()) {
+            *d = quantize_one(*s, f);
+        }
+        std::hint::black_box(q[0]);
+    });
+    let kernel_q = ns_per_iter(reps, || {
+        quantize_chunk(&src, f, &mut q);
+        std::hint::black_box(q[0]);
+    });
+    let scalar_d = ns_per_iter(reps, || {
+        for (s, d) in q.iter().zip(back.iter_mut()) {
+            *d = dequantize_one(*s, f);
+        }
+        std::hint::black_box(back[0]);
+    });
+    let kernel_d = ns_per_iter(reps, || {
+        dequantize_chunk(&q, f, &mut back);
+        std::hint::black_box(back[0]);
+    });
+    let gbps = |ns: f64| bytes / ns; // bytes/ns == GB/s
+    println!(
+        "quantize {elems} elems: scalar {:.2} GB/s -> kernel {:.2} GB/s; \
+         dequantize scalar {:.2} GB/s -> kernel {:.2} GB/s",
+        gbps(scalar_q),
+        gbps(kernel_q),
+        gbps(scalar_d),
+        gbps(kernel_d)
+    );
+    serde_json::json!({
+        "elems": elems,
+        "quantize_scalar_gbps": gbps(scalar_q),
+        "quantize_kernel_gbps": gbps(kernel_q),
+        "dequantize_scalar_gbps": gbps(scalar_d),
+        "dequantize_kernel_gbps": gbps(kernel_d),
+    })
+}
+
+/// Aggregated tensor elements per second through the sharded threaded
+/// runner, per core count.
+fn ate_section(elems: usize, cores: &[usize]) -> serde_json::Value {
+    let n = 2usize;
+    let mut rows = Vec::new();
+    for &c in cores {
+        let proto = Protocol {
+            n_workers: n,
+            k: K,
+            pool_size: 128,
+            rto_ns: 5_000_000,
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        };
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 7) as f32)
+                    .collect()]
+            })
+            .collect();
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let report =
+            run_allreduce_sharded(sharded_channel_fabric(n, c), updates, &proto, &cfg).unwrap();
+        let ate = elems as f64 / report.wall.as_secs_f64();
+        println!(
+            "sharded allreduce n={n} elems={elems} cores={c}: {:.1} ms, {:.2} M ATE/s",
+            report.wall.as_secs_f64() * 1e3,
+            ate / 1e6
+        );
+        rows.push(serde_json::json!({
+            "n_cores": c,
+            "wall_ms": report.wall.as_secs_f64() * 1e3,
+            "ate_per_sec": ate,
+        }));
+    }
+    serde_json::Value::Array(rows)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut smoke = false;
+    let mut out = String::from("BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("usage: hotpath [--quick] [--smoke] [--out <path>], got {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("hardware threads: {hw}");
+
+    let (codec_iters, switch_phases, quant_elems, quant_reps, ate_elems): (
+        u64,
+        u64,
+        usize,
+        u64,
+        usize,
+    ) = if smoke {
+        (2_000, 1_000, 4 * 1024, 20, 20_000)
+    } else if quick {
+        (50_000, 20_000, 64 * 1024, 100, 100_000)
+    } else {
+        (500_000, 200_000, 1024 * 1024, 200, 400_000)
+    };
+
+    let codec = codec_section(codec_iters);
+    let switch = switch_section(switch_phases);
+    let quant = quantize_section(quant_elems, quant_reps);
+    let ate = ate_section(ate_elems, &[1, 2, 4]);
+
+    if smoke {
+        println!("smoke OK: sharded runner correct and hot path allocation-free");
+        return;
+    }
+    let doc = serde_json::json!({
+        "bench": "hotpath",
+        "quick": quick,
+        "hardware_threads": hw,
+        "codec": codec,
+        "switch_hot_path": switch,
+        "quantize": quant,
+        "threaded_ate": ate,
+        "note": "ATE/s scaling with n_cores is hardware-bound: on a host with fewer \
+                 hardware threads than n_cores the shard/core threads time-slice one CPU.",
+    });
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n").expect("write JSON");
+    println!("wrote {out}");
+}

@@ -21,6 +21,7 @@ use crate::worker::stream::TensorStream;
 use crate::worker::Worker;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Which direction a packet is traveling (for loss injection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +71,10 @@ struct InFlight {
     time: TimeNs,
     seq: u64,
     hop: Hop,
-    pkt: Packet,
+    /// Shared so a multicast enqueues one packet n times instead of
+    /// deep-copying the payload per worker (the traffic manager
+    /// duplicates packets by reference on real hardware too).
+    pkt: Arc<Packet>,
 }
 
 impl PartialEq for InFlight {
@@ -148,7 +152,7 @@ where
                 seq: &mut u64,
                 time: TimeNs,
                 hop: Hop,
-                pkt: Packet,
+                pkt: Arc<Packet>,
                 drop: &mut F| {
         if !drop(&pkt, hop) {
             *seq += 1;
@@ -168,7 +172,7 @@ where
                 &mut seq,
                 now + harness.latency_ns,
                 Hop::Up,
-                pkt,
+                Arc::new(pkt),
                 &mut drop,
             );
         }
@@ -209,7 +213,7 @@ where
                         &mut seq,
                         now + harness.latency_ns,
                         Hop::Up,
-                        pkt,
+                        Arc::new(pkt),
                         &mut drop,
                     );
                 }
@@ -220,15 +224,18 @@ where
         while queue.peek().is_some_and(|Reverse(f)| f.time <= now) {
             let Reverse(flight) = queue.pop().expect("peeked");
             match flight.hop {
-                Hop::Up => match switch.on_packet(flight.pkt)? {
+                // Upward packets are uniquely owned (workers never
+                // multicast), so this unwrap never clones.
+                Hop::Up => match switch.on_packet(Arc::unwrap_or_clone(flight.pkt))? {
                     SwitchAction::Multicast(result) => {
+                        let result = Arc::new(result);
                         for w in 0..proto.n_workers as u16 {
                             push(
                                 &mut queue,
                                 &mut seq,
                                 now + harness.latency_ns,
                                 Hop::Down { to: w },
-                                result.clone(),
+                                Arc::clone(&result),
                                 &mut drop,
                             );
                         }
@@ -239,7 +246,7 @@ where
                             &mut seq,
                             now + harness.latency_ns,
                             Hop::Down { to },
-                            result,
+                            Arc::new(result),
                             &mut drop,
                         );
                     }
@@ -253,7 +260,7 @@ where
                             &mut seq,
                             now + harness.latency_ns,
                             Hop::Up,
-                            pkt,
+                            Arc::new(pkt),
                             &mut drop,
                         );
                     }

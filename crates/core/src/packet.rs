@@ -26,7 +26,7 @@
 use crate::checksum::{crc32, Crc32};
 use crate::error::{Error, Result};
 use crate::quant::f16;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 
 /// Worker identifier (rank) within a job.
 pub type WorkerId = u16;
@@ -43,6 +43,10 @@ pub const DEFAULT_K: usize = 32;
 /// carry 366 elements (1516-byte packets, including all headers)",
 /// §5.5).
 pub const MTU_K: usize = 366;
+
+/// Largest element count a packet may declare. Bounds scratch-buffer
+/// growth on the receive path; generously above [`MTU_K`].
+pub const MAX_K: usize = 1024;
 
 /// Fixed per-packet header+framing budget used for wire-size math, so
 /// that `wire_bytes(DEFAULT_K) == 180` as in the paper.
@@ -153,18 +157,7 @@ impl Payload {
     pub fn to_i32(&self) -> Vec<i32> {
         match self {
             Payload::I32(v) => v.clone(),
-            Payload::F16(v) => v
-                .iter()
-                .map(|&bits| {
-                    let x = f16::f16_to_f32(bits);
-                    // Saturating round-to-nearest; NaN becomes 0.
-                    if x.is_nan() {
-                        0
-                    } else {
-                        x.round().clamp(i32::MIN as f32, i32::MAX as f32) as i32
-                    }
-                })
-                .collect(),
+            Payload::F16(v) => v.iter().map(|&bits| f16_bits_to_i32(bits)).collect(),
         }
     }
 
@@ -176,6 +169,95 @@ impl Payload {
             Payload::I32(_) => Payload::I32(values.to_vec()),
             Payload::F16(_) => {
                 Payload::F16(values.iter().map(|&v| f16::f32_to_f16(v as f32)).collect())
+            }
+        }
+    }
+
+    /// Borrow the elements as `i32`s without converting or copying.
+    /// `None` for f16 payloads, whose aggregation-domain values only
+    /// exist after conversion.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match self {
+            Payload::I32(v) => Some(v),
+            Payload::F16(_) => None,
+        }
+    }
+}
+
+/// Round an f16 bit pattern into the switch's integer domain:
+/// saturating round-to-nearest, NaN → 0 (the lookup-table conversion
+/// the paper verified with the chip vendor, §3.7).
+#[inline]
+pub fn f16_bits_to_i32(bits: u16) -> i32 {
+    let x = f16::f16_to_f32(bits);
+    if x.is_nan() {
+        0
+    } else {
+        x.round().clamp(i32::MIN as f32, i32::MAX as f32) as i32
+    }
+}
+
+/// Read-only access to a packet's element vector in the switch's `i32`
+/// aggregation domain, without materializing an intermediate `Vec`.
+/// Implemented by the owned [`Payload`] (simulator paths) and the
+/// borrowed [`PacketView`] (wire hot path), so the switch cores run
+/// identical logic over both.
+pub trait WireElems {
+    /// Number of elements carried.
+    fn n_elems(&self) -> usize;
+    /// Are the wire elements 16-bit floats (switch-converted, §3.7)?
+    fn is_f16(&self) -> bool;
+    /// Overwrite `dst` with the elements (first contribution of a
+    /// phase — Algorithm 3 line 10's implicit slot release).
+    fn overwrite_into(&self, dst: &mut [i32]);
+    /// Fold the elements into `acc` with the switch's ALU mode.
+    fn add_into(&self, acc: &mut [i32], wrapping: bool);
+    /// Copy into a reusable `Vec`, reusing its capacity.
+    fn to_i32_into(&self, dst: &mut Vec<i32>) {
+        dst.clear();
+        dst.resize(self.n_elems(), 0);
+        self.overwrite_into(dst);
+    }
+}
+
+impl WireElems for Payload {
+    fn n_elems(&self) -> usize {
+        self.len()
+    }
+
+    fn is_f16(&self) -> bool {
+        matches!(self, Payload::F16(_))
+    }
+
+    fn overwrite_into(&self, dst: &mut [i32]) {
+        match self {
+            Payload::I32(v) => dst.copy_from_slice(v),
+            Payload::F16(v) => {
+                for (d, &bits) in dst.iter_mut().zip(v) {
+                    *d = f16_bits_to_i32(bits);
+                }
+            }
+        }
+    }
+
+    fn add_into(&self, acc: &mut [i32], wrapping: bool) {
+        match self {
+            Payload::I32(v) => {
+                if wrapping {
+                    crate::quant::wrapping_add_into(acc, v);
+                } else {
+                    crate::quant::saturating_add_into(acc, v);
+                }
+            }
+            Payload::F16(v) => {
+                for (a, &bits) in acc.iter_mut().zip(v) {
+                    let x = f16_bits_to_i32(bits);
+                    *a = if wrapping {
+                        a.wrapping_add(x)
+                    } else {
+                        a.saturating_add(x)
+                    };
+                }
             }
         }
     }
@@ -238,6 +320,16 @@ impl Packet {
 
     /// Serialize to bytes (header + payload, CRC-32 filled in).
     pub fn encode(&self) -> Bytes {
+        let mut buf = Vec::with_capacity(HEADER_LEN + self.payload.byte_len());
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Serialize into a caller-owned scratch buffer, reusing its
+    /// capacity. `out` is cleared first; after the call it holds the
+    /// complete packet bytes. This is the allocation-free counterpart
+    /// of [`Packet::encode`] for steady-state send loops.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut flags = 0u8;
         if self.ver == PoolVersion::V1 {
             flags |= FLAG_VER;
@@ -251,39 +343,28 @@ impl Packet {
         if self.retransmission {
             flags |= FLAG_RETX;
         }
-
-        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.byte_len());
-        buf.put_u16(MAGIC);
-        buf.put_u8(PROTO_VERSION);
-        buf.put_u8(flags);
-        buf.put_u8(self.job);
-        buf.put_u8(0); // reserved
-        buf.put_u16(self.wid);
-        buf.put_u32(self.idx);
-        buf.put_u64(self.off);
-        buf.put_u16(self.payload.len() as u16);
-        buf.put_u16(0); // reserved
-        buf.put_u32(0); // checksum placeholder
+        put_header(
+            out,
+            flags,
+            self.job,
+            self.wid,
+            self.idx,
+            self.off,
+            self.payload.len(),
+        );
         match &self.payload {
             Payload::I32(v) => {
                 for &x in v {
-                    buf.put_i32(x);
+                    out.extend_from_slice(&x.to_be_bytes());
                 }
             }
             Payload::F16(v) => {
                 for &x in v {
-                    buf.put_u16(x);
+                    out.extend_from_slice(&x.to_be_bytes());
                 }
             }
         }
-        // CRC over the whole packet with the checksum field zeroed.
-        let mut crc = Crc32::new();
-        crc.update(&buf[..HEADER_LEN - 4]);
-        crc.update(&[0, 0, 0, 0]);
-        crc.update(&buf[HEADER_LEN..]);
-        let sum = crc.finalize();
-        buf[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&sum.to_be_bytes());
-        buf.freeze()
+        finish_crc(out);
     }
 
     /// Parse a packet, verifying magic, version, length and CRC.
@@ -390,6 +471,298 @@ impl Packet {
     }
 }
 
+/// Clear `out` and write the 28-byte header with a zeroed checksum
+/// field (filled in by [`finish_crc`] once the payload follows).
+fn put_header(
+    out: &mut Vec<u8>,
+    flags: u8,
+    job: u8,
+    wid: WorkerId,
+    idx: SlotIndex,
+    off: ElemOffset,
+    count: usize,
+) {
+    out.clear();
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(PROTO_VERSION);
+    out.push(flags);
+    out.push(job);
+    out.push(0); // reserved
+    out.extend_from_slice(&wid.to_be_bytes());
+    out.extend_from_slice(&idx.to_be_bytes());
+    out.extend_from_slice(&off.to_be_bytes());
+    out.extend_from_slice(&(count as u16).to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(&[0, 0, 0, 0]); // checksum placeholder
+}
+
+/// Compute the CRC over the complete packet in `out` (checksum field
+/// treated as zero) and patch it into the header.
+fn finish_crc(out: &mut [u8]) {
+    let mut crc = Crc32::new();
+    crc.update(&out[..HEADER_LEN - 4]);
+    crc.update(&[0, 0, 0, 0]);
+    crc.update(&out[HEADER_LEN..]);
+    let sum = crc.finalize();
+    out[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&sum.to_be_bytes());
+}
+
+/// Header fields of a switch-generated result packet. Bundled so the
+/// switch can serialize a response straight from its slot registers
+/// via [`encode_result_into`] without building a [`Packet`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResultMeta {
+    pub wid: WorkerId,
+    pub ver: PoolVersion,
+    pub idx: SlotIndex,
+    pub off: ElemOffset,
+    pub job: u8,
+    pub retransmission: bool,
+    /// Encode elements as 16-bit floats (the switch "converts
+    /// fixed-point values back into equivalent floating-point values",
+    /// §3.7) instead of 32-bit integers.
+    pub f16: bool,
+}
+
+/// Encode a result packet directly from aggregated slot registers into
+/// a reusable scratch buffer — the switch's zero-allocation egress
+/// path ("rewriting the packet's vector with the aggregated value",
+/// §3.3). Bit-identical to `Packet { kind: Result, .. }.encode()`.
+pub fn encode_result_into(meta: ResultMeta, values: &[i32], out: &mut Vec<u8>) {
+    let mut flags = FLAG_RESULT;
+    if meta.ver == PoolVersion::V1 {
+        flags |= FLAG_VER;
+    }
+    if meta.f16 {
+        flags |= FLAG_F16;
+    }
+    if meta.retransmission {
+        flags |= FLAG_RETX;
+    }
+    put_header(
+        out,
+        flags,
+        meta.job,
+        meta.wid,
+        meta.idx,
+        meta.off,
+        values.len(),
+    );
+    if meta.f16 {
+        for &v in values {
+            out.extend_from_slice(&f16::f32_to_f16(v as f32).to_be_bytes());
+        }
+    } else {
+        for &v in values {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+    finish_crc(out);
+}
+
+/// Encode an update packet directly from quantized values into a
+/// reusable scratch buffer — the worker's zero-allocation egress path
+/// (Fixed32 wire format, job 0). Bit-identical to
+/// `Packet::update(..)` with the given retransmission flag, encoded.
+pub fn encode_update_into(
+    wid: WorkerId,
+    ver: PoolVersion,
+    idx: SlotIndex,
+    off: ElemOffset,
+    retransmission: bool,
+    values: &[i32],
+    out: &mut Vec<u8>,
+) {
+    let mut flags = 0u8;
+    if ver == PoolVersion::V1 {
+        flags |= FLAG_VER;
+    }
+    if retransmission {
+        flags |= FLAG_RETX;
+    }
+    put_header(out, flags, 0, wid, idx, off, values.len());
+    for &v in values {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+    finish_crc(out);
+}
+
+/// A validated, borrowed view of an encoded packet. [`parse`] performs
+/// the same magic/version/length/CRC checks as [`Packet::decode`] but
+/// keeps the element vector in place in the receive buffer, so the
+/// switch can fold wire values straight into its slot registers with
+/// zero per-packet allocation (the software equivalent of the P4
+/// pipeline reading header fields in place).
+///
+/// [`parse`]: PacketView::parse
+#[derive(Debug, Clone, Copy)]
+pub struct PacketView<'a> {
+    data: &'a [u8],
+    flags: u8,
+    count: usize,
+}
+
+impl<'a> PacketView<'a> {
+    /// Validate `data` and borrow it as a packet view.
+    pub fn parse(data: &'a [u8]) -> Result<PacketView<'a>> {
+        if data.len() < HEADER_LEN {
+            return Err(Error::Malformed("short header"));
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != MAGIC {
+            return Err(Error::Malformed("bad magic"));
+        }
+        if data[2] != PROTO_VERSION {
+            return Err(Error::Malformed("unsupported protocol version"));
+        }
+        let flags = data[3];
+        let count = u16::from_be_bytes([data[20], data[21]]) as usize;
+        let elem_bytes = if flags & FLAG_F16 != 0 { 2 } else { 4 };
+        if data.len() - HEADER_LEN != count * elem_bytes {
+            return Err(Error::Malformed("payload length mismatch"));
+        }
+        let checksum = u32::from_be_bytes([data[24], data[25], data[26], data[27]]);
+        let mut crc = Crc32::new();
+        crc.update(&data[..HEADER_LEN - 4]);
+        crc.update(&[0, 0, 0, 0]);
+        crc.update(&data[HEADER_LEN..]);
+        let actual = crc.finalize();
+        if actual != checksum {
+            return Err(Error::BadChecksum {
+                expected: checksum,
+                actual,
+            });
+        }
+        Ok(PacketView { data, flags, count })
+    }
+
+    pub fn kind(&self) -> PacketKind {
+        if self.flags & FLAG_RESULT != 0 {
+            PacketKind::Result
+        } else {
+            PacketKind::Update
+        }
+    }
+
+    pub fn wid(&self) -> WorkerId {
+        u16::from_be_bytes([self.data[6], self.data[7]])
+    }
+
+    pub fn ver(&self) -> PoolVersion {
+        PoolVersion::from_bit(self.flags & FLAG_VER != 0)
+    }
+
+    pub fn idx(&self) -> SlotIndex {
+        u32::from_be_bytes([self.data[8], self.data[9], self.data[10], self.data[11]])
+    }
+
+    pub fn off(&self) -> ElemOffset {
+        u64::from_be_bytes([
+            self.data[12],
+            self.data[13],
+            self.data[14],
+            self.data[15],
+            self.data[16],
+            self.data[17],
+            self.data[18],
+            self.data[19],
+        ])
+    }
+
+    pub fn job(&self) -> u8 {
+        self.data[4]
+    }
+
+    pub fn retransmission(&self) -> bool {
+        self.flags & FLAG_RETX != 0
+    }
+
+    /// Number of elements carried.
+    pub fn k(&self) -> usize {
+        self.count
+    }
+
+    /// The raw payload bytes (big-endian elements), borrowed.
+    pub fn payload_bytes(&self) -> &'a [u8] {
+        &self.data[HEADER_LEN..]
+    }
+
+    /// Materialize an owned [`Packet`] — for paths that must keep the
+    /// packet beyond the life of the receive buffer. Allocates.
+    pub fn to_packet(&self) -> Packet {
+        let bytes = self.payload_bytes();
+        let payload = if self.is_f16() {
+            Payload::F16(
+                bytes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                    .collect(),
+            )
+        } else {
+            Payload::I32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            )
+        };
+        Packet {
+            kind: self.kind(),
+            wid: self.wid(),
+            ver: self.ver(),
+            idx: self.idx(),
+            off: self.off(),
+            job: self.job(),
+            retransmission: self.retransmission(),
+            payload,
+        }
+    }
+}
+
+impl WireElems for PacketView<'_> {
+    fn n_elems(&self) -> usize {
+        self.count
+    }
+
+    fn is_f16(&self) -> bool {
+        self.flags & FLAG_F16 != 0
+    }
+
+    fn overwrite_into(&self, dst: &mut [i32]) {
+        let bytes = self.payload_bytes();
+        if self.is_f16() {
+            for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(2)) {
+                *d = f16_bits_to_i32(u16::from_be_bytes([c[0], c[1]]));
+            }
+        } else {
+            for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+                *d = i32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+            }
+        }
+    }
+
+    fn add_into(&self, acc: &mut [i32], wrapping: bool) {
+        let bytes = self.payload_bytes();
+        if self.is_f16() {
+            for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(2)) {
+                let x = f16_bits_to_i32(u16::from_be_bytes([c[0], c[1]]));
+                *a = if wrapping {
+                    a.wrapping_add(x)
+                } else {
+                    a.saturating_add(x)
+                };
+            }
+        } else if wrapping {
+            for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
+                *a = a.wrapping_add(i32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            }
+        } else {
+            for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
+                *a = a.saturating_add(i32::from_be_bytes([c[0], c[1], c[2], c[3]]));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +849,136 @@ mod tests {
             f16::f32_to_f16(0.0),
         ]);
         assert_eq!(p.to_i32(), vec![2, -8, 0]);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let mut scratch = Vec::new();
+        for p in [
+            sample(),
+            Packet {
+                kind: PacketKind::Result,
+                payload: Payload::F16(vec![f16::f32_to_f16(1.5), f16::f32_to_f16(-2.0)]),
+                ..sample()
+            },
+        ] {
+            p.encode_into(&mut scratch);
+            assert_eq!(&scratch[..], &p.encode()[..]);
+        }
+    }
+
+    #[test]
+    fn view_agrees_with_decode() {
+        for p in [
+            sample(),
+            Packet {
+                kind: PacketKind::Result,
+                retransmission: false,
+                payload: Payload::F16(vec![f16::f32_to_f16(2.5); 32]),
+                ..sample()
+            },
+        ] {
+            let bytes = p.encode();
+            let v = PacketView::parse(&bytes).unwrap();
+            assert_eq!(v.kind(), p.kind);
+            assert_eq!(v.wid(), p.wid);
+            assert_eq!(v.ver(), p.ver);
+            assert_eq!(v.idx(), p.idx);
+            assert_eq!(v.off(), p.off);
+            assert_eq!(v.job(), p.job);
+            assert_eq!(v.retransmission(), p.retransmission);
+            assert_eq!(v.k(), p.k());
+            assert_eq!(v.to_packet(), p);
+
+            // Element access matches the owned conversion.
+            let want = p.payload.to_i32();
+            let mut got = vec![0i32; v.n_elems()];
+            v.overwrite_into(&mut got);
+            assert_eq!(got, want);
+
+            let mut acc = vec![5i32; v.n_elems()];
+            v.add_into(&mut acc, false);
+            let expect: Vec<i32> = want.iter().map(|&x| x.saturating_add(5)).collect();
+            assert_eq!(acc, expect);
+        }
+    }
+
+    #[test]
+    fn view_rejects_corruption() {
+        let bytes = sample().encode().to_vec();
+        for pos in [0, 3, 10, HEADER_LEN - 4, HEADER_LEN, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(PacketView::parse(&bad).is_err(), "corruption at {pos}");
+        }
+        assert!(PacketView::parse(&bytes[..10]).is_err());
+        assert!(PacketView::parse(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn encode_result_into_matches_packet_encode() {
+        let values: Vec<i32> = (0..32).map(|i| i * 7 - 100).collect();
+        let mut scratch = Vec::new();
+        for f16_mode in [false, true] {
+            let meta = ResultMeta {
+                wid: 4,
+                ver: PoolVersion::V1,
+                idx: 9,
+                off: 4096,
+                job: 1,
+                retransmission: true,
+                f16: f16_mode,
+            };
+            encode_result_into(meta, &values, &mut scratch);
+            let reference = Packet {
+                kind: PacketKind::Result,
+                wid: 4,
+                ver: PoolVersion::V1,
+                idx: 9,
+                off: 4096,
+                job: 1,
+                retransmission: true,
+                payload: {
+                    let template = if f16_mode {
+                        Payload::F16(vec![])
+                    } else {
+                        Payload::I32(vec![])
+                    };
+                    Payload::from_i32_as(&template, &values)
+                },
+            };
+            assert_eq!(&scratch[..], &reference.encode()[..]);
+        }
+    }
+
+    #[test]
+    fn encode_update_into_matches_packet_encode() {
+        let values: Vec<i32> = (0..32).map(|i| i * 3 - 50).collect();
+        let mut scratch = Vec::new();
+        for retx in [false, true] {
+            encode_update_into(7, PoolVersion::V1, 3, 256, retx, &values, &mut scratch);
+            let mut reference = Packet::update(7, PoolVersion::V1, 3, 256, values.clone());
+            reference.retransmission = retx;
+            assert_eq!(&scratch[..], &reference.encode()[..]);
+        }
+    }
+
+    #[test]
+    fn payload_wire_elems_matches_to_i32() {
+        let p16 = Payload::F16(vec![
+            f16::f32_to_f16(2.5),
+            f16::f32_to_f16(-3.5),
+            f16::f32_to_f16(f32::NAN),
+            f16::f32_to_f16(f32::INFINITY),
+        ]);
+        let want = p16.to_i32();
+        let mut got = Vec::new();
+        p16.to_i32_into(&mut got);
+        assert_eq!(got, want);
+        let mut acc = vec![1i32; 4];
+        p16.add_into(&mut acc, false);
+        let expect: Vec<i32> = want.iter().map(|&x| x.saturating_add(1)).collect();
+        assert_eq!(acc, expect);
     }
 
     #[test]

@@ -36,35 +36,90 @@ pub fn dequantize_one(q: i32, f: f64) -> f32 {
     (q as f64 / f) as f32
 }
 
+/// Unroll width of the chunk kernels. Eight f64 lanes span two AVX2
+/// registers (or four NEON ones) — wide enough for LLVM to emit packed
+/// conversions, small enough that the `k = 32` per-packet case is
+/// exactly four iterations.
+const LANES: usize = 8;
+
+/// Branch-free ρ. Rust's float→int `as` cast saturates and maps NaN to
+/// 0, which is exactly ρ's contract (round half away from zero via
+/// `round()`, saturate at the `i32` range, NaN → 0) — so the entire
+/// operator lowers to `round` + a clamped conversion with no data-
+/// dependent branches, and the chunk kernels below auto-vectorize.
+/// Bit-identical to [`rho`]; the property tests prove it.
+#[inline(always)]
+fn rho_branchless(x: f64) -> i32 {
+    x.round() as i32
+}
+
+/// Quantize a chunk: `dst[i] = ρ(f · src[i])`, branch-free and
+/// unrolled in [`LANES`]-wide blocks so LLVM auto-vectorizes the
+/// multiply/round/convert pipeline (the software stand-in for the
+/// paper's SSE/AVX quantization, §3.7/Fig 8). Bit-identical to
+/// applying [`quantize_one`] element-wise.
+pub fn quantize_chunk(src: &[f32], f: f64, dst: &mut [i32]) {
+    assert_eq!(src.len(), dst.len());
+    let split = src.len() - src.len() % LANES;
+    let (s_body, s_tail) = src.split_at(split);
+    let (d_body, d_tail) = dst.split_at_mut(split);
+    for (s, d) in s_body
+        .chunks_exact(LANES)
+        .zip(d_body.chunks_exact_mut(LANES))
+    {
+        for i in 0..LANES {
+            d[i] = rho_branchless(s[i] as f64 * f);
+        }
+    }
+    for (d, &s) in d_tail.iter_mut().zip(s_tail) {
+        *d = rho_branchless(s as f64 * f);
+    }
+}
+
+/// Dequantize a chunk: `dst[i] = src[i] / f`, branch-free and unrolled
+/// like [`quantize_chunk`]. Bit-identical to applying
+/// [`dequantize_one`] element-wise.
+pub fn dequantize_chunk(src: &[i32], f: f64, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    let split = src.len() - src.len() % LANES;
+    let (s_body, s_tail) = src.split_at(split);
+    let (d_body, d_tail) = dst.split_at_mut(split);
+    for (s, d) in s_body
+        .chunks_exact(LANES)
+        .zip(d_body.chunks_exact_mut(LANES))
+    {
+        for i in 0..LANES {
+            d[i] = (s[i] as f64 / f) as f32;
+        }
+    }
+    for (d, &s) in d_tail.iter_mut().zip(s_tail) {
+        *d = (s as f64 / f) as f32;
+    }
+}
+
 /// Quantize a slice into a reusable output buffer.
 pub fn quantize(src: &[f32], f: f64, dst: &mut Vec<i32>) {
     dst.clear();
-    dst.reserve(src.len());
-    dst.extend(src.iter().map(|&x| quantize_one(x, f)));
+    dst.resize(src.len(), 0);
+    quantize_chunk(src, f, dst);
 }
 
 /// Dequantize a slice into a reusable output buffer.
 pub fn dequantize(src: &[i32], f: f64, dst: &mut Vec<f32>) {
     dst.clear();
-    dst.reserve(src.len());
-    dst.extend(src.iter().map(|&q| dequantize_one(q, f)));
+    dst.resize(src.len(), 0.0);
+    dequantize_chunk(src, f, dst);
 }
 
 /// Quantize directly into a fixed-size chunk (the per-packet hot path:
 /// no allocation, k is typically 32).
 pub fn quantize_into(src: &[f32], f: f64, dst: &mut [i32]) {
-    debug_assert_eq!(src.len(), dst.len());
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = quantize_one(s, f);
-    }
+    quantize_chunk(src, f, dst);
 }
 
 /// Dequantize directly from a chunk into a tensor region.
 pub fn dequantize_into(src: &[i32], f: f64, dst: &mut [f32]) {
-    debug_assert_eq!(src.len(), dst.len());
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = dequantize_one(s, f);
-    }
+    dequantize_chunk(src, f, dst);
 }
 
 /// Saturating element-wise vector addition — the switch's aggregation
@@ -170,5 +225,109 @@ mod tests {
         let mut back_c = [0f32; 32];
         dequantize_into(&chunk, f, &mut back_c);
         assert_eq!(back_v.as_slice(), back_c.as_slice());
+    }
+
+    #[test]
+    fn branchless_rho_edge_cases() {
+        // The exact inputs where the branchy reference and a naive
+        // rewrite could diverge: saturation boundaries, halfway points
+        // at and around the i32 range, specials.
+        let cases = [
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            2.5,
+            -2.5,
+            0.49999999999999994, // largest f64 < 0.5
+            i32::MAX as f64,
+            i32::MAX as f64 - 0.5,
+            i32::MAX as f64 + 0.49,
+            i32::MAX as f64 + 0.5,
+            i32::MAX as f64 + 1.0,
+            i32::MIN as f64,
+            i32::MIN as f64 + 0.5,
+            i32::MIN as f64 - 0.49,
+            i32::MIN as f64 - 0.5,
+            i32::MIN as f64 - 1.0,
+            1e300,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ];
+        for x in cases {
+            assert_eq!(rho_branchless(x), rho(x), "x = {x:?}");
+        }
+    }
+
+    mod kernel_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// f32s drawn from the raw bit space: every pattern including
+        /// NaNs, infinities, subnormals and both zeros.
+        fn any_bits_f32() -> impl Strategy<Value = f32> {
+            any::<u32>().prop_map(f32::from_bits)
+        }
+
+        /// Scale factors covering the paper's range and pathological
+        /// extremes that drive ρ into saturation.
+        fn arb_scale() -> impl Strategy<Value = f64> {
+            (-60i32..60).prop_map(|e| 2f64.powi(e))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// The chunked quantize kernel is bit-identical to the
+            /// scalar reference `quantize_one` (= ρ ∘ scale) for every
+            /// f32 bit pattern, including NaN, ±∞ and saturating
+            /// magnitudes — the tail and the unrolled body both.
+            #[test]
+            fn quantize_chunk_matches_scalar(
+                src in prop::collection::vec(any_bits_f32(), 0..67),
+                f in arb_scale(),
+            ) {
+                let mut got = vec![0i32; src.len()];
+                quantize_chunk(&src, f, &mut got);
+                for (i, (&g, &x)) in got.iter().zip(&src).enumerate() {
+                    prop_assert_eq!(g, quantize_one(x, f), "elem {} x {:?}", i, x);
+                }
+            }
+
+            /// Same for dequantize: chunked kernel == scalar reference.
+            #[test]
+            fn dequantize_chunk_matches_scalar(
+                src in prop::collection::vec(any::<i32>(), 0..67),
+                f in arb_scale(),
+            ) {
+                let mut got = vec![0f32; src.len()];
+                dequantize_chunk(&src, f, &mut got);
+                for (i, (&g, &q)) in got.iter().zip(&src).enumerate() {
+                    prop_assert_eq!(g.to_bits(), dequantize_one(q, f).to_bits(), "elem {} q {}", i, q);
+                }
+            }
+
+            /// ρ itself: the branch-free form equals the branchy
+            /// reference over the full f64 bit space.
+            #[test]
+            fn rho_branchless_matches_reference(bits in any::<u64>()) {
+                let x = f64::from_bits(bits);
+                prop_assert_eq!(rho_branchless(x), rho(x));
+            }
+
+            /// Half-away-from-zero at every representable halfway point
+            /// near the origin, where round-half-even would differ.
+            #[test]
+            fn rho_half_away_from_zero(n in -1_000_000i32..1_000_000) {
+                let x = n as f64 + 0.5;
+                let expect = if x >= 0.0 { n + 1 } else { n };
+                prop_assert_eq!(rho_branchless(x), expect);
+                prop_assert_eq!(rho(x), expect);
+            }
+        }
     }
 }

@@ -107,7 +107,7 @@ pub fn masks_cancel(n: usize, group_seed: u64, off: u64) -> bool {
 mod tests {
     use super::*;
     use crate::config::Protocol;
-    use crate::packet::{Packet, PoolVersion};
+    use crate::packet::{Packet, Payload, PoolVersion};
     use crate::switch::basic::BasicSwitch;
     use crate::switch::SwitchAction;
 
@@ -157,7 +157,11 @@ mod tests {
                 .on_packet(Packet::update(w as u16, PoolVersion::V0, 0, 0, masked))
                 .unwrap()
             {
-                result = Some(r.payload.to_i32());
+                // Move the aggregate out of the result packet — no copy.
+                result = match r.payload {
+                    Payload::I32(v) => Some(v),
+                    other => panic!("expected i32 payload, got {other:?}"),
+                };
             }
         }
         // ...but the aggregate is exact: the masks cancelled.
@@ -184,7 +188,7 @@ mod tests {
                 .on_packet(Packet::update(w as u16, PoolVersion::V0, 0, 0, masked))
                 .unwrap()
             {
-                broke = r.payload.to_i32() != vec![n as i32; 4];
+                broke = r.payload.as_i32().expect("i32 payload") != vec![n as i32; 4];
             }
         }
         assert!(broke, "saturation should have corrupted the masked sum");

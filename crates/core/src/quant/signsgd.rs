@@ -59,7 +59,7 @@ mod tests {
     #[test]
     fn end_to_end_vote_through_switch() {
         use crate::config::Protocol;
-        use crate::packet::{Packet, PoolVersion};
+        use crate::packet::{Packet, Payload, PoolVersion};
         use crate::switch::basic::BasicSwitch;
         use crate::switch::SwitchAction;
         // 5 workers vote on 4 components; workers 0–2 say [+,−,+,−],
@@ -84,7 +84,11 @@ mod tests {
                 .on_packet(Packet::update(w, PoolVersion::V0, 0, 0, signs))
                 .unwrap()
             {
-                result = Some(r.payload.to_i32());
+                // Move the tally out of the result packet — no copy.
+                result = match r.payload {
+                    Payload::I32(v) => Some(v),
+                    other => panic!("expected i32 payload, got {other:?}"),
+                };
             }
         }
         let tally = result.expect("vote completed");

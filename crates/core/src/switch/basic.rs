@@ -18,11 +18,13 @@
 //! Valid only on a lossless fabric ("a SwitchML instance running in a
 //! lossless network such as Infiniband or lossless RoCE", §3.2).
 
-use super::{SwitchAction, SwitchStats};
+use super::{SwitchAction, SwitchStats, WireAction};
 use crate::config::Protocol;
 use crate::error::{Error, Result};
-use crate::packet::{Packet, PacketKind, Payload};
-use crate::quant::{saturating_add_into, wrapping_add_into};
+use crate::packet::{
+    encode_result_into, Packet, PacketKind, PacketView, Payload, ResultMeta, SlotIndex, WireElems,
+    WorkerId,
+};
 
 /// The lossless-network aggregation core.
 #[derive(Debug)]
@@ -56,46 +58,92 @@ impl BasicSwitch {
         self.stats
     }
 
-    /// Process one update packet.
-    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
-        if p.kind != PacketKind::Update {
+    /// Algorithm 1's per-packet state transition, shared by the owned
+    /// and borrowed ingress paths. Folds `elems` into the slot; on the
+    /// n-th contribution returns `true` with the aggregate left in
+    /// `pool[idx]` — the caller emits it, then resets the slot via
+    /// [`Self::release_slot`].
+    fn step<E: WireElems>(
+        &mut self,
+        kind: PacketKind,
+        wid: WorkerId,
+        idx: SlotIndex,
+        elems: &E,
+    ) -> Result<bool> {
+        if kind != PacketKind::Update {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("result packet sent to switch"));
         }
-        let idx = p.idx as usize;
+        let idx = idx as usize;
         if idx >= self.pool.len() {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("slot index >= pool size"));
         }
-        if p.k() != self.k {
+        if elems.n_elems() != self.k {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("element count != k"));
         }
-        if (p.wid as usize) >= self.n {
+        if (wid as usize) >= self.n {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("worker id >= n"));
         }
         self.stats.updates += 1;
 
-        let vec = p.payload.to_i32();
-        if self.wrapping {
-            wrapping_add_into(&mut self.pool[idx], &vec);
-        } else {
-            saturating_add_into(&mut self.pool[idx], &vec);
-        }
+        elems.add_into(&mut self.pool[idx], self.wrapping);
         self.count[idx] += 1;
 
         if self.count[idx] == self.n {
-            // Rewrite the packet's vector with the aggregate, reset the
-            // slot, and multicast.
-            p.payload = Payload::from_i32_as(&p.payload, &self.pool[idx]);
-            p.kind = PacketKind::Result;
-            self.pool[idx].iter_mut().for_each(|x| *x = 0);
             self.count[idx] = 0;
             self.stats.completions += 1;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Zero a completed slot once its aggregate has been emitted.
+    fn release_slot(&mut self, idx: usize) {
+        self.pool[idx].iter_mut().for_each(|x| *x = 0);
+    }
+
+    /// Process one update packet.
+    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        if self.step(p.kind, p.wid, p.idx, &p.payload)? {
+            // Rewrite the packet's vector with the aggregate, reset the
+            // slot, and multicast.
+            let idx = p.idx as usize;
+            p.payload = Payload::from_i32_as(&p.payload, &self.pool[idx]);
+            p.kind = PacketKind::Result;
+            self.release_slot(idx);
             Ok(SwitchAction::Multicast(p))
         } else {
             Ok(SwitchAction::Drop)
+        }
+    }
+
+    /// Process one update in place — the zero-allocation wire path.
+    /// Aggregates the view's elements straight into the slot registers
+    /// and, on completion, encodes the result packet into `out`.
+    pub fn on_view(&mut self, v: &PacketView<'_>, out: &mut Vec<u8>) -> Result<WireAction> {
+        if self.step(v.kind(), v.wid(), v.idx(), v)? {
+            let idx = v.idx() as usize;
+            encode_result_into(
+                ResultMeta {
+                    wid: v.wid(),
+                    ver: v.ver(),
+                    idx: v.idx(),
+                    off: v.off(),
+                    job: v.job(),
+                    retransmission: v.retransmission(),
+                    f16: v.is_f16(),
+                },
+                &self.pool[idx],
+                out,
+            );
+            self.release_slot(idx);
+            Ok(WireAction::Multicast)
+        } else {
+            Ok(WireAction::Drop)
         }
     }
 }
@@ -200,6 +248,43 @@ mod tests {
         assert!(sw.on_packet(update(5, 0, 0, vec![1, 2])).is_err()); // bad wid
         assert!(sw.on_packet(update(0, 0, 0, vec![1])).is_err()); // bad k
         assert_eq!(sw.stats().rejected, 3);
+    }
+
+    #[test]
+    fn on_view_matches_on_packet() {
+        // The borrowed wire path and the owned path are the same state
+        // machine: identical actions, identical result bytes.
+        let mut owned = BasicSwitch::new(&proto(3, 4, 2)).unwrap();
+        let mut wire = BasicSwitch::new(&proto(3, 4, 2)).unwrap();
+        let mut scratch = Vec::new();
+        for wid in 0..3u16 {
+            let p = update(wid, 1, 8, vec![wid as i32, 1, 2, 3]);
+            let bytes = p.encode();
+            let view = PacketView::parse(&bytes).unwrap();
+            let owned_action = owned.on_packet(p).unwrap();
+            let wire_action = wire.on_view(&view, &mut scratch).unwrap();
+            match (owned_action, wire_action) {
+                (SwitchAction::Drop, WireAction::Drop) => {}
+                (SwitchAction::Multicast(q), WireAction::Multicast) => {
+                    assert_eq!(&scratch[..], &q.encode()[..]);
+                }
+                (a, b) => panic!("paths diverged: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(owned.stats(), wire.stats());
+        // Slot was released on both paths: a second phase aggregates
+        // from zero.
+        for wid in 0..3u16 {
+            let p = update(wid, 1, 16, vec![1, 1, 1, 1]);
+            let bytes = p.encode();
+            let view = PacketView::parse(&bytes).unwrap();
+            owned.on_packet(p).unwrap();
+            wire.on_view(&view, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            Packet::decode(&scratch).unwrap().payload,
+            Payload::I32(vec![3, 3, 3, 3])
+        );
     }
 
     #[test]

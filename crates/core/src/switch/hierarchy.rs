@@ -17,7 +17,7 @@ use super::reliable::ReliableSwitch;
 use super::{SwitchAction, SwitchStats};
 use crate::config::Protocol;
 use crate::error::Result;
-use crate::packet::{ElemOffset, Packet, PacketKind, Payload, WorkerId};
+use crate::packet::{ElemOffset, Packet, PacketKind, Payload, WireElems, WorkerId};
 
 /// Position of a switch in the aggregation tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,10 +136,21 @@ impl HierarchicalSwitch {
             "root has no parent"
         );
         let idx = pkt.idx as usize;
-        self.results[pkt.ver.index()][idx] = Some(CachedResult {
-            off: pkt.off,
-            values: pkt.payload.to_i32(),
-        });
+        // Reuse the cache entry's allocation across phases: this runs
+        // once per result per slot, steady-state, and the vector is
+        // always exactly k elements.
+        match &mut self.results[pkt.ver.index()][idx] {
+            Some(cached) => {
+                cached.off = pkt.off;
+                pkt.payload.to_i32_into(&mut cached.values);
+            }
+            entry @ None => {
+                *entry = Some(CachedResult {
+                    off: pkt.off,
+                    values: pkt.payload.to_i32(),
+                });
+            }
+        }
         Ok(vec![HierAction::MulticastDown(pkt)])
     }
 }

@@ -37,6 +37,23 @@ pub enum SwitchAction {
     Drop,
 }
 
+/// What the switch does in response to one received packet on the
+/// zero-allocation wire path ([`basic::BasicSwitch::on_view`],
+/// [`reliable::ReliableSwitch::on_view`]). Unlike [`SwitchAction`] the
+/// response packet is not carried here — it is already encoded into
+/// the caller's scratch buffer, ready to put on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAction {
+    /// The scratch buffer holds a result packet to broadcast to every
+    /// worker.
+    Multicast,
+    /// The scratch buffer holds a cached result to unicast to this
+    /// worker (Algorithm 3, line 21).
+    Unicast(WorkerId),
+    /// Aggregated (or ignored as duplicate); scratch untouched.
+    Drop,
+}
+
 /// Counters exposed by both switch variants, for tests and the
 /// evaluation harness.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -15,12 +15,14 @@
 //! separate cleanup pass, which is what makes the switch dataplane
 //! simple enough for a single ingress pipeline.
 
-use super::{SwitchAction, SwitchStats};
+use super::{SwitchAction, SwitchStats, WireAction};
 use crate::bitmap::WorkerBitmap;
 use crate::config::Protocol;
 use crate::error::{Error, Result};
-use crate::packet::{ElemOffset, Packet, PacketKind, Payload};
-use crate::quant::{saturating_add_into, wrapping_add_into};
+use crate::packet::{
+    encode_result_into, ElemOffset, Packet, PacketKind, PacketView, Payload, PoolVersion,
+    ResultMeta, SlotIndex, WireElems, WorkerId,
+};
 
 /// Per-(version, slot) aggregation state.
 #[derive(Debug, Clone)]
@@ -76,29 +78,40 @@ impl ReliableSwitch {
         self.stats
     }
 
-    /// Process one update packet, returning what to transmit.
-    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
-        if p.kind != PacketKind::Update {
+    /// Algorithm 3's per-packet state transition, shared by the owned
+    /// and borrowed ingress paths. On [`Verdict::Completed`] and
+    /// [`Verdict::Cached`] the slot's `value` holds the aggregate the
+    /// caller must emit (it stays in place as the shadow copy).
+    fn step<E: WireElems>(
+        &mut self,
+        kind: PacketKind,
+        wid: WorkerId,
+        ver: PoolVersion,
+        idx: SlotIndex,
+        off: ElemOffset,
+        elems: &E,
+    ) -> Result<Verdict> {
+        if kind != PacketKind::Update {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("result packet sent to switch"));
         }
-        let idx = p.idx as usize;
+        let idx = idx as usize;
         if idx >= self.pools[0].len() {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("slot index >= pool size"));
         }
-        if p.k() != self.k {
+        if elems.n_elems() != self.k {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("element count != k"));
         }
-        let wid = p.wid as usize;
+        let wid = wid as usize;
         if wid >= self.n {
             self.stats.rejected += 1;
             return Err(Error::OutOfRange("worker id >= n"));
         }
         self.stats.updates += 1;
 
-        let ver = p.ver.index();
+        let ver = ver.index();
         let other = 1 - ver;
 
         if !self.pools[ver][idx].seen.contains(wid) {
@@ -107,25 +120,20 @@ impl ReliableSwitch {
             self.pools[other][idx].seen.clear(wid);
 
             let slot = &mut self.pools[ver][idx];
-            let vec = p.payload.to_i32();
             if slot.count == 0 {
                 // First contribution of the phase overwrites (implicit
                 // slot release of the phase before the shadow copy).
-                slot.value.copy_from_slice(&vec);
-                slot.off = p.off;
+                elems.overwrite_into(&mut slot.value);
+                slot.off = off;
             } else {
-                if slot.off != p.off {
+                if slot.off != off {
                     self.stats.rejected += 1;
                     return Err(Error::ProtocolViolation(format!(
                         "slot {idx} ver {ver}: worker {wid} sent off {} but phase off is {}",
-                        p.off, slot.off
+                        off, slot.off
                     )));
                 }
-                if self.wrapping {
-                    wrapping_add_into(&mut slot.value, &vec);
-                } else {
-                    saturating_add_into(&mut slot.value, &vec);
-                }
+                elems.add_into(&mut slot.value, self.wrapping);
             }
             slot.count = (slot.count + 1) % self.n;
 
@@ -133,31 +141,84 @@ impl ReliableSwitch {
                 // All n contributions in: emit the aggregate. The slot
                 // retains the result as the shadow copy until the
                 // other pool's phase completes.
-                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
-                p.kind = PacketKind::Result;
                 self.stats.completions += 1;
-                Ok(SwitchAction::Multicast(p))
+                Ok(Verdict::Completed)
             } else {
-                Ok(SwitchAction::Drop)
+                Ok(Verdict::Drop)
             }
         } else {
             // Duplicate: this worker already contributed to this phase.
             self.stats.duplicates += 1;
-            let slot = &self.pools[ver][idx];
-            if slot.count == 0 {
+            if self.pools[ver][idx].count == 0 {
                 // Aggregation complete — the response must have been
                 // lost; unicast the cached result back (Alg 3 line 21).
-                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
-                p.kind = PacketKind::Result;
                 self.stats.result_retx += 1;
-                Ok(SwitchAction::Unicast(p.wid, p))
+                Ok(Verdict::Cached)
             } else {
                 // Still aggregating; the original contribution is
                 // already folded in. Ignore.
-                Ok(SwitchAction::Drop)
+                Ok(Verdict::Drop)
             }
         }
     }
+
+    /// Process one update packet, returning what to transmit.
+    pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        match self.step(p.kind, p.wid, p.ver, p.idx, p.off, &p.payload)? {
+            Verdict::Drop => Ok(SwitchAction::Drop),
+            Verdict::Completed => {
+                let slot = &self.pools[p.ver.index()][p.idx as usize];
+                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
+                p.kind = PacketKind::Result;
+                Ok(SwitchAction::Multicast(p))
+            }
+            Verdict::Cached => {
+                let slot = &self.pools[p.ver.index()][p.idx as usize];
+                p.payload = Payload::from_i32_as(&p.payload, &slot.value);
+                p.kind = PacketKind::Result;
+                Ok(SwitchAction::Unicast(p.wid, p))
+            }
+        }
+    }
+
+    /// Process one update in place — the zero-allocation wire path.
+    /// Folds the view's elements straight into the slot registers and,
+    /// when there is a result to send, encodes it into `out`.
+    pub fn on_view(&mut self, v: &PacketView<'_>, out: &mut Vec<u8>) -> Result<WireAction> {
+        let verdict = self.step(v.kind(), v.wid(), v.ver(), v.idx(), v.off(), v)?;
+        if verdict == Verdict::Drop {
+            return Ok(WireAction::Drop);
+        }
+        let slot = &self.pools[v.ver().index()][v.idx() as usize];
+        encode_result_into(
+            ResultMeta {
+                wid: v.wid(),
+                ver: v.ver(),
+                idx: v.idx(),
+                off: v.off(),
+                job: v.job(),
+                retransmission: v.retransmission(),
+                f16: v.is_f16(),
+            },
+            &slot.value,
+            out,
+        );
+        Ok(match verdict {
+            Verdict::Completed => WireAction::Multicast,
+            _ => WireAction::Unicast(v.wid()),
+        })
+    }
+}
+
+/// Outcome of [`ReliableSwitch::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Aggregated or ignored; nothing to send.
+    Drop,
+    /// Slot just completed: multicast its value.
+    Completed,
+    /// Duplicate after completion: unicast the cached value.
+    Cached,
 }
 
 #[cfg(test)]
@@ -347,6 +408,44 @@ mod tests {
             SwitchAction::Multicast(p) => assert_eq!(p.payload, Payload::I32(vec![4, 5])),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn on_view_matches_on_packet() {
+        // Drive the same loss scenario (completion, duplicate-ignore,
+        // cached unicast) through both ingress paths and demand
+        // byte-identical responses and identical stats.
+        let mut owned = ReliableSwitch::new(&proto(2, 2, 1)).unwrap();
+        let mut wire = ReliableSwitch::new(&proto(2, 2, 1)).unwrap();
+        let mut scratch = Vec::new();
+        let script = [
+            pkt(0, PoolVersion::V0, 0, 0, vec![1, 2]),
+            pkt(0, PoolVersion::V0, 0, 0, vec![1, 2]), // dup before completion
+            pkt(1, PoolVersion::V0, 0, 0, vec![10, 20]), // completes
+            pkt(0, PoolVersion::V0, 0, 0, vec![1, 2]), // dup after: unicast
+            pkt(0, PoolVersion::V1, 0, 2, vec![3, 4]), // next phase
+            pkt(1, PoolVersion::V1, 0, 2, vec![5, 6]), // completes
+        ];
+        for p in script {
+            let bytes = p.encode();
+            let view = PacketView::parse(&bytes).unwrap();
+            let owned_action = owned.on_packet(p).unwrap();
+            let wire_action = wire.on_view(&view, &mut scratch).unwrap();
+            match (owned_action, wire_action) {
+                (SwitchAction::Drop, WireAction::Drop) => {}
+                (SwitchAction::Multicast(q), WireAction::Multicast) => {
+                    assert_eq!(&scratch[..], &q.encode()[..]);
+                }
+                (SwitchAction::Unicast(w1, q), WireAction::Unicast(w2)) => {
+                    assert_eq!(w1, w2);
+                    assert_eq!(&scratch[..], &q.encode()[..]);
+                }
+                (a, b) => panic!("paths diverged: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(owned.stats(), wire.stats());
+        assert_eq!(wire.stats().result_retx, 1);
+        assert_eq!(wire.stats().completions, 2);
     }
 
     #[test]

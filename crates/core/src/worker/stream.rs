@@ -12,7 +12,7 @@ use crate::config::NumericMode;
 use crate::error::{Error, Result};
 use crate::packet::{ElemOffset, Payload};
 use crate::quant::f16::{f16_to_f32, f32_to_f16};
-use crate::quant::fixed::{dequantize_one, quantize_one};
+use crate::quant::fixed::{dequantize_chunk, quantize_chunk};
 
 /// Gradient data in its native (framework) representation.
 #[derive(Debug, Clone)]
@@ -202,11 +202,8 @@ impl TensorStream {
         match (&self.buf, self.mode) {
             (StreamBuf::F32 { data, .. }, NumericMode::Fixed32) => {
                 let mut v = vec![0i32; self.k];
-                for (i, slot) in v.iter_mut().enumerate() {
-                    if let Some(&x) = data.get(off + i) {
-                        *slot = quantize_one(x, self.f);
-                    }
-                }
+                let n = self.k.min(data.len().saturating_sub(off));
+                quantize_chunk(&data[off..off + n], self.f, &mut v[..n]);
                 Ok(Payload::I32(v))
             }
             (StreamBuf::F32 { data, .. }, NumericMode::Float16) => {
@@ -220,11 +217,8 @@ impl TensorStream {
             }
             (StreamBuf::I32 { data, .. }, NumericMode::NativeInt32) => {
                 let mut v = vec![0i32; self.k];
-                for (i, slot) in v.iter_mut().enumerate() {
-                    if let Some(&x) = data.get(off + i) {
-                        *slot = x;
-                    }
-                }
+                let n = self.k.min(data.len().saturating_sub(off));
+                v[..n].copy_from_slice(&data[off..off + n]);
                 Ok(Payload::I32(v))
             }
             _ => Err(Error::InvalidConfig(
@@ -248,33 +242,22 @@ impl TensorStream {
             return Err(Error::OutOfRange("result element count != k"));
         }
         let total = self.total_elems();
+        // Pad elements past the end of the stream are discarded.
+        let n = self.k.min(total - off);
         match &mut self.buf {
-            StreamBuf::F32 { result, .. } => {
-                let write = |result: &mut Vec<f32>, i: usize, agg: f32| {
-                    if off + i < total {
-                        result[off + i] = agg;
-                    }
-                };
-                match payload {
-                    Payload::I32(v) => {
-                        for (i, &q) in v.iter().enumerate() {
-                            write(result, i, dequantize_one(q, self.f));
-                        }
-                    }
-                    Payload::F16(v) => {
-                        for (i, &h) in v.iter().enumerate() {
-                            write(result, i, (f16_to_f32(h) as f64 / self.f) as f32);
-                        }
+            StreamBuf::F32 { result, .. } => match payload {
+                Payload::I32(v) => {
+                    dequantize_chunk(&v[..n], self.f, &mut result[off..off + n]);
+                }
+                Payload::F16(v) => {
+                    for (r, &h) in result[off..off + n].iter_mut().zip(v) {
+                        *r = (f16_to_f32(h) as f64 / self.f) as f32;
                     }
                 }
-            }
+            },
             StreamBuf::I32 { result, .. } => match payload {
                 Payload::I32(v) => {
-                    for (i, &q) in v.iter().enumerate() {
-                        if off + i < total {
-                            result[off + i] = q;
-                        }
-                    }
+                    result[off..off + n].copy_from_slice(&v[..n]);
                 }
                 Payload::F16(_) => {
                     return Err(Error::InvalidConfig(

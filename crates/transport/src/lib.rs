@@ -25,7 +25,9 @@ pub mod channel;
 pub mod lossy;
 pub mod port;
 pub mod runner;
+pub mod shard;
 pub mod udp;
 
 pub use port::{worker_endpoint, Port, SWITCH_ENDPOINT};
 pub use runner::{run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport};
+pub use shard::{run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size};

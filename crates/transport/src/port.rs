@@ -19,6 +19,20 @@ pub trait Port: Send {
     /// Receive the next datagram, waiting at most `timeout`.
     /// `None` means the timeout elapsed.
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)>;
+
+    /// Receive the next datagram into a caller-owned scratch buffer,
+    /// reusing its capacity; returns the sender index. This is the
+    /// allocation-free receive path (the software analogue of DPDK's
+    /// preallocated mbuf pool): steady-state loops call it with the
+    /// same buffer every iteration. The default routes through
+    /// [`Port::recv_timeout`]; transports with internal receive
+    /// buffers override it to skip the intermediate `Vec`.
+    fn recv_into(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> Option<usize> {
+        let (from, data) = self.recv_timeout(timeout)?;
+        buf.clear();
+        buf.extend_from_slice(&data);
+        Some(from)
+    }
 }
 
 /// Conventional endpoint index of the switch.

@@ -13,12 +13,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use switchml_core::config::Protocol;
 use switchml_core::error::{Error, Result};
-use switchml_core::packet::Packet;
+use switchml_core::packet::{Packet, PacketView, HEADER_LEN, MAX_K};
 use switchml_core::switch::reliable::ReliableSwitch;
-use switchml_core::switch::{SwitchAction, SwitchStats};
+use switchml_core::switch::{SwitchStats, WireAction};
 use switchml_core::worker::engine::EngineStats;
 use switchml_core::worker::stream::TensorStream;
 use switchml_core::worker::Worker;
+
+/// Scratch capacity covering any wire packet we produce or accept.
+pub(crate) const SCRATCH_CAPACITY: usize = HEADER_LEN + 4 * MAX_K;
 
 /// Runner options.
 #[derive(Debug, Clone)]
@@ -56,29 +59,37 @@ fn switch_loop<P: Port>(
 ) -> Result<SwitchStats> {
     let n = proto.n_workers;
     let mut switch = ReliableSwitch::new(proto)?;
+    // The aggregation hot path is allocation-free: datagrams land in
+    // `rx`, are parsed as a borrowed [`PacketView`], aggregated
+    // straight into the slot registers, and the response is encoded
+    // into `tx` — both buffers reused for the lifetime of the thread.
+    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
+    let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(
                 "switch thread exceeded the wall-clock budget".into(),
             ));
         }
-        let Some((_, data)) = port.recv_timeout(Duration::from_micros(200)) else {
+        if port
+            .recv_into(&mut rx, Duration::from_micros(200))
+            .is_none()
+        {
             continue;
-        };
-        let Ok(pkt) = Packet::decode(&data) else {
+        }
+        let Ok(view) = PacketView::parse(&rx) else {
             continue; // corrupted / foreign datagram
         };
-        match switch.on_packet(pkt)? {
-            SwitchAction::Multicast(result) => {
-                let bytes = result.encode();
+        match switch.on_view(&view, &mut tx)? {
+            WireAction::Multicast => {
                 for w in 0..n {
-                    port.send(crate::port::worker_endpoint(w), &bytes);
+                    port.send(crate::port::worker_endpoint(w), &tx);
                 }
             }
-            SwitchAction::Unicast(wid, result) => {
-                port.send(crate::port::worker_endpoint(wid as usize), &result.encode());
+            WireAction::Unicast(wid) => {
+                port.send(crate::port::worker_endpoint(wid as usize), &tx);
             }
-            SwitchAction::Drop => {}
+            WireAction::Drop => {}
         }
     }
     Ok(switch.stats())
@@ -92,8 +103,13 @@ fn drive_worker<P: Port>(
     epoch: Instant,
 ) -> Result<()> {
     let now_ns = || epoch.elapsed().as_nanos() as u64;
+    // Reusable wire scratch: receives land in `rx`, sends are encoded
+    // into `tx` in place of per-packet `encode()` allocations.
+    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
+    let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
     for pkt in worker.start(now_ns())? {
-        port.send(SWITCH_ENDPOINT, &pkt.encode());
+        pkt.encode_into(&mut tx);
+        port.send(SWITCH_ENDPOINT, &tx);
     }
     while !worker.is_done() {
         if Instant::now() > deadline {
@@ -108,17 +124,22 @@ fn drive_worker<P: Port>(
             .map(|d| d.saturating_sub(now_ns()))
             .unwrap_or(1_000_000)
             .clamp(1, 5_000_000); // poll at least every 5 ms
-        if let Some((_, data)) = port.recv_timeout(Duration::from_nanos(wait)) {
-            if let Ok(pkt) = Packet::decode(&data) {
+        if port
+            .recv_into(&mut rx, Duration::from_nanos(wait))
+            .is_some()
+        {
+            if let Ok(pkt) = Packet::decode(&rx) {
                 for out in worker.on_result(&pkt, now_ns())? {
-                    port.send(SWITCH_ENDPOINT, &out.encode());
+                    out.encode_into(&mut tx);
+                    port.send(SWITCH_ENDPOINT, &tx);
                 }
             }
         }
         let t = now_ns();
         if worker.next_deadline().is_some_and(|d| d <= t) {
             for pkt in worker.expired(t)? {
-                port.send(SWITCH_ENDPOINT, &pkt.encode());
+                pkt.encode_into(&mut tx);
+                port.send(SWITCH_ENDPOINT, &tx);
             }
         }
     }

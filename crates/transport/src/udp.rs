@@ -75,6 +75,23 @@ impl Port for UdpPort {
             Err(_) => None,
         }
     }
+
+    fn recv_into(&mut self, buf: &mut Vec<u8>, timeout: Duration) -> Option<usize> {
+        // Straight from the socket's internal buffer into the caller's
+        // scratch: no per-datagram allocation.
+        self.socket
+            .set_read_timeout(Some(timeout.max(Duration::from_micros(1))))
+            .ok()?;
+        match self.socket.recv_from(self.buf.as_mut_slice()) {
+            Ok((len, addr)) => {
+                let from = self.peers.iter().position(|&p| p == addr)?;
+                buf.clear();
+                buf.extend_from_slice(&self.buf[..len]);
+                Some(from)
+            }
+            Err(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
