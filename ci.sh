@@ -21,4 +21,22 @@ cargo bench --workspace --no-run
 echo "== hotpath smoke (release, sharded runner with n_cores > 1, zero-alloc check)"
 cargo run --release -q -p switchml-bench --bin hotpath -- --smoke
 
+echo "== model checker: bounded-exhaustive exploration (release, hard time budget)"
+# The two acceptance configurations must explore to exhaustion with
+# zero violations. `timeout` enforces the CI wall-clock budget.
+timeout 120 cargo run --release -q -p switchml-cli -- check \
+    --workers 2 --slots 1 --chunks 2
+timeout 300 cargo run --release -q -p switchml-cli -- check \
+    --workers 2 --slots 2 --chunks 3
+# The seeded mutant (Algorithm 3 minus the duplicate check) must be
+# caught — a checker that cannot fail is not checking anything.
+if timeout 120 cargo run --release -q -p switchml-cli -- check \
+    --switch mutant-no-bitmap >/dev/null 2>&1; then
+  echo "ERROR: explorer failed to catch the no-bitmap mutant" >&2
+  exit 1
+fi
+
+echo "== model checker: regression trace replay (release)"
+timeout 300 cargo test --release -q -p switchml-check
+
 echo "CI green."

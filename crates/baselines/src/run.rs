@@ -75,6 +75,10 @@ pub struct CollectiveOutcome {
     pub total_retx: u64,
     /// Aggregated tensor elements per second (elems / mean TAT).
     pub ate_per_sec: f64,
+    /// Rank 0's aggregated tensors, dequantized (SwitchML traced runs
+    /// only; empty elsewhere). Bit-exact across workers and transports
+    /// for Fixed32, which the differential tests rely on.
+    pub worker0_results: Vec<Vec<f32>>,
     /// The raw simulation report (packet counters, drops, …).
     pub report: SimReport,
 }
@@ -114,6 +118,7 @@ fn outcome_from(
         verified,
         total_retx,
         ate_per_sec: ate,
+        worker0_results: Vec::new(),
         report,
     })
 }
@@ -245,6 +250,7 @@ pub fn run_switchml_traced(
     let mut rtt_n = 0u64;
     let mut p99 = 0u64;
     let mut verified = false;
+    let mut worker0_results: Vec<Vec<f32>> = Vec::new();
     for (rank, &id) in ws.iter().enumerate() {
         let node = sim
             .node(id)
@@ -263,6 +269,7 @@ pub fn run_switchml_traced(
                 }
                 mode => {
                     let got = node.worker().stream().result_tensors_f32(1)?;
+                    worker0_results = got.clone();
                     let want = expected_sum(sc.n_workers, sc.elems);
                     let tol = match mode {
                         // f16 carries an 11-bit significand: quantization
@@ -283,7 +290,9 @@ pub fn run_switchml_traced(
     } else {
         0.0
     };
-    outcome_from(report, &ws, sc.elems, mean_rtt, p99, verified, total_retx)
+    let mut out = outcome_from(report, &ws, sc.elems, mean_rtt, p99, verified, total_retx)?;
+    out.worker0_results = worker0_results;
+    Ok(out)
 }
 
 /// Run single-switch SwitchML.

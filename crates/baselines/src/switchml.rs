@@ -299,6 +299,10 @@ pub struct SwitchMLSwitchNode {
     worker_ids: Vec<NodeId>,
     host: HostModel<Packet>,
     pub net_stats: NodeNetStats,
+    /// Debug builds audit the switch against the Algorithm 3
+    /// reference model on every update.
+    #[cfg(debug_assertions)]
+    oracle: switchml_core::oracle::ReliableOracle,
 }
 
 impl SwitchMLSwitchNode {
@@ -309,6 +313,8 @@ impl SwitchMLSwitchNode {
         host_cost: Nanos,
     ) -> Self {
         SwitchMLSwitchNode {
+            #[cfg(debug_assertions)]
+            oracle: switchml_core::oracle::ReliableOracle::for_switch(&switch),
             switch,
             worker_ids,
             host: HostModel::new(n_cores, host_cost),
@@ -321,11 +327,30 @@ impl SwitchMLSwitchNode {
     }
 
     fn process(&mut self, pkt: Packet, ctx: &mut dyn NodeCtx) {
-        match self
+        #[cfg(debug_assertions)]
+        let audit = (
+            pkt.kind == switchml_core::packet::PacketKind::Update,
+            pkt.wid,
+            pkt.ver,
+            pkt.idx,
+            pkt.off,
+            pkt.payload.clone(),
+        );
+        let action = self
             .switch
             .on_packet(pkt)
-            .expect("switch rejected a packet: protocol bug")
-        {
+            .expect("switch rejected a packet: protocol bug");
+        #[cfg(debug_assertions)]
+        if audit.0 {
+            let (_, wid, ver, idx, off, payload) = audit;
+            if let Err(v) =
+                self.oracle
+                    .observe_packet(wid, ver, idx, off, &payload, &action, &self.switch)
+            {
+                panic!("simulated switch violated a protocol invariant: {v}");
+            }
+        }
+        match action {
             SwitchAction::Multicast(result) => {
                 let bytes = result.encode();
                 for &w in &self.worker_ids {

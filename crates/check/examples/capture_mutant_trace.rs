@@ -1,0 +1,60 @@
+//! Regenerate the checked-in mutant regression trace and print
+//! explorer coverage numbers.
+//!
+//! ```text
+//! cargo run --release -p switchml-check --example capture_mutant_trace
+//! ```
+//!
+//! Prints the shrunk `.trace` JSON for the no-bitmap mutant on stdout
+//! (redirect into `crates/check/tests/traces/`) and per-configuration
+//! coverage (states visited, max depth) on stderr.
+
+use switchml_check::{
+    shrink, ExhaustiveExplorer, Expectation, Explorer, Scenario, SwitchKind, Trace,
+};
+
+fn main() {
+    for (label, sc) in [
+        ("n=2 s=1 chunks=2 (reliable)", Scenario::default()),
+        (
+            "n=2 s=2 chunks=3 (reliable)",
+            Scenario {
+                pool_size: 2,
+                n_chunks: 3,
+                ..Scenario::default()
+            },
+        ),
+    ] {
+        let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+        eprintln!(
+            "{label}: {} states, max depth {}, exhausted={}, violation={:?}",
+            report.states_visited, report.max_depth, report.exhausted, report.violation
+        );
+    }
+
+    let sc = Scenario {
+        switch: SwitchKind::MutantNoBitmap,
+        ..Scenario::default()
+    };
+    let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+    let found = report.violation.expect("mutant must be caught");
+    eprintln!(
+        "mutant: caught by [{}] after {} states ({} choices)",
+        found.violation.oracle,
+        report.states_visited,
+        found.choices.len()
+    );
+    let trace = Trace {
+        scenario: sc,
+        choices: found.choices,
+        expect: Expectation::Violation,
+        violation: Some((found.violation.oracle.clone(), found.violation.message)),
+    };
+    let (shrunk, replays) = shrink(&trace, &found.violation.oracle);
+    eprintln!(
+        "shrunk to {} choices in {} replays",
+        shrunk.choices.len(),
+        replays
+    );
+    println!("{}", shrunk.to_json_string());
+}

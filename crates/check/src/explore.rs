@@ -1,0 +1,245 @@
+//! Exploration strategies over the [`World`] transition graph.
+//!
+//! All three strategies speak the same [`Explorer`] trait and report
+//! through [`ExploreReport`]: how much of the space was covered and —
+//! if an oracle fired — the exact [`Choice`] sequence reproducing it,
+//! ready to serialize as a `.trace` and shrink.
+
+use crate::scenario::Scenario;
+use crate::world::{Choice, StepResult, Violation, World};
+
+/// A counterexample: the choices that, applied in order to
+/// `World::new(&scenario)`, produce `violation`.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    pub violation: Violation,
+    pub choices: Vec<Choice>,
+}
+
+/// What an exploration covered, and what (if anything) it found.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Distinct state fingerprints visited (exhaustive/delay-bounded)
+    /// or total steps taken (random walk).
+    pub states_visited: u64,
+    /// Deepest schedule examined, in choices.
+    pub max_depth: u64,
+    /// True when the search finished without hitting its caps — for
+    /// the exhaustive strategy this means the bounded space is fully
+    /// explored.
+    pub exhausted: bool,
+    /// The first violation found, if any. Exploration stops at the
+    /// first counterexample: shrinking makes more of one trace than a
+    /// second find would.
+    pub violation: Option<FoundViolation>,
+}
+
+pub trait Explorer {
+    fn explore(&mut self, sc: &Scenario) -> Result<ExploreReport, String>;
+}
+
+/// Bounded-exhaustive breadth-first search with fingerprint
+/// deduplication. At every *dequeued* state a cloned world is drained
+/// fault-free (the liveness + final-result oracles), so each reachable
+/// state is checked both for safety (per-step oracles on the way in)
+/// and for recoverability.
+pub struct ExhaustiveExplorer {
+    pub max_states: u64,
+    pub max_depth: u64,
+    pub drain_budget: u64,
+}
+
+impl Default for ExhaustiveExplorer {
+    fn default() -> Self {
+        ExhaustiveExplorer {
+            max_states: 2_000_000,
+            max_depth: 200,
+            drain_budget: 10_000,
+        }
+    }
+}
+
+impl Explorer for ExhaustiveExplorer {
+    fn explore(&mut self, sc: &Scenario) -> Result<ExploreReport, String> {
+        let root = World::new(sc)?;
+        bfs(root, self.max_states, self.max_depth, self.drain_budget)
+    }
+}
+
+/// Delay-bounded search: the same BFS, but the world only admits
+/// schedules within `d` deviations from oldest-first FIFO delivery.
+/// The classic observation (CHESS, delay-bounded scheduling) is that
+/// most concurrency bugs need very few deviations — so small `d`
+/// reaches interesting interleavings of configurations whose full
+/// space is far out of range.
+pub struct DelayBoundedExplorer {
+    pub d: u32,
+    pub max_states: u64,
+    pub max_depth: u64,
+    pub drain_budget: u64,
+}
+
+impl DelayBoundedExplorer {
+    pub fn new(d: u32) -> Self {
+        DelayBoundedExplorer {
+            d,
+            max_states: 2_000_000,
+            max_depth: 400,
+            drain_budget: 10_000,
+        }
+    }
+}
+
+impl Explorer for DelayBoundedExplorer {
+    fn explore(&mut self, sc: &Scenario) -> Result<ExploreReport, String> {
+        let mut bounded = sc.clone();
+        bounded.deviations = Some(self.d);
+        let root = World::new(&bounded)?;
+        bfs(root, self.max_states, self.max_depth, self.drain_budget)
+    }
+}
+
+fn bfs(
+    root: World,
+    max_states: u64,
+    max_depth: u64,
+    drain_budget: u64,
+) -> Result<ExploreReport, String> {
+    use std::collections::{HashSet, VecDeque};
+    let mut report = ExploreReport::default();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut queue: VecDeque<(World, Vec<Choice>)> = VecDeque::new();
+    visited.insert(root.fingerprint());
+    queue.push_back((root, Vec::new()));
+    report.states_visited = 1;
+    let mut capped = false;
+    while let Some((world, path)) = queue.pop_front() {
+        report.max_depth = report.max_depth.max(path.len() as u64);
+        // Recoverability: from here, a fault-free network must finish.
+        if !world.is_complete() {
+            let mut probe = world.clone();
+            if let Some(violation) = probe.drain(drain_budget) {
+                report.violation = Some(FoundViolation {
+                    violation,
+                    choices: path,
+                });
+                return Ok(report);
+            }
+        }
+        if path.len() as u64 >= max_depth {
+            capped = true;
+            continue;
+        }
+        for choice in world.enabled_choices() {
+            let mut next = world.clone();
+            match next.step(choice) {
+                StepResult::Skipped => continue,
+                StepResult::Violation(violation) => {
+                    let mut choices = path.clone();
+                    choices.push(choice);
+                    report.violation = Some(FoundViolation { violation, choices });
+                    return Ok(report);
+                }
+                StepResult::Applied => {
+                    let fp = next.fingerprint();
+                    if !visited.insert(fp) {
+                        continue;
+                    }
+                    report.states_visited += 1;
+                    if report.states_visited >= max_states {
+                        capped = true;
+                        queue.clear();
+                        break;
+                    }
+                    let mut choices = path.clone();
+                    choices.push(choice);
+                    queue.push_back((next, choices));
+                }
+            }
+        }
+        if capped && queue.is_empty() {
+            break;
+        }
+    }
+    report.exhausted = !capped;
+    Ok(report)
+}
+
+/// SplitMix64 — tiny, seedable, and good enough to pick schedule
+/// branches. Inlined so the checker stays free of RNG dependencies and
+/// every walk is a pure function of its seed.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Seeded random walks: each run picks uniformly among enabled choices
+/// until the world completes or `max_steps` is hit, then drains. Every
+/// choice is recorded, so a violation found deep in a walk is exactly
+/// as replayable as one found by BFS.
+pub struct RandomWalkExplorer {
+    pub seed: u64,
+    pub runs: u64,
+    pub max_steps: u64,
+    pub drain_budget: u64,
+}
+
+impl RandomWalkExplorer {
+    pub fn new(seed: u64, runs: u64, max_steps: u64) -> Self {
+        RandomWalkExplorer {
+            seed,
+            runs,
+            max_steps,
+            drain_budget: 10_000,
+        }
+    }
+}
+
+impl Explorer for RandomWalkExplorer {
+    fn explore(&mut self, sc: &Scenario) -> Result<ExploreReport, String> {
+        let mut report = ExploreReport::default();
+        for run in 0..self.runs {
+            let mut rng = SplitMix64(self.seed ^ run.wrapping_mul(0xA076_1D64_78BD_642F));
+            let mut world = World::new(sc)?;
+            let mut choices: Vec<Choice> = Vec::new();
+            for _ in 0..self.max_steps {
+                if world.is_complete() && world.n_inflight() == 0 {
+                    break;
+                }
+                let enabled = world.enabled_choices();
+                if enabled.is_empty() {
+                    break;
+                }
+                let choice = enabled[rng.below(enabled.len())];
+                choices.push(choice);
+                report.states_visited += 1;
+                match world.step(choice) {
+                    StepResult::Applied | StepResult::Skipped => {}
+                    StepResult::Violation(violation) => {
+                        report.max_depth = report.max_depth.max(choices.len() as u64);
+                        report.violation = Some(FoundViolation { violation, choices });
+                        return Ok(report);
+                    }
+                }
+            }
+            report.max_depth = report.max_depth.max(choices.len() as u64);
+            if let Some(violation) = world.drain(self.drain_budget) {
+                report.violation = Some(FoundViolation { violation, choices });
+                return Ok(report);
+            }
+        }
+        report.exhausted = true;
+        Ok(report)
+    }
+}

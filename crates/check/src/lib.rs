@@ -1,0 +1,50 @@
+//! `switchml-check` — deterministic model checking for the SwitchML
+//! protocol state machines.
+//!
+//! The sans-IO cores ([`switchml_core::switch`] and
+//! [`switchml_core::worker`]) make the protocol a closed system: a
+//! [`world::World`] holds one switch, `n` workers, and the set of
+//! in-flight packets, and *every* network event — deliver, drop,
+//! duplicate, retransmission timeout — is an explicit
+//! [`world::Choice`] made by an adversarial scheduler instead of a
+//! thread interleaving or an RNG. That turns the rare schedules that
+//! break loss-recovery protocols (duplicate after slot reuse, reorder
+//! across pool versions, loss during the last phase) into enumerable,
+//! replayable points in a finite state space.
+//!
+//! Three strategies implement [`explore::Explorer`]:
+//!
+//! * [`explore::ExhaustiveExplorer`] — bounded BFS with state
+//!   fingerprint deduplication, exhaustive for tiny configurations
+//!   (n = 2–3 workers, s = 1–2 slots, 2–4 chunks);
+//! * [`explore::DelayBoundedExplorer`] — the same search restricted to
+//!   schedules within `d` deviations from FIFO delivery (the
+//!   delay-bounding heuristic: most protocol bugs hide at small `d`);
+//! * [`explore::RandomWalkExplorer`] — seeded random walks with
+//!   per-step choice recording, for configurations past exhaustion.
+//!
+//! After every step the oracle suite ([`switchml_core::oracle`] plus
+//! the worker-side checks in [`world`]) re-derives the §3.5
+//! invariants; a violation serializes the exact choice sequence to a
+//! `.trace` JSON ([`trace`]) that [`trace::replay`] re-executes
+//! step-for-step and [`shrink::shrink`] reduces to a minimal schedule
+//! by greedy delta debugging. [`model::MutantSwitch`] — Algorithm 3
+//! with the `seen`-bitmap duplicate check deliberately removed — keeps
+//! the whole pipeline honest: the explorer must catch it, shrink the
+//! counterexample, and replay it.
+
+pub mod explore;
+pub mod model;
+pub mod scenario;
+pub mod shrink;
+pub mod trace;
+pub mod world;
+
+pub use explore::{
+    DelayBoundedExplorer, ExhaustiveExplorer, ExploreReport, Explorer, FoundViolation,
+    RandomWalkExplorer,
+};
+pub use scenario::{Scenario, SwitchKind};
+pub use shrink::shrink;
+pub use trace::{replay, Expectation, ReplayOutcome, Trace};
+pub use world::{Choice, StepResult, Violation, World};

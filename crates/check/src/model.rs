@@ -1,0 +1,270 @@
+//! The switch under test, with its invariant oracle attached.
+//!
+//! [`SwitchModel`] pairs each switch state machine with the matching
+//! reference-model oracle from [`switchml_core::oracle`] and runs the
+//! two in lock-step: every delivered update advances both, and any
+//! divergence (state or action) surfaces as a [`Violation`] carrying
+//! the oracle's diagnosis.
+//!
+//! [`MutantSwitch`] is the checker's built-in mutation: Algorithm 3
+//! re-implemented *without* the `seen`-bitmap duplicate check, so a
+//! duplicated or retransmitted update is folded into the aggregate
+//! twice. The explorer must catch it — that is the acceptance test for
+//! the whole harness.
+
+use crate::scenario::{Scenario, SwitchKind};
+use crate::world::Violation;
+use switchml_core::bitmap::WorkerBitmap;
+use switchml_core::oracle::{BasicOracle, ObservedAction, ReliableOracle, ReliableStateView};
+use switchml_core::packet::{Packet, PacketKind, Payload, PoolVersion};
+use switchml_core::switch::basic::BasicSwitch;
+use switchml_core::switch::multijob::MultiJobSwitch;
+use switchml_core::switch::pipeline::PipelineModel;
+use switchml_core::switch::reliable::{CellView, ReliableSwitch};
+use switchml_core::switch::SwitchAction;
+
+/// A switch plus the oracle that audits it.
+#[derive(Debug, Clone)]
+pub enum SwitchModel {
+    Basic {
+        sw: BasicSwitch,
+        oracle: BasicOracle,
+    },
+    Reliable {
+        sw: ReliableSwitch,
+        oracle: ReliableOracle,
+    },
+    MultiJob {
+        sw: MultiJobSwitch,
+        /// One oracle per admitted job, indexed by job id (0-based).
+        oracles: Vec<ReliableOracle>,
+    },
+    Mutant {
+        sw: MutantSwitch,
+        oracle: ReliableOracle,
+    },
+}
+
+impl SwitchModel {
+    pub fn new(sc: &Scenario) -> Result<Self, String> {
+        let proto = sc.proto();
+        Ok(match sc.switch {
+            SwitchKind::Basic => SwitchModel::Basic {
+                sw: BasicSwitch::new(&proto).map_err(|e| e.to_string())?,
+                oracle: BasicOracle::for_proto(&proto),
+            },
+            SwitchKind::Reliable => SwitchModel::Reliable {
+                sw: ReliableSwitch::new(&proto).map_err(|e| e.to_string())?,
+                oracle: ReliableOracle::for_proto(&proto),
+            },
+            SwitchKind::MultiJob { jobs } => {
+                let mut sw = MultiJobSwitch::new(PipelineModel::default());
+                let mut oracles = Vec::with_capacity(jobs as usize);
+                for job in 0..jobs {
+                    sw.admit(job, &proto).map_err(|e| e.to_string())?;
+                    oracles.push(ReliableOracle::for_proto(&proto));
+                }
+                SwitchModel::MultiJob { sw, oracles }
+            }
+            SwitchKind::MutantNoBitmap => SwitchModel::Mutant {
+                sw: MutantSwitch::new(&proto),
+                oracle: ReliableOracle::for_proto(&proto),
+            },
+        })
+    }
+
+    /// Deliver one update packet to the switch, auditing the result.
+    pub fn on_update(&mut self, pkt: Packet) -> Result<SwitchAction, Violation> {
+        let (wid, ver, idx, off, job) = (pkt.wid, pkt.ver, pkt.idx, pkt.off, pkt.job);
+        let payload = pkt.payload.clone();
+        let step = |action: Result<SwitchAction, switchml_core::error::Error>| {
+            action.map_err(|e| Violation {
+                oracle: "switch-reject".into(),
+                message: format!("switch rejected an adversary-legal packet: {e}"),
+            })
+        };
+        match self {
+            SwitchModel::Basic { sw, oracle } => {
+                let action = step(sw.on_packet(pkt))?;
+                oracle
+                    .observe_update(idx, &payload, ObservedAction::of_switch(&action), sw)
+                    .map_err(Violation::from)?;
+                Ok(action)
+            }
+            SwitchModel::Reliable { sw, oracle } => {
+                let action = step(sw.on_packet(pkt))?;
+                oracle
+                    .observe_packet(wid, ver, idx, off, &payload, &action, sw)
+                    .map_err(Violation::from)?;
+                Ok(action)
+            }
+            SwitchModel::MultiJob { sw, oracles } => {
+                let action = step(sw.on_packet(pkt))?;
+                let oracle = oracles.get_mut(job as usize).ok_or_else(|| Violation {
+                    oracle: "switch-reject".into(),
+                    message: format!("packet for unadmitted job {job}"),
+                })?;
+                let view = sw.job_switch(job).expect("admitted job has a pool");
+                oracle
+                    .observe_packet(wid, ver, idx, off, &payload, &action, view)
+                    .map_err(Violation::from)?;
+                Ok(action)
+            }
+            SwitchModel::Mutant { sw, oracle } => {
+                let action = step(sw.on_packet(pkt))?;
+                oracle
+                    .observe_packet(wid, ver, idx, off, &payload, &action, &*sw)
+                    .map_err(Violation::from)?;
+                Ok(action)
+            }
+        }
+    }
+
+    /// The (version, slot) cell for `job`, if this switch kind has
+    /// reliable-style cells (everything but Basic).
+    pub fn cell(&self, job: u8, ver: PoolVersion, idx: usize) -> Option<CellView<'_>> {
+        match self {
+            SwitchModel::Basic { .. } => None,
+            SwitchModel::Reliable { sw, .. } => Some(sw.cell(ver, idx)),
+            SwitchModel::MultiJob { sw, .. } => sw.job_switch(job).map(|s| s.cell(ver, idx)),
+            SwitchModel::Mutant { sw, .. } => Some(sw.cell_view(ver, idx)),
+        }
+    }
+
+    /// Feed the switch's protocol-visible state into a fingerprint
+    /// hasher. Oracles are derived state (they mirror the switch) and
+    /// are excluded.
+    pub fn fingerprint_into(&self, h: &mut crate::world::Fnv) {
+        let hash_cells = |h: &mut crate::world::Fnv, view: &dyn ReliableStateView, s: usize| {
+            for ver in [PoolVersion::V0, PoolVersion::V1] {
+                for idx in 0..s {
+                    let c = view.cell_view(ver, idx);
+                    h.write_u64(c.count as u64);
+                    h.write_u64(c.off);
+                    let mut bits = 0u64;
+                    for w in c.seen.iter() {
+                        bits |= 1u64 << (w % 64);
+                    }
+                    h.write_u64(bits);
+                    for &x in c.value {
+                        h.write_u64(x as u32 as u64);
+                    }
+                }
+            }
+        };
+        match self {
+            SwitchModel::Basic { sw, .. } => {
+                for idx in 0..sw.pool_size() {
+                    let (value, count) = sw.slot(idx);
+                    h.write_u64(count as u64);
+                    for &x in value {
+                        h.write_u64(x as u32 as u64);
+                    }
+                }
+            }
+            SwitchModel::Reliable { sw, .. } => hash_cells(h, sw, sw.pool_size()),
+            SwitchModel::MultiJob { sw, .. } => {
+                let mut jobs = sw.job_ids();
+                jobs.sort_unstable();
+                for job in jobs {
+                    let s = sw.job_switch(job).expect("listed job exists");
+                    hash_cells(h, s, s.pool_size());
+                }
+            }
+            SwitchModel::Mutant { sw, .. } => hash_cells(h, sw, sw.pool_size()),
+        }
+    }
+}
+
+/// Per-(version, slot) state of the mutant — same shape as the real
+/// switch's so the oracle can inspect it.
+#[derive(Debug, Clone)]
+struct MutantSlot {
+    value: Vec<i32>,
+    count: usize,
+    seen: WorkerBitmap,
+    off: u64,
+}
+
+/// Algorithm 3 with the line-9 duplicate check removed: every arriving
+/// update is folded into the aggregate, so a retransmission or network
+/// duplicate is double-added. The `seen` bitmap is still *maintained*
+/// (set on contribution, cleared in the other pool) — it is just never
+/// *consulted* — so the oracle's state comparison has real bits to
+/// look at.
+#[derive(Debug, Clone)]
+pub struct MutantSwitch {
+    n: usize,
+    pools: [Vec<MutantSlot>; 2],
+}
+
+impl MutantSwitch {
+    pub fn new(proto: &switchml_core::config::Protocol) -> Self {
+        let mk = || {
+            (0..proto.pool_size)
+                .map(|_| MutantSlot {
+                    value: vec![0; proto.k],
+                    count: 0,
+                    seen: WorkerBitmap::empty(),
+                    off: 0,
+                })
+                .collect::<Vec<_>>()
+        };
+        MutantSwitch {
+            n: proto.n_workers,
+            pools: [mk(), mk()],
+        }
+    }
+
+    pub fn pool_size(&self) -> usize {
+        self.pools[0].len()
+    }
+
+    pub fn on_packet(
+        &mut self,
+        mut p: Packet,
+    ) -> Result<SwitchAction, switchml_core::error::Error> {
+        use switchml_core::packet::WireElems;
+        let ver = p.ver.index();
+        let other = 1 - ver;
+        let idx = p.idx as usize;
+        let wid = p.wid as usize;
+        if idx >= self.pools[0].len() || wid >= self.n {
+            return Err(switchml_core::error::Error::OutOfRange(
+                "mutant: slot or worker out of range",
+            ));
+        }
+        // BUG UNDER TEST: Algorithm 3 checks `seen[ver][idx][wid]`
+        // here and ignores duplicates. The mutant skips the check and
+        // aggregates unconditionally.
+        self.pools[ver][idx].seen.set(wid);
+        self.pools[other][idx].seen.clear(wid);
+        let slot = &mut self.pools[ver][idx];
+        if slot.count == 0 {
+            p.payload.overwrite_into(&mut slot.value);
+            slot.off = p.off;
+        } else {
+            p.payload.add_into(&mut slot.value, false);
+        }
+        slot.count = (slot.count + 1) % self.n;
+        if slot.count == 0 {
+            p.payload = Payload::from_i32_as(&p.payload, &slot.value);
+            p.kind = PacketKind::Result;
+            Ok(SwitchAction::Multicast(p))
+        } else {
+            Ok(SwitchAction::Drop)
+        }
+    }
+}
+
+impl ReliableStateView for MutantSwitch {
+    fn cell_view(&self, ver: PoolVersion, idx: usize) -> CellView<'_> {
+        let slot = &self.pools[ver.index()][idx];
+        CellView {
+            value: &slot.value,
+            count: slot.count,
+            seen: slot.seen,
+            off: slot.off,
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Checked configuration: which switch, how many workers/slots/chunks,
+//! and the adversary's budgets. Serializes into (and parses back out
+//! of) the `.trace` JSON header so a trace is self-contained.
+
+use serde_json::{json, Value};
+use switchml_core::config::{NumericMode, Protocol, RtoPolicy};
+
+/// Which switch state machine the world drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// Algorithm 1 — lossless only; the scenario must have zero
+    /// adversary budgets (reordering remains free).
+    Basic,
+    /// Algorithm 3 — the loss-recovery switch (the default).
+    Reliable,
+    /// Several independent Algorithm 3 pools behind the tenancy
+    /// demultiplexer, one worker group per job.
+    MultiJob { jobs: u8 },
+    /// Algorithm 3 with the `seen`-bitmap duplicate check removed — a
+    /// deliberately broken switch for mutation-testing the checker.
+    MutantNoBitmap,
+}
+
+impl SwitchKind {
+    pub fn name(&self) -> String {
+        match self {
+            SwitchKind::Basic => "basic".into(),
+            SwitchKind::Reliable => "reliable".into(),
+            SwitchKind::MultiJob { jobs } => format!("multijob:{jobs}"),
+            SwitchKind::MutantNoBitmap => "mutant-no-bitmap".into(),
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "basic" => Ok(SwitchKind::Basic),
+            "reliable" => Ok(SwitchKind::Reliable),
+            "mutant-no-bitmap" => Ok(SwitchKind::MutantNoBitmap),
+            other => {
+                if let Some(j) = other.strip_prefix("multijob:") {
+                    let jobs: u8 = j.parse().map_err(|_| format!("bad job count `{j}`"))?;
+                    if jobs == 0 {
+                        return Err("multijob needs at least one job".into());
+                    }
+                    Ok(SwitchKind::MultiJob { jobs })
+                } else {
+                    Err(format!("unknown switch kind `{other}`"))
+                }
+            }
+        }
+    }
+}
+
+/// One checkable configuration: the protocol dimensions plus the
+/// adversary's fault budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    pub switch: SwitchKind,
+    /// Workers per job.
+    pub n_workers: usize,
+    /// Aggregator slots per pool version.
+    pub pool_size: usize,
+    /// Chunks each worker streams.
+    pub n_chunks: u64,
+    /// Elements per chunk.
+    pub k: usize,
+    /// Quantization scaling factor `f` (Appendix C).
+    pub scaling: f64,
+    /// How many in-flight packets the adversary may drop.
+    pub drops: u32,
+    /// How many in-flight packets the adversary may duplicate.
+    pub dups: u32,
+    /// How many retransmission timeouts the adversary may fire while
+    /// packets are still in flight (timeouts with an empty network are
+    /// always allowed — they are the only way forward).
+    pub retx: u32,
+    /// Delay-bounding: if set, at most this many deviations from
+    /// oldest-first FIFO delivery. `None` leaves scheduling fully free.
+    pub deviations: Option<u32>,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            switch: SwitchKind::Reliable,
+            n_workers: 2,
+            pool_size: 1,
+            n_chunks: 2,
+            k: 2,
+            scaling: 64.0,
+            drops: 1,
+            dups: 1,
+            retx: 1,
+            deviations: None,
+        }
+    }
+}
+
+impl Scenario {
+    /// The virtual-time retransmission timeout. Its magnitude is
+    /// irrelevant (the adversary jumps the clock); it only needs to be
+    /// finite so timers exist, and [`RtoPolicy::Fixed`] so the
+    /// retransmitted bytes are independent of *when* the timer fires —
+    /// which is what lets the state fingerprint ignore time entirely.
+    pub const RTO_NS: u64 = 1_000;
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_workers == 0 || self.pool_size == 0 || self.k == 0 {
+            return Err("n_workers, pool_size and k must be > 0".into());
+        }
+        if self.scaling <= 0.0 {
+            return Err("scaling factor must be > 0".into());
+        }
+        if matches!(self.switch, SwitchKind::Basic) && (self.drops > 0 || self.retx > 0) {
+            return Err(
+                "BasicSwitch (Algorithm 1) is only correct on a lossless fabric: \
+                 drops and retransmissions are not valid adversary moves for it"
+                    .into(),
+            );
+        }
+        if matches!(self.switch, SwitchKind::Basic) && self.dups > 0 {
+            return Err("BasicSwitch has no duplicate suppression; dups must be 0".into());
+        }
+        Ok(())
+    }
+
+    /// The protocol configuration every worker (and the switch) runs.
+    pub fn proto(&self) -> Protocol {
+        Protocol {
+            n_workers: self.n_workers,
+            k: self.k,
+            pool_size: self.pool_size,
+            rto_ns: Self::RTO_NS,
+            rto_policy: RtoPolicy::Fixed,
+            mode: NumericMode::Fixed32,
+            wrapping_add: false,
+            scaling_factor: self.scaling,
+        }
+    }
+
+    /// Number of worker groups (1 except for multi-job scenarios).
+    pub fn jobs(&self) -> u8 {
+        match self.switch {
+            SwitchKind::MultiJob { jobs } => jobs,
+            _ => 1,
+        }
+    }
+
+    /// The gradient of worker `wid` in job `job`: deterministic,
+    /// deliberately *not* exactly representable after scaling, so the
+    /// final-result oracle genuinely exercises the Appendix C `n/f`
+    /// quantization-error bound.
+    pub fn tensor(&self, job: u8, wid: u16) -> Vec<f32> {
+        let elems = (self.n_chunks as usize) * self.k;
+        (0..elems)
+            .map(|i| (wid as f32 + 1.0 + 10.0 * job as f32) * 0.37 + (i as f32) * 0.11 - 1.3)
+            .collect()
+    }
+
+    pub fn to_json(&self) -> Value {
+        json!({
+            "switch": self.switch.name(),
+            "n_workers": self.n_workers as u64,
+            "pool_size": self.pool_size as u64,
+            "n_chunks": self.n_chunks,
+            "k": self.k as u64,
+            "scaling": self.scaling,
+            "drops": self.drops,
+            "dups": self.dups,
+            "retx": self.retx,
+            "deviations": match self.deviations {
+                Some(d) => json!(d),
+                None => Value::Null,
+            },
+        })
+    }
+
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let need_u64 = |key: &str| {
+            v.get(key)
+                .as_u64()
+                .ok_or_else(|| format!("scenario field `{key}` missing or not an integer"))
+        };
+        let switch = SwitchKind::parse(
+            v.get("switch")
+                .as_str()
+                .ok_or("scenario field `switch` missing")?,
+        )?;
+        let sc = Scenario {
+            switch,
+            n_workers: need_u64("n_workers")? as usize,
+            pool_size: need_u64("pool_size")? as usize,
+            n_chunks: need_u64("n_chunks")?,
+            k: need_u64("k")? as usize,
+            scaling: v
+                .get("scaling")
+                .as_f64()
+                .ok_or("scenario field `scaling` missing")?,
+            drops: need_u64("drops")? as u32,
+            dups: need_u64("dups")? as u32,
+            retx: need_u64("retx")? as u32,
+            deviations: v.get("deviations").as_u64().map(|d| d as u32),
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip() {
+        let sc = Scenario {
+            switch: SwitchKind::MultiJob { jobs: 2 },
+            deviations: Some(3),
+            ..Scenario::default()
+        };
+        let back = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn basic_rejects_faults() {
+        let sc = Scenario {
+            switch: SwitchKind::Basic,
+            ..Scenario::default()
+        };
+        assert!(sc.validate().is_err());
+        let clean = Scenario {
+            switch: SwitchKind::Basic,
+            drops: 0,
+            dups: 0,
+            retx: 0,
+            ..Scenario::default()
+        };
+        assert!(clean.validate().is_ok());
+    }
+
+    #[test]
+    fn switch_kind_names_roundtrip() {
+        for kind in [
+            SwitchKind::Basic,
+            SwitchKind::Reliable,
+            SwitchKind::MultiJob { jobs: 3 },
+            SwitchKind::MutantNoBitmap,
+        ] {
+            assert_eq!(SwitchKind::parse(&kind.name()).unwrap(), kind);
+        }
+        assert!(SwitchKind::parse("bogus").is_err());
+        assert!(SwitchKind::parse("multijob:0").is_err());
+    }
+}

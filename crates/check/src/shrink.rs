@@ -1,0 +1,53 @@
+//! Greedy delta debugging over choice sequences.
+//!
+//! Explorer counterexamples are already short-ish (BFS finds minimal-
+//! *depth* schedules) but random-walk traces carry hundreds of
+//! irrelevant choices. [`shrink`] removes one choice at a time, keeps
+//! the removal whenever replay still trips the *same oracle*, and
+//! rescans until a fixed point: the result is 1-minimal (no single
+//! choice can be dropped), which in practice reads as "the schedule
+//! that matters".
+
+use crate::trace::{replay, Expectation, Trace};
+
+/// Minimize `trace` while preserving a violation from oracle
+/// `oracle`. Returns the shrunk trace and the number of replays spent.
+pub fn shrink(trace: &Trace, oracle: &str) -> (Trace, u64) {
+    let mut best = trace.clone();
+    let mut replays = 0u64;
+    let still_fails = |candidate: &Trace, replays: &mut u64| -> bool {
+        *replays += 1;
+        match replay(candidate) {
+            Ok(outcome) => outcome
+                .violation
+                .as_ref()
+                .is_some_and(|v| v.oracle == oracle),
+            Err(_) => false,
+        }
+    };
+    // The input must fail to begin with; otherwise shrinking a clean
+    // trace would "converge" to the empty schedule.
+    if !still_fails(&best, &mut replays) {
+        return (best, replays);
+    }
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < best.choices.len() {
+            let mut candidate = best.clone();
+            candidate.choices.remove(i);
+            if still_fails(&candidate, &mut replays) {
+                best = candidate;
+                progressed = true;
+                // Same index now holds the next choice; don't advance.
+            } else {
+                i += 1;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    best.expect = Expectation::Violation;
+    (best, replays)
+}

@@ -1,0 +1,212 @@
+//! `.trace` files: a self-contained, replayable counterexample (or
+//! regression witness). JSON with three parts — the [`Scenario`], the
+//! [`Choice`] sequence, and the expected outcome — so a trace checked
+//! into `tests/traces/` keeps exercising the exact schedule that once
+//! found a bug.
+
+use crate::scenario::Scenario;
+use crate::world::{Choice, StepResult, Violation, World};
+use serde_json::{json, Value};
+
+/// What replaying a trace is supposed to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The schedule must complete with every oracle quiet.
+    Clean,
+    /// The schedule must trip an oracle (a mutation-test witness).
+    Violation,
+}
+
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub scenario: Scenario,
+    pub choices: Vec<Choice>,
+    pub expect: Expectation,
+    /// The oracle (and message) recorded when the trace was captured —
+    /// informational; replay matches on the oracle name only.
+    pub violation: Option<(String, String)>,
+}
+
+const FORMAT_VERSION: u64 = 1;
+
+fn choice_to_json(c: &Choice) -> Value {
+    let (kind, arg) = match c {
+        Choice::Deliver(id) => ("deliver", *id),
+        Choice::Drop(id) => ("drop", *id),
+        Choice::Duplicate(id) => ("duplicate", *id),
+        Choice::Timeout(flat) => ("timeout", *flat as u64),
+    };
+    Value::Array(vec![json!(kind), json!(arg)])
+}
+
+fn choice_from_json(v: &Value) -> Result<Choice, String> {
+    let arr = v
+        .as_array()
+        .ok_or("trace choice is not a two-element array")?;
+    if arr.len() != 2 {
+        return Err(format!("trace choice has {} elements, wanted 2", arr.len()));
+    }
+    let kind = arr[0].as_str().ok_or("trace choice kind is not a string")?;
+    let arg = arr[1]
+        .as_u64()
+        .ok_or("trace choice argument is not an integer")?;
+    match kind {
+        "deliver" => Ok(Choice::Deliver(arg)),
+        "drop" => Ok(Choice::Drop(arg)),
+        "duplicate" => Ok(Choice::Duplicate(arg)),
+        "timeout" => Ok(Choice::Timeout(arg as usize)),
+        other => Err(format!("unknown trace choice kind `{other}`")),
+    }
+}
+
+impl Trace {
+    pub fn to_json_string(&self) -> String {
+        let violation = match &self.violation {
+            Some((oracle, message)) => json!({
+                "oracle": oracle.clone(),
+                "message": message.clone(),
+            }),
+            None => Value::Null,
+        };
+        let v = json!({
+            "version": FORMAT_VERSION,
+            "scenario": self.scenario.to_json(),
+            "choices": Value::Array(self.choices.iter().map(choice_to_json).collect()),
+            "expect": match self.expect {
+                Expectation::Clean => "clean",
+                Expectation::Violation => "violation",
+            },
+            "violation": violation,
+        });
+        serde_json::to_string_pretty(&v).expect("value-tree serialization cannot fail")
+    }
+
+    pub fn from_json_str(s: &str) -> Result<Trace, String> {
+        let v: Value = serde_json::from_str(s).map_err(|e| format!("trace is not JSON: {e}"))?;
+        let version = v
+            .get("version")
+            .as_u64()
+            .ok_or("trace has no version field")?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "trace format version {version} unsupported (this build reads {FORMAT_VERSION})"
+            ));
+        }
+        let scenario = Scenario::from_json(v.get("scenario"))?;
+        let choices = v
+            .get("choices")
+            .as_array()
+            .ok_or("trace has no choices array")?
+            .iter()
+            .map(choice_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let expect = match v.get("expect").as_str() {
+            Some("clean") => Expectation::Clean,
+            Some("violation") => Expectation::Violation,
+            other => return Err(format!("trace expect field is {other:?}")),
+        };
+        let violation = {
+            let vv = v.get("violation");
+            if vv.is_null() {
+                None
+            } else {
+                Some((
+                    vv.get("oracle")
+                        .as_str()
+                        .ok_or("trace violation has no oracle")?
+                        .to_string(),
+                    vv.get("message").as_str().unwrap_or("").to_string(),
+                ))
+            }
+        };
+        Ok(Trace {
+            scenario,
+            choices,
+            expect,
+            violation,
+        })
+    }
+}
+
+/// Result of re-executing a trace.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The violation the schedule produced, if any (either during the
+    /// recorded choices or in the fault-free drain afterwards).
+    pub violation: Option<Violation>,
+    /// Recorded choices that were inapplicable on replay (packet id
+    /// no longer in flight, budget already spent). Some skips are
+    /// normal after shrinking; a fully-skipped trace is suspect.
+    pub skipped: usize,
+    /// Choices actually applied.
+    pub applied: usize,
+}
+
+/// Re-execute a trace: build the world from the embedded scenario,
+/// apply the recorded choices in order, then drain fault-free.
+pub fn replay(trace: &Trace) -> Result<ReplayOutcome, String> {
+    let mut world = World::new(&trace.scenario)?;
+    let mut outcome = ReplayOutcome {
+        violation: None,
+        skipped: 0,
+        applied: 0,
+    };
+    for &choice in &trace.choices {
+        match world.step(choice) {
+            StepResult::Applied => outcome.applied += 1,
+            StepResult::Skipped => outcome.skipped += 1,
+            StepResult::Violation(v) => {
+                outcome.violation = Some(v);
+                return Ok(outcome);
+            }
+        }
+    }
+    outcome.violation = world.drain(100_000);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_roundtrip() {
+        let trace = Trace {
+            scenario: Scenario::default(),
+            choices: vec![
+                Choice::Deliver(0),
+                Choice::Duplicate(1),
+                Choice::Drop(7),
+                Choice::Timeout(1),
+            ],
+            expect: Expectation::Violation,
+            violation: Some(("double-add".into(), "slot 0 diverged".into())),
+        };
+        let s = trace.to_json_string();
+        let back = Trace::from_json_str(&s).unwrap();
+        assert_eq!(back.scenario, trace.scenario);
+        assert_eq!(back.choices, trace.choices);
+        assert_eq!(back.expect, trace.expect);
+        assert_eq!(back.violation, trace.violation);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Trace::from_json_str("not json").is_err());
+        assert!(Trace::from_json_str("{}").is_err());
+        let wrong_version = r#"{"version": 99}"#;
+        assert!(Trace::from_json_str(wrong_version).is_err());
+    }
+
+    #[test]
+    fn empty_trace_replays_clean() {
+        let trace = Trace {
+            scenario: Scenario::default(),
+            choices: vec![],
+            expect: Expectation::Clean,
+            violation: None,
+        };
+        let outcome = replay(&trace).unwrap();
+        assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    }
+}

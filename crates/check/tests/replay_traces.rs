@@ -1,0 +1,66 @@
+//! Regression-trace suite: every `.trace` file under `tests/traces/`
+//! is parsed and re-executed. Traces marked `"expect": "violation"`
+//! must still trip the recorded oracle; traces marked `"clean"` must
+//! complete with every oracle quiet. Drop a shrunk counterexample in
+//! the directory and it becomes a permanent regression test.
+
+use std::fs;
+use std::path::PathBuf;
+use switchml_check::{replay, Expectation, Trace};
+
+fn traces_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("traces")
+}
+
+#[test]
+fn all_checked_in_traces_replay_as_expected() {
+    let dir = traces_dir();
+    assert!(
+        dir.is_dir(),
+        "trace directory {} missing — traces are part of the test suite",
+        dir.display()
+    );
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "trace"))
+        .collect();
+    paths.sort();
+    // The suite ships with at least the mutant counterexample; an
+    // empty directory means traces were lost, not that there is
+    // nothing to test.
+    assert!(
+        !paths.is_empty(),
+        "no .trace files in {} — expected at least the mutant regression trace",
+        dir.display()
+    );
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = fs::read_to_string(&path).unwrap();
+        let trace = Trace::from_json_str(&text)
+            .unwrap_or_else(|e| panic!("{name}: unparseable trace: {e}"));
+        let outcome = replay(&trace).unwrap_or_else(|e| panic!("{name}: replay failed: {e}"));
+        match trace.expect {
+            Expectation::Clean => {
+                assert!(
+                    outcome.violation.is_none(),
+                    "{name}: clean trace now violates: {:?}",
+                    outcome.violation
+                );
+            }
+            Expectation::Violation => {
+                let v = outcome.violation.unwrap_or_else(|| {
+                    panic!("{name}: violation trace no longer reproduces — fixed or checker broken")
+                });
+                if let Some((oracle, _)) = &trace.violation {
+                    assert_eq!(
+                        &v.oracle, oracle,
+                        "{name}: different oracle fired than when captured"
+                    );
+                }
+            }
+        }
+    }
+}

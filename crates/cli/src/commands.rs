@@ -422,6 +422,173 @@ pub fn ctrl(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `check`: the deterministic adversarial schedule explorer
+/// (`switchml-check`). Explores the protocol state space under a
+/// chosen strategy; a violation shrinks to a minimal schedule,
+/// optionally saves a `.trace`, and exits nonzero so CI fails.
+pub fn check(args: &Args) -> Result<String, String> {
+    use switchml_check::{
+        replay, shrink, DelayBoundedExplorer, ExhaustiveExplorer, Expectation, Explorer,
+        RandomWalkExplorer, Scenario, SwitchKind, Trace,
+    };
+    args.assert_known(&[
+        "strategy",
+        "switch",
+        "workers",
+        "slots",
+        "chunks",
+        "k",
+        "scale",
+        "drops",
+        "dups",
+        "retx",
+        "d",
+        "seed",
+        "runs",
+        "steps",
+        "max-states",
+        "max-depth",
+        "replay",
+        "save-trace",
+        "json",
+    ])?;
+    let json = args.switch("json");
+
+    // Replay mode: re-execute a recorded trace and judge it against
+    // its embedded expectation.
+    let replay_file = args.get_str("replay", "");
+    if !replay_file.is_empty() {
+        let text = std::fs::read_to_string(&replay_file)
+            .map_err(|e| format!("cannot read {replay_file}: {e}"))?;
+        let trace = Trace::from_json_str(&text).map_err(|e| format!("{replay_file}: {e}"))?;
+        let outcome = replay(&trace)?;
+        let ok = match trace.expect {
+            Expectation::Clean => outcome.violation.is_none(),
+            Expectation::Violation => outcome.violation.is_some(),
+        };
+        let text = if json {
+            serde_json::json!({
+                "trace": replay_file.clone(),
+                "applied": outcome.applied as u64,
+                "skipped": outcome.skipped as u64,
+                "violation": match &outcome.violation {
+                    Some(v) => serde_json::json!(format!("{v}")),
+                    None => serde_json::Value::Null,
+                },
+                "as_expected": ok,
+            })
+            .to_string()
+        } else {
+            format!(
+                "replayed {replay_file}: {} choices applied, {} skipped\n  outcome: {}\n  {}",
+                outcome.applied,
+                outcome.skipped,
+                match &outcome.violation {
+                    Some(v) => format!("{v}"),
+                    None => "clean".into(),
+                },
+                if ok { "as expected" } else { "NOT as expected" },
+            )
+        };
+        return if ok { Ok(text) } else { Err(text) };
+    }
+
+    let switch = SwitchKind::parse(&args.get_str("switch", "reliable"))?;
+    let sc = Scenario {
+        switch,
+        n_workers: args.get("workers", 2usize)?,
+        pool_size: args.get("slots", 1usize)?,
+        n_chunks: args.get("chunks", 2u64)?,
+        k: args.get("k", 2usize)?,
+        scaling: args.get("scale", 64.0f64)?,
+        drops: args.get("drops", 1u32)?,
+        dups: args.get("dups", 1u32)?,
+        retx: args.get("retx", 1u32)?,
+        deviations: None,
+    };
+    sc.validate()?;
+    let strategy = args.get_str("strategy", "exhaustive");
+    let max_states = args.get("max-states", 2_000_000u64)?;
+    let max_depth = args.get("max-depth", 200u64)?;
+    let mut explorer: Box<dyn Explorer> = match strategy.as_str() {
+        "exhaustive" => Box::new(ExhaustiveExplorer {
+            max_states,
+            max_depth,
+            drain_budget: 10_000,
+        }),
+        "delay" => Box::new(DelayBoundedExplorer {
+            d: args.get("d", 2u32)?,
+            max_states,
+            max_depth,
+            drain_budget: 10_000,
+        }),
+        "random" => Box::new(RandomWalkExplorer::new(
+            args.get("seed", 1u64)?,
+            args.get("runs", 200u64)?,
+            args.get("steps", 400u64)?,
+        )),
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let report = explorer.explore(&sc)?;
+
+    match report.violation {
+        None => {
+            let text = if json {
+                serde_json::json!({
+                    "strategy": strategy.clone(),
+                    "switch": sc.switch.name(),
+                    "states_visited": report.states_visited,
+                    "max_depth": report.max_depth,
+                    "exhausted": report.exhausted,
+                    "violation": serde_json::Value::Null,
+                })
+                .to_string()
+            } else {
+                format!(
+                    "{} exploration of {}: {} states, depth {} — no violations{}",
+                    strategy,
+                    sc.switch.name(),
+                    report.states_visited,
+                    report.max_depth,
+                    if report.exhausted {
+                        " (space exhausted)"
+                    } else {
+                        " (caps hit)"
+                    },
+                )
+            };
+            Ok(text)
+        }
+        Some(found) => {
+            let oracle = found.violation.oracle.clone();
+            let trace = Trace {
+                scenario: sc,
+                choices: found.choices,
+                expect: Expectation::Violation,
+                violation: Some((oracle.clone(), found.violation.message.clone())),
+            };
+            let (shrunk, replays) = shrink(&trace, &oracle);
+            let save = args.get_str("save-trace", "");
+            let saved = if save.is_empty() {
+                String::new()
+            } else {
+                std::fs::write(&save, shrunk.to_json_string())
+                    .map_err(|e| format!("cannot write {save}: {e}"))?;
+                format!("\n  trace saved to {save}")
+            };
+            Err(format!(
+                "VIOLATION {}\n  schedule: {} choices (shrunk from {} in {} replays)\n  \
+                 after {} states explored{saved}",
+                found.violation,
+                shrunk.choices.len(),
+                trace.choices.len(),
+                replays,
+                report.states_visited,
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +699,48 @@ mod tests {
         assert_eq!(v["finished"], true, "{out}");
         assert_eq!(v["jobs"][0]["epoch"].as_u64(), Some(1), "{out}");
         assert_eq!(v["jobs"][0]["workers"].as_u64(), Some(3), "{out}");
+    }
+
+    #[test]
+    fn check_exhaustive_clean() {
+        let out = check(&args("check --workers 2 --slots 1 --chunks 2")).unwrap();
+        assert!(out.contains("no violations"), "{out}");
+        assert!(out.contains("space exhausted"), "{out}");
+    }
+
+    #[test]
+    fn check_mutant_fails_with_shrunk_trace() {
+        let err = check(&args("check --switch mutant-no-bitmap")).unwrap_err();
+        assert!(err.contains("VIOLATION"), "{err}");
+        assert!(err.contains("shrunk from"), "{err}");
+    }
+
+    #[test]
+    fn check_random_json() {
+        let out = check(&args(
+            "check --strategy random --runs 5 --steps 100 --seed 3 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["violation"], serde_json::Value::Null, "{out}");
+        assert!(v["states_visited"].as_u64().unwrap() > 0, "{out}");
+    }
+
+    #[test]
+    fn check_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("switchml-cli-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mutant.trace");
+        let path_str = path.to_str().unwrap();
+        // Capture a violation trace, then replay it.
+        let err = check(&args(&format!(
+            "check --switch mutant-no-bitmap --save-trace {path_str}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("trace saved"), "{err}");
+        let out = check(&args(&format!("check --replay {path_str}"))).unwrap();
+        assert!(out.contains("as expected"), "{out}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -41,6 +41,15 @@ COMMANDS:
              --elems N (4096) --k N (8) --pool N (8) --loss P (0)
              --seed N (1) --fail-worker N (off) --fail-at-us N (25)
              --failover-at-us N (off)  --json
+  check      Deterministic adversarial schedule explorer (model checker)
+             --strategy exhaustive|delay|random (exhaustive)
+             --switch basic|reliable|multijob:N|mutant-no-bitmap (reliable)
+             --workers N (2) --slots N (1) --chunks N (2) --k N (2)
+             --scale F (64) --drops N (1) --dups N (1) --retx N (1)
+             --d N (2, delay strategy) --seed N (1) --runs N (200)
+             --steps N (400) --max-states N --max-depth N
+             --replay FILE (re-execute a .trace) --save-trace FILE
+             --json
   help       This text
 ";
 
@@ -53,6 +62,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("train") => commands::train(args),
         Some("udp") => commands::udp(args),
         Some("ctrl") => commands::ctrl(args),
+        Some("check") => commands::check(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }

@@ -53,6 +53,7 @@ pub mod bitmap;
 pub mod checksum;
 pub mod config;
 pub mod error;
+pub mod oracle;
 pub mod packet;
 pub mod quant;
 pub mod switch;

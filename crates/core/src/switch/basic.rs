@@ -27,7 +27,7 @@ use crate::packet::{
 };
 
 /// The lossless-network aggregation core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BasicSwitch {
     n: usize,
     k: usize,
@@ -52,6 +52,23 @@ impl BasicSwitch {
 
     pub fn pool_size(&self) -> usize {
         self.pool.len()
+    }
+
+    pub fn n_workers(&self) -> usize {
+        self.n
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Read-only view of one slot's aggregator and counter, for
+    /// invariant oracles and state fingerprinting.
+    ///
+    /// # Panics
+    /// If `idx >= pool_size()`.
+    pub fn slot(&self, idx: usize) -> (&[i32], usize) {
+        (&self.pool[idx], self.count[idx])
     }
 
     pub fn stats(&self) -> SwitchStats {

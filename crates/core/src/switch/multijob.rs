@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 /// One admitted job: its aggregation pool, the configuration it was
 /// admitted under, and the SRAM cost recorded at admission time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct JobEntry {
     switch: ReliableSwitch,
     proto: Protocol,
@@ -27,7 +27,7 @@ struct JobEntry {
 }
 
 /// A switch dataplane hosting several independent aggregation jobs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MultiJobSwitch {
     pipeline: PipelineModel,
     jobs: HashMap<u8, JobEntry>,
@@ -116,6 +116,12 @@ impl MultiJobSwitch {
     /// Number of admitted jobs.
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Read-only access to a job's aggregation pool, for invariant
+    /// oracles and state fingerprinting.
+    pub fn job_switch(&self, job: u8) -> Option<&ReliableSwitch> {
+        self.jobs.get(&job).map(|e| &e.switch)
     }
 
     /// Ids of admitted jobs, ascending (deterministic for drain loops).

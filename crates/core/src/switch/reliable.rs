@@ -37,8 +37,24 @@ struct Slot {
     off: ElemOffset,
 }
 
+/// Read-only view of one (version, slot) aggregation cell. Exposed so
+/// external invariant oracles ([`crate::oracle`]) and the
+/// `switchml-check` model checker can compare the dataplane state
+/// against a reference model without widening any mutable surface.
+#[derive(Debug, Clone, Copy)]
+pub struct CellView<'a> {
+    /// Aggregated values (the shadow copy after completion).
+    pub value: &'a [i32],
+    /// Contribution counter, wrapped modulo n (0 after completion).
+    pub count: usize,
+    /// Which workers contributed to the phase in this cell.
+    pub seen: WorkerBitmap,
+    /// Element offset of the phase aggregated in this cell.
+    pub off: ElemOffset,
+}
+
 /// The loss-tolerant aggregation core (Algorithm 3).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReliableSwitch {
     n: usize,
     k: usize,
@@ -74,8 +90,35 @@ impl ReliableSwitch {
         self.pools[0].len()
     }
 
+    pub fn n_workers(&self) -> usize {
+        self.n
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn wrapping(&self) -> bool {
+        self.wrapping
+    }
+
     pub fn stats(&self) -> SwitchStats {
         self.stats
+    }
+
+    /// Read-only view of the (version, slot) cell, for invariant
+    /// oracles and state fingerprinting.
+    ///
+    /// # Panics
+    /// If `idx >= pool_size()`.
+    pub fn cell(&self, ver: PoolVersion, idx: usize) -> CellView<'_> {
+        let slot = &self.pools[ver.index()][idx];
+        CellView {
+            value: &slot.value,
+            count: slot.count,
+            seen: slot.seen,
+            off: slot.off,
+        }
     }
 
     /// Algorithm 3's per-packet state transition, shared by the owned

@@ -74,6 +74,23 @@ struct SlotState {
     active: bool,
 }
 
+/// Read-only protocol view of one owned slot, for invariant oracles
+/// and state fingerprinting (the `switchml-check` model checker).
+/// Deliberately excludes timer state: with [`RtoPolicy::Fixed`] the
+/// retransmitted bytes are time-independent, so abstracting deadlines
+/// away keeps the explored state space finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotSnapshot {
+    /// Global slot index.
+    pub slot: SlotIndex,
+    /// Pool version the slot will use (or used last, once retired).
+    pub ver: PoolVersion,
+    /// Global chunk index in flight (meaningful while `active`).
+    pub chunk: u64,
+    /// Is a chunk outstanding on this slot?
+    pub active: bool,
+}
+
 /// Cumulative engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -200,6 +217,30 @@ impl SlotEngine {
 
     pub fn completed_chunks(&self) -> u64 {
         self.completed
+    }
+
+    /// Protocol snapshot of every owned slot, in slot order.
+    pub fn slot_snapshots(&self) -> Vec<SlotSnapshot> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(local, st)| {
+                // `st.chunk` is a list position in chunk-list mode; map
+                // it to the global index it carries on the wire (falling
+                // back to the raw position on never-started slots of an
+                // empty list).
+                let chunk = match &self.chunk_list {
+                    Some(list) => list.get(st.chunk as usize).copied().unwrap_or(st.chunk),
+                    None => st.chunk,
+                };
+                SlotSnapshot {
+                    slot: self.cfg.slot_base + local as SlotIndex,
+                    ver: st.ver,
+                    chunk,
+                    active: st.active,
+                }
+            })
+            .collect()
     }
 
     /// Irreversibly turn off loss recovery (Algorithm 2 semantics).

@@ -260,6 +260,20 @@ impl Worker {
         self.engines.iter().position(|e| e.owns_slot(slot))
     }
 
+    /// Protocol snapshot of every owned slot across all cores, in slot
+    /// order — the worker half of the model checker's state
+    /// fingerprint, and the oracle's source of truth for which (slot,
+    /// version, offset) each worker has outstanding.
+    pub fn slot_snapshots(&self) -> Vec<engine::SlotSnapshot> {
+        let mut snaps: Vec<_> = self
+            .engines
+            .iter()
+            .flat_map(|e| e.slot_snapshots())
+            .collect();
+        snaps.sort_by_key(|s| s.slot);
+        snaps
+    }
+
     fn materialize(&self, d: SendDescriptor) -> Result<Packet> {
         Ok(Packet {
             kind: PacketKind::Update,

@@ -165,6 +165,66 @@ proptest! {
         }
     }
 
+    /// Exactly-once, forever: once a slot has been reused, duplicate
+    /// result packets carrying the slot's *previous* (ver, off)
+    /// descriptors must be ignored as stale — at any later point in
+    /// the run, and after completion — without perturbing progress,
+    /// the accept count, or the done state. This is the worker half of
+    /// the §3.5 no-double-add argument: the switch's `seen` bitmap
+    /// dedupes updates, the engine's (ver, off) match dedupes results.
+    #[test]
+    fn duplicate_results_after_slot_reuse_are_stale(
+        n_slots in 1usize..6,
+        n_chunks in 1u64..40,
+        dup_seed in any::<u64>(),
+    ) {
+        let mut e = SlotEngine::new(EngineConfig {
+            wid: 0,
+            k: 4,
+            slot_base: 0,
+            n_slots,
+            chunk_base: 0,
+            n_chunks,
+            rto: None,
+            rto_policy: switchml_core::config::RtoPolicy::Fixed,
+        }).unwrap();
+        let mut inflight = e.start(0);
+        let mut history: Vec<(u32, PoolVersion, u64)> = Vec::new();
+        let mut state = dup_seed | 1;
+        while let Some(d) = inflight.pop() {
+            history.push((d.slot, d.ver, d.off));
+            match e.on_result(d.slot, d.ver, d.off, 0).unwrap() {
+                ResultOutcome::Accepted { next: Some(nd), .. } => inflight.push(nd),
+                ResultOutcome::Accepted { next: None, .. } => {}
+                ResultOutcome::Stale => prop_assert!(false, "fresh result marked stale"),
+            }
+            // Replay a pseudo-randomly chosen already-accepted result:
+            // its slot has moved on (new chunk, flipped version), so
+            // the duplicate must be stale and must not change state.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let (slot, ver, off) = history[(state >> 33) as usize % history.len()];
+            let before = e.stats();
+            let done_before = e.is_done();
+            prop_assert_eq!(
+                e.on_result(slot, ver, off, 0).unwrap(),
+                ResultOutcome::Stale,
+                "replayed descriptor (slot {}, off {}) was accepted twice", slot, off
+            );
+            prop_assert_eq!(e.stats().results, before.results);
+            prop_assert_eq!(e.stats().stale, before.stale + 1);
+            prop_assert_eq!(e.is_done(), done_before);
+        }
+        prop_assert!(e.is_done());
+        prop_assert_eq!(e.stats().results, n_chunks);
+        // After completion every historical descriptor — the whole
+        // run's worth of potential network duplicates — stays stale.
+        for (slot, ver, off) in history {
+            prop_assert_eq!(e.on_result(slot, ver, off, 0).unwrap(), ResultOutcome::Stale);
+            prop_assert!(e.is_done());
+        }
+        prop_assert_eq!(e.stats().results, n_chunks);
+    }
+
     /// f16 roundtrip precision: |x − f16(x)| ≤ 2^-11 · |x| for normal
     /// values (half-precision relative error bound).
     #[test]

@@ -1,0 +1,381 @@
+//! Full fault-injecting transport wrapper: send-side loss, recv-side
+//! loss, duplication, and bounded reordering — each with its own
+//! probability, all deterministic per seed. [`crate::lossy`] remains
+//! the loss-only convenience layer on top of this.
+//!
+//! Reordering is bounded the way real fabrics reorder: a held datagram
+//! is released after at most [`FaultyConfig::reorder_span`] subsequent
+//! sends, so the protocol's one-phase-lag assumption (§3.5 — a packet
+//! never survives past its slot's reuse) stays realistic. Unbounded
+//! holding is the model checker's job (`switchml-check`), not the
+//! threaded fabric's.
+
+use crate::port::Port;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-fault probabilities and bounds. All probabilities default to
+/// zero: a default `FaultyPort` is a transparent wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyConfig {
+    /// P(an outgoing datagram is silently dropped).
+    pub send_drop: f64,
+    /// P(an arriving datagram is dropped before the caller sees it).
+    pub recv_drop: f64,
+    /// P(an outgoing datagram is sent twice).
+    pub dup: f64,
+    /// P(an outgoing datagram is held back and released later).
+    pub reorder: f64,
+    /// A held datagram is released after at most this many subsequent
+    /// sends on the same port.
+    pub reorder_span: u32,
+    /// Cap on concurrently held datagrams per port; when full,
+    /// reordering is skipped rather than queued unboundedly.
+    pub max_held: usize,
+}
+
+impl Default for FaultyConfig {
+    fn default() -> Self {
+        FaultyConfig {
+            send_drop: 0.0,
+            recv_drop: 0.0,
+            dup: 0.0,
+            reorder: 0.0,
+            reorder_span: 3,
+            max_held: 8,
+        }
+    }
+}
+
+impl FaultyConfig {
+    /// Send-side loss only — what [`crate::lossy::lossy_fabric`] uses.
+    pub fn loss_only(p: f64) -> Self {
+        FaultyConfig {
+            send_drop: p,
+            ..FaultyConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("send_drop", self.send_drop),
+            ("recv_drop", self.recv_drop),
+            ("dup", self.dup),
+            ("reorder", self.reorder),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} not a probability");
+        }
+    }
+}
+
+/// Shared fault statistics across all wrapped ports of one fabric.
+#[derive(Debug, Default)]
+pub struct FaultyStats {
+    inner: Mutex<Counters>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    sent: u64,
+    dropped: u64,
+    duplicated: u64,
+    reordered: u64,
+    recv_dropped: u64,
+}
+
+impl FaultyStats {
+    pub fn sent(&self) -> u64 {
+        self.inner.lock().sent
+    }
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+    pub fn duplicated(&self) -> u64 {
+        self.inner.lock().duplicated
+    }
+    pub fn reordered(&self) -> u64 {
+        self.inner.lock().reordered
+    }
+    pub fn recv_dropped(&self) -> u64 {
+        self.inner.lock().recv_dropped
+    }
+}
+
+struct Held {
+    to: usize,
+    data: Vec<u8>,
+    /// Released when this reaches zero; decremented on every send.
+    countdown: u32,
+}
+
+/// A port with configurable, seed-deterministic fault injection.
+pub struct FaultyPort<P: Port> {
+    inner: P,
+    cfg: FaultyConfig,
+    rng: SmallRng,
+    held: Vec<Held>,
+    stats: Arc<FaultyStats>,
+}
+
+impl<P: Port> FaultyPort<P> {
+    pub fn new(inner: P, cfg: FaultyConfig, seed: u64, stats: Arc<FaultyStats>) -> Self {
+        cfg.validate();
+        FaultyPort {
+            inner,
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            held: Vec::new(),
+            stats,
+        }
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+
+    /// Age held datagrams by one send and release the expired ones.
+    fn tick_held(&mut self) {
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].countdown == 0 {
+                let h = self.held.swap_remove(i);
+                self.inner.send(h.to, &h.data);
+            } else {
+                self.held[i].countdown -= 1;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Wrap every port of a fabric with the same fault configuration.
+/// Each port gets a distinct RNG stream derived from `seed`, so the
+/// whole fabric's behavior is a pure function of `(cfg, seed)`.
+pub fn faulty_fabric<P: Port>(
+    ports: Vec<P>,
+    cfg: FaultyConfig,
+    seed: u64,
+) -> (Vec<FaultyPort<P>>, Arc<FaultyStats>) {
+    let stats = Arc::new(FaultyStats::default());
+    let wrapped = ports
+        .into_iter()
+        .enumerate()
+        .map(|(i, port)| {
+            FaultyPort::new(port, cfg, seed.wrapping_add(i as u64), Arc::clone(&stats))
+        })
+        .collect();
+    (wrapped, stats)
+}
+
+impl<P: Port> Drop for FaultyPort<P> {
+    /// Reordering bounds delay; it must not turn into loss when the
+    /// port closes with datagrams still held back.
+    fn drop(&mut self) {
+        for h in std::mem::take(&mut self.held) {
+            self.inner.send(h.to, &h.data);
+        }
+    }
+}
+
+impl<P: Port> Port for FaultyPort<P> {
+    fn n_endpoints(&self) -> usize {
+        self.inner.n_endpoints()
+    }
+
+    fn index(&self) -> usize {
+        self.inner.index()
+    }
+
+    fn send(&mut self, to: usize, data: &[u8]) {
+        self.stats.inner.lock().sent += 1;
+        if self.roll(self.cfg.send_drop) {
+            self.stats.inner.lock().dropped += 1;
+            self.tick_held();
+            return;
+        }
+        if self.roll(self.cfg.reorder) && self.held.len() < self.cfg.max_held {
+            self.stats.inner.lock().reordered += 1;
+            self.held.push(Held {
+                to,
+                data: data.to_vec(),
+                countdown: self.cfg.reorder_span,
+            });
+        } else {
+            self.inner.send(to, data);
+            if self.roll(self.cfg.dup) {
+                self.stats.inner.lock().duplicated += 1;
+                self.inner.send(to, data);
+            }
+        }
+        self.tick_held();
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        loop {
+            let got = self.inner.recv_timeout(timeout)?;
+            if self.roll(self.cfg.recv_drop) {
+                self.stats.inner.lock().recv_dropped += 1;
+                continue;
+            }
+            return Some(got);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_fabric;
+    use crate::runner::{run_allreduce, RunConfig};
+    use switchml_core::config::Protocol;
+
+    fn chaos() -> FaultyConfig {
+        FaultyConfig {
+            send_drop: 0.03,
+            recv_drop: 0.03,
+            dup: 0.05,
+            reorder: 0.1,
+            reorder_span: 3,
+            max_held: 8,
+        }
+    }
+
+    /// Push a fixed workload through a 2-port faulty fabric and record
+    /// exactly what the receiver sees.
+    fn observe(cfg: FaultyConfig, seed: u64) -> Vec<Vec<u8>> {
+        let (mut ports, _stats) = faulty_fabric(channel_fabric(2), cfg, seed);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        for i in 0..200u8 {
+            tx.send(1, &[i]);
+        }
+        drop(tx); // flush any still-held datagrams
+        let mut seen = Vec::new();
+        while let Some((_, data)) = rx.recv_timeout(Duration::from_millis(1)) {
+            seen.push(data);
+        }
+        seen
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let a = observe(chaos(), 1234);
+        let b = observe(chaos(), 1234);
+        assert_eq!(a, b, "identical seeds must inject identical faults");
+        let c = observe(chaos(), 5678);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn duplicates_and_reorders_show_up() {
+        let cfg = FaultyConfig {
+            dup: 0.3,
+            reorder: 0.3,
+            ..FaultyConfig::default()
+        };
+        let (mut ports, stats) = faulty_fabric(channel_fabric(2), cfg, 7);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        for i in 0..200u8 {
+            tx.send(1, &[i]);
+        }
+        drop(tx); // flush any still-held datagrams
+        let mut seen = Vec::new();
+        while let Some((_, data)) = rx.recv_timeout(Duration::from_millis(1)) {
+            seen.push(data[0]);
+        }
+        assert!(stats.duplicated() > 0, "no duplicates at p=0.3");
+        assert!(stats.reordered() > 0, "no reorders at p=0.3");
+        // No loss configured: everything sent arrives (held packets
+        // release within reorder_span sends), plus the duplicates.
+        assert_eq!(seen.len() as u64, 200 + stats.duplicated());
+        assert!(
+            seen.windows(2).any(|w| w[0] > w[1]),
+            "reordering never changed arrival order"
+        );
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 200, "a datagram went missing");
+    }
+
+    #[test]
+    fn recv_drop_loses_datagrams() {
+        let cfg = FaultyConfig {
+            recv_drop: 0.5,
+            ..FaultyConfig::default()
+        };
+        let (mut ports, stats) = faulty_fabric(channel_fabric(2), cfg, 21);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        for i in 0..200u8 {
+            tx.send(1, &[i]);
+        }
+        let mut received = 0u64;
+        while rx.recv_timeout(Duration::from_millis(1)).is_some() {
+            received += 1;
+        }
+        assert_eq!(received + stats.recv_dropped(), 200);
+        assert!((40..=160).contains(&stats.recv_dropped()));
+    }
+
+    /// The full allreduce must converge to the right sums through a
+    /// fabric that drops (both sides), duplicates, and reorders —
+    /// duplicates exercising the switch's `seen` bitmap and the
+    /// workers' stale-result paths end to end.
+    ///
+    /// Reordering is only injected on the switch→worker result path.
+    /// Holding a worker→switch *update* past its slot's phase boundary
+    /// breaks Algorithm 3's bounded packet-lifetime assumption (§3.5's
+    /// self-clocking argument): the next-phase contribution clears the
+    /// stale update's `seen` bit, the late release then looks fresh
+    /// and poisons the pool — the exact ABA schedule `switchml-check`
+    /// ages out of its model (see its `world` module docs). The paper's
+    /// rack fabric never does this; a faulty fabric that did would be
+    /// testing a scenario outside the protocol's contract.
+    #[test]
+    fn allreduce_converges_under_chaos() {
+        let n = 3;
+        let elems = 400;
+        let proto = Protocol {
+            n_workers: n,
+            k: 8,
+            pool_size: 16,
+            rto_ns: 2_000_000,
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        };
+        let updates: Vec<Vec<Vec<f32>>> = (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
+                    .collect()]
+            })
+            .collect();
+        let stats = Arc::new(FaultyStats::default());
+        let worker_cfg = FaultyConfig {
+            reorder: 0.0,
+            ..chaos()
+        };
+        let ports: Vec<FaultyPort<_>> = channel_fabric(n + 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, port)| {
+                let cfg = if i == 0 { chaos() } else { worker_cfg };
+                FaultyPort::new(port, cfg, 99 + i as u64, Arc::clone(&stats))
+            })
+            .collect();
+        let report = run_allreduce(ports, updates, &proto, &RunConfig::default()).unwrap();
+        assert!(stats.dropped() + stats.recv_dropped() > 0, "no faults hit");
+        assert!(stats.duplicated() > 0, "no duplicates hit");
+        for r in &report.results {
+            for (i, a) in r[0].iter().enumerate() {
+                let want = (1..=n).map(|w| w as f32).sum::<f32>() + n as f32 * (i % 5) as f32 * 0.1;
+                assert!((a - want).abs() < 0.01, "elem {i}: {a} vs {want}");
+            }
+        }
+    }
+}

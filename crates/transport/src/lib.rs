@@ -6,7 +6,9 @@
 //!
 //! * [`channel`] — in-memory crossbeam-channel fabric (fast, hermetic);
 //! * [`udp`] — UDP sockets on loopback (real datagrams, real kernel);
-//! * [`lossy`] — deterministic fault injection for either;
+//! * [`faulty`] — deterministic fault injection (loss, duplication,
+//!   bounded reordering, recv-side drop) for either;
+//! * [`lossy`] — loss-only convenience layer over [`faulty`];
 //! * [`runner`] — one switch thread + n worker threads running a full
 //!   synchronous all-reduce.
 //!
@@ -22,6 +24,7 @@
 //! ```
 
 pub mod channel;
+pub mod faulty;
 pub mod lossy;
 pub mod port;
 pub mod runner;

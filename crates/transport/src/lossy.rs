@@ -1,48 +1,18 @@
-//! Fault-injecting transport wrapper: drops outgoing datagrams with a
-//! configured probability, deterministically per seed — the threaded
-//! analog of the simulator's per-link loss injection (§5.5).
+//! Loss-only fault injection — a thin convenience layer over
+//! [`crate::faulty`], kept so existing callers (and the §5.5-style
+//! loss-recovery experiments) keep their one-knob API: a single drop
+//! probability, deterministic per seed.
 
+use crate::faulty::{faulty_fabric, FaultyConfig, FaultyPort, FaultyStats};
 use crate::port::Port;
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Duration;
 
-/// Shared drop-statistics across all wrapped ports of one fabric.
-#[derive(Debug, Default)]
-pub struct LossStats {
-    inner: Mutex<(u64, u64)>, // (sent, dropped)
-}
-
-impl LossStats {
-    pub fn sent(&self) -> u64 {
-        self.inner.lock().0
-    }
-    pub fn dropped(&self) -> u64 {
-        self.inner.lock().1
-    }
-}
+/// Loss statistics — the full [`FaultyStats`]; only `sent()` and
+/// `dropped()` move for a loss-only fabric.
+pub type LossStats = FaultyStats;
 
 /// A port whose sends are dropped with probability `p`.
-pub struct LossyPort<P: Port> {
-    inner: P,
-    p: f64,
-    rng: SmallRng,
-    stats: Arc<LossStats>,
-}
-
-impl<P: Port> LossyPort<P> {
-    pub fn new(inner: P, p: f64, seed: u64, stats: Arc<LossStats>) -> Self {
-        assert!((0.0..=1.0).contains(&p));
-        LossyPort {
-            inner,
-            p,
-            rng: SmallRng::seed_from_u64(seed),
-            stats,
-        }
-    }
-}
+pub type LossyPort<P> = FaultyPort<P>;
 
 /// Wrap every port of a fabric with the same loss probability.
 /// Returns the ports plus the shared statistics handle.
@@ -51,44 +21,14 @@ pub fn lossy_fabric<P: Port>(
     p: f64,
     seed: u64,
 ) -> (Vec<LossyPort<P>>, Arc<LossStats>) {
-    let stats = Arc::new(LossStats::default());
-    let wrapped = ports
-        .into_iter()
-        .enumerate()
-        .map(|(i, port)| LossyPort::new(port, p, seed.wrapping_add(i as u64), Arc::clone(&stats)))
-        .collect();
-    (wrapped, stats)
-}
-
-impl<P: Port> Port for LossyPort<P> {
-    fn n_endpoints(&self) -> usize {
-        self.inner.n_endpoints()
-    }
-
-    fn index(&self) -> usize {
-        self.inner.index()
-    }
-
-    fn send(&mut self, to: usize, data: &[u8]) {
-        let mut s = self.stats.inner.lock();
-        s.0 += 1;
-        if self.p > 0.0 && self.rng.gen_bool(self.p) {
-            s.1 += 1;
-            return;
-        }
-        drop(s);
-        self.inner.send(to, data);
-    }
-
-    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
-        self.inner.recv_timeout(timeout)
-    }
+    faulty_fabric(ports, FaultyConfig::loss_only(p), seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::channel::channel_fabric;
+    use std::time::Duration;
 
     #[test]
     fn drops_at_configured_rate() {

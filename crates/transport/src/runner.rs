@@ -59,6 +59,12 @@ fn switch_loop<P: Port>(
 ) -> Result<SwitchStats> {
     let n = proto.n_workers;
     let mut switch = ReliableSwitch::new(proto)?;
+    // Debug builds run the reference-model oracle from
+    // `switchml_core::oracle` in lock-step with the switch: any
+    // divergence from Algorithm 3 panics the thread instead of
+    // corrupting a gradient.
+    #[cfg(debug_assertions)]
+    let mut oracle = switchml_core::oracle::ReliableOracle::for_switch(&switch);
     // The aggregation hot path is allocation-free: datagrams land in
     // `rx`, are parsed as a borrowed [`PacketView`], aggregated
     // straight into the slot registers, and the response is encoded
@@ -80,7 +86,22 @@ fn switch_loop<P: Port>(
         let Ok(view) = PacketView::parse(&rx) else {
             continue; // corrupted / foreign datagram
         };
-        match switch.on_view(&view, &mut tx)? {
+        let action = switch.on_view(&view, &mut tx)?;
+        #[cfg(debug_assertions)]
+        if view.kind() == switchml_core::packet::PacketKind::Update {
+            if let Err(v) = oracle.observe_update(
+                view.wid(),
+                view.ver(),
+                view.idx(),
+                view.off(),
+                &view,
+                switchml_core::oracle::ObservedAction::of_wire(&action),
+                &switch,
+            ) {
+                panic!("switch thread violated a protocol invariant: {v}");
+            }
+        }
+        match action {
             WireAction::Multicast => {
                 for w in 0..n {
                     port.send(crate::port::worker_endpoint(w), &tx);

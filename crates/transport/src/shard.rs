@@ -80,6 +80,10 @@ fn shard_switch_loop<P: Port>(
 ) -> Result<SwitchStats> {
     let n = proto.n_workers;
     let mut switch = ReliableSwitch::new(proto)?;
+    // Debug builds audit every shard against the Algorithm 3
+    // reference model (see `switchml_core::oracle`).
+    #[cfg(debug_assertions)]
+    let mut oracle = switchml_core::oracle::ReliableOracle::for_switch(&switch);
     let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
     let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
     while !stop.load(Ordering::Acquire) {
@@ -97,7 +101,22 @@ fn shard_switch_loop<P: Port>(
         let Ok(view) = PacketView::parse(&rx) else {
             continue; // corrupted / foreign datagram
         };
-        match switch.on_view(&view, &mut tx)? {
+        let action = switch.on_view(&view, &mut tx)?;
+        #[cfg(debug_assertions)]
+        if view.kind() == switchml_core::packet::PacketKind::Update {
+            if let Err(v) = oracle.observe_update(
+                view.wid(),
+                view.ver(),
+                view.idx(),
+                view.off(),
+                &view,
+                switchml_core::oracle::ObservedAction::of_wire(&action),
+                &switch,
+            ) {
+                panic!("switch shard {shard} violated a protocol invariant: {v}");
+            }
+        }
+        match action {
             WireAction::Multicast => {
                 for w in 0..n {
                     port.send(worker_core_endpoint(w, shard, n_cores), &tx);
