@@ -21,6 +21,22 @@ cargo bench --workspace --no-run
 echo "== hotpath smoke (release, sharded runner with n_cores > 1, zero-alloc check)"
 cargo run --release -q -p switchml-bench --bin hotpath -- --smoke
 
+echo "== udp burst data plane: tests + quick bench (release, hard time budget)"
+# Every test whose name mentions udp — transport unit tests plus the
+# sharded UDP-vs-channel-vs-reference differentials.
+timeout 180 cargo test --workspace -q udp
+# The burst receive bench must complete and write a well-formed
+# BENCH_udp.json (both sections present, allocation counter included).
+timeout 300 cargo run --release -q -p switchml-bench --bin hotpath -- \
+    --quick --udp --udp-out /tmp/ci_bench_udp.json
+for key in '"bench": "udp"' '"recv_path"' '"allreduce"' '"allocs_per_packet"'; do
+  if ! grep -qF "$key" /tmp/ci_bench_udp.json; then
+    echo "ERROR: BENCH_udp.json missing $key" >&2
+    exit 1
+  fi
+done
+rm -f /tmp/ci_bench_udp.json
+
 echo "== model checker: bounded-exhaustive exploration (release, hard time budget)"
 # The two acceptance configurations must explore to exhaustion with
 # zero violations. `timeout` enforces the CI wall-clock budget.

@@ -2,7 +2,7 @@
 //! records the numbers behind it.
 //!
 //! ```text
-//! hotpath [--quick] [--smoke] [--out <path>]
+//! hotpath [--quick] [--smoke] [--udp] [--out <path>] [--udp-out <path>]
 //! ```
 //!
 //! Measures, in-process:
@@ -20,6 +20,13 @@
 //!   cores. `hardware_threads` is recorded alongside: scaling is only
 //!   expected to be monotonic when the host actually has the cores.
 //!
+//! * **udp burst I/O** — the batched UDP data plane: packets/sec
+//!   through `recv_batch` at burst sizes 1/8/32 (drain of a prefilled
+//!   loopback socket, allocation-checked), and end-to-end sharded
+//!   all-reduce ATE/s over UDP vs the channel fabric at each
+//!   (burst, cores) point. Written to `BENCH_udp.json` (override with
+//!   `--udp-out`); `--udp` runs *only* this section.
+//!
 //! Writes pretty JSON to `BENCH_hotpath.json` (override with `--out`).
 //! `--smoke` runs everything at tiny sizes and skips the JSON write —
 //! CI uses it as a release-mode end-to-end check of the sharded runner
@@ -27,14 +34,18 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use switchml_core::config::Protocol;
 use switchml_core::packet::{encode_update_into, Packet, PacketView, PoolVersion};
 use switchml_core::quant::fixed::{dequantize_chunk, dequantize_one, quantize_chunk, quantize_one};
 use switchml_core::switch::reliable::ReliableSwitch;
 use switchml_core::switch::WireAction;
 use switchml_transport::runner::RunConfig;
-use switchml_transport::shard::{run_allreduce_sharded, sharded_channel_fabric};
+use switchml_transport::shard::{
+    run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size,
+};
+use switchml_transport::udp::udp_fabric;
+use switchml_transport::{BurstBuf, Port, TxBatch};
 
 /// Counts every heap allocation so steady-state loops can assert they
 /// make none.
@@ -264,18 +275,166 @@ fn ate_section(elems: usize, cores: &[usize]) -> serde_json::Value {
     serde_json::Value::Array(rows)
 }
 
+/// Kernel receive path at each burst size: fill a loopback socket with
+/// a fixed flight of datagrams (untimed), then time draining it with
+/// `recv_batch` at burst `b`. The flight is resent every round, so the
+/// drain measures steady-state `recvmmsg` amortization — and the
+/// counting allocator verifies the drain makes **zero** heap
+/// allocations per packet.
+fn udp_recv_section(rounds: u64, bursts: &[usize]) -> serde_json::Value {
+    // Small enough that a flight always fits the default socket buffer
+    // (64 datagrams of ~160 B is well under the kernel's skb budget).
+    const FLIGHT: usize = 64;
+    let vals = [7i32; K];
+    let mut wire = Vec::new();
+    encode_update_into(0, PoolVersion::V0, 3, 96, false, &vals, &mut wire);
+
+    let mut rows = Vec::new();
+    for &b in bursts {
+        let mut ports = udp_fabric(2).expect("loopback fabric");
+        let mut rx = ports.pop().unwrap(); // endpoint 1
+        let mut tx = ports.pop().unwrap(); // endpoint 0
+        let mut txb = TxBatch::new(wire.len());
+        let mut bufs = BurstBuf::new(b, wire.len());
+        let mut drain_allocs = 0u64;
+        let mut got = 0u64;
+        let mut round_ns: Vec<f64> = Vec::with_capacity(rounds as usize);
+        // One untimed warmup round arms the read timeout and grows
+        // every reused buffer to steady-state capacity.
+        for round in 0..rounds + 1 {
+            txb.clear();
+            for _ in 0..FLIGHT {
+                txb.push(1).extend_from_slice(&wire);
+            }
+            txb.flush(&mut tx);
+            let mut seen = 0usize;
+            let a0 = allocations();
+            let t0 = Instant::now();
+            while seen < FLIGHT {
+                let n = rx.recv_batch(&mut bufs, Duration::from_millis(200));
+                if n == 0 {
+                    break; // kernel dropped part of the flight
+                }
+                for (_from, frame) in bufs.iter() {
+                    std::hint::black_box(frame.len());
+                }
+                seen += n;
+            }
+            if round > 0 && seen > 0 {
+                round_ns.push(t0.elapsed().as_nanos() as f64 / seen as f64);
+                drain_allocs += allocations() - a0;
+                got += seen as u64;
+            }
+        }
+        // This host is a shared vCPU: the mean is polluted by multi-µs
+        // preemption spikes, so the headline number is the 10th-
+        // percentile round — the repeatable steady state of the drain
+        // itself. The mean is recorded alongside for honesty.
+        round_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean_ns = round_ns.iter().sum::<f64>() / round_ns.len() as f64;
+        let p10_ns = round_ns[round_ns.len() / 10];
+        let pps = 1e9 / p10_ns;
+        let allocs_per_packet = drain_allocs as f64 / got as f64;
+        println!(
+            "udp recv burst={b}: p10 {p10_ns:.1} ns/pkt ({:.2} M pkt/s), mean {mean_ns:.1} \
+             ns/pkt, {drain_allocs} allocations over {got} packets",
+            pps / 1e6
+        );
+        assert_eq!(
+            drain_allocs, 0,
+            "udp burst receive path must not allocate (burst={b})"
+        );
+        rows.push(serde_json::json!({
+            "burst": b,
+            "packets": got,
+            "ns_per_packet": p10_ns,
+            "ns_per_packet_mean": mean_ns,
+            "packets_per_sec": pps,
+            "allocs_per_packet": allocs_per_packet,
+        }));
+    }
+    serde_json::Value::Array(rows)
+}
+
+/// Full sharded all-reduce over UDP loopback vs the channel fabric at
+/// each (burst, cores) point — end-to-end ATE/s for the same protocol
+/// over real sockets, plus kernel send-error counts from the port
+/// stats.
+fn udp_allreduce_section(elems: usize, cores: &[usize], bursts: &[usize]) -> serde_json::Value {
+    let n = 2usize;
+    let mut rows = Vec::new();
+    for &c in cores {
+        for &b in bursts {
+            for transport in ["channel", "udp"] {
+                let proto = Protocol {
+                    n_workers: n,
+                    k: K,
+                    pool_size: 128,
+                    rto_ns: 5_000_000,
+                    scaling_factor: 10_000.0,
+                    ..Protocol::default()
+                };
+                let updates: Vec<Vec<Vec<f32>>> = (0..n)
+                    .map(|w| {
+                        vec![(0..elems)
+                            .map(|i| (w + 1) as f32 + (i % 7) as f32)
+                            .collect()]
+                    })
+                    .collect();
+                let cfg = RunConfig {
+                    n_cores: c,
+                    burst: b,
+                    ..RunConfig::default()
+                };
+                let report = match transport {
+                    "udp" => {
+                        let ports = udp_fabric(sharded_fabric_size(n, c)).expect("udp fabric");
+                        run_allreduce_sharded(ports, updates, &proto, &cfg)
+                    }
+                    _ => run_allreduce_sharded(sharded_channel_fabric(n, c), updates, &proto, &cfg),
+                }
+                .unwrap();
+                let ate = elems as f64 / report.wall.as_secs_f64();
+                println!(
+                    "allreduce {transport} n={n} elems={elems} cores={c} burst={b}: \
+                     {:.1} ms, {:.2} M ATE/s, {} send errors",
+                    report.wall.as_secs_f64() * 1e3,
+                    ate / 1e6,
+                    report.transport_stats.send_errors
+                );
+                rows.push(serde_json::json!({
+                    "transport": transport,
+                    "burst": b,
+                    "n_cores": c,
+                    "wall_ms": report.wall.as_secs_f64() * 1e3,
+                    "ate_per_sec": ate,
+                    "send_errors": report.transport_stats.send_errors,
+                }));
+            }
+        }
+    }
+    serde_json::Value::Array(rows)
+}
+
 fn main() {
     let mut quick = false;
     let mut smoke = false;
+    let mut udp_only = false;
     let mut out = String::from("BENCH_hotpath.json");
+    let mut udp_out = String::from("BENCH_udp.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--smoke" => smoke = true,
+            "--udp" => udp_only = true,
             "--out" => out = args.next().expect("--out needs a path"),
+            "--udp-out" => udp_out = args.next().expect("--udp-out needs a path"),
             other => {
-                eprintln!("usage: hotpath [--quick] [--smoke] [--out <path>], got {other:?}");
+                eprintln!(
+                    "usage: hotpath [--quick] [--smoke] [--udp] [--out <path>] \
+                     [--udp-out <path>], got {other:?}"
+                );
                 std::process::exit(2);
             }
         }
@@ -299,26 +458,58 @@ fn main() {
         (500_000, 200_000, 1024 * 1024, 200, 400_000)
     };
 
-    let codec = codec_section(codec_iters);
-    let switch = switch_section(switch_phases);
-    let quant = quantize_section(quant_elems, quant_reps);
-    let ate = ate_section(ate_elems, &[1, 2, 4]);
+    if !udp_only {
+        let codec = codec_section(codec_iters);
+        let switch = switch_section(switch_phases);
+        let quant = quantize_section(quant_elems, quant_reps);
+        let ate = ate_section(ate_elems, &[1, 2, 4]);
 
-    if smoke {
-        println!("smoke OK: sharded runner correct and hot path allocation-free");
-        return;
+        if smoke {
+            println!("smoke OK: sharded runner correct and hot path allocation-free");
+            return;
+        }
+        let doc = serde_json::json!({
+            "bench": "hotpath",
+            "quick": quick,
+            "hardware_threads": hw,
+            "codec": codec,
+            "switch_hot_path": switch,
+            "quantize": quant,
+            "threaded_ate": ate,
+            "note": "ATE/s scaling with n_cores is hardware-bound: on a host with fewer \
+                     hardware threads than n_cores the shard/core threads time-slice one CPU.",
+        });
+        std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n")
+            .expect("write JSON");
+        println!("wrote {out}");
     }
-    let doc = serde_json::json!({
-        "bench": "hotpath",
-        "quick": quick,
+
+    // UDP burst data plane: receive-path syscall amortization plus the
+    // sharded all-reduce end to end over real sockets.
+    let (recv_rounds, udp_elems, udp_cores, udp_bursts): (u64, usize, &[usize], &[usize]) = if smoke
+    {
+        (50, 8_000, &[1], &[1, 32])
+    } else if quick {
+        (400, 40_000, &[1, 2], &[1, 8, 32])
+    } else {
+        (2_000, 200_000, &[1, 2], &[1, 8, 32])
+    };
+    let recv = udp_recv_section(recv_rounds, udp_bursts);
+    let allreduce = udp_allreduce_section(udp_elems, udp_cores, udp_bursts);
+    let udp_doc = serde_json::json!({
+        "bench": "udp",
+        "quick": quick || smoke,
         "hardware_threads": hw,
-        "codec": codec,
-        "switch_hot_path": switch,
-        "quantize": quant,
-        "threaded_ate": ate,
-        "note": "ATE/s scaling with n_cores is hardware-bound: on a host with fewer \
-                 hardware threads than n_cores the shard/core threads time-slice one CPU.",
+        "recv_path": recv,
+        "allreduce": allreduce,
+        "note": "recv_path times only the recv_batch drain of a prefilled socket, so it \
+                 isolates per-packet syscall cost; allreduce is end-to-end wall clock and \
+                 inherits the hardware-thread caveat from BENCH_hotpath.json.",
     });
-    std::fs::write(&out, serde_json::to_string_pretty(&doc).unwrap() + "\n").expect("write JSON");
-    println!("wrote {out}");
+    std::fs::write(
+        &udp_out,
+        serde_json::to_string_pretty(&udp_doc).unwrap() + "\n",
+    )
+    .expect("write JSON");
+    println!("wrote {udp_out}");
 }

@@ -288,45 +288,96 @@ pub fn train(args: &Args) -> Result<String, String> {
     }
 }
 
-/// `udp`: the protocol over real loopback sockets.
+/// `udp`: the protocol over real loopback sockets (or the in-memory
+/// channel fabric for an apples-to-apples comparison), with burst I/O
+/// and optional multi-core sharding.
 pub fn udp(args: &Args) -> Result<String, String> {
-    args.assert_known(&["workers", "elems", "loss"])?;
+    args.assert_known(&["workers", "elems", "loss", "transport", "burst", "cores"])?;
     use switchml_transport::channel::channel_fabric;
     use switchml_transport::lossy::lossy_fabric;
-    use switchml_transport::runner::{run_allreduce, RunConfig};
+    use switchml_transport::runner::{run_allreduce, RunConfig, RunReport};
+    use switchml_transport::shard::{run_allreduce_sharded, sharded_fabric_size};
     use switchml_transport::udp::udp_fabric;
+    use switchml_transport::Port;
 
     let workers: usize = args.get("workers", 2)?;
     let elems: usize = args.get("elems", 4096)?;
     let loss: f64 = args.get("loss", 0.0)?;
+    let transport = args.get_str("transport", "udp");
+    let burst: usize = args.get("burst", 8)?;
+    let cores: usize = args.get("cores", 1)?;
+    if transport != "udp" && transport != "channel" {
+        return Err(format!(
+            "--transport: expected udp|channel, got '{transport}'"
+        ));
+    }
+    if burst == 0 || cores == 0 {
+        return Err("--burst and --cores must be at least 1".into());
+    }
     let proto = Protocol {
         n_workers: workers,
         pool_size: 32,
         rto_ns: 2_000_000,
         ..Protocol::default()
     };
+    let cfg = RunConfig {
+        n_cores: cores,
+        burst,
+        ..RunConfig::default()
+    };
     let updates: Vec<Vec<Vec<f32>>> = (0..workers)
         .map(|w| vec![vec![(w + 1) as f32; elems]])
         .collect();
     let expect: f32 = (1..=workers).map(|x| x as f32).sum();
 
-    let report = if loss > 0.0 {
-        // UDP sockets can't inject loss portably; use the in-memory
-        // fabric with the deterministic loss wrapper instead.
-        let (ports, _) = lossy_fabric(channel_fabric(workers + 1), loss, 42);
-        run_allreduce(ports, updates, &proto, &RunConfig::default())
+    /// Single-switch runner for one core, sharded runner otherwise.
+    fn drive<P: Port + 'static>(
+        ports: Vec<P>,
+        updates: Vec<Vec<Vec<f32>>>,
+        proto: &Protocol,
+        cfg: &RunConfig,
+    ) -> switchml_core::Result<RunReport> {
+        if cfg.n_cores > 1 {
+            run_allreduce_sharded(ports, updates, proto, cfg)
+        } else {
+            run_allreduce(ports, updates, proto, cfg)
+        }
+    }
+
+    let size = if cores > 1 {
+        sharded_fabric_size(workers, cores)
     } else {
-        let ports = udp_fabric(workers + 1).map_err(|e| e.to_string())?;
-        run_allreduce(ports, updates, &proto, &RunConfig::default())
+        workers + 1
+    };
+    // Loss is injected by the deterministic fault wrapper over either
+    // fabric; real sockets exercise the retransmission path on top of
+    // whatever the kernel itself drops.
+    let report = match (transport.as_str(), loss > 0.0) {
+        ("channel", false) => drive(channel_fabric(size), updates, &proto, &cfg),
+        ("channel", true) => {
+            let (ports, _) = lossy_fabric(channel_fabric(size), loss, 42);
+            drive(ports, updates, &proto, &cfg)
+        }
+        ("udp", false) => {
+            let ports = udp_fabric(size).map_err(|e| e.to_string())?;
+            drive(ports, updates, &proto, &cfg)
+        }
+        _ => {
+            let ports = udp_fabric(size).map_err(|e| e.to_string())?;
+            let (ports, _) = lossy_fabric(ports, loss, 42);
+            drive(ports, updates, &proto, &cfg)
+        }
     }
     .map_err(|e| e.to_string())?;
 
     let got = report.results[0][0][0];
     Ok(format!(
         "all-reduce of {elems} elems across {workers} workers in {:?}\n\
-         result[0] = {got} (expected {expect}), retransmissions: {}",
+         transport {transport}, {cores} core(s), burst {burst}\n\
+         result[0] = {got} (expected {expect}), retransmissions: {}, send errors: {}",
         report.wall,
         report.worker_stats.iter().map(|s| s.retx).sum::<u64>(),
+        report.transport_stats.send_errors,
     ))
 }
 

@@ -35,6 +35,7 @@ COMMANDS:
              --byzantine N (0)  --json
   udp        Threaded all-reduce over real UDP loopback sockets
              --workers N (2) --elems N (4096) --loss P (0)
+             --transport udp|channel (udp) --burst N (8) --cores N (1)
   ctrl       Controller-managed jobs: lifecycle, failure detection,
              live reconfiguration, switch failover (simulated rack)
              --workers N (4) --jobs N (1) --switches N (1)

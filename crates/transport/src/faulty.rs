@@ -223,6 +223,15 @@ impl<P: Port> Port for FaultyPort<P> {
             return Some(got);
         }
     }
+
+    // send_batch / recv_batch deliberately use the trait defaults:
+    // they route every frame through this wrapper's faulty send /
+    // recv_timeout, so burst I/O sees exactly the same fault schedule
+    // as per-datagram I/O.
+
+    fn stats(&self) -> crate::port::PortStats {
+        self.inner.stats()
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +309,52 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 200, "a datagram went missing");
+    }
+
+    /// The trait's default `recv_batch` over a faulty port: burst
+    /// receive must see the same loss discipline as per-datagram
+    /// receive — nothing delivered twice, everything either delivered
+    /// or counted as recv-dropped.
+    #[test]
+    fn recv_batch_under_loss_uses_default_impl() {
+        use crate::port::{BurstBuf, TxBatch};
+        let cfg = FaultyConfig {
+            recv_drop: 0.3,
+            ..FaultyConfig::default()
+        };
+        let (mut ports, stats) = faulty_fabric(channel_fabric(2), cfg, 31);
+        let mut rx = ports.pop().unwrap();
+        let mut tx = ports.pop().unwrap();
+        let mut batch = TxBatch::new(4);
+        for i in 0..300u16 {
+            batch.push(1).extend_from_slice(&i.to_be_bytes());
+            if batch.len() == 10 {
+                batch.flush(&mut tx);
+            }
+        }
+        batch.flush(&mut tx);
+        let mut bufs = BurstBuf::new(16, 4);
+        let mut seen = Vec::new();
+        let mut multi_frame_bursts = 0u32;
+        loop {
+            let n = rx.recv_batch(&mut bufs, Duration::from_millis(5));
+            if n == 0 {
+                break;
+            }
+            if n > 1 {
+                multi_frame_bursts += 1;
+            }
+            for (from, frame) in bufs.iter() {
+                assert_eq!(from, 0);
+                seen.push(u16::from_be_bytes([frame[0], frame[1]]));
+            }
+        }
+        assert_eq!(seen.len() as u64 + stats.recv_dropped(), 300);
+        assert!((30..=160).contains(&stats.recv_dropped()));
+        assert!(multi_frame_bursts > 0, "bursts never batched");
+        // In-order channel + drops only: survivors stay sorted and
+        // unique.
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -5,12 +5,14 @@
 //! threads with wall-clock retransmission timers:
 //!
 //! * [`channel`] — in-memory crossbeam-channel fabric (fast, hermetic);
-//! * [`udp`] — UDP sockets on loopback (real datagrams, real kernel);
+//! * [`udp`] — UDP sockets on loopback (real datagrams, real kernel),
+//!   with a batched `sendmmsg`/`recvmmsg` fast path on Linux;
 //! * [`faulty`] — deterministic fault injection (loss, duplication,
 //!   bounded reordering, recv-side drop) for either;
 //! * [`lossy`] — loss-only convenience layer over [`faulty`];
 //! * [`runner`] — one switch thread + n worker threads running a full
-//!   synchronous all-reduce.
+//!   synchronous all-reduce over burst I/O ([`port::BurstBuf`] /
+//!   [`port::TxBatch`], `RunConfig::burst`).
 //!
 //! ```no_run
 //! use switchml_transport::{channel::channel_fabric, runner::{run_allreduce, RunConfig}};
@@ -31,6 +33,6 @@ pub mod runner;
 pub mod shard;
 pub mod udp;
 
-pub use port::{worker_endpoint, Port, SWITCH_ENDPOINT};
+pub use port::{worker_endpoint, BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
 pub use runner::{run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport};
 pub use shard::{run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size};

@@ -7,7 +7,7 @@
 //! component + Tofino switch; here the "switch" is a thread running
 //! Algorithm 3 verbatim.
 
-use crate::port::{Port, SWITCH_ENDPOINT};
+use crate::port::{BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -30,6 +30,11 @@ pub struct RunConfig {
     pub max_wall: Duration,
     /// CPU cores per worker (engine shards).
     pub n_cores: usize,
+    /// Frames per burst on the batched I/O path ([`Port::send_batch`]
+    /// / [`Port::recv_batch`]). Burst receive never waits to fill the
+    /// burst, so larger values amortize syscalls without adding
+    /// latency; 1 degenerates to one-datagram-per-call I/O.
+    pub burst: usize,
 }
 
 impl Default for RunConfig {
@@ -37,6 +42,7 @@ impl Default for RunConfig {
         RunConfig {
             max_wall: Duration::from_secs(30),
             n_cores: 1,
+            burst: 8,
         }
     }
 }
@@ -48,15 +54,20 @@ pub struct RunReport {
     pub results: Vec<Vec<Vec<f32>>>,
     pub worker_stats: Vec<EngineStats>,
     pub switch_stats: SwitchStats,
+    /// Transport counters summed over every endpoint: kernel-side send
+    /// failures here are invisible to `worker_stats`/`switch_stats`,
+    /// which only see them as protocol loss.
+    pub transport_stats: PortStats,
     pub wall: Duration,
 }
 
 fn switch_loop<P: Port>(
     mut port: P,
     proto: &Protocol,
+    burst: usize,
     stop: &AtomicBool,
     deadline: Instant,
-) -> Result<SwitchStats> {
+) -> Result<(SwitchStats, PortStats)> {
     let n = proto.n_workers;
     let mut switch = ReliableSwitch::new(proto)?;
     // Debug builds run the reference-model oracle from
@@ -65,11 +76,15 @@ fn switch_loop<P: Port>(
     // corrupting a gradient.
     #[cfg(debug_assertions)]
     let mut oracle = switchml_core::oracle::ReliableOracle::for_switch(&switch);
-    // The aggregation hot path is allocation-free: datagrams land in
-    // `rx`, are parsed as a borrowed [`PacketView`], aggregated
-    // straight into the slot registers, and the response is encoded
-    // into `tx` — both buffers reused for the lifetime of the thread.
-    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
+    // The aggregation hot path is allocation-free: datagram bursts
+    // land in `rxb`'s preallocated frames, each is parsed as a
+    // borrowed [`PacketView`] and aggregated straight into the slot
+    // registers, and responses are encoded into `tx` then staged in
+    // `txb` — all storage reused for the lifetime of the thread. The
+    // whole burst is drained before the responses are flushed, so one
+    // send syscall covers the burst.
+    let mut rxb = BurstBuf::new(burst, SCRATCH_CAPACITY);
+    let mut txb = TxBatch::new(SCRATCH_CAPACITY);
     let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
@@ -77,61 +92,67 @@ fn switch_loop<P: Port>(
                 "switch thread exceeded the wall-clock budget".into(),
             ));
         }
-        if port
-            .recv_into(&mut rx, Duration::from_micros(200))
-            .is_none()
-        {
+        if port.recv_batch(&mut rxb, Duration::from_micros(200)) == 0 {
             continue;
         }
-        let Ok(view) = PacketView::parse(&rx) else {
-            continue; // corrupted / foreign datagram
-        };
-        let action = switch.on_view(&view, &mut tx)?;
-        #[cfg(debug_assertions)]
-        if view.kind() == switchml_core::packet::PacketKind::Update {
-            if let Err(v) = oracle.observe_update(
-                view.wid(),
-                view.ver(),
-                view.idx(),
-                view.off(),
-                &view,
-                switchml_core::oracle::ObservedAction::of_wire(&action),
-                &switch,
-            ) {
-                panic!("switch thread violated a protocol invariant: {v}");
-            }
-        }
-        match action {
-            WireAction::Multicast => {
-                for w in 0..n {
-                    port.send(crate::port::worker_endpoint(w), &tx);
+        txb.clear();
+        for (_from, frame) in rxb.iter() {
+            let Ok(view) = PacketView::parse(frame) else {
+                continue; // corrupted / foreign datagram
+            };
+            let action = switch.on_view(&view, &mut tx)?;
+            #[cfg(debug_assertions)]
+            if view.kind() == switchml_core::packet::PacketKind::Update {
+                if let Err(v) = oracle.observe_update(
+                    view.wid(),
+                    view.ver(),
+                    view.idx(),
+                    view.off(),
+                    &view,
+                    switchml_core::oracle::ObservedAction::of_wire(&action),
+                    &switch,
+                ) {
+                    panic!("switch thread violated a protocol invariant: {v}");
                 }
             }
-            WireAction::Unicast(wid) => {
-                port.send(crate::port::worker_endpoint(wid as usize), &tx);
+            match action {
+                WireAction::Multicast => {
+                    for w in 0..n {
+                        txb.push(crate::port::worker_endpoint(w))
+                            .extend_from_slice(&tx);
+                    }
+                }
+                WireAction::Unicast(wid) => {
+                    txb.push(crate::port::worker_endpoint(wid as usize))
+                        .extend_from_slice(&tx);
+                }
+                WireAction::Drop => {}
             }
-            WireAction::Drop => {}
         }
+        txb.flush(&mut port);
     }
-    Ok(switch.stats())
+    Ok((switch.stats(), port.stats()))
 }
 
 /// Drive one worker until its current aggregation session completes.
 fn drive_worker<P: Port>(
     port: &mut P,
     worker: &mut Worker,
+    burst: usize,
     deadline: Instant,
     epoch: Instant,
 ) -> Result<()> {
     let now_ns = || epoch.elapsed().as_nanos() as u64;
-    // Reusable wire scratch: receives land in `rx`, sends are encoded
-    // into `tx` in place of per-packet `encode()` allocations.
-    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
-    let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
+    // Reusable wire scratch: received bursts land in `rxb`'s frames,
+    // outgoing packets are encoded straight into `txb` and flushed as
+    // one batch — no per-packet `encode()` allocations, one send
+    // syscall per loop iteration.
+    let mut rxb = BurstBuf::new(burst, SCRATCH_CAPACITY);
+    let mut txb = TxBatch::new(SCRATCH_CAPACITY);
     for pkt in worker.start(now_ns())? {
-        pkt.encode_into(&mut tx);
-        port.send(SWITCH_ENDPOINT, &tx);
+        pkt.encode_into(txb.push(SWITCH_ENDPOINT));
     }
+    txb.flush(port);
     while !worker.is_done() {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(format!(
@@ -145,27 +166,29 @@ fn drive_worker<P: Port>(
             .map(|d| d.saturating_sub(now_ns()))
             .unwrap_or(1_000_000)
             .clamp(1, 5_000_000); // poll at least every 5 ms
-        if port
-            .recv_into(&mut rx, Duration::from_nanos(wait))
-            .is_some()
-        {
-            if let Ok(pkt) = Packet::decode(&rx) {
-                for out in worker.on_result(&pkt, now_ns())? {
-                    out.encode_into(&mut tx);
-                    port.send(SWITCH_ENDPOINT, &tx);
+        if port.recv_batch(&mut rxb, Duration::from_nanos(wait)) > 0 {
+            for (_from, frame) in rxb.iter() {
+                if let Ok(pkt) = Packet::decode(frame) {
+                    for out in worker.on_result(&pkt, now_ns())? {
+                        out.encode_into(txb.push(SWITCH_ENDPOINT));
+                    }
                 }
             }
         }
         let t = now_ns();
         if worker.next_deadline().is_some_and(|d| d <= t) {
             for pkt in worker.expired(t)? {
-                pkt.encode_into(&mut tx);
-                port.send(SWITCH_ENDPOINT, &tx);
+                pkt.encode_into(txb.push(SWITCH_ENDPOINT));
             }
         }
+        txb.flush(port);
     }
     Ok(())
 }
+
+/// Per-round aggregated tensors plus the thread's engine and port
+/// counters — one worker thread's contribution to a [`SessionReport`].
+type WorkerOutcome = (Vec<Vec<Vec<f32>>>, EngineStats, PortStats);
 
 fn worker_loop<P: Port>(
     mut port: P,
@@ -174,7 +197,7 @@ fn worker_loop<P: Port>(
     rounds: &[Vec<Vec<f32>>],
     cfg: &RunConfig,
     deadline: Instant,
-) -> Result<(Vec<Vec<Vec<f32>>>, EngineStats)> {
+) -> Result<WorkerOutcome> {
     let epoch = Instant::now();
     let mk_stream = |tensors: &Vec<Vec<f32>>| {
         TensorStream::from_f32(tensors, proto.mode, proto.scaling_factor, proto.k)
@@ -182,7 +205,7 @@ fn worker_loop<P: Port>(
     let mut worker = Worker::sharded(wid, proto, mk_stream(&rounds[0])?, cfg.n_cores)?;
     let mut results = Vec::with_capacity(rounds.len());
     for (r, tensors) in rounds.iter().enumerate().skip(1) {
-        drive_worker(&mut port, &mut worker, deadline, epoch)?;
+        drive_worker(&mut port, &mut worker, cfg.burst, deadline, epoch)?;
         // Continue the session against the live switch: pool-version
         // parity carries into round r (Appendix B's continuous stream
         // across iterations).
@@ -191,10 +214,10 @@ fn worker_loop<P: Port>(
         worker = next;
         let _ = r;
     }
-    drive_worker(&mut port, &mut worker, deadline, epoch)?;
+    drive_worker(&mut port, &mut worker, cfg.burst, deadline, epoch)?;
     let stats = worker.stats();
     results.push(worker.into_results(1)?);
-    Ok((results, stats))
+    Ok((results, stats, port.stats()))
 }
 
 /// Run a full synchronous all-reduce over a transport fabric.
@@ -219,6 +242,7 @@ pub fn run_allreduce<P: Port + 'static>(
         results,
         worker_stats: multi.worker_stats,
         switch_stats: multi.switch_stats,
+        transport_stats: multi.transport_stats,
         wall: multi.wall,
     })
 }
@@ -230,6 +254,8 @@ pub struct SessionReport {
     pub rounds: Vec<Vec<Vec<Vec<f32>>>>,
     pub worker_stats: Vec<EngineStats>,
     pub switch_stats: SwitchStats,
+    /// Transport counters summed over every endpoint.
+    pub transport_stats: PortStats,
     pub wall: Duration,
 }
 
@@ -288,7 +314,8 @@ pub fn run_allreduce_session<P: Port + 'static>(
         let switch_handle = {
             let stop = Arc::clone(&stop);
             let proto = proto.clone();
-            scope.spawn(move || switch_loop(switch_port, &proto, &stop, deadline))
+            let burst = cfg.burst;
+            scope.spawn(move || switch_loop(switch_port, &proto, burst, &stop, deadline))
         };
 
         let worker_handles: Vec<_> = worker_ports
@@ -306,18 +333,22 @@ pub fn run_allreduce_session<P: Port + 'static>(
 
         let mut per_worker_results = Vec::with_capacity(n);
         let mut worker_stats = Vec::with_capacity(n);
+        let mut transport_stats = PortStats::default();
         let mut first_err = None;
         for h in worker_handles {
             match h.join().expect("worker thread panicked") {
-                Ok((r, s)) => {
+                Ok((r, s, ps)) => {
                     per_worker_results.push(r);
                     worker_stats.push(s);
+                    transport_stats.merge(ps);
                 }
                 Err(e) => first_err = first_err.or(Some(e)),
             }
         }
         stop.store(true, Ordering::Release);
-        let switch_stats = switch_handle.join().expect("switch thread panicked")?;
+        let (switch_stats, switch_port_stats) =
+            switch_handle.join().expect("switch thread panicked")?;
+        transport_stats.merge(switch_port_stats);
         if let Some(e) = first_err {
             return Err(e);
         }
@@ -336,6 +367,7 @@ pub fn run_allreduce_session<P: Port + 'static>(
             rounds: rounds_out,
             worker_stats,
             switch_stats,
+            transport_stats,
             wall: t0.elapsed(),
         })
     })

@@ -36,7 +36,7 @@
 //! endpoint `c + w·c + j` (see [`shard_endpoint`] /
 //! [`worker_core_endpoint`]).
 
-use crate::port::Port;
+use crate::port::{BurstBuf, Port, PortStats, TxBatch};
 use crate::runner::{RunConfig, RunReport, SCRATCH_CAPACITY};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -74,17 +74,23 @@ fn shard_switch_loop<P: Port>(
     mut port: P,
     shard: usize,
     n_cores: usize,
+    burst: usize,
     proto: &Protocol,
     stop: &AtomicBool,
     deadline: Instant,
-) -> Result<SwitchStats> {
+) -> Result<(SwitchStats, PortStats)> {
     let n = proto.n_workers;
     let mut switch = ReliableSwitch::new(proto)?;
     // Debug builds audit every shard against the Algorithm 3
     // reference model (see `switchml_core::oracle`).
     #[cfg(debug_assertions)]
     let mut oracle = switchml_core::oracle::ReliableOracle::for_switch(&switch);
-    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
+    // Burst-drained, allocation-free steady state: received frames
+    // stay in `rxb`'s preallocated slots, responses are encoded into
+    // `tx` and staged in `txb`, and the whole burst's responses go out
+    // in one batched send.
+    let mut rxb = BurstBuf::new(burst, SCRATCH_CAPACITY);
+    let mut txb = TxBatch::new(SCRATCH_CAPACITY);
     let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
@@ -92,57 +98,59 @@ fn shard_switch_loop<P: Port>(
                 "switch shard {shard} exceeded the wall-clock budget"
             )));
         }
-        if port
-            .recv_into(&mut rx, Duration::from_micros(200))
-            .is_none()
-        {
+        if port.recv_batch(&mut rxb, Duration::from_micros(200)) == 0 {
             continue;
         }
-        let Ok(view) = PacketView::parse(&rx) else {
-            continue; // corrupted / foreign datagram
-        };
-        let action = switch.on_view(&view, &mut tx)?;
-        #[cfg(debug_assertions)]
-        if view.kind() == switchml_core::packet::PacketKind::Update {
-            if let Err(v) = oracle.observe_update(
-                view.wid(),
-                view.ver(),
-                view.idx(),
-                view.off(),
-                &view,
-                switchml_core::oracle::ObservedAction::of_wire(&action),
-                &switch,
-            ) {
-                panic!("switch shard {shard} violated a protocol invariant: {v}");
-            }
-        }
-        match action {
-            WireAction::Multicast => {
-                for w in 0..n {
-                    port.send(worker_core_endpoint(w, shard, n_cores), &tx);
+        txb.clear();
+        for (_from, frame) in rxb.iter() {
+            let Ok(view) = PacketView::parse(frame) else {
+                continue; // corrupted / foreign datagram
+            };
+            let action = switch.on_view(&view, &mut tx)?;
+            #[cfg(debug_assertions)]
+            if view.kind() == switchml_core::packet::PacketKind::Update {
+                if let Err(v) = oracle.observe_update(
+                    view.wid(),
+                    view.ver(),
+                    view.idx(),
+                    view.off(),
+                    &view,
+                    switchml_core::oracle::ObservedAction::of_wire(&action),
+                    &switch,
+                ) {
+                    panic!("switch shard {shard} violated a protocol invariant: {v}");
                 }
             }
-            WireAction::Unicast(wid) => {
-                port.send(worker_core_endpoint(wid as usize, shard, n_cores), &tx);
+            match action {
+                WireAction::Multicast => {
+                    for w in 0..n {
+                        txb.push(worker_core_endpoint(w, shard, n_cores))
+                            .extend_from_slice(&tx);
+                    }
+                }
+                WireAction::Unicast(wid) => {
+                    txb.push(worker_core_endpoint(wid as usize, shard, n_cores))
+                        .extend_from_slice(&tx);
+                }
+                WireAction::Drop => {}
             }
-            WireAction::Drop => {}
         }
+        txb.flush(&mut port);
     }
-    Ok(switch.stats())
+    Ok((switch.stats(), port.stats()))
 }
 
-/// Quantize + encode + transmit one update, entirely within reused
-/// scratch buffers.
+/// Quantize + encode one update into a staged batch frame, entirely
+/// within reused scratch buffers.
 #[allow(clippy::too_many_arguments)]
-fn send_update<P: Port>(
-    port: &mut P,
+fn stage_update(
+    txb: &mut TxBatch,
     shard_ep: usize,
     wid: WorkerId,
     k: usize,
     data: &[f32],
     f: f64,
     qbuf: &mut [i32],
-    tx: &mut Vec<u8>,
     d: SendDescriptor,
 ) {
     let off = d.off as usize;
@@ -151,8 +159,8 @@ fn send_update<P: Port>(
     // The wire format always carries exactly k elements; a ragged
     // final chunk is zero-padded (additive identity).
     qbuf[n..k].fill(0);
+    let tx = txb.push(shard_ep);
     encode_update_into(wid, d.ver, d.slot, d.off, d.retransmission, &qbuf[..k], tx);
-    port.send(shard_ep, tx);
 }
 
 /// One worker core: drives a bare [`SlotEngine`] over its slot/chunk
@@ -166,21 +174,23 @@ fn core_loop<P: Port>(
     shard_ep: usize,
     wid: WorkerId,
     k: usize,
+    burst: usize,
     data: &[f32],
     f: f64,
     elem_lo: usize,
     elem_hi: usize,
     deadline: Instant,
     epoch: Instant,
-) -> Result<(Vec<f32>, EngineStats)> {
+) -> Result<(Vec<f32>, EngineStats, PortStats)> {
     let now_ns = || epoch.elapsed().as_nanos() as u64;
     let mut local = vec![0.0f32; elem_hi - elem_lo];
     let mut qbuf = vec![0i32; k];
-    let mut rx = Vec::with_capacity(SCRATCH_CAPACITY);
-    let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
+    let mut rxb = BurstBuf::new(burst, SCRATCH_CAPACITY);
+    let mut txb = TxBatch::new(SCRATCH_CAPACITY);
     for d in engine.start(now_ns()) {
-        send_update(&mut port, shard_ep, wid, k, data, f, &mut qbuf, &mut tx, d);
+        stage_update(&mut txb, shard_ep, wid, k, data, f, &mut qbuf, d);
     }
+    txb.flush(&mut port);
     while !engine.is_done() {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(format!(
@@ -195,11 +205,11 @@ fn core_loop<P: Port>(
             .map(|d| d.saturating_sub(now_ns()))
             .unwrap_or(1_000_000)
             .clamp(1, 5_000_000); // poll at least every 5 ms
-        if port
-            .recv_into(&mut rx, Duration::from_nanos(wait))
-            .is_some()
-        {
-            if let Ok(view) = PacketView::parse(&rx) {
+        if port.recv_batch(&mut rxb, Duration::from_nanos(wait)) > 0 {
+            for (_from, frame) in rxb.iter() {
+                let Ok(view) = PacketView::parse(frame) else {
+                    continue;
+                };
                 // Defensive filters: only full-k results for slots this
                 // core owns. The endpoint layout makes violations
                 // impossible absent corruption.
@@ -220,9 +230,7 @@ fn core_loop<P: Port>(
                                 &mut local[off - elem_lo..off - elem_lo + n],
                             );
                             if let Some(d) = next {
-                                send_update(
-                                    &mut port, shard_ep, wid, k, data, f, &mut qbuf, &mut tx, d,
-                                );
+                                stage_update(&mut txb, shard_ep, wid, k, data, f, &mut qbuf, d);
                             }
                         }
                         ResultOutcome::Stale => {}
@@ -233,11 +241,12 @@ fn core_loop<P: Port>(
         let t = now_ns();
         if engine.next_deadline().is_some_and(|d| d <= t) {
             for d in engine.expired(t) {
-                send_update(&mut port, shard_ep, wid, k, data, f, &mut qbuf, &mut tx, d);
+                stage_update(&mut txb, shard_ep, wid, k, data, f, &mut qbuf, d);
             }
         }
+        txb.flush(&mut port);
     }
-    Ok((local, engine.stats()))
+    Ok((local, engine.stats(), port.stats()))
 }
 
 /// Run one all-reduce with `cfg.n_cores` switch shards and
@@ -333,7 +342,8 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
             .map(|(j, port)| {
                 let stop = Arc::clone(&stop);
                 let proto = proto.clone();
-                scope.spawn(move || shard_switch_loop(port, j, c, &proto, &stop, deadline))
+                let burst = cfg.burst;
+                scope.spawn(move || shard_switch_loop(port, j, c, burst, &proto, &stop, deadline))
             })
             .collect();
 
@@ -362,6 +372,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
                 };
                 let elem_lo = (chunk_lo as usize * k).min(total);
                 let elem_hi = (chunk_hi as usize * k).min(total);
+                let burst = cfg.burst;
                 per_core.push(scope.spawn(move || {
                     let engine = SlotEngine::new(ecfg)?;
                     core_loop(
@@ -370,6 +381,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
                         shard_endpoint(j),
                         w as WorkerId,
                         k,
+                        burst,
                         &data,
                         f,
                         elem_lo,
@@ -384,6 +396,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
 
         let mut results = Vec::with_capacity(n);
         let mut worker_stats = Vec::with_capacity(n);
+        let mut transport_stats = PortStats::default();
         let mut first_err = None;
         for per_core in core_handles {
             let mut flat_result = vec![0.0f32; total];
@@ -396,12 +409,13 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
                 let hi = (chunk_hi as usize * k).min(total);
                 debug_assert_eq!(lo, elem_base);
                 match h.join().expect("worker core thread panicked") {
-                    Ok((local, st)) => {
+                    Ok((local, st, ps)) => {
                         flat_result[lo..hi].copy_from_slice(&local);
                         stats.sent += st.sent;
                         stats.retx += st.retx;
                         stats.results += st.results;
                         stats.stale += st.stale;
+                        transport_stats.merge(ps);
                     }
                     Err(e) => first_err = first_err.or(Some(e)),
                 }
@@ -420,12 +434,13 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
         stop.store(true, Ordering::Release);
         let mut switch_stats = SwitchStats::default();
         for h in shard_handles {
-            let st = h.join().expect("switch shard thread panicked")?;
+            let (st, ps) = h.join().expect("switch shard thread panicked")?;
             switch_stats.updates += st.updates;
             switch_stats.duplicates += st.duplicates;
             switch_stats.completions += st.completions;
             switch_stats.result_retx += st.result_retx;
             switch_stats.rejected += st.rejected;
+            transport_stats.merge(ps);
         }
         if let Some(e) = first_err {
             return Err(e);
@@ -434,6 +449,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
             results,
             worker_stats,
             switch_stats,
+            transport_stats,
             wall: t0.elapsed(),
         })
     })

@@ -15,7 +15,10 @@ use switchml_core::config::NumericMode;
 use switchml_core::packet::Payload;
 use switchml_core::worker::stream::TensorStream;
 use switchml_transport::runner::RunConfig;
-use switchml_transport::shard::{run_allreduce_sharded, sharded_channel_fabric};
+use switchml_transport::shard::{
+    run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size,
+};
+use switchml_transport::udp::udp_fabric;
 
 const SCALING: f64 = 10_000.0;
 
@@ -106,6 +109,75 @@ fn differential(n: usize, k: usize, pool_size: usize, elems: usize, cores: usize
         &outcome.worker0_results[0],
         &reference,
     );
+}
+
+/// One (n, k, pool_size, elems, cores, burst) configuration run over
+/// real UDP sockets *and* the in-memory channel fabric: both sharded
+/// runs and the sequential reference must agree bit-for-bit. This
+/// pins down the whole batched UDP data plane — GSO train grouping,
+/// GRO segmentation, burst receive, and sender resolution — as unable
+/// to change a single bit of Fixed32 arithmetic.
+fn udp_differential(
+    n: usize,
+    k: usize,
+    pool_size: usize,
+    elems: usize,
+    cores: usize,
+    burst: usize,
+) {
+    let label = format!("n={n} k={k} s={pool_size} elems={elems} cores={cores} burst={burst}");
+    let reference = sequential_reference(n, elems, k);
+    let mut sc = SwitchMLScenario::new(n, elems);
+    sc.proto.k = k;
+    sc.proto.pool_size = pool_size;
+    sc.proto.scaling_factor = SCALING;
+    let updates: Vec<Vec<Vec<f32>>> = (0..n)
+        .map(|rank| vec![synthetic_gradient(rank, elems)])
+        .collect();
+    let cfg = RunConfig {
+        n_cores: cores,
+        burst,
+        ..RunConfig::default()
+    };
+    let udp = run_allreduce_sharded(
+        udp_fabric(sharded_fabric_size(n, cores)).unwrap(),
+        updates.clone(),
+        &sc.proto,
+        &cfg,
+    )
+    .unwrap();
+    let chan =
+        run_allreduce_sharded(sharded_channel_fabric(n, cores), updates, &sc.proto, &cfg).unwrap();
+    for w in 0..n {
+        assert_bit_identical(
+            &format!("{label}: udp worker {w} vs reference"),
+            &udp.results[w][0],
+            &reference,
+        );
+        assert_bit_identical(
+            &format!("{label}: udp worker {w} vs channel"),
+            &udp.results[w][0],
+            &chan.results[w][0],
+        );
+    }
+}
+
+#[test]
+fn udp_sharded_two_workers_two_cores_burst8() {
+    udp_differential(2, 8, 4, 96, 2, 8);
+}
+
+#[test]
+fn udp_sharded_three_workers_two_cores_burst32_ragged_tail() {
+    // 333 elements over k = 16 leaves a 13-element final chunk; the
+    // zero-padded tail must survive the GSO/GRO path bit-for-bit too.
+    udp_differential(3, 16, 8, 333, 2, 32);
+}
+
+#[test]
+fn udp_single_core_burst1_matches_reference() {
+    // burst = 1 keeps the scalar send/receive path honest.
+    udp_differential(2, 8, 4, 64, 1, 1);
 }
 
 #[test]
