@@ -44,15 +44,34 @@ timeout 120 cargo run --release -q -p switchml-cli -- check \
     --workers 2 --slots 1 --chunks 2
 timeout 300 cargo run --release -q -p switchml-cli -- check \
     --workers 2 --slots 2 --chunks 3
-# The seeded mutant (Algorithm 3 minus the duplicate check) must be
-# caught — a checker that cannot fail is not checking anything.
+# The seeded mutants must be caught — a checker that cannot fail is
+# not checking anything. First Algorithm 3 minus the duplicate check,
+# then Algorithm 3 minus the §5.4 epoch fence (hunted with the
+# dead-generation ghost adversary move).
 if timeout 120 cargo run --release -q -p switchml-cli -- check \
     --switch mutant-no-bitmap >/dev/null 2>&1; then
   echo "ERROR: explorer failed to catch the no-bitmap mutant" >&2
   exit 1
 fi
+if timeout 120 cargo run --release -q -p switchml-cli -- check \
+    --switch mutant-no-epoch --stale-epochs 1 >/dev/null 2>&1; then
+  echo "ERROR: explorer failed to catch the no-epoch-fence mutant" >&2
+  exit 1
+fi
 
 echo "== model checker: regression trace replay (release)"
 timeout 300 cargo test --release -q -p switchml-check
+
+echo "== chaos harness: seeded fault schedules over the real transports (release)"
+# One seeded chaos schedule per transport — loss, duplication,
+# reordering, a straggler, and a mid-run worker kill with
+# shrink-and-resume through the controller. Each run must finish
+# bit-identical to the sequential reference (the command exits nonzero
+# on silent corruption, deadlock, or a failed resume).
+timeout 120 cargo run --release -q -p switchml-cli -- chaos \
+    --transport channel --workers 3 --elems 8192 --seed 7 --straggler 1
+timeout 180 cargo run --release -q -p switchml-cli -- chaos \
+    --transport udp --workers 3 --elems 8192 --seed 7 \
+    --ctrl --kill 2 --kill-at-ms 5
 
 echo "CI green."

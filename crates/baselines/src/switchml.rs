@@ -598,6 +598,7 @@ mod tests {
             idx: 0,
             off: 0,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: switchml_core::packet::Payload::I32(vec![0, 0]),
         };

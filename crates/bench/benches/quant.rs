@@ -58,6 +58,7 @@ fn bench_codec(c: &mut Criterion) {
         idx: 17,
         off: 4096,
         job: 0,
+        epoch: 0,
         retransmission: false,
         payload: Payload::I32((0..32).collect()),
     };

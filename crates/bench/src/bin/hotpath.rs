@@ -144,7 +144,7 @@ fn switch_section(phases: u64) -> serde_json::Value {
             PoolVersion::V1
         };
         for w in 0..n as u16 {
-            encode_update_into(w, ver, 0, phase * K as u64, false, &vals, wire);
+            encode_update_into(w, ver, 0, phase * K as u64, 0, false, &vals, wire);
             let v = PacketView::parse(wire).unwrap();
             let action = sw.on_view(&v, tx).unwrap();
             if w as usize == n - 1 {
@@ -287,7 +287,7 @@ fn udp_recv_section(rounds: u64, bursts: &[usize]) -> serde_json::Value {
     const FLIGHT: usize = 64;
     let vals = [7i32; K];
     let mut wire = Vec::new();
-    encode_update_into(0, PoolVersion::V0, 3, 96, false, &vals, &mut wire);
+    encode_update_into(0, PoolVersion::V0, 3, 96, 0, false, &vals, &mut wire);
 
     let mut rows = Vec::new();
     for &b in bursts {

@@ -28,10 +28,18 @@
 //! invariants; a violation serializes the exact choice sequence to a
 //! `.trace` JSON ([`trace`]) that [`trace::replay`] re-executes
 //! step-for-step and [`shrink::shrink`] reduces to a minimal schedule
-//! by greedy delta debugging. [`model::MutantSwitch`] — Algorithm 3
-//! with the `seen`-bitmap duplicate check deliberately removed — keeps
-//! the whole pipeline honest: the explorer must catch it, shrink the
-//! counterexample, and replay it.
+//! by greedy delta debugging. Two seeded mutations keep the whole
+//! pipeline honest — the explorer must catch each, shrink the
+//! counterexample, and replay it:
+//!
+//! * [`model::MutantSwitch`] — Algorithm 3 with the `seen`-bitmap
+//!   duplicate check deliberately removed;
+//! * [`scenario::SwitchKind::MutantNoEpoch`] — Algorithm 3 with the
+//!   §5.4 epoch fence erased at ingress, hunted via the
+//!   [`world::Choice::StaleEpoch`] adversary move (clone an in-flight
+//!   update into a dead-generation ghost with a perturbed payload; the
+//!   `epoch-fence` oracle demands counted-and-drop with the pool
+//!   untouched).
 
 pub mod explore;
 pub mod model;

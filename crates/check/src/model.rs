@@ -11,6 +11,13 @@
 //! duplicated or retransmitted update is folded into the aggregate
 //! twice. The explorer must catch it — that is the acceptance test for
 //! the whole harness.
+//!
+//! The second seeded mutation is [`SwitchKind::MutantNoEpoch`]: a real
+//! [`ReliableSwitch`] whose ingress overwrites each packet's
+//! generation byte with its own, deleting the §5.4 epoch fence. Every
+//! switch model is audited on stale-generation packets by the
+//! `epoch-fence` oracle: the only correct response is counted-and-drop
+//! with the pool untouched.
 
 use crate::scenario::{Scenario, SwitchKind};
 use crate::world::Violation;
@@ -43,25 +50,49 @@ pub enum SwitchModel {
         sw: MutantSwitch,
         oracle: ReliableOracle,
     },
+    /// A real [`ReliableSwitch`] behind an ingress that erases the
+    /// packet's generation byte — the no-epoch-fence mutation.
+    MutantNoEpoch {
+        sw: ReliableSwitch,
+        oracle: ReliableOracle,
+    },
 }
+
+/// Owned copy of one slot's protocol-visible state across both pool
+/// versions, for before/after comparison around a stale-generation
+/// packet. `None` entries mean the switch kind has no such cell
+/// (Algorithm 1 has a single unversioned pool, snapshotted as V0).
+type PoolSnapshot = Vec<Option<(Vec<i32>, usize, WorkerBitmap, u64)>>;
 
 impl SwitchModel {
     pub fn new(sc: &Scenario) -> Result<Self, String> {
         let proto = sc.proto();
+        // Every world runs at a nonzero generation so the adversary
+        // has a dead one to forge from; the fences must match it.
+        let epoch = Scenario::EPOCH;
         Ok(match sc.switch {
-            SwitchKind::Basic => SwitchModel::Basic {
-                sw: BasicSwitch::new(&proto).map_err(|e| e.to_string())?,
-                oracle: BasicOracle::for_proto(&proto),
-            },
-            SwitchKind::Reliable => SwitchModel::Reliable {
-                sw: ReliableSwitch::new(&proto).map_err(|e| e.to_string())?,
-                oracle: ReliableOracle::for_proto(&proto),
-            },
+            SwitchKind::Basic => {
+                let mut sw = BasicSwitch::new(&proto).map_err(|e| e.to_string())?;
+                sw.set_epoch(epoch);
+                SwitchModel::Basic {
+                    sw,
+                    oracle: BasicOracle::for_proto(&proto),
+                }
+            }
+            SwitchKind::Reliable => {
+                let mut sw = ReliableSwitch::new(&proto).map_err(|e| e.to_string())?;
+                sw.set_epoch(epoch);
+                SwitchModel::Reliable {
+                    sw,
+                    oracle: ReliableOracle::for_proto(&proto),
+                }
+            }
             SwitchKind::MultiJob { jobs } => {
                 let mut sw = MultiJobSwitch::new(PipelineModel::default());
                 let mut oracles = Vec::with_capacity(jobs as usize);
                 for job in 0..jobs {
                     sw.admit(job, &proto).map_err(|e| e.to_string())?;
+                    sw.set_job_epoch(job, epoch).map_err(|e| e.to_string())?;
                     oracles.push(ReliableOracle::for_proto(&proto));
                 }
                 SwitchModel::MultiJob { sw, oracles }
@@ -70,11 +101,22 @@ impl SwitchModel {
                 sw: MutantSwitch::new(&proto),
                 oracle: ReliableOracle::for_proto(&proto),
             },
+            SwitchKind::MutantNoEpoch => {
+                let mut sw = ReliableSwitch::new(&proto).map_err(|e| e.to_string())?;
+                sw.set_epoch(epoch);
+                SwitchModel::MutantNoEpoch {
+                    sw,
+                    oracle: ReliableOracle::for_proto(&proto),
+                }
+            }
         })
     }
 
     /// Deliver one update packet to the switch, auditing the result.
     pub fn on_update(&mut self, pkt: Packet) -> Result<SwitchAction, Violation> {
+        if pkt.epoch != Scenario::EPOCH {
+            return self.on_stale_update(pkt);
+        }
         let (wid, ver, idx, off, job) = (pkt.wid, pkt.ver, pkt.idx, pkt.off, pkt.job);
         let payload = pkt.payload.clone();
         let step = |action: Result<SwitchAction, switchml_core::error::Error>| {
@@ -117,6 +159,92 @@ impl SwitchModel {
                     .map_err(Violation::from)?;
                 Ok(action)
             }
+            SwitchModel::MutantNoEpoch { sw, oracle } => {
+                let mut pkt = pkt;
+                // THE BUG UNDER TEST: ingress ignores the generation
+                // byte (a no-op here; stale packets take the audited
+                // path above and get the same erasure there).
+                pkt.epoch = sw.epoch();
+                let action = step(sw.on_packet(pkt))?;
+                oracle
+                    .observe_packet(wid, ver, idx, off, &payload, &action, &*sw)
+                    .map_err(Violation::from)?;
+                Ok(action)
+            }
+        }
+    }
+
+    /// A packet from a dead generation reached the switch. §5.4's
+    /// contract is absolute: counted-and-dropped at ingress, pool
+    /// state untouched, no oracle advance (the reference model never
+    /// sees fenced traffic). Anything else is an `epoch-fence`
+    /// violation — which is exactly how the no-epoch mutant dies.
+    fn on_stale_update(&mut self, pkt: Packet) -> Result<SwitchAction, Violation> {
+        let (job, idx, epoch) = (pkt.job, pkt.idx as usize, pkt.epoch);
+        let before = self.pool_snapshot(job, idx);
+        let action = match self {
+            SwitchModel::Basic { sw, .. } => sw.on_packet(pkt),
+            SwitchModel::Reliable { sw, .. } => sw.on_packet(pkt),
+            SwitchModel::MultiJob { sw, .. } => sw.on_packet(pkt),
+            SwitchModel::Mutant { sw, .. } => sw.on_packet(pkt),
+            SwitchModel::MutantNoEpoch { sw, .. } => {
+                let mut pkt = pkt;
+                // THE BUG UNDER TEST: the fence is erased, so the
+                // stale straggler reaches Algorithm 3 ingress.
+                pkt.epoch = sw.epoch();
+                sw.on_packet(pkt)
+            }
+        }
+        .map_err(|e| Violation {
+            oracle: "epoch-fence".into(),
+            message: format!("switch errored on a stale-generation update: {e}"),
+        })?;
+        if !matches!(action, SwitchAction::Drop) {
+            let answered = match &action {
+                SwitchAction::Multicast(_) => "Multicast",
+                SwitchAction::Unicast(..) => "Unicast",
+                SwitchAction::Drop => unreachable!(),
+            };
+            return Err(Violation {
+                oracle: "epoch-fence".into(),
+                message: format!(
+                    "slot {idx}: switch answered {answered} to an epoch-{epoch} update \
+                     while fenced at epoch {}; §5.4 requires counted-and-drop",
+                    Scenario::EPOCH
+                ),
+            });
+        }
+        let after = self.pool_snapshot(job, idx);
+        if before != after {
+            return Err(Violation {
+                oracle: "epoch-fence".into(),
+                message: format!(
+                    "slot {idx}: an epoch-{epoch} update mutated pool state through a fence \
+                     at epoch {} — a dead generation's bytes reached the aggregate",
+                    Scenario::EPOCH
+                ),
+            });
+        }
+        Ok(SwitchAction::Drop)
+    }
+
+    /// Owned state of slot `idx` (both pool versions) for `job`.
+    fn pool_snapshot(&self, job: u8, idx: usize) -> PoolSnapshot {
+        match self {
+            SwitchModel::Basic { sw, .. } => {
+                let (value, count) = sw.slot(idx);
+                vec![
+                    Some((value.to_vec(), count, WorkerBitmap::empty(), 0)),
+                    None,
+                ]
+            }
+            _ => [PoolVersion::V0, PoolVersion::V1]
+                .into_iter()
+                .map(|ver| {
+                    self.cell(job, ver, idx)
+                        .map(|c| (c.value.to_vec(), c.count, c.seen, c.off))
+                })
+                .collect(),
         }
     }
 
@@ -128,6 +256,7 @@ impl SwitchModel {
             SwitchModel::Reliable { sw, .. } => Some(sw.cell(ver, idx)),
             SwitchModel::MultiJob { sw, .. } => sw.job_switch(job).map(|s| s.cell(ver, idx)),
             SwitchModel::Mutant { sw, .. } => Some(sw.cell_view(ver, idx)),
+            SwitchModel::MutantNoEpoch { sw, .. } => Some(sw.cell(ver, idx)),
         }
     }
 
@@ -172,6 +301,7 @@ impl SwitchModel {
                 }
             }
             SwitchModel::Mutant { sw, .. } => hash_cells(h, sw, sw.pool_size()),
+            SwitchModel::MutantNoEpoch { sw, .. } => hash_cells(h, sw, sw.pool_size()),
         }
     }
 }

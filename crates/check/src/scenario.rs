@@ -19,6 +19,13 @@ pub enum SwitchKind {
     /// Algorithm 3 with the `seen`-bitmap duplicate check removed — a
     /// deliberately broken switch for mutation-testing the checker.
     MutantNoBitmap,
+    /// Algorithm 3 with the §5.4 epoch fence removed: the generation
+    /// byte on every arriving packet is overwritten with the switch's
+    /// own, so dead-generation stragglers sail straight into the
+    /// pool. Mutation-tests the [`Choice::StaleEpoch`] adversary move.
+    ///
+    /// [`Choice::StaleEpoch`]: crate::world::Choice::StaleEpoch
+    MutantNoEpoch,
 }
 
 impl SwitchKind {
@@ -28,6 +35,7 @@ impl SwitchKind {
             SwitchKind::Reliable => "reliable".into(),
             SwitchKind::MultiJob { jobs } => format!("multijob:{jobs}"),
             SwitchKind::MutantNoBitmap => "mutant-no-bitmap".into(),
+            SwitchKind::MutantNoEpoch => "mutant-no-epoch".into(),
         }
     }
 
@@ -36,6 +44,7 @@ impl SwitchKind {
             "basic" => Ok(SwitchKind::Basic),
             "reliable" => Ok(SwitchKind::Reliable),
             "mutant-no-bitmap" => Ok(SwitchKind::MutantNoBitmap),
+            "mutant-no-epoch" => Ok(SwitchKind::MutantNoEpoch),
             other => {
                 if let Some(j) = other.strip_prefix("multijob:") {
                     let jobs: u8 = j.parse().map_err(|_| format!("bad job count `{j}`"))?;
@@ -74,6 +83,12 @@ pub struct Scenario {
     /// packets are still in flight (timeouts with an empty network are
     /// always allowed — they are the only way forward).
     pub retx: u32,
+    /// How many in-flight updates the adversary may clone into
+    /// dead-generation ghosts: same routing fields, previous epoch
+    /// byte, perturbed payload — a straggler from before a §5.4
+    /// reconfiguration, whose content is no longer valid. Every
+    /// switch must counted-and-drop them without touching the pool.
+    pub stale_epochs: u32,
     /// Delay-bounding: if set, at most this many deviations from
     /// oldest-first FIFO delivery. `None` leaves scheduling fully free.
     pub deviations: Option<u32>,
@@ -91,12 +106,17 @@ impl Default for Scenario {
             drops: 1,
             dups: 1,
             retx: 1,
+            stale_epochs: 0,
             deviations: None,
         }
     }
 }
 
 impl Scenario {
+    /// The job generation every world runs at. Nonzero so the
+    /// adversary has a dead generation (`EPOCH - 1`) to forge ghosts
+    /// from; all switches and workers are fenced to this value.
+    pub const EPOCH: u8 = 1;
     /// The virtual-time retransmission timeout. Its magnitude is
     /// irrelevant (the adversary jumps the clock); it only needs to be
     /// finite so timers exist, and [`RtoPolicy::Fixed`] so the
@@ -168,6 +188,7 @@ impl Scenario {
             "drops": self.drops,
             "dups": self.dups,
             "retx": self.retx,
+            "stale_epochs": self.stale_epochs,
             "deviations": match self.deviations {
                 Some(d) => json!(d),
                 None => Value::Null,
@@ -199,6 +220,8 @@ impl Scenario {
             drops: need_u64("drops")? as u32,
             dups: need_u64("dups")? as u32,
             retx: need_u64("retx")? as u32,
+            // Absent in traces captured before epoch fencing existed.
+            stale_epochs: v.get("stale_epochs").as_u64().unwrap_or(0) as u32,
             deviations: v.get("deviations").as_u64().map(|d| d as u32),
         };
         sc.validate()?;
@@ -214,11 +237,23 @@ mod tests {
     fn json_roundtrip() {
         let sc = Scenario {
             switch: SwitchKind::MultiJob { jobs: 2 },
+            stale_epochs: 2,
             deviations: Some(3),
             ..Scenario::default()
         };
         let back = Scenario::from_json(&sc.to_json()).unwrap();
         assert_eq!(back, sc);
+    }
+
+    #[test]
+    fn pre_epoch_traces_parse_without_stale_epochs() {
+        let mut v = Scenario::default().to_json();
+        // A header captured before the field existed.
+        if let Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k != "stale_epochs");
+        }
+        let back = Scenario::from_json(&v).unwrap();
+        assert_eq!(back.stale_epochs, 0);
     }
 
     #[test]
@@ -245,6 +280,7 @@ mod tests {
             SwitchKind::Reliable,
             SwitchKind::MultiJob { jobs: 3 },
             SwitchKind::MutantNoBitmap,
+            SwitchKind::MutantNoEpoch,
         ] {
             assert_eq!(SwitchKind::parse(&kind.name()).unwrap(), kind);
         }

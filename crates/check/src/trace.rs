@@ -35,6 +35,7 @@ fn choice_to_json(c: &Choice) -> Value {
         Choice::Drop(id) => ("drop", *id),
         Choice::Duplicate(id) => ("duplicate", *id),
         Choice::Timeout(flat) => ("timeout", *flat as u64),
+        Choice::StaleEpoch(id) => ("stale-epoch", *id),
     };
     Value::Array(vec![json!(kind), json!(arg)])
 }
@@ -55,6 +56,7 @@ fn choice_from_json(v: &Value) -> Result<Choice, String> {
         "drop" => Ok(Choice::Drop(arg)),
         "duplicate" => Ok(Choice::Duplicate(arg)),
         "timeout" => Ok(Choice::Timeout(arg as usize)),
+        "stale-epoch" => Ok(Choice::StaleEpoch(arg)),
         other => Err(format!("unknown trace choice kind `{other}`")),
     }
 }
@@ -178,6 +180,7 @@ mod tests {
                 Choice::Duplicate(1),
                 Choice::Drop(7),
                 Choice::Timeout(1),
+                Choice::StaleEpoch(2),
             ],
             expect: Expectation::Violation,
             violation: Some(("double-add".into(), "slot 0 diverged".into())),

@@ -48,6 +48,13 @@ pub enum Choice {
     /// Jump the clock to worker `flat` (job-major index)'s next
     /// retransmission deadline and fire it.
     Timeout(usize),
+    /// Clone switch-bound update `id` into a dead-generation ghost:
+    /// previous epoch byte, payload perturbed by +1 per element — a
+    /// straggler from before a §5.4 reconfiguration whose content is
+    /// no longer valid (consumes a stale-epoch budget unit). The
+    /// `epoch-fence` oracle then requires the switch to counted-and-
+    /// drop it without touching the pool.
+    StaleEpoch(u64),
 }
 
 /// A violated invariant, with the oracle's diagnosis.
@@ -149,6 +156,7 @@ pub struct World {
     drops_left: u32,
     dups_left: u32,
     retx_left: u32,
+    stale_left: u32,
     deviations_left: Option<u32>,
     /// Set once the final-result oracle has run clean.
     finished: bool,
@@ -167,6 +175,7 @@ impl Clone for World {
             drops_left: self.drops_left,
             dups_left: self.dups_left,
             retx_left: self.retx_left,
+            stale_left: self.stale_left,
             deviations_left: self.deviations_left,
             finished: self.finished,
             // The references are pure functions of the (immutable)
@@ -199,6 +208,7 @@ impl World {
             drops_left: sc.drops,
             dups_left: sc.dups,
             retx_left: sc.retx,
+            stale_left: sc.stale_epochs,
             deviations_left: sc.deviations,
             finished: false,
             references: Vec::new(),
@@ -215,6 +225,7 @@ impl World {
                 .map_err(|e| e.to_string())?;
                 let mut worker =
                     Worker::new(wid as u16, &proto, stream).map_err(|e| e.to_string())?;
+                worker.set_epoch(Scenario::EPOCH);
                 let pkts = worker.start(0).map_err(|e| e.to_string())?;
                 world.workers.push(worker);
                 for mut pkt in pkts {
@@ -384,6 +395,13 @@ impl World {
                 out.push(Choice::Duplicate(id));
             }
         }
+        if self.stale_left > 0 {
+            for (&id, f) in self.inflight.iter() {
+                if f.dest == Dest::Switch {
+                    out.push(Choice::StaleEpoch(id));
+                }
+            }
+        }
         for (flat, w) in self.workers.iter().enumerate() {
             if !w.is_done()
                 && w.next_deadline().is_some()
@@ -405,7 +423,7 @@ impl World {
             let deviating = match choice {
                 Choice::Deliver(id) => Some(id) != self.oldest_id(),
                 Choice::Timeout(_) => !self.inflight.is_empty(),
-                Choice::Drop(_) | Choice::Duplicate(_) => true,
+                Choice::Drop(_) | Choice::Duplicate(_) | Choice::StaleEpoch(_) => true,
             };
             if deviating {
                 if dev == 0 {
@@ -439,6 +457,30 @@ impl World {
                         self.enqueue(f.dest, f.pkt);
                         StepResult::Applied
                     }
+                }
+            }
+            Choice::StaleEpoch(id) => {
+                if self.stale_left == 0 {
+                    return StepResult::Skipped;
+                }
+                match self.inflight.get(&id) {
+                    Some(f) if f.dest == Dest::Switch => {
+                        let mut ghost = f.pkt.clone();
+                        ghost.epoch = ghost.epoch.wrapping_sub(1);
+                        // Perturb the payload so a fence leak is not
+                        // silently absorbed as a harmless duplicate:
+                        // if these bytes reach the aggregate, the
+                        // final-ATE oracle sees them too.
+                        if let Payload::I32(v) = &mut ghost.payload {
+                            for x in v.iter_mut() {
+                                *x = x.wrapping_add(1);
+                            }
+                        }
+                        self.stale_left -= 1;
+                        self.enqueue(Dest::Switch, ghost);
+                        StepResult::Applied
+                    }
+                    _ => return StepResult::Skipped,
                 }
             }
             Choice::Timeout(flat) => {
@@ -689,6 +731,7 @@ impl World {
         h.write_u64(self.drops_left as u64);
         h.write_u64(self.dups_left as u64);
         h.write_u64(self.retx_left as u64);
+        h.write_u64(self.stale_left as u64);
         h.write_u64(match self.deviations_left {
             None => u64::MAX,
             Some(d) => d as u64,

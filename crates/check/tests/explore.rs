@@ -145,6 +145,76 @@ fn mutant_no_bitmap_is_caught_shrunk_and_replayed() {
     assert_eq!(v.oracle, oracle, "shrunk trace trips a different oracle");
 }
 
+/// The real switches must survive dead-generation ghosts: with a
+/// stale-epoch budget the adversary clones in-flight updates into
+/// previous-epoch packets with perturbed payloads, and the epoch-fence
+/// oracle requires every one to be counted-and-dropped with the pool
+/// untouched. Algorithm 3 carries the §5.4 fence, so the space must
+/// still be violation-free.
+#[test]
+fn reliable_survives_stale_epoch_ghosts() {
+    let sc = Scenario {
+        stale_epochs: 2,
+        // Ghosts + retransmissions reach every slot state the fence
+        // can see (pending, completed, reused); adding drop/dup
+        // budgets on top multiplies the space without creating new
+        // fence-relevant interleavings.
+        drops: 0,
+        dups: 0,
+        ..Scenario::default()
+    };
+    let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "explorer found: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "bounded space not fully explored");
+}
+
+/// The second mutation test: erase the generation byte at switch
+/// ingress (deleting the §5.4 epoch fence) and the explorer must
+/// produce a shrunk, replayable counterexample. A dead-generation
+/// ghost then either reaches a completed slot (the mutant answers
+/// Unicast where the fence demands Drop) or its perturbed payload is
+/// folded into the pool (state mutates through the fence) — the
+/// epoch-fence oracle fires either way.
+#[test]
+fn mutant_no_epoch_is_caught_shrunk_and_replayed() {
+    let sc = Scenario {
+        switch: SwitchKind::MutantNoEpoch,
+        stale_epochs: 1,
+        ..Scenario::default()
+    };
+    let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+    let found = report
+        .violation
+        .expect("explorer failed to catch the seeded no-epoch-fence mutant");
+    let oracle = found.violation.oracle.clone();
+    assert_eq!(
+        oracle, "epoch-fence",
+        "unexpected oracle caught the mutant: {}",
+        found.violation
+    );
+
+    let trace = Trace {
+        scenario: sc,
+        choices: found.choices.clone(),
+        expect: Expectation::Violation,
+        violation: Some((oracle.clone(), found.violation.message.clone())),
+    };
+    let (shrunk, replays) = shrink(&trace, &oracle);
+    assert!(replays > 0);
+    assert!(shrunk.choices.len() <= trace.choices.len());
+
+    let reparsed = Trace::from_json_str(&shrunk.to_json_string()).unwrap();
+    let outcome = switchml_check::replay(&reparsed).unwrap();
+    let v = outcome
+        .violation
+        .expect("shrunk trace no longer reproduces the violation");
+    assert_eq!(v.oracle, oracle, "shrunk trace trips a different oracle");
+}
+
 /// The mutant must also fall to plain random walks — the bug is not an
 /// exhaustive-search exotic, any duplicate triggers it.
 #[test]

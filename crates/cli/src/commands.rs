@@ -473,6 +473,346 @@ pub fn ctrl(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `chaos`: the live chaos harness — one seeded fault schedule
+/// (probabilistic loss/dup/reorder plus scripted straggler stalls,
+/// a worker kill, or a switch-process restart) against the real
+/// threaded transports, held to the paper's correctness bar: either
+/// the run completes with every worker's aggregate bit-identical, or
+/// it degrades to a reported error. Silent corruption exits nonzero.
+pub fn chaos(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "transport",
+        "workers",
+        "elems",
+        "cores",
+        "burst",
+        "seed",
+        "loss",
+        "dup",
+        "reorder",
+        "straggler",
+        "stall-us",
+        "kill",
+        "kill-at-ms",
+        "ctrl",
+        "switch-restart-ms",
+        "rto",
+        "rto-us",
+        "max-wall-ms",
+        "json",
+    ])?;
+    use std::time::Duration;
+    use switchml_core::agg;
+    use switchml_core::config::RtoPolicy;
+    use switchml_ctrl::runner::{run_controlled, CtrlRunConfig};
+    use switchml_transport::channel::channel_fabric;
+    use switchml_transport::chaos::{
+        chaos_fabric_data_plane, run_chaos, run_chaos_sharded, ChaosOutcome, ChaosSpec,
+    };
+    use switchml_transport::faulty::FaultyConfig;
+    use switchml_transport::shard::sharded_fabric_size;
+    use switchml_transport::udp::udp_fabric;
+    use switchml_transport::{Port, RunConfig};
+
+    let workers: usize = args.get("workers", 3)?;
+    let elems: usize = args.get("elems", 4096)?;
+    let cores: usize = args.get("cores", 1)?;
+    let burst: usize = args.get("burst", 8)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let loss: f64 = args.get("loss", 0.02)?;
+    let transport = args.get_str("transport", "channel");
+    if transport != "udp" && transport != "channel" {
+        return Err(format!(
+            "--transport: expected udp|channel, got '{transport}'"
+        ));
+    }
+    if workers < 2 || cores == 0 || burst == 0 {
+        return Err("need --workers >= 2 and --cores/--burst >= 1".into());
+    }
+    let fault = FaultyConfig {
+        send_drop: loss,
+        recv_drop: loss,
+        dup: args.get("dup", 0.02)?,
+        reorder: args.get("reorder", 0.05)?,
+        ..FaultyConfig::default()
+    };
+    let rto_ns = args.get::<u64>("rto-us", 2_000)? * 1_000;
+    let rto_policy = match args.get_str("rto", "adaptive").as_str() {
+        "fixed" => RtoPolicy::Fixed,
+        "backoff" => RtoPolicy::ExponentialBackoff {
+            max_ns: rto_ns * 32,
+        },
+        "adaptive" => RtoPolicy::Adaptive {
+            min_ns: rto_ns / 4,
+            max_ns: rto_ns * 32,
+        },
+        other => return Err(format!("--rto: unknown '{other}' (adaptive|backoff|fixed)")),
+    };
+    let proto = Protocol {
+        n_workers: workers,
+        pool_size: 32,
+        rto_ns,
+        rto_policy,
+        scaling_factor: 10_000.0,
+        ..Protocol::default()
+    };
+    let max_wall = Duration::from_millis(args.get("max-wall-ms", 10_000)?);
+    let straggler_w: i64 = args.get("straggler", -1)?;
+    let stall = Duration::from_micros(args.get("stall-us", 50)?);
+    let kill_w: i64 = args.get("kill", -1)?;
+    let kill_at = Duration::from_millis(args.get("kill-at-ms", 5)?);
+    let restart_ms: i64 = args.get("switch-restart-ms", -1)?;
+    let ctrl_mode = args.switch("ctrl") || restart_ms >= 0;
+    if (straggler_w >= 0 && straggler_w as usize >= workers)
+        || (kill_w >= 0 && kill_w as usize >= workers)
+    {
+        return Err("--straggler/--kill name a worker index < --workers".into());
+    }
+    let json = args.switch("json");
+
+    let updates: Vec<Vec<Vec<f32>>> = (0..workers)
+        .map(|w| {
+            vec![(0..elems)
+                .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
+                .collect()]
+        })
+        .collect();
+
+    if ctrl_mode {
+        // Controller-managed run: a killed worker is detected by
+        // heartbeat silence and the job shrinks and resumes under a
+        // bumped epoch; a switch restart is recovered by an in-place
+        // failover. Probabilistic faults hit only the data plane
+        // (switch endpoint); straggler stalls apply anywhere.
+        let spec = ChaosSpec {
+            seed,
+            fault,
+            straggler: (straggler_w >= 0).then(|| (straggler_w as usize + 1, stall)),
+            kill: None, // the crash is the controller's to observe
+        };
+        let cfg = CtrlRunConfig {
+            max_wall,
+            n_cores: cores,
+            kill: (kill_w >= 0).then_some((kill_w as u16, kill_at)),
+            switch_restart: (restart_ms >= 0).then(|| Duration::from_millis(restart_ms as u64)),
+            ..CtrlRunConfig::default()
+        };
+        fn drive_ctrl<P: Port + 'static>(
+            base: Vec<P>,
+            spec: &ChaosSpec,
+            updates: Vec<Vec<Vec<f32>>>,
+            proto: &Protocol,
+            cfg: &CtrlRunConfig,
+        ) -> switchml_core::Result<switchml_ctrl::runner::CtrlRunReport> {
+            let (ports, _) = chaos_fabric_data_plane(base, 1, spec);
+            run_controlled(ports, updates, proto, cfg)
+        }
+        let report = match transport.as_str() {
+            "channel" => drive_ctrl(
+                channel_fabric(workers + 2),
+                &spec,
+                updates.clone(),
+                &proto,
+                &cfg,
+            ),
+            _ => {
+                let base = udp_fabric(workers + 2).map_err(|e| e.to_string())?;
+                drive_ctrl(base, &spec, updates.clone(), &proto, &cfg)
+            }
+        }
+        .map_err(|e| format!("chaos (ctrl): {e}"))?;
+
+        let survivors: Vec<(usize, &Vec<Vec<f32>>)> = report
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(w, r)| r.as_ref().map(|t| (w, t)))
+            .collect();
+        if survivors.is_empty() {
+            return Err("chaos (ctrl): no surviving worker produced results".into());
+        }
+        // Every survivor must hold the same bits (the §5.4 consistency
+        // guarantee across reconfigurations); when the membership never
+        // shrank, those bits must equal the sequential reference.
+        let (w0, first) = survivors[0];
+        for &(w, t) in &survivors[1..] {
+            if t != first {
+                return Err(format!(
+                    "chaos (ctrl): worker {w} result differs from worker {w0} — silent corruption"
+                ));
+            }
+        }
+        if report.final_n == workers {
+            let reference = agg::allreduce(&updates, &proto).map_err(|e| e.to_string())?;
+            for (t, (got, want)) in first.iter().zip(&reference).enumerate() {
+                if got
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .ne(want.iter().map(|v| v.to_bits()))
+                {
+                    return Err(format!(
+                        "chaos (ctrl): tensor {t} differs from the sequential reference"
+                    ));
+                }
+            }
+        }
+
+        let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+        let srtt_us: f64 = report
+            .worker_stats
+            .iter()
+            .map(|s| s.srtt_ns)
+            .max()
+            .unwrap_or(0) as f64
+            / 1e3;
+        if json {
+            return Ok(serde_json::json!({
+                "outcome": "bit-identical",
+                "mode": "ctrl",
+                "transport": transport,
+                "workers": workers,
+                "survivors": report.final_n,
+                "epoch": report.final_epoch,
+                "retransmissions": retx,
+                "injected_faults": report.transport_stats.injected_faults(),
+                "stale_epoch_drops": report.switch_stats.stale_epoch,
+                "rtt_samples": report.worker_stats.iter().map(|s| s.rtt_samples).sum::<u64>(),
+                "srtt_us": srtt_us,
+                "events": report.events,
+                "wall_ms": report.wall.as_millis() as u64,
+            })
+            .to_string());
+        }
+        let mut text = format!(
+            "chaos (ctrl, {transport}): {} of {workers} worker(s) finished epoch {} \
+             bit-identical in {:?}\n  \
+             retransmissions: {retx}   injected faults: {}   \
+             stale-epoch drops at switch: {}   srtt: {srtt_us:.1} us",
+            report.final_n,
+            report.final_epoch,
+            report.wall,
+            report.transport_stats.injected_faults(),
+            report.switch_stats.stale_epoch,
+        );
+        if !report.events.is_empty() {
+            text.push_str("\n  controller events:");
+            for e in &report.events {
+                text.push_str(&format!("\n    {e}"));
+            }
+        }
+        return Ok(text);
+    }
+
+    // Plain data plane: no control plane, so a kill must surface as a
+    // reported error (clean degradation), never as wrong numbers.
+    let spec = ChaosSpec {
+        seed,
+        fault,
+        straggler: (straggler_w >= 0).then(|| {
+            let ep = if cores > 1 {
+                cores + straggler_w as usize * cores
+            } else {
+                straggler_w as usize + 1
+            };
+            (ep, stall)
+        }),
+        kill: (kill_w >= 0).then(|| {
+            let ep = if cores > 1 {
+                cores + kill_w as usize * cores
+            } else {
+                kill_w as usize + 1
+            };
+            (ep, kill_at)
+        }),
+    };
+    let run_cfg = RunConfig {
+        n_cores: cores,
+        burst,
+        max_wall,
+    };
+
+    fn drive<P: Port + 'static>(
+        ports: Vec<P>,
+        updates: Vec<Vec<Vec<f32>>>,
+        proto: &Protocol,
+        cfg: &RunConfig,
+        spec: &ChaosSpec,
+    ) -> switchml_core::Result<ChaosOutcome> {
+        if cfg.n_cores > 1 {
+            run_chaos_sharded(ports, updates, proto, cfg, spec)
+        } else {
+            run_chaos(ports, updates, proto, cfg, spec)
+        }
+    }
+
+    let size = if cores > 1 {
+        sharded_fabric_size(workers, cores)
+    } else {
+        workers + 1
+    };
+    let outcome = match transport.as_str() {
+        "channel" => drive(channel_fabric(size), updates, &proto, &run_cfg, &spec),
+        _ => {
+            let ports = udp_fabric(size).map_err(|e| e.to_string())?;
+            drive(ports, updates, &proto, &run_cfg, &spec)
+        }
+    }
+    .map_err(|e| format!("chaos: {e}"))?;
+
+    match outcome {
+        ChaosOutcome::BitIdentical(report) => {
+            let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+            let samples: u64 = report.worker_stats.iter().map(|s| s.rtt_samples).sum();
+            let srtt_us = report
+                .worker_stats
+                .iter()
+                .map(|s| s.srtt_ns)
+                .max()
+                .unwrap_or(0) as f64
+                / 1e3;
+            if json {
+                Ok(serde_json::json!({
+                    "outcome": "bit-identical",
+                    "mode": "plain",
+                    "transport": transport,
+                    "workers": workers,
+                    "cores": cores,
+                    "retransmissions": retx,
+                    "injected_faults": report.transport_stats.injected_faults(),
+                    "rtt_samples": samples,
+                    "srtt_us": srtt_us,
+                    "wall_ms": report.wall.as_millis() as u64,
+                })
+                .to_string())
+            } else {
+                Ok(format!(
+                    "chaos ({transport}, {cores} core(s)): completed bit-identical to the \
+                     sequential reference in {:?}\n  \
+                     retransmissions: {retx}   injected faults: {}   \
+                     rtt samples: {samples}   srtt: {srtt_us:.1} us",
+                    report.wall,
+                    report.transport_stats.injected_faults(),
+                ))
+            }
+        }
+        ChaosOutcome::CleanDegradation(e) => {
+            if json {
+                Ok(serde_json::json!({
+                    "outcome": "clean-degradation",
+                    "mode": "plain",
+                    "transport": transport,
+                    "error": e.to_string(),
+                })
+                .to_string())
+            } else {
+                Ok(format!(
+                    "chaos ({transport}): degraded cleanly (no silent corruption)\n  {e}"
+                ))
+            }
+        }
+    }
+}
+
 /// `check`: the deterministic adversarial schedule explorer
 /// (`switchml-check`). Explores the protocol state space under a
 /// chosen strategy; a violation shrinks to a minimal schedule,
@@ -493,6 +833,7 @@ pub fn check(args: &Args) -> Result<String, String> {
         "drops",
         "dups",
         "retx",
+        "stale-epochs",
         "d",
         "seed",
         "runs",
@@ -555,6 +896,7 @@ pub fn check(args: &Args) -> Result<String, String> {
         drops: args.get("drops", 1u32)?,
         dups: args.get("dups", 1u32)?,
         retx: args.get("retx", 1u32)?,
+        stale_epochs: args.get("stale-epochs", 0u32)?,
         deviations: None,
     };
     sc.validate()?;

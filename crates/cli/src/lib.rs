@@ -42,11 +42,25 @@ COMMANDS:
              --elems N (4096) --k N (8) --pool N (8) --loss P (0)
              --seed N (1) --fail-worker N (off) --fail-at-us N (25)
              --failover-at-us N (off)  --json
+  chaos      Live chaos harness: one seeded fault schedule against the
+             real threaded transports, checked bit-for-bit against the
+             sequential reference (silent corruption exits nonzero)
+             --transport channel|udp (channel) --workers N (3)
+             --elems N (4096) --cores N (1) --burst N (8) --seed N (1)
+             --loss P (0.02) --dup P (0.02) --reorder P (0.05)
+             --straggler W (off) --stall-us N (50)
+             --kill W (off) --kill-at-ms N (5)
+             --ctrl (shrink-and-resume via the controller)
+             --switch-restart-ms N (off; implies --ctrl)
+             --rto adaptive|backoff|fixed (adaptive) --rto-us N (2000)
+             --max-wall-ms N (10000)  --json
   check      Deterministic adversarial schedule explorer (model checker)
              --strategy exhaustive|delay|random (exhaustive)
-             --switch basic|reliable|multijob:N|mutant-no-bitmap (reliable)
+             --switch basic|reliable|multijob:N|mutant-no-bitmap
+                      |mutant-no-epoch (reliable)
              --workers N (2) --slots N (1) --chunks N (2) --k N (2)
              --scale F (64) --drops N (1) --dups N (1) --retx N (1)
+             --stale-epochs N (0: dead-generation ghost injection)
              --d N (2, delay strategy) --seed N (1) --runs N (200)
              --steps N (400) --max-states N --max-depth N
              --replay FILE (re-execute a .trace) --save-trace FILE
@@ -63,6 +77,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("train") => commands::train(args),
         Some("udp") => commands::udp(args),
         Some("ctrl") => commands::ctrl(args),
+        Some("chaos") => commands::chaos(args),
         Some("check") => commands::check(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),

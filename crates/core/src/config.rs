@@ -49,6 +49,24 @@ pub enum RtoPolicy {
         /// Upper bound on the per-slot timeout, nanoseconds.
         max_ns: TimeNs,
     },
+    /// Jacobson/Karn adaptive estimation (the §6 recommendation made
+    /// concrete): each accepted result whose slot was *not*
+    /// retransmitted since its last send contributes an RTT sample to
+    /// SRTT/RTTVAR (RFC 6298 gains: α = 1/8, β = 1/4); samples from
+    /// retransmitted slots are discarded (Karn's rule, since the
+    /// result cannot be attributed to a specific transmission). The
+    /// working timeout is `SRTT + 4·RTTVAR`, clamped to
+    /// `[min_ns, max_ns]`, seeded by `rto_ns` until the first sample.
+    /// Expiries still back off exponentially (capped at `max_ns`) as
+    /// the fallback when the estimate proves too optimistic; the
+    /// backed-off value holds until a fresh, untainted sample arrives.
+    Adaptive {
+        /// Lower bound on the estimated timeout, nanoseconds. Drivers
+        /// raise this to their receive-timeout granularity.
+        min_ns: TimeNs,
+        /// Upper bound on both the estimate and the backoff.
+        max_ns: TimeNs,
+    },
 }
 
 /// Static configuration shared by the switch and all workers of a job.
@@ -115,11 +133,26 @@ impl Protocol {
         if self.rto_ns == 0 {
             return Err(Error::InvalidConfig("rto must be > 0".into()));
         }
-        if let RtoPolicy::ExponentialBackoff { max_ns } = self.rto_policy {
-            if max_ns < self.rto_ns {
-                return Err(Error::InvalidConfig(
-                    "backoff cap must be >= the initial rto".into(),
-                ));
+        match self.rto_policy {
+            RtoPolicy::Fixed => {}
+            RtoPolicy::ExponentialBackoff { max_ns } => {
+                if max_ns < self.rto_ns {
+                    return Err(Error::InvalidConfig(
+                        "backoff cap must be >= the initial rto".into(),
+                    ));
+                }
+            }
+            RtoPolicy::Adaptive { min_ns, max_ns } => {
+                if min_ns > max_ns {
+                    return Err(Error::InvalidConfig(
+                        "adaptive rto floor must be <= its cap".into(),
+                    ));
+                }
+                if max_ns < self.rto_ns || self.rto_ns < min_ns {
+                    return Err(Error::InvalidConfig(
+                        "initial rto must lie within the adaptive [min, max] clamp".into(),
+                    ));
+                }
             }
         }
         if self.mode != NumericMode::NativeInt32 && self.scaling_factor <= 0.0 {

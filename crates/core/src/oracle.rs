@@ -464,6 +464,7 @@ mod tests {
             idx,
             off,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(v),
         }

@@ -279,6 +279,15 @@ pub struct Packet {
     pub off: ElemOffset,
     /// Job id, for multi-tenant pools (§6 "Multi-job (tenancy)").
     pub job: u8,
+    /// Job generation (epoch fence, §5.4). Bumped by the control plane
+    /// on every reconfiguration; switch ingress and worker engines
+    /// drop packets whose epoch differs from their own, so a packet
+    /// from before a crash-and-resume can never alias into a reused
+    /// slot — this discharges §3.5's bounded-packet-lifetime
+    /// assumption across reconfigurations. Wraps mod 256, which is
+    /// safe because fencing only needs to distinguish generations
+    /// whose packets can still be in flight.
+    pub epoch: u8,
     /// Diagnostic flag: this packet is a retransmission. Carried on
     /// the wire so traces can separate first transmissions from
     /// retransmissions (Figure 6's "resent" series) but ignored by the
@@ -303,6 +312,7 @@ impl Packet {
             idx,
             off,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(v),
         }
@@ -347,6 +357,7 @@ impl Packet {
             out,
             flags,
             self.job,
+            self.epoch,
             self.wid,
             self.idx,
             self.off,
@@ -383,7 +394,7 @@ impl Packet {
         }
         let flags = data.get_u8();
         let job = data.get_u8();
-        let _reserved = data.get_u8();
+        let epoch = data.get_u8();
         let wid = data.get_u16();
         let idx = data.get_u32();
         let off = data.get_u64();
@@ -433,6 +444,7 @@ impl Packet {
             idx,
             off,
             job,
+            epoch,
             retransmission: flags & FLAG_RETX != 0,
             payload,
         })
@@ -473,10 +485,12 @@ impl Packet {
 
 /// Clear `out` and write the 28-byte header with a zeroed checksum
 /// field (filled in by [`finish_crc`] once the payload follows).
+#[allow(clippy::too_many_arguments)]
 fn put_header(
     out: &mut Vec<u8>,
     flags: u8,
     job: u8,
+    epoch: u8,
     wid: WorkerId,
     idx: SlotIndex,
     off: ElemOffset,
@@ -487,7 +501,7 @@ fn put_header(
     out.push(PROTO_VERSION);
     out.push(flags);
     out.push(job);
-    out.push(0); // reserved
+    out.push(epoch);
     out.extend_from_slice(&wid.to_be_bytes());
     out.extend_from_slice(&idx.to_be_bytes());
     out.extend_from_slice(&off.to_be_bytes());
@@ -517,6 +531,8 @@ pub struct ResultMeta {
     pub idx: SlotIndex,
     pub off: ElemOffset,
     pub job: u8,
+    /// Job generation (epoch fence); echoed from the completing update.
+    pub epoch: u8,
     pub retransmission: bool,
     /// Encode elements as 16-bit floats (the switch "converts
     /// fixed-point values back into equivalent floating-point values",
@@ -543,6 +559,7 @@ pub fn encode_result_into(meta: ResultMeta, values: &[i32], out: &mut Vec<u8>) {
         out,
         flags,
         meta.job,
+        meta.epoch,
         meta.wid,
         meta.idx,
         meta.off,
@@ -563,12 +580,15 @@ pub fn encode_result_into(meta: ResultMeta, values: &[i32], out: &mut Vec<u8>) {
 /// Encode an update packet directly from quantized values into a
 /// reusable scratch buffer — the worker's zero-allocation egress path
 /// (Fixed32 wire format, job 0). Bit-identical to
-/// `Packet::update(..)` with the given retransmission flag, encoded.
+/// `Packet::update(..)` with the given epoch and retransmission flag,
+/// encoded.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_update_into(
     wid: WorkerId,
     ver: PoolVersion,
     idx: SlotIndex,
     off: ElemOffset,
+    epoch: u8,
     retransmission: bool,
     values: &[i32],
     out: &mut Vec<u8>,
@@ -580,7 +600,7 @@ pub fn encode_update_into(
     if retransmission {
         flags |= FLAG_RETX;
     }
-    put_header(out, flags, 0, wid, idx, off, values.len());
+    put_header(out, flags, 0, epoch, wid, idx, off, values.len());
     for &v in values {
         out.extend_from_slice(&v.to_be_bytes());
     }
@@ -672,6 +692,11 @@ impl<'a> PacketView<'a> {
         self.data[4]
     }
 
+    /// Job generation (epoch fence, §5.4).
+    pub fn epoch(&self) -> u8 {
+        self.data[5]
+    }
+
     pub fn retransmission(&self) -> bool {
         self.flags & FLAG_RETX != 0
     }
@@ -712,6 +737,7 @@ impl<'a> PacketView<'a> {
             idx: self.idx(),
             off: self.off(),
             job: self.job(),
+            epoch: self.epoch(),
             retransmission: self.retransmission(),
             payload,
         }
@@ -775,6 +801,7 @@ mod tests {
             idx: 17,
             off: 123_456,
             job: 2,
+            epoch: 5,
             retransmission: true,
             payload: Payload::I32((0..32).map(|i| i * 1000 - 16000).collect()),
         }
@@ -798,6 +825,7 @@ mod tests {
             idx: 0,
             off: 64,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::F16((0..32).map(|i| f16::f32_to_f16(i as f32 * 0.5)).collect()),
         };
@@ -886,6 +914,7 @@ mod tests {
             assert_eq!(v.idx(), p.idx);
             assert_eq!(v.off(), p.off);
             assert_eq!(v.job(), p.job);
+            assert_eq!(v.epoch(), p.epoch);
             assert_eq!(v.retransmission(), p.retransmission);
             assert_eq!(v.k(), p.k());
             assert_eq!(v.to_packet(), p);
@@ -926,6 +955,7 @@ mod tests {
                 idx: 9,
                 off: 4096,
                 job: 1,
+                epoch: 3,
                 retransmission: true,
                 f16: f16_mode,
             };
@@ -937,6 +967,7 @@ mod tests {
                 idx: 9,
                 off: 4096,
                 job: 1,
+                epoch: 3,
                 retransmission: true,
                 payload: {
                     let template = if f16_mode {
@@ -956,11 +987,25 @@ mod tests {
         let values: Vec<i32> = (0..32).map(|i| i * 3 - 50).collect();
         let mut scratch = Vec::new();
         for retx in [false, true] {
-            encode_update_into(7, PoolVersion::V1, 3, 256, retx, &values, &mut scratch);
+            encode_update_into(7, PoolVersion::V1, 3, 256, 2, retx, &values, &mut scratch);
             let mut reference = Packet::update(7, PoolVersion::V1, 3, 256, values.clone());
+            reference.epoch = 2;
             reference.retransmission = retx;
             assert_eq!(&scratch[..], &reference.encode()[..]);
         }
+    }
+
+    #[test]
+    fn epoch_zero_is_byte_identical_to_the_pre_epoch_format() {
+        // The epoch lives in what used to be a reserved zero byte, so
+        // epoch-0 packets must encode exactly as before the field
+        // existed (wire compatibility with recorded traces).
+        let mut p = sample();
+        p.epoch = 0;
+        let bytes = p.encode();
+        assert_eq!(bytes[5], 0);
+        let q = Packet::decode(&bytes).unwrap();
+        assert_eq!(q.epoch, 0);
     }
 
     #[test]

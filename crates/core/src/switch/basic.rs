@@ -32,6 +32,7 @@ pub struct BasicSwitch {
     n: usize,
     k: usize,
     wrapping: bool,
+    epoch: u8,
     pool: Vec<Vec<i32>>,
     count: Vec<usize>,
     stats: SwitchStats,
@@ -44,6 +45,7 @@ impl BasicSwitch {
             n: proto.n_workers,
             k: proto.k,
             wrapping: proto.wrapping_add,
+            epoch: 0,
             pool: vec![vec![0; proto.k]; proto.pool_size],
             count: vec![0; proto.pool_size],
             stats: SwitchStats::default(),
@@ -73,6 +75,20 @@ impl BasicSwitch {
 
     pub fn stats(&self) -> SwitchStats {
         self.stats
+    }
+
+    /// The job generation this switch currently accepts (§5.4). Updates
+    /// carrying any other epoch are counted-and-dropped at ingress.
+    pub fn epoch(&self) -> u8 {
+        self.epoch
+    }
+
+    /// Advance to a new job generation after a reconfiguration. In-flight
+    /// traffic stamped with the old epoch can no longer reach the slots,
+    /// which is what makes slot reuse across the reconfiguration safe
+    /// (discharges §3.5's bounded-packet-lifetime assumption).
+    pub fn set_epoch(&mut self, epoch: u8) {
+        self.epoch = epoch;
     }
 
     /// Algorithm 1's per-packet state transition, shared by the owned
@@ -125,6 +141,10 @@ impl BasicSwitch {
 
     /// Process one update packet.
     pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        if p.epoch != self.epoch {
+            self.stats.stale_epoch += 1;
+            return Ok(SwitchAction::Drop);
+        }
         if self.step(p.kind, p.wid, p.idx, &p.payload)? {
             // Rewrite the packet's vector with the aggregate, reset the
             // slot, and multicast.
@@ -142,6 +162,10 @@ impl BasicSwitch {
     /// Aggregates the view's elements straight into the slot registers
     /// and, on completion, encodes the result packet into `out`.
     pub fn on_view(&mut self, v: &PacketView<'_>, out: &mut Vec<u8>) -> Result<WireAction> {
+        if v.epoch() != self.epoch {
+            self.stats.stale_epoch += 1;
+            return Ok(WireAction::Drop);
+        }
         if self.step(v.kind(), v.wid(), v.idx(), v)? {
             let idx = v.idx() as usize;
             encode_result_into(
@@ -151,6 +175,7 @@ impl BasicSwitch {
                     idx: v.idx(),
                     off: v.off(),
                     job: v.job(),
+                    epoch: v.epoch(),
                     retransmission: v.retransmission(),
                     f16: v.is_f16(),
                 },
@@ -302,6 +327,33 @@ mod tests {
             Packet::decode(&scratch).unwrap().payload,
             Payload::I32(vec![3, 3, 3, 3])
         );
+    }
+
+    #[test]
+    fn stale_epoch_update_is_counted_and_dropped() {
+        // A delayed update stamped with epoch e, arriving after the
+        // switch has been reconfigured to e+1, must not touch the slot —
+        // same slot/version or not (§5.4 fence).
+        let mut sw = BasicSwitch::new(&proto(2, 2, 2)).unwrap();
+        sw.on_packet(update(0, 0, 0, vec![1, 1])).unwrap();
+        sw.set_epoch(1);
+        // The laggard from epoch 0 targets the same slot.
+        let stale = update(1, 0, 0, vec![9, 9]);
+        assert_eq!(stale.epoch, 0);
+        assert_eq!(sw.on_packet(stale).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.stats().stale_epoch, 1);
+        // The slot still holds only worker 0's epoch-0 contribution;
+        // completing it at the new epoch aggregates from that state
+        // untouched by the laggard.
+        let (slot, count) = sw.slot(0);
+        assert_eq!((slot, count), (&[1, 1][..], 1));
+        // The wire path fences identically.
+        let mut scratch = Vec::new();
+        let bytes = update(1, 1, 8, vec![3, 3]).encode();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(sw.on_view(&view, &mut scratch).unwrap(), WireAction::Drop);
+        assert_eq!(sw.stats().stale_epoch, 2);
+        assert_eq!(sw.stats().updates, 1);
     }
 
     #[test]

@@ -177,6 +177,7 @@ mod tests {
             idx,
             off,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(vec![v]),
         }
@@ -271,6 +272,7 @@ mod tests {
             idx: 0,
             off: 0,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(vec![33]),
         };

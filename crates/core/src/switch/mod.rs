@@ -69,4 +69,21 @@ pub struct SwitchStats {
     /// Packets rejected for malformed fields (bad slot, bad wid, bad
     /// element count).
     pub rejected: u64,
+    /// Updates counted-and-dropped because their job generation did
+    /// not match the switch's (epoch fence, §5.4): traffic from before
+    /// a reconfiguration that must never be aggregated.
+    pub stale_epoch: u64,
+}
+
+impl SwitchStats {
+    /// Fold another switch's counters into this one (shards of a
+    /// partitioned pool, or successive pools of one job's epochs).
+    pub fn merge(&mut self, other: SwitchStats) {
+        self.updates += other.updates;
+        self.duplicates += other.duplicates;
+        self.completions += other.completions;
+        self.result_retx += other.result_retx;
+        self.rejected += other.rejected;
+        self.stale_epoch += other.stale_epoch;
+    }
 }

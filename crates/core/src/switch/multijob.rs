@@ -158,6 +158,19 @@ impl MultiJobSwitch {
             .on_packet(pkt)
     }
 
+    /// Advance one job's epoch fence (§5.4). The control plane calls
+    /// this alongside [`Self::reset_job`] during reconfiguration so
+    /// in-flight traffic from the previous generation cannot reach the
+    /// fresh pool.
+    pub fn set_job_epoch(&mut self, job: u8, epoch: u8) -> Result<()> {
+        self.jobs
+            .get_mut(&job)
+            .ok_or(Error::OutOfRange("epoch for an unadmitted job"))?
+            .switch
+            .set_epoch(epoch);
+        Ok(())
+    }
+
     /// Per-job counters.
     pub fn stats(&self, job: u8) -> Option<SwitchStats> {
         self.jobs.get(&job).map(|e| e.switch.stats())
@@ -187,6 +200,7 @@ mod tests {
             idx,
             off: idx as u64 * 32,
             job,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(vec![v; 32]),
         }
@@ -291,5 +305,20 @@ mod tests {
 
         // Unknown job refused; state untouched.
         assert!(sw.reset_job(7, &proto(2, 8)).is_err());
+    }
+
+    #[test]
+    fn epoch_fence_is_per_job() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(1, &proto(2, 8)).unwrap();
+        sw.admit(2, &proto(2, 8)).unwrap();
+        sw.set_job_epoch(1, 1).unwrap();
+        assert!(sw.set_job_epoch(9, 1).is_err());
+        // Job 1 now rejects epoch-0 traffic; job 2 still accepts it.
+        assert_eq!(sw.on_packet(pkt(1, 0, 0, 5)).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.stats(1).unwrap().stale_epoch, 1);
+        assert_eq!(sw.on_packet(pkt(2, 0, 0, 5)).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.stats(2).unwrap().stale_epoch, 0);
+        assert_eq!(sw.stats(2).unwrap().updates, 1);
     }
 }

@@ -59,6 +59,7 @@ pub struct ReliableSwitch {
     n: usize,
     k: usize,
     wrapping: bool,
+    epoch: u8,
     /// pools[version][slot]
     pools: [Vec<Slot>; 2],
     stats: SwitchStats,
@@ -81,6 +82,7 @@ impl ReliableSwitch {
             n: proto.n_workers,
             k: proto.k,
             wrapping: proto.wrapping_add,
+            epoch: 0,
             pools: [mk(), mk()],
             stats: SwitchStats::default(),
         })
@@ -104,6 +106,20 @@ impl ReliableSwitch {
 
     pub fn stats(&self) -> SwitchStats {
         self.stats
+    }
+
+    /// The job generation this switch currently accepts (§5.4). Updates
+    /// carrying any other epoch are counted-and-dropped at ingress.
+    pub fn epoch(&self) -> u8 {
+        self.epoch
+    }
+
+    /// Advance to a new job generation after a reconfiguration. Without
+    /// this fence, a delayed update from the dead epoch could alias
+    /// into a reused (version, slot) cell and be aggregated twice —
+    /// the exact ABA hazard §3.5 excludes by bounding packet lifetime.
+    pub fn set_epoch(&mut self, epoch: u8) {
+        self.epoch = epoch;
     }
 
     /// Read-only view of the (version, slot) cell, for invariant
@@ -207,6 +223,10 @@ impl ReliableSwitch {
 
     /// Process one update packet, returning what to transmit.
     pub fn on_packet(&mut self, mut p: Packet) -> Result<SwitchAction> {
+        if p.epoch != self.epoch {
+            self.stats.stale_epoch += 1;
+            return Ok(SwitchAction::Drop);
+        }
         match self.step(p.kind, p.wid, p.ver, p.idx, p.off, &p.payload)? {
             Verdict::Drop => Ok(SwitchAction::Drop),
             Verdict::Completed => {
@@ -228,6 +248,10 @@ impl ReliableSwitch {
     /// Folds the view's elements straight into the slot registers and,
     /// when there is a result to send, encodes it into `out`.
     pub fn on_view(&mut self, v: &PacketView<'_>, out: &mut Vec<u8>) -> Result<WireAction> {
+        if v.epoch() != self.epoch {
+            self.stats.stale_epoch += 1;
+            return Ok(WireAction::Drop);
+        }
         let verdict = self.step(v.kind(), v.wid(), v.ver(), v.idx(), v.off(), v)?;
         if verdict == Verdict::Drop {
             return Ok(WireAction::Drop);
@@ -240,6 +264,7 @@ impl ReliableSwitch {
                 idx: v.idx(),
                 off: v.off(),
                 job: v.job(),
+                epoch: v.epoch(),
                 retransmission: v.retransmission(),
                 f16: v.is_f16(),
             },
@@ -286,6 +311,7 @@ mod tests {
             idx,
             off,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(v),
         }
@@ -489,6 +515,54 @@ mod tests {
         assert_eq!(owned.stats(), wire.stats());
         assert_eq!(wire.stats().result_retx, 1);
         assert_eq!(wire.stats().completions, 2);
+    }
+
+    #[test]
+    fn stale_epoch_update_is_counted_and_dropped() {
+        // §5.4: a delayed update from epoch e targeting the same
+        // (version, slot) after reconfiguration to e+1 must be fenced —
+        // neither aggregated, nor answered with a cached result, nor
+        // allowed to flip seen bits.
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.on_packet(pkt(0, PoolVersion::V0, 0, 0, vec![5]))
+            .unwrap();
+        sw.set_epoch(1);
+        let stale = pkt(1, PoolVersion::V0, 0, 0, vec![9]);
+        assert_eq!(sw.on_packet(stale).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.stats().stale_epoch, 1);
+        let cell = sw.cell(PoolVersion::V0, 0);
+        assert_eq!(cell.value, &[5]);
+        assert_eq!(cell.count, 1);
+        assert!(!cell.seen.contains(1));
+        // Wire path fences the same traffic identically.
+        let mut scratch = Vec::new();
+        let bytes = pkt(1, PoolVersion::V0, 0, 0, vec![9]).encode();
+        let view = PacketView::parse(&bytes).unwrap();
+        assert_eq!(sw.on_view(&view, &mut scratch).unwrap(), WireAction::Drop);
+        assert_eq!(sw.stats().stale_epoch, 2);
+        assert_eq!(sw.stats().updates, 1);
+        assert_eq!(sw.stats().duplicates, 0);
+    }
+
+    #[test]
+    fn current_epoch_update_passes_the_fence() {
+        let mut sw = ReliableSwitch::new(&proto(2, 1, 1)).unwrap();
+        sw.set_epoch(3);
+        let mut p = pkt(0, PoolVersion::V0, 0, 0, vec![1]);
+        p.epoch = 3;
+        assert_eq!(sw.on_packet(p).unwrap(), SwitchAction::Drop);
+        assert_eq!(sw.stats().updates, 1);
+        let mut q = pkt(1, PoolVersion::V0, 0, 0, vec![2]);
+        q.epoch = 3;
+        match sw.on_packet(q).unwrap() {
+            SwitchAction::Multicast(r) => {
+                assert_eq!(r.payload, Payload::I32(vec![3]));
+                // Results are stamped with the epoch they completed in.
+                assert_eq!(r.epoch, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sw.stats().stale_epoch, 0);
     }
 
     #[test]

@@ -69,8 +69,16 @@ struct SlotState {
     /// Global chunk index currently in flight on this slot.
     chunk: u64,
     deadline: Option<TimeNs>,
-    /// Current timeout for this slot (grows under ExponentialBackoff).
+    /// Current timeout for this slot (grows under ExponentialBackoff
+    /// and Adaptive's backoff fallback).
     cur_rto: TimeNs,
+    /// When the outstanding chunk was (first) transmitted — the start
+    /// of the RTT sample window.
+    sent_at: TimeNs,
+    /// Has the outstanding chunk been retransmitted? If so a result
+    /// cannot be attributed to a specific transmission and must not
+    /// become an RTT sample (Karn's rule).
+    tainted: bool,
     active: bool,
 }
 
@@ -102,6 +110,36 @@ pub struct EngineStats {
     pub results: u64,
     /// Results ignored as stale.
     pub stale: u64,
+    /// RTT samples folded into SRTT/RTTVAR ([`RtoPolicy::Adaptive`]).
+    pub rtt_samples: u64,
+    /// Samples discarded by Karn's rule (result arrived on a slot that
+    /// had been retransmitted since its last send).
+    pub karn_discards: u64,
+    /// Smoothed round-trip time estimate, nanoseconds (0 until the
+    /// first sample).
+    pub srtt_ns: TimeNs,
+    /// RTT variance estimate, nanoseconds.
+    pub rttvar_ns: TimeNs,
+    /// Results dropped by the worker's epoch fence (counted at the
+    /// [`crate::worker::Worker`] layer, before any engine sees them).
+    pub stale_epoch: u64,
+}
+
+impl EngineStats {
+    /// Fold another engine's counters into this one. Counts sum; the
+    /// RTT estimate keeps the larger (slower) view, since the slowest
+    /// engine's estimate is the one governing tail retransmissions.
+    pub fn merge(&mut self, other: EngineStats) {
+        self.sent += other.sent;
+        self.retx += other.retx;
+        self.results += other.results;
+        self.stale += other.stale;
+        self.rtt_samples += other.rtt_samples;
+        self.karn_discards += other.karn_discards;
+        self.srtt_ns = self.srtt_ns.max(other.srtt_ns);
+        self.rttvar_ns = self.rttvar_ns.max(other.rttvar_ns);
+        self.stale_epoch += other.stale_epoch;
+    }
 }
 
 /// Worker protocol engine for one slot range.
@@ -109,6 +147,11 @@ pub struct EngineStats {
 pub struct SlotEngine {
     cfg: EngineConfig,
     slots: Vec<SlotState>,
+    /// Jacobson smoothed RTT, `None` until the first sample
+    /// ([`RtoPolicy::Adaptive`] only).
+    srtt: Option<TimeNs>,
+    /// Jacobson RTT variance.
+    rttvar: TimeNs,
     /// When set, the engine streams this explicit (ordered) list of
     /// global chunk indices instead of the contiguous range
     /// `chunk_base..chunk_base + n_chunks`. `SlotState::chunk` then
@@ -136,10 +179,14 @@ impl SlotEngine {
                     chunk: 0,
                     deadline: None,
                     cur_rto: cfg.rto.unwrap_or(0),
+                    sent_at: 0,
+                    tainted: false,
                     active: false,
                 };
                 cfg.n_slots
             ],
+            srtt: None,
+            rttvar: 0,
             chunk_list: None,
             completed: 0,
             stats: EngineStats::default(),
@@ -199,6 +246,38 @@ impl SlotEngine {
 
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// The working retransmission timeout a freshly armed slot gets.
+    /// Under [`RtoPolicy::Adaptive`] this is Jacobson's
+    /// `SRTT + 4·RTTVAR` clamped to `[min_ns, max_ns]` (the configured
+    /// initial RTO before the first sample); under the other policies
+    /// it is the configured RTO.
+    pub fn estimated_rto(&self) -> TimeNs {
+        match (self.cfg.rto_policy, self.srtt) {
+            (RtoPolicy::Adaptive { min_ns, max_ns }, Some(srtt)) => srtt
+                .saturating_add(self.rttvar.saturating_mul(4))
+                .clamp(min_ns, max_ns),
+            _ => self.cfg.rto.unwrap_or(0),
+        }
+    }
+
+    /// Fold one RTT sample into SRTT/RTTVAR with RFC 6298 gains
+    /// (α = 1/8, β = 1/4; integer arithmetic).
+    fn take_rtt_sample(&mut self, sample: TimeNs) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                self.rttvar = (3 * self.rttvar + srtt.abs_diff(sample)) / 4;
+                self.srtt = Some((7 * srtt + sample) / 8);
+            }
+        }
+        self.stats.rtt_samples += 1;
+        self.stats.srtt_ns = self.srtt.unwrap_or(0);
+        self.stats.rttvar_ns = self.rttvar;
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -266,6 +345,7 @@ impl SlotEngine {
     /// first `min(n_slots, n_chunks)` chunks (Algorithm 2/4 lines 1–8).
     pub fn start(&mut self, now: TimeNs) -> Vec<SendDescriptor> {
         let initial = (self.cfg.n_slots as u64).min(self.cfg.n_chunks) as usize;
+        let rto0 = self.estimated_rto();
         let mut out = Vec::with_capacity(initial);
         for i in 0..initial {
             self.slots[i] = SlotState {
@@ -273,8 +353,10 @@ impl SlotEngine {
                 // fresh engine; carried over on session continuation).
                 ver: self.slots[i].ver,
                 chunk: self.cfg.chunk_base + i as u64,
-                deadline: self.cfg.rto.map(|r| now + r),
-                cur_rto: self.cfg.rto.unwrap_or(0),
+                deadline: self.cfg.rto.map(|_| now + rto0),
+                cur_rto: rto0,
+                sent_at: now,
+                tainted: false,
                 active: true,
             };
             self.stats.sent += 1;
@@ -309,17 +391,39 @@ impl SlotEngine {
         self.completed += 1;
         let accepted_off = off;
 
+        // Round-trip accounting for the adaptive estimator.
+        if self.cfg.rto.is_some() {
+            if let RtoPolicy::Adaptive { .. } = self.cfg.rto_policy {
+                if st.tainted {
+                    // Karn's rule: the result may answer either the
+                    // original or a retransmission — unattributable.
+                    self.stats.karn_discards += 1;
+                } else {
+                    self.take_rtt_sample(now.saturating_sub(st.sent_at));
+                }
+            }
+        }
+
         // Advance by k·s elements — i.e. n_slots chunks (Alg 2 line 9;
         // within this engine's chunk range).
         let next_chunk = st.chunk + self.cfg.n_slots as u64;
         let limit = self.cfg.chunk_base + self.cfg.n_chunks;
         let next = if next_chunk < limit {
+            // Progress resets any backoff: Fixed/Backoff rearm at the
+            // configured RTO; Adaptive rearms at the current estimate —
+            // except after a tainted round trip, where Karn's rule
+            // holds the backed-off value until a fresh sample lands.
+            let next_rto = match self.cfg.rto_policy {
+                RtoPolicy::Adaptive { .. } if st.tainted => st.cur_rto,
+                _ => self.estimated_rto(),
+            };
             let ns = &mut self.slots[local];
             ns.chunk = next_chunk;
             ns.ver = st.ver.flip();
-            // Progress resets any backoff.
-            ns.cur_rto = self.cfg.rto.unwrap_or(0);
-            ns.deadline = self.cfg.rto.map(|r| now + r);
+            ns.cur_rto = next_rto;
+            ns.deadline = self.cfg.rto.map(|_| now + next_rto);
+            ns.sent_at = now;
+            ns.tainted = false;
             self.stats.sent += 1;
             Some(self.descriptor(local, false))
         } else {
@@ -359,9 +463,17 @@ impl SlotEngine {
         for local in 0..self.slots.len() {
             let st = &mut self.slots[local];
             if st.active && st.deadline.is_some_and(|d| d <= now) {
-                if let RtoPolicy::ExponentialBackoff { max_ns } = self.cfg.rto_policy {
-                    st.cur_rto = (st.cur_rto.saturating_mul(2)).min(max_ns);
+                match self.cfg.rto_policy {
+                    RtoPolicy::ExponentialBackoff { max_ns }
+                    | RtoPolicy::Adaptive { max_ns, .. } => {
+                        st.cur_rto = (st.cur_rto.saturating_mul(2)).min(max_ns);
+                    }
+                    RtoPolicy::Fixed => {}
                 }
+                // The outstanding chunk now has two transmissions in
+                // flight; its eventual result is off-limits to the RTT
+                // estimator (Karn).
+                st.tainted = true;
                 st.deadline = Some(now + st.cur_rto);
                 self.stats.retx += 1;
                 out.push(self.descriptor(local, true));
@@ -573,6 +685,101 @@ mod tests {
                                                    // Progress resets the backoff to the initial 100.
         e.on_result(0, PoolVersion::V0, 0, 2000).unwrap();
         assert_eq!(e.next_deadline(), Some(2100));
+    }
+
+    fn adaptive(
+        n_slots: usize,
+        n_chunks: u64,
+        init: TimeNs,
+        min: TimeNs,
+        max: TimeNs,
+    ) -> EngineConfig {
+        EngineConfig {
+            rto_policy: RtoPolicy::Adaptive {
+                min_ns: min,
+                max_ns: max,
+            },
+            ..cfg(n_slots, n_chunks, Some(init))
+        }
+    }
+
+    #[test]
+    fn adaptive_rto_tracks_measured_rtt() {
+        let mut e = SlotEngine::new(adaptive(1, 8, 1_000, 10, 100_000)).unwrap();
+        // Before any sample the estimate is the configured initial RTO.
+        assert_eq!(e.estimated_rto(), 1_000);
+        e.start(0);
+        assert_eq!(e.next_deadline(), Some(1_000));
+        // First round trip takes 200 ns: SRTT = 200, RTTVAR = 100,
+        // RTO = SRTT + 4·RTTVAR = 600; the next chunk arms with it.
+        e.on_result(0, PoolVersion::V0, 0, 200).unwrap();
+        assert_eq!(e.stats().rtt_samples, 1);
+        assert_eq!(e.stats().srtt_ns, 200);
+        assert_eq!(e.stats().rttvar_ns, 100);
+        assert_eq!(e.estimated_rto(), 600);
+        assert_eq!(e.next_deadline(), Some(200 + 600));
+        // A second identical sample decays the variance: RTTVAR = 75,
+        // RTO = 500.
+        e.on_result(0, PoolVersion::V1, 4, 400).unwrap();
+        assert_eq!(e.stats().srtt_ns, 200);
+        assert_eq!(e.stats().rttvar_ns, 75);
+        assert_eq!(e.next_deadline(), Some(400 + 500));
+    }
+
+    #[test]
+    fn adaptive_rto_clamps_to_floor() {
+        // A near-zero RTT must not produce a hair-trigger timer: the
+        // estimate clamps to min_ns (which transports raise to their
+        // receive-timeout granule).
+        let mut e = SlotEngine::new(adaptive(1, 4, 1_000, 50, 100_000)).unwrap();
+        e.start(0);
+        e.on_result(0, PoolVersion::V0, 0, 1).unwrap();
+        e.on_result(0, PoolVersion::V1, 4, 2).unwrap();
+        e.on_result(0, PoolVersion::V0, 8, 3).unwrap();
+        assert!(e.estimated_rto() >= 50);
+        assert_eq!(e.estimated_rto(), 50);
+    }
+
+    #[test]
+    fn karn_discards_retransmitted_samples_and_holds_backoff() {
+        let mut e = SlotEngine::new(adaptive(1, 3, 100, 10, 10_000)).unwrap();
+        e.start(0);
+        // Two expiries: the fallback backoff doubles 100 → 200 → 400
+        // and taints the slot.
+        assert_eq!(e.expired(100).len(), 1);
+        assert_eq!(e.expired(300).len(), 1);
+        assert_eq!(e.next_deadline(), Some(300 + 400));
+        // The result finally lands. Its 700 ns "RTT" is unattributable
+        // (original send or which retransmission?) — Karn's rule
+        // discards it, and the backed-off 400 holds for the next chunk
+        // instead of resetting to the untrustworthy estimate.
+        match e.on_result(0, PoolVersion::V0, 0, 700).unwrap() {
+            ResultOutcome::Accepted { next: Some(_), .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.stats().karn_discards, 1);
+        assert_eq!(e.stats().rtt_samples, 0);
+        assert_eq!(e.stats().srtt_ns, 0);
+        assert_eq!(e.next_deadline(), Some(700 + 400));
+        // A fresh, never-retransmitted round trip (150 ns) is a valid
+        // sample: SRTT = 150, RTTVAR = 75, and the backed-off timer
+        // resets to the estimated RTO = 450.
+        e.on_result(0, PoolVersion::V1, 4, 850).unwrap();
+        assert_eq!(e.stats().rtt_samples, 1);
+        assert_eq!(e.stats().karn_discards, 1);
+        assert_eq!(e.estimated_rto(), 450);
+        assert_eq!(e.next_deadline(), Some(850 + 450));
+    }
+
+    #[test]
+    fn adaptive_backoff_caps_at_max() {
+        let mut e = SlotEngine::new(adaptive(1, 2, 100, 10, 350)).unwrap();
+        e.start(0);
+        e.expired(100); // 200
+        e.expired(300); // 350 (capped)
+        e.expired(650); // still 350
+        assert_eq!(e.next_deadline(), Some(650 + 350));
+        assert_eq!(e.stats().retx, 3);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct Worker {
     proto: Protocol,
     engines: Vec<SlotEngine>,
     stream: TensorStream,
+    /// Job generation stamped on every outgoing update and required on
+    /// every accepted result (§5.4 epoch fence).
+    epoch: u8,
+    /// Results dropped because they carried another generation's epoch.
+    stale_epoch: u64,
 }
 
 impl Worker {
@@ -71,6 +76,8 @@ impl Worker {
             proto: proto.clone(),
             engines,
             stream,
+            epoch: 0,
+            stale_epoch: 0,
         })
     }
 
@@ -150,6 +157,8 @@ impl Worker {
                 proto: self.proto,
                 engines,
                 stream,
+                epoch: self.epoch,
+                stale_epoch: 0,
             },
         ))
     }
@@ -210,6 +219,8 @@ impl Worker {
             proto: proto.clone(),
             engines,
             stream,
+            epoch: 0,
+            stale_epoch: 0,
         })
     }
 
@@ -232,20 +243,32 @@ impl Worker {
         self.wid
     }
 
+    /// The job generation this worker stamps on updates and accepts on
+    /// results.
+    pub fn epoch(&self) -> u8 {
+        self.epoch
+    }
+
+    /// Move to a new job generation (§5.4). Results still in flight
+    /// from the previous epoch will be counted-and-dropped rather than
+    /// installed into the stream.
+    pub fn set_epoch(&mut self, epoch: u8) {
+        self.epoch = epoch;
+    }
+
     pub fn n_cores(&self) -> usize {
         self.engines.len()
     }
 
-    /// Total protocol stats across cores.
+    /// Total protocol stats across cores. Counters sum; the RTT
+    /// estimate reported is the slowest core's (the one that governs
+    /// tail retransmission behaviour).
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for e in &self.engines {
-            let s = e.stats();
-            total.sent += s.sent;
-            total.retx += s.retx;
-            total.results += s.results;
-            total.stale += s.stale;
+            total.merge(e.stats());
         }
+        total.stale_epoch = self.stale_epoch;
         total
     }
 
@@ -282,6 +305,7 @@ impl Worker {
             idx: d.slot,
             off: d.off,
             job: 0,
+            epoch: self.epoch,
             retransmission: d.retransmission,
             payload: self.stream.payload_chunk(d.off)?,
         })
@@ -306,6 +330,13 @@ impl Worker {
     pub fn on_result(&mut self, pkt: &Packet, now: TimeNs) -> Result<Vec<Packet>> {
         if pkt.kind != PacketKind::Result {
             // Not addressed to a worker; ignore defensively.
+            return Ok(Vec::new());
+        }
+        if pkt.epoch != self.epoch {
+            // A result from another job generation must not be
+            // installed: its aggregate was computed under a different
+            // membership/scaling (§5.4 fence, worker side).
+            self.stale_epoch += 1;
             return Ok(Vec::new());
         }
         let engine_idx = self
@@ -507,12 +538,41 @@ mod tests {
             idx: 0,
             off: 0,
             job: 0,
+            epoch: 0,
             retransmission: false,
             payload: Payload::I32(vec![1, 1]),
         };
         assert!(w.on_result(&bogus, 0).unwrap().is_empty());
         assert_eq!(w.stream().done_chunks(), 0);
         assert_eq!(w.stats().stale, 1);
+    }
+
+    #[test]
+    fn stale_epoch_result_is_fenced() {
+        let p = proto(1, 2, 1);
+        let mut w = Worker::new(0, &p, stream(4, 2)).unwrap();
+        w.set_epoch(2);
+        let first = w.start(0).unwrap();
+        assert_eq!(first[0].epoch, 2, "updates carry the worker's epoch");
+        // An epoch-1 result for exactly the outstanding (slot, version,
+        // offset) — e.g. delayed from before a reconfiguration — must
+        // not be installed.
+        let stale = Packet {
+            kind: PacketKind::Result,
+            epoch: 1,
+            ..first[0].clone()
+        };
+        assert!(w.on_result(&stale, 0).unwrap().is_empty());
+        assert_eq!(w.stream().done_chunks(), 0);
+        assert_eq!(w.stats().stale_epoch, 1);
+        assert_eq!(w.stats().stale, 0, "fenced before the engine sees it");
+        // The same result at the current epoch is accepted.
+        let fresh = Packet {
+            kind: PacketKind::Result,
+            ..first[0].clone()
+        };
+        w.on_result(&fresh, 0).unwrap();
+        assert_eq!(w.stream().done_chunks(), 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn upd(wid: u16, ver: PoolVersion, idx: u32, off: u64, v: Vec<i32>) -> Packet {
         idx,
         off,
         job: 0,
+        epoch: 0,
         retransmission: false,
         payload: Payload::I32(v),
     }

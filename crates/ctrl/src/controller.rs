@@ -342,6 +342,7 @@ impl Controller {
                 switch: j.switch,
                 msg: CtrlMsg::AdmitJob {
                     job: j.wire_job,
+                    epoch,
                     proto: j.proto.clone(),
                     members: j.members.iter().map(|m| m.peer).collect(),
                 },
@@ -658,6 +659,9 @@ impl Controller {
         self.switches[new_switch]
             .admit(new_wire, &proto)
             .expect("shrunk pool must still fit");
+        self.switches[new_switch]
+            .set_job_epoch(new_wire, (epoch & 0xff) as u8)
+            .expect("just admitted");
 
         let j = self.jobs.get_mut(&job).unwrap();
         j.proto = proto;
@@ -686,6 +690,7 @@ impl Controller {
             switch: new_switch,
             msg: CtrlMsg::AdmitJob {
                 job: new_wire,
+                epoch,
                 proto: self.jobs[&job].proto.clone(),
                 members: survivors.clone(),
             },

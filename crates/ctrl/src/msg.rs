@@ -83,9 +83,12 @@ pub enum CtrlMsg {
 
     // ---- controller → switch ----
     /// Install a fresh pool for `job` under `proto`; `members[wid]`
-    /// is the peer to address results to.
+    /// is the peer to address results to. `epoch` is the job
+    /// generation the pool serves: the switch fences data-plane
+    /// packets whose epoch byte disagrees (§5.4).
     AdmitJob {
         job: u8,
+        epoch: u32,
         proto: Protocol,
         members: Vec<PeerId>,
     },
@@ -111,13 +114,21 @@ fn put_proto(buf: &mut BytesMut, p: &Protocol) {
     buf.put_u32(p.k as u32);
     buf.put_u32(p.pool_size as u32);
     buf.put_u64(p.rto_ns);
+    // Policy block: tag byte + two u64 operands (unused ones zero).
     match p.rto_policy {
         RtoPolicy::Fixed => {
             buf.put_u8(0);
             buf.put_u64(0);
+            buf.put_u64(0);
         }
         RtoPolicy::ExponentialBackoff { max_ns } => {
             buf.put_u8(1);
+            buf.put_u64(max_ns);
+            buf.put_u64(0);
+        }
+        RtoPolicy::Adaptive { min_ns, max_ns } => {
+            buf.put_u8(2);
+            buf.put_u64(min_ns);
             buf.put_u64(max_ns);
         }
     }
@@ -131,7 +142,7 @@ fn put_proto(buf: &mut BytesMut, p: &Protocol) {
 }
 
 fn get_proto(data: &mut &[u8]) -> Result<Protocol> {
-    if data.len() < 2 + 4 + 4 + 8 + 1 + 8 + 1 + 1 + 8 {
+    if data.len() < 2 + 4 + 4 + 8 + 1 + 8 + 8 + 1 + 1 + 8 {
         return Err(Error::Malformed("short protocol block"));
     }
     let n_workers = data.get_u16() as usize;
@@ -139,10 +150,15 @@ fn get_proto(data: &mut &[u8]) -> Result<Protocol> {
     let pool_size = data.get_u32() as usize;
     let rto_ns = data.get_u64();
     let policy_tag = data.get_u8();
-    let max_ns = data.get_u64();
+    let a = data.get_u64();
+    let b = data.get_u64();
     let rto_policy = match policy_tag {
         0 => RtoPolicy::Fixed,
-        1 => RtoPolicy::ExponentialBackoff { max_ns },
+        1 => RtoPolicy::ExponentialBackoff { max_ns: a },
+        2 => RtoPolicy::Adaptive {
+            min_ns: a,
+            max_ns: b,
+        },
         _ => return Err(Error::Malformed("unknown rto policy")),
     };
     let mode = match data.get_u8() {
@@ -273,11 +289,13 @@ impl CtrlMsg {
             }
             CtrlMsg::AdmitJob {
                 job,
+                epoch,
                 proto,
                 members,
             } => {
                 buf.put_u8(T_ADMIT_JOB);
                 buf.put_u8(*job);
+                buf.put_u32(*epoch);
                 put_proto(&mut buf, proto);
                 buf.put_u16(members.len() as u16);
                 for &m in members {
@@ -376,6 +394,7 @@ impl CtrlMsg {
             },
             T_ADMIT_JOB => {
                 let job = body.get_u8();
+                let epoch = body.get_u32();
                 let proto = get_proto(&mut body)?;
                 let count = body.get_u16() as usize;
                 if body.len() < count * 8 {
@@ -384,6 +403,7 @@ impl CtrlMsg {
                 let members = (0..count).map(|_| body.get_u64()).collect();
                 CtrlMsg::AdmitJob {
                     job,
+                    epoch,
                     proto,
                     members,
                 }
@@ -473,6 +493,7 @@ mod tests {
         roundtrip(CtrlMsg::Probe { job: 1, epoch: 0 });
         roundtrip(CtrlMsg::AdmitJob {
             job: 5,
+            epoch: 3,
             proto: Protocol {
                 n_workers: 7,
                 rto_policy: RtoPolicy::ExponentialBackoff { max_ns: 99 },
@@ -481,6 +502,18 @@ mod tests {
                 ..Protocol::default()
             },
             members: vec![10, 20, 30],
+        });
+        roundtrip(CtrlMsg::AdmitJob {
+            job: 6,
+            epoch: 0,
+            proto: Protocol {
+                rto_policy: RtoPolicy::Adaptive {
+                    min_ns: 100_000,
+                    max_ns: 5_000_000,
+                },
+                ..Protocol::default()
+            },
+            members: vec![7],
         });
         roundtrip(CtrlMsg::EvictJob { job: 5 });
     }

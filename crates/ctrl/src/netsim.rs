@@ -192,9 +192,13 @@ impl Node for CtrlSwitchNode {
             match CtrlMsg::decode(&pkt.payload) {
                 Ok(CtrlMsg::AdmitJob {
                     job,
+                    epoch,
                     proto,
                     members,
                 }) if self.switch.admit(job, &proto).is_ok() => {
+                    self.switch
+                        .set_job_epoch(job, (epoch & 0xff) as u8)
+                        .expect("just admitted");
                     self.members
                         .insert(job, members.iter().map(|&p| NodeId(p as usize)).collect());
                 }
@@ -542,6 +546,10 @@ impl CtrlWorkerNode {
     }
 
     fn begin_streaming(&mut self, mut worker: Worker, ctx: &mut dyn NodeCtx) {
+        // Stamp the job generation so the switch's epoch fence passes
+        // this worker's updates and rejects any pre-reconfiguration
+        // stragglers.
+        worker.set_epoch((self.epoch & 0xff) as u8);
         let initial = worker.start(ctx.now().0).expect("worker start");
         self.armed_rto = None;
         self.state = WState::Running(Box::new(worker));

@@ -22,10 +22,11 @@ use switchml_core::error::{Error, Result};
 use switchml_core::packet::Packet;
 use switchml_core::switch::multijob::MultiJobSwitch;
 use switchml_core::switch::pipeline::PipelineModel;
-use switchml_core::switch::SwitchAction;
+use switchml_core::switch::{SwitchAction, SwitchStats};
+use switchml_core::worker::engine::EngineStats;
 use switchml_core::worker::stream::TensorStream;
 use switchml_core::worker::Worker;
-use switchml_transport::{Port, SWITCH_ENDPOINT};
+use switchml_transport::{Port, PortStats, SWITCH_ENDPOINT};
 
 use crate::controller::{Action, Controller, CtrlConfig};
 use crate::msg::{bitmap_contains, chunk_bitmap, CtrlMsg};
@@ -43,6 +44,13 @@ pub struct CtrlRunConfig {
     pub failure_timeout: Duration,
     /// Crash worker `wid` (by endpoint order) after the given delay.
     pub kill: Option<(u16, Duration)>,
+    /// Restart the switch process after the given delay: all pool
+    /// state and job admissions are lost, as if the switch OS rebooted
+    /// (§5.4). The controller notices one `failure_timeout` later and
+    /// fails every job over in place — quiesce the members, compute
+    /// the completion frontier, bump the epoch, re-admit — so the
+    /// workers re-drive everything not yet aggregated everywhere.
+    pub switch_restart: Option<Duration>,
     /// Per-worker gradient magnitude bound `B` for Theorem-2 clamping.
     pub bound: f64,
 }
@@ -55,6 +63,7 @@ impl Default for CtrlRunConfig {
             heartbeat: Duration::from_millis(5),
             failure_timeout: Duration::from_millis(25),
             kill: None,
+            switch_restart: None,
             bound: 16.0,
         }
     }
@@ -74,6 +83,16 @@ pub struct CtrlRunReport {
     pub final_n: usize,
     /// Final negotiated scaling factor.
     pub final_f: f64,
+    /// Per-worker engine counters, endpoint order, summed across the
+    /// worker's epochs (retransmissions, RTT estimate, epoch fences).
+    pub worker_stats: Vec<EngineStats>,
+    /// Switch counters summed over every pool the run admitted —
+    /// including pools evicted by reconfigurations and, after a
+    /// [`CtrlRunConfig::switch_restart`], pools the restart wiped.
+    pub switch_stats: SwitchStats,
+    /// Transport counters summed over every endpoint (switch, workers,
+    /// controller).
+    pub transport_stats: PortStats,
     pub wall: Duration,
 }
 
@@ -81,14 +100,40 @@ fn controller_endpoint(n_workers: usize) -> usize {
     n_workers + 1
 }
 
-fn switch_thread<P: Port>(mut port: P, stop: &AtomicBool, deadline: Instant) -> Result<()> {
+fn switch_thread<P: Port>(
+    mut port: P,
+    stop: &AtomicBool,
+    deadline: Instant,
+    epoch0: Instant,
+    mut restart: Option<Duration>,
+) -> Result<(SwitchStats, PortStats)> {
     let mut switch = MultiJobSwitch::new(PipelineModel::default());
     let mut members: std::collections::HashMap<u8, Vec<usize>> = Default::default();
+    // Counters belong to the harness's observer, not the switch
+    // process: they survive evictions and restarts so the report can
+    // total the whole run.
+    let mut total = SwitchStats::default();
+    let harvest = |switch: &MultiJobSwitch, job: u8, total: &mut SwitchStats| {
+        if let Some(s) = switch.stats(job) {
+            total.merge(s);
+        }
+    };
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(
                 "switch thread exceeded the wall-clock budget".into(),
             ));
+        }
+        if restart.is_some_and(|after| epoch0.elapsed() >= after) {
+            restart = None;
+            // Process restart: every admitted pool and its routing
+            // state is gone. Recovery is the controller's job — it
+            // will notice, quiesce, and re-admit under a bumped epoch.
+            for job in switch.job_ids() {
+                harvest(&switch, job, &mut total);
+            }
+            switch = MultiJobSwitch::new(PipelineModel::default());
+            members.clear();
         }
         let Some((_, data)) = port.recv_timeout(Duration::from_micros(200)) else {
             continue;
@@ -97,12 +142,17 @@ fn switch_thread<P: Port>(mut port: P, stop: &AtomicBool, deadline: Instant) -> 
             match CtrlMsg::decode(&data) {
                 Ok(CtrlMsg::AdmitJob {
                     job,
+                    epoch,
                     proto,
                     members: peers,
                 }) if switch.admit(job, &proto).is_ok() => {
+                    switch
+                        .set_job_epoch(job, (epoch & 0xff) as u8)
+                        .expect("just admitted");
                     members.insert(job, peers.iter().map(|&p| p as usize).collect());
                 }
                 Ok(CtrlMsg::EvictJob { job }) => {
+                    harvest(&switch, job, &mut total);
                     let _ = switch.evict(job);
                     members.remove(&job);
                 }
@@ -133,13 +183,17 @@ fn switch_thread<P: Port>(mut port: P, stop: &AtomicBool, deadline: Instant) -> 
             _ => {}
         }
     }
-    Ok(())
+    for job in switch.job_ids() {
+        harvest(&switch, job, &mut total);
+    }
+    Ok((total, port.stats()))
 }
 
 struct CtrlThreadOut {
     final_epoch: u32,
     final_n: usize,
     final_f: f64,
+    port_stats: PortStats,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -152,6 +206,7 @@ fn controller_thread<P: Port>(
     job_done: &AtomicBool,
     deadline: Instant,
     events: &Mutex<Vec<String>>,
+    mut failover_after: Option<Duration>,
 ) -> Result<CtrlThreadOut> {
     let now_ns = || epoch0.elapsed().as_nanos() as u64;
     let mut next_tick = Instant::now();
@@ -162,6 +217,14 @@ fn controller_thread<P: Port>(
             ));
         }
         let mut actions = Vec::new();
+        if failover_after.is_some_and(|after| epoch0.elapsed() >= after) {
+            failover_after = None;
+            events
+                .lock()
+                .unwrap()
+                .push("switch restart detected: failing all jobs over in place".into());
+            actions.extend(ctrl.fail_over_all(0, 0, now_ns()));
+        }
         if let Some((from, data)) = port.recv_timeout(tick / 4) {
             if let Ok(msg) = CtrlMsg::decode(&data) {
                 actions.extend(ctrl.on_message(from as u64, msg, now_ns()));
@@ -193,6 +256,7 @@ fn controller_thread<P: Port>(
         final_epoch: ctrl.epoch(0).unwrap_or(0),
         final_n: ctrl.alive_count(0).unwrap_or(0),
         final_f: ctrl.negotiated_f(0).unwrap_or(0.0),
+        port_stats: port.stats(),
     })
 }
 
@@ -209,6 +273,16 @@ fn send_update<P: Port>(port: &mut P, mut pkt: Packet, wire_job: u8) {
     port.send(SWITCH_ENDPOINT, &pkt.encode());
 }
 
+/// What one worker thread hands back.
+struct WorkerOut {
+    /// Aggregated tensors, `None` if the worker crashed or never
+    /// finished.
+    tensors: Option<Vec<Vec<f32>>>,
+    /// Engine counters summed across every epoch this worker ran.
+    stats: EngineStats,
+    port_stats: PortStats,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_thread<P: Port>(
     mut port: P,
@@ -219,7 +293,7 @@ fn worker_thread<P: Port>(
     kill_after: Option<Duration>,
     stop: &AtomicBool,
     deadline: Instant,
-) -> Result<Option<Vec<Vec<f32>>>> {
+) -> Result<WorkerOut> {
     let now_ns = || epoch0.elapsed().as_nanos() as u64;
     let ctrl_ep = controller_endpoint(base.n_workers);
     let quiesce_bitmap = |s: &TensorStream| chunk_bitmap(s.total_chunks(), |c| s.chunk_is_done(c));
@@ -227,18 +301,25 @@ fn worker_thread<P: Port>(
     let mut state = RState::Registering;
     let (mut wid, mut epoch, mut wire_job) = (0u16, 0u32, 0u8);
     let mut next_beat = Instant::now();
+    // Accumulated across epochs: harvested whenever a live Worker is
+    // torn down (quiesce, finish, teardown).
+    let mut stats = EngineStats::default();
 
-    loop {
+    let tensors = loop {
         if stop.load(Ordering::Acquire) {
             // Run torn down (job complete or aborted): hand back
             // whatever this worker aggregated.
-            return Ok(match state {
+            break match state {
                 RState::Finished(s) => Some(s.result_tensors_f32(1)?),
+                RState::Running(w) => {
+                    stats.merge(w.stats());
+                    None
+                }
                 _ => None,
-            });
+            };
         }
         if kill_after.is_some_and(|k| epoch0.elapsed() >= k) {
-            return Ok(None); // simulated crash: silent exit, no teardown
+            break None; // simulated crash: silent exit, no teardown
         }
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(
@@ -291,6 +372,7 @@ fn worker_thread<P: Port>(
                             base.k,
                         )?;
                         let mut w = Worker::sharded(wid, &base, stream, cfg.n_cores)?;
+                        w.set_epoch((epoch & 0xff) as u8);
                         for pkt in w.start(now_ns())? {
                             send_update(&mut port, pkt, wire_job);
                         }
@@ -300,6 +382,7 @@ fn worker_thread<P: Port>(
                         let (next, done) = match std::mem::replace(&mut state, RState::Registering)
                         {
                             RState::Running(w) => {
+                                stats.merge(w.stats());
                                 let s = w.into_stream();
                                 let bm = quiesce_bitmap(&s);
                                 (RState::Quiesced(Box::new(s)), Some(bm))
@@ -367,6 +450,7 @@ fn worker_thread<P: Port>(
                         }
                         stream.set_scaling(f)?;
                         let mut w = Worker::resume(wid, &base, stream, cfg.n_cores)?;
+                        w.set_epoch((epoch & 0xff) as u8);
                         for pkt in w.start(now_ns())? {
                             send_update(&mut port, pkt, wire_job);
                         }
@@ -404,10 +488,16 @@ fn worker_thread<P: Port>(
             let RState::Running(w) = std::mem::replace(&mut state, RState::Registering) else {
                 unreachable!()
             };
+            stats.merge(w.stats());
             state = RState::Finished(Box::new(w.into_stream()));
             port.send(ctrl_ep, &CtrlMsg::Done { job: 0, wid, epoch }.encode());
         }
-    }
+    };
+    Ok(WorkerOut {
+        tensors,
+        stats,
+        port_stats: port.stats(),
+    })
 }
 
 /// Run one controller-managed job over a transport fabric.
@@ -435,6 +525,10 @@ pub fn run_controlled<P: Port + 'static>(
             ports.len()
         )));
     }
+    // Coarse-clocked transports (UDP's 100 us SO_RCVTIMEO granule)
+    // cannot honor a finer RTO; clamp before the config is propagated
+    // to workers and the controller's reconfigure messages.
+    let proto = &switchml_transport::runner::clamp_rto_to_granule(proto, &ports);
 
     let probe = TensorStream::from_f32(&updates[0], proto.mode, 1.0, proto.k)?;
     let n_chunks = probe.total_chunks();
@@ -462,10 +556,17 @@ pub fn run_controlled<P: Port + 'static>(
     let worker_ports: Vec<P> = ports.drain(1..).collect();
     let switch_port = ports.pop().expect("switch port");
 
+    // The controller learns of a switch restart only after the switch
+    // has been silent for a failure timeout — firing the failover
+    // before the wipe would let the freshly admitted pool be wiped
+    // too, stranding the survivors.
+    let failover_after = cfg.switch_restart.map(|d| d + cfg.failure_timeout);
+
     std::thread::scope(|scope| {
         let switch_handle = {
             let stop = Arc::clone(&stop);
-            scope.spawn(move || switch_thread(switch_port, &stop, deadline))
+            let restart = cfg.switch_restart;
+            scope.spawn(move || switch_thread(switch_port, &stop, deadline, t0, restart))
         };
         let ctrl_handle = {
             let stop = Arc::clone(&stop);
@@ -474,7 +575,15 @@ pub fn run_controlled<P: Port + 'static>(
             let tick = cfg.heartbeat / 2;
             scope.spawn(move || {
                 controller_thread(
-                    ctrl_port, controller, t0, tick, &stop, &job_done, deadline, &events,
+                    ctrl_port,
+                    controller,
+                    t0,
+                    tick,
+                    &stop,
+                    &job_done,
+                    deadline,
+                    &events,
+                    failover_after,
                 )
             })
         };
@@ -504,18 +613,28 @@ pub fn run_controlled<P: Port + 'static>(
         stop.store(true, Ordering::Release);
 
         let mut results = Vec::with_capacity(n);
+        let mut worker_stats = Vec::with_capacity(n);
+        let mut transport_stats = PortStats::default();
         let mut first_err = None;
         for h in worker_handles {
             match h.join().expect("worker thread panicked") {
-                Ok(r) => results.push(r),
+                Ok(out) => {
+                    results.push(out.tensors);
+                    worker_stats.push(out.stats);
+                    transport_stats.merge(out.port_stats);
+                }
                 Err(e) => {
                     results.push(None);
+                    worker_stats.push(EngineStats::default());
                     first_err = first_err.or(Some(e));
                 }
             }
         }
         let ctrl_out = ctrl_handle.join().expect("controller thread panicked")?;
-        switch_handle.join().expect("switch thread panicked")?;
+        let (switch_stats, switch_port_stats) =
+            switch_handle.join().expect("switch thread panicked")?;
+        transport_stats.merge(ctrl_out.port_stats);
+        transport_stats.merge(switch_port_stats);
         if !job_done.load(Ordering::Acquire) {
             return Err(first_err.unwrap_or_else(|| {
                 Error::ProtocolViolation("job did not complete within the budget".into())
@@ -527,6 +646,9 @@ pub fn run_controlled<P: Port + 'static>(
             final_epoch: ctrl_out.final_epoch,
             final_n: ctrl_out.final_n,
             final_f: ctrl_out.final_f,
+            worker_stats,
+            switch_stats,
+            transport_stats,
             wall: t0.elapsed(),
         })
     })
@@ -596,5 +718,103 @@ mod tests {
         let a = report.results[0].as_ref().unwrap();
         let b = report.results[2].as_ref().unwrap();
         assert_eq!(a, b, "survivors must agree exactly");
+    }
+
+    /// §5.4 switch failure: the switch process restarts mid-run,
+    /// losing every pool. The controller notices, quiesces the
+    /// (unharmed) workers, bumps the epoch, re-admits, and the workers
+    /// re-drive everything past the completion frontier. The final
+    /// sums must be exactly what an uninterrupted run produces.
+    #[test]
+    fn switch_restart_recovers_via_epoch_bump() {
+        let n = 3;
+        let elems = 16384;
+        let cfg = CtrlRunConfig {
+            switch_restart: Some(Duration::from_millis(8)),
+            heartbeat: Duration::from_millis(2),
+            failure_timeout: Duration::from_millis(10),
+            ..CtrlRunConfig::default()
+        };
+        let ports = channel_fabric(n + 2);
+        let report = run_controlled(ports, updates(n, elems), &proto(n), &cfg).unwrap();
+        assert_eq!(report.final_n, n, "no worker died: {:?}", report.events);
+        assert!(
+            report.final_epoch >= 1,
+            "restart must bump the epoch: {:?}",
+            report.events
+        );
+        assert!(
+            report.events.iter().any(|e| e.contains("switch restart")),
+            "events: {:?}",
+            report.events
+        );
+        // Clean reference: same inputs, no faults.
+        let clean = run_controlled(
+            channel_fabric(n + 2),
+            updates(n, elems),
+            &proto(n),
+            &CtrlRunConfig::default(),
+        )
+        .unwrap();
+        let first = report.results[0].as_ref().unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w].as_ref().unwrap(), first);
+        }
+        assert_eq!(
+            first,
+            clean.results[0].as_ref().unwrap(),
+            "recovered run must be bit-identical to the clean run"
+        );
+    }
+
+    /// Crash-and-resume over a real UDP fabric: a worker dies mid-run,
+    /// the survivors shrink into a bumped epoch and finish; the report
+    /// carries the engine/switch/transport counters of the whole run.
+    #[test]
+    fn udp_crash_and_resume_shrinks_and_finishes() {
+        use switchml_transport::udp::udp_fabric;
+        let n = 3;
+        let cfg = CtrlRunConfig {
+            kill: Some((2, Duration::from_millis(8))),
+            heartbeat: Duration::from_millis(2),
+            failure_timeout: Duration::from_millis(10),
+            ..CtrlRunConfig::default()
+        };
+        let Ok(ports) = udp_fabric(n + 2) else {
+            eprintln!("skipping: no loopback UDP available");
+            return;
+        };
+        let report = run_controlled(ports, updates(n, 16384), &proto(n), &cfg).unwrap();
+        assert_eq!(report.final_n, n - 1, "events: {:?}", report.events);
+        assert!(report.final_epoch >= 1);
+        assert!(report.results[2].is_none());
+        let a = report.results[0].as_ref().unwrap();
+        let b = report.results[1].as_ref().unwrap();
+        assert_eq!(a, b, "survivors must agree exactly");
+        // The whole run's counters surface in the report.
+        let sent: u64 = report.worker_stats.iter().map(|s| s.sent).sum();
+        assert!(sent > 0, "no worker counters harvested");
+    }
+
+    /// The adaptive estimator runs end to end under the control plane:
+    /// samples accumulate and the epoch-stamped traffic still
+    /// completes.
+    #[test]
+    fn controlled_run_with_adaptive_rto() {
+        let n = 2;
+        let p = Protocol {
+            rto_policy: switchml_core::config::RtoPolicy::Adaptive {
+                min_ns: 200_000,
+                max_ns: 50_000_000,
+            },
+            ..proto(n)
+        };
+        let ports = channel_fabric(n + 2);
+        let report =
+            run_controlled(ports, updates(n, 2048), &p, &CtrlRunConfig::default()).unwrap();
+        let samples: u64 = report.worker_stats.iter().map(|s| s.rtt_samples).sum();
+        assert!(samples > 0, "no RTT samples under adaptive policy");
+        let first = report.results[0].as_ref().unwrap();
+        assert_eq!(report.results[1].as_ref().unwrap(), first);
     }
 }

@@ -1,0 +1,409 @@
+//! Live chaos harness: scripted fault schedules against the real
+//! threaded runners, with every completed run checked **bit for bit**
+//! against the lossless sequential reference
+//! ([`switchml_core::agg::allreduce`]).
+//!
+//! The harness composes two layers under a fixed seed so a schedule
+//! is exactly reproducible:
+//!
+//! * [`FaultyPort`] — probabilistic loss / duplication / bounded
+//!   reordering (reordering only on switch→worker results; holding a
+//!   worker→switch update past its phase boundary would break §3.5's
+//!   bounded packet-lifetime assumption — see [`crate::faulty`]).
+//! * [`ScriptedPort`] — deterministic per-endpoint shaping: a fixed
+//!   stall before every send (a straggler whose pipelined window
+//!   drains slowly, §4.2) and/or a scripted death instant after which
+//!   the endpoint neither sends nor receives (a crash, as the rest of
+//!   the fabric observes it).
+//!
+//! The pass criterion is the paper's correctness bar: either the run
+//! completes and every worker's aggregate is bit-identical to the
+//! sequential reference, or the run degrades *cleanly* — a reported
+//! error, never silently wrong numbers. Shrink-and-resume recovery
+//! from a mid-run crash needs the control plane and lives in
+//! `switchml-ctrl`; here a killed endpoint must surface as clean
+//! degradation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use switchml_core::agg;
+use switchml_core::config::Protocol;
+use switchml_core::error::{Error, Result};
+
+use crate::faulty::{FaultyConfig, FaultyPort, FaultyStats};
+use crate::port::{Port, PortStats};
+use crate::runner::{run_allreduce, RunConfig, RunReport};
+use crate::shard::run_allreduce_sharded;
+
+/// One scripted fault schedule. Everything is a pure function of the
+/// spec (including `seed`), so a failing schedule replays exactly.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Seed for the probabilistic fault layer.
+    pub seed: u64,
+    /// Probabilistic faults. Applied as-is to switch-side endpoints;
+    /// worker endpoints run with `reorder` forced to zero (§3.5).
+    pub fault: FaultyConfig,
+    /// `(endpoint, stall)`: delay every send from this endpoint by
+    /// `stall` — a straggler.
+    pub straggler: Option<(usize, Duration)>,
+    /// `(endpoint, after)`: the endpoint goes silent `after` into the
+    /// run and stays silent — a crash, as the fabric observes it.
+    pub kill: Option<(usize, Duration)>,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            seed: 1,
+            fault: FaultyConfig::default(),
+            straggler: None,
+            kill: None,
+        }
+    }
+}
+
+/// Deterministic per-endpoint behavior shaping (the scripted half of
+/// a chaos schedule): see [`ChaosSpec::straggler`] / [`ChaosSpec::kill`].
+pub struct ScriptedPort<P: Port> {
+    inner: P,
+    stall: Duration,
+    die_after: Option<Duration>,
+    t0: Instant,
+}
+
+impl<P: Port> ScriptedPort<P> {
+    pub fn new(inner: P, stall: Duration, die_after: Option<Duration>) -> Self {
+        ScriptedPort {
+            inner,
+            stall,
+            die_after,
+            t0: Instant::now(),
+        }
+    }
+
+    fn dead(&self) -> bool {
+        self.die_after.is_some_and(|d| self.t0.elapsed() >= d)
+    }
+}
+
+impl<P: Port> Port for ScriptedPort<P> {
+    fn n_endpoints(&self) -> usize {
+        self.inner.n_endpoints()
+    }
+
+    fn index(&self) -> usize {
+        self.inner.index()
+    }
+
+    fn send(&mut self, to: usize, data: &[u8]) {
+        if self.dead() {
+            return;
+        }
+        if !self.stall.is_zero() {
+            std::thread::sleep(self.stall);
+        }
+        self.inner.send(to, data);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
+        if self.dead() {
+            // A crashed endpoint hears nothing; sleep out the wait so
+            // the driving thread does not spin.
+            std::thread::sleep(timeout);
+            return None;
+        }
+        self.inner.recv_timeout(timeout)
+    }
+
+    // send_batch / recv_batch use the trait defaults so burst I/O is
+    // shaped frame by frame, exactly like per-datagram I/O.
+
+    fn stats(&self) -> PortStats {
+        self.inner.stats()
+    }
+
+    fn timeout_granule(&self) -> Option<Duration> {
+        self.inner.timeout_granule()
+    }
+}
+
+/// The fully shaped port type a chaos run drives.
+pub type ChaosPort<P> = FaultyPort<ScriptedPort<P>>;
+
+/// Wrap a fabric in the schedule's two fault layers. Endpoints
+/// `0..n_switch_endpoints` are switch-side (shard ports in a sharded
+/// fabric) and receive the full fault config; the rest are workers
+/// and never reorder their (update) sends.
+pub fn chaos_fabric<P: Port>(
+    ports: Vec<P>,
+    n_switch_endpoints: usize,
+    spec: &ChaosSpec,
+) -> (Vec<ChaosPort<P>>, Arc<FaultyStats>) {
+    let worker_cfg = FaultyConfig {
+        reorder: 0.0,
+        ..spec.fault
+    };
+    wrap_fabric(ports, n_switch_endpoints, spec, worker_cfg)
+}
+
+fn wrap_fabric<P: Port>(
+    ports: Vec<P>,
+    n_switch_endpoints: usize,
+    spec: &ChaosSpec,
+    worker_cfg: FaultyConfig,
+) -> (Vec<ChaosPort<P>>, Arc<FaultyStats>) {
+    let stats = Arc::new(FaultyStats::default());
+    let wrapped = ports
+        .into_iter()
+        .enumerate()
+        .map(|(i, port)| {
+            let stall = match spec.straggler {
+                Some((ep, d)) if ep == i => d,
+                _ => Duration::ZERO,
+            };
+            let die_after = match spec.kill {
+                Some((ep, after)) if ep == i => Some(after),
+                _ => None,
+            };
+            let cfg = if i < n_switch_endpoints {
+                spec.fault
+            } else {
+                worker_cfg
+            };
+            FaultyPort::new(
+                ScriptedPort::new(port, stall, die_after),
+                cfg,
+                spec.seed.wrapping_add(i as u64),
+                Arc::clone(&stats),
+            )
+        })
+        .collect();
+    (wrapped, stats)
+}
+
+/// Variant for controller-managed runs: probabilistic faults apply
+/// only to the first `n_switch_endpoints` endpoints, so every
+/// data-plane packet still crosses a faulty link while
+/// worker↔controller control traffic (heartbeats, `Start`,
+/// `Reconfigure`) stays reliable — the paper's control channel is an
+/// ordinary reliable RPC, not the lossy aggregation path. Scripted
+/// stragglers and kills still apply to any endpoint.
+pub fn chaos_fabric_data_plane<P: Port>(
+    ports: Vec<P>,
+    n_switch_endpoints: usize,
+    spec: &ChaosSpec,
+) -> (Vec<ChaosPort<P>>, Arc<FaultyStats>) {
+    wrap_fabric(ports, n_switch_endpoints, spec, FaultyConfig::default())
+}
+
+/// How a chaos run ended. Both variants are *passes*; the harness
+/// fails (returns `Err`) only on silent corruption — a completed run
+/// whose numbers differ from the sequential reference.
+#[derive(Debug)]
+pub enum ChaosOutcome {
+    /// The run completed and every worker's aggregate is bit-identical
+    /// to the lossless sequential reference.
+    BitIdentical(RunReport),
+    /// The schedule made completion impossible (e.g. a killed
+    /// endpoint on the plain data plane) and the runner reported it
+    /// instead of delivering wrong numbers.
+    CleanDegradation(Error),
+}
+
+fn verify_bit_identical(report: RunReport, reference: &[Vec<f32>]) -> Result<ChaosOutcome> {
+    for (w, tensors) in report.results.iter().enumerate() {
+        for (t, (got, want)) in tensors.iter().zip(reference).enumerate() {
+            if got.len() != want.len() {
+                return Err(Error::ProtocolViolation(format!(
+                    "chaos: worker {w} tensor {t}: length {} vs reference {}",
+                    got.len(),
+                    want.len()
+                )));
+            }
+            for (i, (a, b)) in got.iter().zip(want).enumerate() {
+                if a.to_bits() != b.to_bits() {
+                    return Err(Error::ProtocolViolation(format!(
+                        "chaos: worker {w} tensor {t} elem {i}: {a} (0x{:08x}) \
+                         differs from reference {b} (0x{:08x})",
+                        a.to_bits(),
+                        b.to_bits()
+                    )));
+                }
+            }
+        }
+    }
+    Ok(ChaosOutcome::BitIdentical(report))
+}
+
+/// Run one all-reduce under `spec` on the plain threaded runner
+/// (`ports` = switch + one per worker) and hold the result to the
+/// bit-identical-or-clean-degradation bar.
+pub fn run_chaos<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    run_cfg: &RunConfig,
+    spec: &ChaosSpec,
+) -> Result<ChaosOutcome> {
+    let reference = agg::allreduce(&updates, proto)?;
+    let (ports, _stats) = chaos_fabric(ports, 1, spec);
+    match run_allreduce(ports, updates, proto, run_cfg) {
+        Ok(report) => verify_bit_identical(report, &reference),
+        Err(e) => Ok(ChaosOutcome::CleanDegradation(e)),
+    }
+}
+
+/// Sharded variant: `ports` is a sharded fabric
+/// ([`crate::shard::sharded_fabric_size`]) whose first
+/// `run_cfg.n_cores` endpoints are switch shards.
+pub fn run_chaos_sharded<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    run_cfg: &RunConfig,
+    spec: &ChaosSpec,
+) -> Result<ChaosOutcome> {
+    let reference = agg::allreduce(&updates, proto)?;
+    let (ports, _stats) = chaos_fabric(ports, run_cfg.n_cores, spec);
+    match run_allreduce_sharded(ports, updates, proto, run_cfg) {
+        Ok(report) => verify_bit_identical(report, &reference),
+        Err(e) => Ok(ChaosOutcome::CleanDegradation(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel_fabric;
+    use crate::shard::sharded_channel_fabric;
+
+    fn proto(n: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 8,
+            pool_size: 16,
+            rto_ns: 2_000_000,
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        }
+    }
+
+    fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
+                    .collect()]
+            })
+            .collect()
+    }
+
+    fn chaos_spec(seed: u64) -> ChaosSpec {
+        ChaosSpec {
+            seed,
+            fault: FaultyConfig {
+                send_drop: 0.03,
+                recv_drop: 0.03,
+                dup: 0.05,
+                reorder: 0.1,
+                reorder_span: 3,
+                max_held: 8,
+            },
+            ..ChaosSpec::default()
+        }
+    }
+
+    #[test]
+    fn chaos_run_is_bit_identical_to_reference() {
+        let n = 3;
+        let out = run_chaos(
+            channel_fabric(n + 1),
+            updates(n, 400),
+            &proto(n),
+            &RunConfig::default(),
+            &chaos_spec(42),
+        )
+        .unwrap();
+        let ChaosOutcome::BitIdentical(report) = out else {
+            panic!("schedule should complete: {out:?}");
+        };
+        assert!(report.transport_stats.injected_faults() > 0);
+    }
+
+    #[test]
+    fn sharded_chaos_with_straggler_is_bit_identical() {
+        let n = 2;
+        let cores = 2;
+        let cfg = RunConfig {
+            n_cores: cores,
+            ..RunConfig::default()
+        };
+        let spec = ChaosSpec {
+            // Worker 0's core 0 endpoint (shards occupy 0..cores).
+            straggler: Some((cores, Duration::from_micros(20))),
+            ..chaos_spec(7)
+        };
+        let out = run_chaos_sharded(
+            sharded_channel_fabric(n, cores),
+            updates(n, 512),
+            &proto(n),
+            &cfg,
+            &spec,
+        )
+        .unwrap();
+        let ChaosOutcome::BitIdentical(report) = out else {
+            panic!("schedule should complete: {out:?}");
+        };
+        assert!(report.transport_stats.injected_faults() > 0);
+    }
+
+    /// A worker killed on the plain data plane (no control plane to
+    /// shrink the job) must surface as a reported error — never as a
+    /// completed run with wrong numbers.
+    #[test]
+    fn killed_endpoint_degrades_cleanly() {
+        let n = 3;
+        let cfg = RunConfig {
+            max_wall: Duration::from_millis(400),
+            ..RunConfig::default()
+        };
+        let spec = ChaosSpec {
+            kill: Some((1, Duration::from_millis(5))), // worker 0
+            ..chaos_spec(9)
+        };
+        let out = run_chaos(
+            channel_fabric(n + 1),
+            updates(n, 8192),
+            &proto(n),
+            &cfg,
+            &spec,
+        )
+        .unwrap();
+        assert!(
+            matches!(out, ChaosOutcome::CleanDegradation(_)),
+            "a dead worker cannot complete without the control plane: {out:?}"
+        );
+    }
+
+    #[test]
+    fn same_spec_same_outcome() {
+        let n = 2;
+        let run = || {
+            let out = run_chaos(
+                channel_fabric(n + 1),
+                updates(n, 200),
+                &proto(n),
+                &RunConfig::default(),
+                &chaos_spec(1234),
+            )
+            .unwrap();
+            match out {
+                ChaosOutcome::BitIdentical(r) => r.results,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(run(), run(), "a chaos schedule must replay exactly");
+    }
+}

@@ -118,6 +118,11 @@ pub struct FaultyPort<P: Port> {
     rng: SmallRng,
     held: Vec<Held>,
     stats: Arc<FaultyStats>,
+    /// This port's own share of the fabric-wide counters. `stats()`
+    /// reports these — the shared [`FaultyStats`] covers the whole
+    /// fabric, so surfacing it per port would multiply-count faults
+    /// when a runner merges every port's `PortStats`.
+    local: Counters,
 }
 
 impl<P: Port> FaultyPort<P> {
@@ -129,6 +134,7 @@ impl<P: Port> FaultyPort<P> {
             rng: SmallRng::seed_from_u64(seed),
             held: Vec::new(),
             stats,
+            local: Counters::default(),
         }
     }
 
@@ -191,13 +197,16 @@ impl<P: Port> Port for FaultyPort<P> {
 
     fn send(&mut self, to: usize, data: &[u8]) {
         self.stats.inner.lock().sent += 1;
+        self.local.sent += 1;
         if self.roll(self.cfg.send_drop) {
             self.stats.inner.lock().dropped += 1;
+            self.local.dropped += 1;
             self.tick_held();
             return;
         }
         if self.roll(self.cfg.reorder) && self.held.len() < self.cfg.max_held {
             self.stats.inner.lock().reordered += 1;
+            self.local.reordered += 1;
             self.held.push(Held {
                 to,
                 data: data.to_vec(),
@@ -207,6 +216,7 @@ impl<P: Port> Port for FaultyPort<P> {
             self.inner.send(to, data);
             if self.roll(self.cfg.dup) {
                 self.stats.inner.lock().duplicated += 1;
+                self.local.duplicated += 1;
                 self.inner.send(to, data);
             }
         }
@@ -218,6 +228,7 @@ impl<P: Port> Port for FaultyPort<P> {
             let got = self.inner.recv_timeout(timeout)?;
             if self.roll(self.cfg.recv_drop) {
                 self.stats.inner.lock().recv_dropped += 1;
+                self.local.recv_dropped += 1;
                 continue;
             }
             return Some(got);
@@ -230,7 +241,16 @@ impl<P: Port> Port for FaultyPort<P> {
     // as per-datagram I/O.
 
     fn stats(&self) -> crate::port::PortStats {
-        self.inner.stats()
+        let mut s = self.inner.stats();
+        s.injected_send_drops += self.local.dropped;
+        s.injected_recv_drops += self.local.recv_dropped;
+        s.injected_dups += self.local.duplicated;
+        s.injected_reorders += self.local.reordered;
+        s
+    }
+
+    fn timeout_granule(&self) -> Option<Duration> {
+        self.inner.timeout_granule()
     }
 }
 
@@ -426,6 +446,14 @@ mod tests {
         let report = run_allreduce(ports, updates, &proto, &RunConfig::default()).unwrap();
         assert!(stats.dropped() + stats.recv_dropped() > 0, "no faults hit");
         assert!(stats.duplicated() > 0, "no duplicates hit");
+        // The injected faults also surface per-port through `PortStats`
+        // and sum to the fabric-wide totals in the run report.
+        let t = &report.transport_stats;
+        assert_eq!(t.injected_send_drops, stats.dropped());
+        assert_eq!(t.injected_recv_drops, stats.recv_dropped());
+        assert_eq!(t.injected_dups, stats.duplicated());
+        assert_eq!(t.injected_reorders, stats.reordered());
+        assert!(t.injected_faults() > 0);
         for r in &report.results {
             for (i, a) in r[0].iter().enumerate() {
                 let want = (1..=n).map(|w| w as f32).sum::<f32>() + n as f32 * (i % 5) as f32 * 0.1;

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod channel;
+pub mod chaos;
 pub mod faulty;
 pub mod lossy;
 pub mod port;

@@ -29,12 +29,33 @@ use std::time::Duration;
 pub struct PortStats {
     /// Sends the transport failed to complete (counted as loss).
     pub send_errors: u64,
+    /// Outgoing datagrams a fault injector deliberately dropped
+    /// ([`crate::faulty::FaultyPort`]); 0 on clean transports.
+    pub injected_send_drops: u64,
+    /// Arriving datagrams a fault injector dropped before delivery.
+    pub injected_recv_drops: u64,
+    /// Datagrams a fault injector sent twice.
+    pub injected_dups: u64,
+    /// Datagrams a fault injector held back and released out of order.
+    pub injected_reorders: u64,
 }
 
 impl PortStats {
     /// Fold another port's counters into this one.
     pub fn merge(&mut self, other: PortStats) {
         self.send_errors += other.send_errors;
+        self.injected_send_drops += other.injected_send_drops;
+        self.injected_recv_drops += other.injected_recv_drops;
+        self.injected_dups += other.injected_dups;
+        self.injected_reorders += other.injected_reorders;
+    }
+
+    /// Total faults a chaos layer injected through this port.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected_send_drops
+            + self.injected_recv_drops
+            + self.injected_dups
+            + self.injected_reorders
     }
 }
 
@@ -274,6 +295,15 @@ pub trait Port: Send {
     /// transports (UDP) override it.
     fn stats(&self) -> PortStats {
         PortStats::default()
+    }
+
+    /// The coarsest step of this transport's receive-timeout clock, if
+    /// it has one. A retransmission timeout below this granule can
+    /// never fire on time (the blocking receive rounds its wait up to
+    /// the granule), so runners clamp the effective RTO floor to it.
+    /// `None` means timeouts are honored at full resolution.
+    fn timeout_granule(&self) -> Option<Duration> {
+        None
     }
 }
 

@@ -11,7 +11,7 @@ use crate::port::{BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use switchml_core::config::Protocol;
+use switchml_core::config::{Protocol, RtoPolicy, TimeNs};
 use switchml_core::error::{Error, Result};
 use switchml_core::packet::{Packet, PacketView, HEADER_LEN, MAX_K};
 use switchml_core::switch::reliable::ReliableSwitch;
@@ -45,6 +45,66 @@ impl Default for RunConfig {
             burst: 8,
         }
     }
+}
+
+/// Raise the protocol's retransmission-timeout floor to the coarsest
+/// [`Port::timeout_granule`] of the fabric it is about to run on.
+///
+/// A UDP port arms `SO_RCVTIMEO` rounded up to a 100µs granule, so an
+/// RTO below that can never fire on time — the worker just spins its
+/// receive loop believing it is late. Rather than let a microsecond
+/// `rto_ns` silently behave as 100µs, the runners normalize the config
+/// up front: `rto_ns` (and, for [`RtoPolicy::Adaptive`], `min_ns` /
+/// `max_ns`; for [`RtoPolicy::ExponentialBackoff`], `max_ns`) are
+/// raised to the granule so the reported timers match the effective
+/// ones. Logged once per process when a clamp actually changes
+/// something.
+pub fn clamp_rto_to_granule<P: Port>(proto: &Protocol, ports: &[P]) -> Protocol {
+    let Some(granule_ns) = ports
+        .iter()
+        .filter_map(|p| p.timeout_granule())
+        .map(|d| d.as_nanos() as TimeNs)
+        .max()
+    else {
+        return proto.clone();
+    };
+    let mut out = proto.clone();
+    let mut clamped = false;
+    if out.rto_ns < granule_ns {
+        out.rto_ns = granule_ns;
+        clamped = true;
+    }
+    match &mut out.rto_policy {
+        RtoPolicy::Fixed => {}
+        RtoPolicy::ExponentialBackoff { max_ns } => {
+            if *max_ns < out.rto_ns {
+                *max_ns = out.rto_ns;
+                clamped = true;
+            }
+        }
+        RtoPolicy::Adaptive { min_ns, max_ns } => {
+            if *min_ns < granule_ns {
+                *min_ns = granule_ns;
+                clamped = true;
+            }
+            if *max_ns < out.rto_ns.max(*min_ns) {
+                *max_ns = out.rto_ns.max(*min_ns);
+                clamped = true;
+            }
+        }
+    }
+    if clamped {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            eprintln!(
+                "switchml-transport: RTO floor clamped to the transport's \
+                 {}µs receive-timeout granule (configured timers were finer \
+                 than the clock can honor)",
+                granule_ns / 1_000
+            );
+        });
+    }
+    out
 }
 
 /// Result of a threaded all-reduce.
@@ -276,6 +336,7 @@ pub fn run_allreduce_session<P: Port + 'static>(
     cfg: &RunConfig,
 ) -> Result<SessionReport> {
     proto.validate()?;
+    let proto = &clamp_rto_to_granule(proto, &ports);
     if ports.len() != proto.n_workers + 1 {
         return Err(Error::InvalidConfig(format!(
             "need {} ports (switch + workers), got {}",
@@ -414,6 +475,73 @@ mod tests {
                 assert!((a - b).abs() < 0.01, "{a} vs {b}");
             }
         }
+    }
+
+    /// A stand-in transport whose receive clock only ticks every
+    /// 100µs — shaped like `UdpPort`'s `SO_RCVTIMEO` granule.
+    struct CoarseClockPort;
+    impl Port for CoarseClockPort {
+        fn n_endpoints(&self) -> usize {
+            1
+        }
+        fn index(&self) -> usize {
+            0
+        }
+        fn send(&mut self, _to: usize, _data: &[u8]) {}
+        fn recv_timeout(&mut self, _timeout: Duration) -> Option<(usize, Vec<u8>)> {
+            None
+        }
+        fn timeout_granule(&self) -> Option<Duration> {
+            Some(Duration::from_micros(100))
+        }
+    }
+
+    #[test]
+    fn rto_floor_clamps_to_timeout_granule() {
+        let granule = 100_000; // 100µs in ns
+        let fine = Protocol {
+            rto_ns: 1_000, // 1µs: finer than the clock can honor
+            rto_policy: RtoPolicy::Adaptive {
+                min_ns: 500,
+                max_ns: 20_000,
+            },
+            ..proto(2)
+        };
+        let clamped = clamp_rto_to_granule(&fine, &[CoarseClockPort]);
+        assert_eq!(clamped.rto_ns, granule);
+        assert_eq!(
+            clamped.rto_policy,
+            RtoPolicy::Adaptive {
+                min_ns: granule,
+                max_ns: granule,
+            }
+        );
+        // The clamped config still passes validation (rto within
+        // [min, max]).
+        clamped.validate().unwrap();
+
+        // Backoff cap below the raised floor is raised along with it.
+        let backoff = Protocol {
+            rto_ns: 1_000,
+            rto_policy: RtoPolicy::ExponentialBackoff { max_ns: 4_000 },
+            ..proto(2)
+        };
+        let clamped = clamp_rto_to_granule(&backoff, &[CoarseClockPort]);
+        assert_eq!(clamped.rto_ns, granule);
+        assert_eq!(
+            clamped.rto_policy,
+            RtoPolicy::ExponentialBackoff { max_ns: granule }
+        );
+
+        // Timers already coarser than the granule pass through
+        // untouched, as does any config on a granule-free fabric.
+        let coarse = proto(2); // 2 ms
+        assert_eq!(
+            clamp_rto_to_granule(&coarse, &[CoarseClockPort]).rto_ns,
+            coarse.rto_ns
+        );
+        let ports = channel_fabric(3);
+        assert_eq!(clamp_rto_to_granule(&fine, &ports).rto_ns, fine.rto_ns);
     }
 
     #[test]

@@ -160,7 +160,18 @@ fn stage_update(
     // final chunk is zero-padded (additive identity).
     qbuf[n..k].fill(0);
     let tx = txb.push(shard_ep);
-    encode_update_into(wid, d.ver, d.slot, d.off, d.retransmission, &qbuf[..k], tx);
+    // Standalone sharded runs are job generation 0; epoch-bearing runs
+    // (shrink-and-resume) go through switchml-ctrl, which restamps.
+    encode_update_into(
+        wid,
+        d.ver,
+        d.slot,
+        d.off,
+        0,
+        d.retransmission,
+        &qbuf[..k],
+        tx,
+    );
 }
 
 /// One worker core: drives a bare [`SlotEngine`] over its slot/chunk
@@ -267,6 +278,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
     cfg: &RunConfig,
 ) -> Result<RunReport> {
     proto.validate()?;
+    let proto = &crate::runner::clamp_rto_to_granule(proto, &ports);
     let n = proto.n_workers;
     let c = cfg.n_cores;
     if proto.mode != NumericMode::Fixed32 {
@@ -411,10 +423,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
                 match h.join().expect("worker core thread panicked") {
                     Ok((local, st, ps)) => {
                         flat_result[lo..hi].copy_from_slice(&local);
-                        stats.sent += st.sent;
-                        stats.retx += st.retx;
-                        stats.results += st.results;
-                        stats.stale += st.stale;
+                        stats.merge(st);
                         transport_stats.merge(ps);
                     }
                     Err(e) => first_err = first_err.or(Some(e)),
@@ -435,11 +444,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
         let mut switch_stats = SwitchStats::default();
         for h in shard_handles {
             let (st, ps) = h.join().expect("switch shard thread panicked")?;
-            switch_stats.updates += st.updates;
-            switch_stats.duplicates += st.duplicates;
-            switch_stats.completions += st.completions;
-            switch_stats.result_retx += st.result_retx;
-            switch_stats.rejected += st.rejected;
+            switch_stats.merge(st);
             transport_stats.merge(ps);
         }
         if let Some(e) = first_err {

@@ -319,7 +319,12 @@ impl Port for UdpPort {
     fn stats(&self) -> PortStats {
         PortStats {
             send_errors: self.send_errors,
+            ..PortStats::default()
         }
+    }
+
+    fn timeout_granule(&self) -> Option<Duration> {
+        Some(TIMEOUT_GRANULE)
     }
 }
 

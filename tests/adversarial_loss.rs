@@ -239,6 +239,7 @@ fn corrupted_packets_rejected_by_checksum() {
         idx: 3,
         off: 96,
         job: 0,
+        epoch: 0,
         retransmission: false,
         payload: Payload::I32(vec![7; 32]),
     };

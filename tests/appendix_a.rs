@@ -31,6 +31,7 @@ fn update(wid: u16, ver: PoolVersion, off: u64, val: i32, retx: bool) -> Packet 
         idx: X,
         off,
         job: 0,
+        epoch: 0,
         retransmission: retx,
         payload: Payload::I32(vec![val; K]),
     }

@@ -40,6 +40,7 @@ fn masking_survives_retransmission_and_slot_reuse() {
         idx: 0,
         off,
         job: 0,
+        epoch: 0,
         retransmission: false,
         payload: Payload::I32(v),
     };
@@ -128,6 +129,7 @@ fn three_level_hierarchy_aggregates() {
         idx: 0,
         off: 0,
         job: 0,
+        epoch: 0,
         retransmission: false,
         payload: Payload::I32(vec![val; k]),
     };

@@ -17,23 +17,27 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         any::<u32>(),
         any::<u64>(),
         any::<u8>(),
+        any::<u8>(),
         any::<bool>(),
         prop::collection::vec(any::<i32>(), 0..64),
     )
-        .prop_map(|(result, wid, ver, idx, off, job, retx, vals)| Packet {
-            kind: if result {
-                PacketKind::Result
-            } else {
-                PacketKind::Update
+        .prop_map(
+            |(result, wid, ver, idx, off, job, epoch, retx, vals)| Packet {
+                kind: if result {
+                    PacketKind::Result
+                } else {
+                    PacketKind::Update
+                },
+                wid,
+                ver: PoolVersion::from_bit(ver),
+                idx,
+                off,
+                job,
+                epoch,
+                retransmission: retx,
+                payload: Payload::I32(vals),
             },
-            wid,
-            ver: PoolVersion::from_bit(ver),
-            idx,
-            off,
-            job,
-            retransmission: retx,
-            payload: Payload::I32(vals),
-        })
+        )
 }
 
 proptest! {
