@@ -74,4 +74,22 @@ timeout 180 cargo run --release -q -p switchml-cli -- chaos \
     --transport udp --workers 3 --elems 8192 --seed 7 \
     --ctrl --kill 2 --kill-at-ms 5
 
+echo "== multi-tenant scheduler: seeded churn + measured isolation (release)"
+# One seeded churn per transport: staggered arrivals, priority
+# preemption, live repartition, plus a 10% loss storm aimed at one
+# tenant. The command exits nonzero if any job fails to drain, a quiet
+# tenant absorbs injected faults, or the quiet p99 completion latency
+# leaves 2x of the storm-free baseline.
+timeout 180 cargo run --release -q -p switchml-cli -- sched \
+    --transport channel --noisy-loss 0.1 --seed 7
+timeout 300 cargo run --release -q -p switchml-cli -- sched \
+    --transport udp --noisy-loss 0.1 --seed 7
+# The scheduler that skipped the slot-disjointness check must be
+# caught by the partition-disjoint oracle.
+if timeout 120 cargo run --release -q -p switchml-cli -- check \
+    --switch mutant-overlap-partition >/dev/null 2>&1; then
+  echo "ERROR: explorer failed to catch the overlap-partition mutant" >&2
+  exit 1
+fi
+
 echo "CI green."

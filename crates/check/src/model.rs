@@ -56,6 +56,12 @@ pub enum SwitchModel {
         sw: ReliableSwitch,
         oracle: ReliableOracle,
     },
+    /// Two tenants mapped onto ONE shared physical pool: the
+    /// scheduler mutation that skipped the slot-disjointness check
+    /// when partitioning the pool. Every live job claims the same
+    /// slot range, so the first switch-bound delivery trips the
+    /// `partition-disjoint` oracle.
+    MutantOverlap { sw: ReliableSwitch },
 }
 
 /// Owned copy of one slot's protocol-visible state across both pool
@@ -109,7 +115,70 @@ impl SwitchModel {
                     oracle: ReliableOracle::for_proto(&proto),
                 }
             }
+            SwitchKind::MutantOverlapPartition => {
+                let mut sw = ReliableSwitch::new(&proto).map_err(|e| e.to_string())?;
+                sw.set_epoch(epoch);
+                SwitchModel::MutantOverlap { sw }
+            }
         })
+    }
+
+    /// The slot ranges each live job claims in the pool's global slot
+    /// address space, for multi-tenant kinds (`None` for single-tenant
+    /// switches, where there is nothing to partition).
+    ///
+    /// This is the scheduler's tenancy invariant made checkable: the
+    /// `partition-disjoint` oracle audits every switch-bound update
+    /// against these claims.
+    fn claimed_ranges(&self) -> Option<Vec<(u8, u32, u32)>> {
+        match self {
+            SwitchModel::MultiJob { sw, .. } => Some(
+                sw.partition()
+                    .into_iter()
+                    .map(|(job, r)| (job, r.base, r.len))
+                    .collect(),
+            ),
+            // THE BUG UNDER TEST: both tenants were handed the same
+            // physical range.
+            SwitchModel::MutantOverlap { sw } => {
+                let s = sw.pool_size() as u32;
+                Some(vec![(0, 0, s), (1, 0, s)])
+            }
+            _ => None,
+        }
+    }
+
+    /// The scheduler oracle: the global slot an update touches must
+    /// lie inside its own job's claimed range and no other live
+    /// job's. Packets whose local index falls outside their own range
+    /// are left for the switch's own bounds check.
+    fn audit_partition(&self, job: u8, idx: u32) -> Result<(), Violation> {
+        let Some(ranges) = self.claimed_ranges() else {
+            return Ok(());
+        };
+        let Some(&(_, base, len)) = ranges.iter().find(|&&(j, _, _)| j == job) else {
+            return Ok(());
+        };
+        if idx >= len {
+            return Ok(());
+        }
+        let global = base + idx;
+        if let Some(&(other, ob, ol)) = ranges
+            .iter()
+            .find(|&&(j, ob, ol)| j != job && global >= ob && global < ob + ol)
+        {
+            return Err(Violation {
+                oracle: "partition-disjoint".into(),
+                message: format!(
+                    "job {job} update for local slot {idx} lands on global slot {global} \
+                     of its range [{base}, {}), which live job {other} also claims as \
+                     [{ob}, {}) — two live jobs may never overlap a slot",
+                    base + len,
+                    ob + ol
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Deliver one update packet to the switch, auditing the result.
@@ -117,6 +186,7 @@ impl SwitchModel {
         if pkt.epoch != Scenario::EPOCH {
             return self.on_stale_update(pkt);
         }
+        self.audit_partition(pkt.job, pkt.idx)?;
         let (wid, ver, idx, off, job) = (pkt.wid, pkt.ver, pkt.idx, pkt.off, pkt.job);
         let payload = pkt.payload.clone();
         let step = |action: Result<SwitchAction, switchml_core::error::Error>| {
@@ -171,6 +241,12 @@ impl SwitchModel {
                     .map_err(Violation::from)?;
                 Ok(action)
             }
+            SwitchModel::MutantOverlap { sw } => {
+                // Unreachable in practice: with both tenants claiming
+                // one range, `audit_partition` fires on the first
+                // delivery. Kept runnable so replay stays total.
+                step(sw.on_packet(pkt))
+            }
         }
     }
 
@@ -194,6 +270,7 @@ impl SwitchModel {
                 pkt.epoch = sw.epoch();
                 sw.on_packet(pkt)
             }
+            SwitchModel::MutantOverlap { sw } => sw.on_packet(pkt),
         }
         .map_err(|e| Violation {
             oracle: "epoch-fence".into(),
@@ -257,6 +334,7 @@ impl SwitchModel {
             SwitchModel::MultiJob { sw, .. } => sw.job_switch(job).map(|s| s.cell(ver, idx)),
             SwitchModel::Mutant { sw, .. } => Some(sw.cell_view(ver, idx)),
             SwitchModel::MutantNoEpoch { sw, .. } => Some(sw.cell(ver, idx)),
+            SwitchModel::MutantOverlap { sw } => Some(sw.cell(ver, idx)),
         }
     }
 
@@ -302,6 +380,7 @@ impl SwitchModel {
             }
             SwitchModel::Mutant { sw, .. } => hash_cells(h, sw, sw.pool_size()),
             SwitchModel::MutantNoEpoch { sw, .. } => hash_cells(h, sw, sw.pool_size()),
+            SwitchModel::MutantOverlap { sw } => hash_cells(h, sw, sw.pool_size()),
         }
     }
 }

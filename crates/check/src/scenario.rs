@@ -26,6 +26,13 @@ pub enum SwitchKind {
     ///
     /// [`Choice::StaleEpoch`]: crate::world::Choice::StaleEpoch
     MutantNoEpoch,
+    /// A two-tenant deployment whose scheduler skipped the
+    /// slot-disjointness check: both jobs were handed the *same*
+    /// physical slot range, so their traffic aggregates into one
+    /// shared pool. Mutation-tests the `partition-disjoint` scheduler
+    /// oracle — the tenancy invariant that no two live jobs may ever
+    /// overlap a slot.
+    MutantOverlapPartition,
 }
 
 impl SwitchKind {
@@ -36,6 +43,7 @@ impl SwitchKind {
             SwitchKind::MultiJob { jobs } => format!("multijob:{jobs}"),
             SwitchKind::MutantNoBitmap => "mutant-no-bitmap".into(),
             SwitchKind::MutantNoEpoch => "mutant-no-epoch".into(),
+            SwitchKind::MutantOverlapPartition => "mutant-overlap-partition".into(),
         }
     }
 
@@ -45,6 +53,7 @@ impl SwitchKind {
             "reliable" => Ok(SwitchKind::Reliable),
             "mutant-no-bitmap" => Ok(SwitchKind::MutantNoBitmap),
             "mutant-no-epoch" => Ok(SwitchKind::MutantNoEpoch),
+            "mutant-overlap-partition" => Ok(SwitchKind::MutantOverlapPartition),
             other => {
                 if let Some(j) = other.strip_prefix("multijob:") {
                     let jobs: u8 = j.parse().map_err(|_| format!("bad job count `{j}`"))?;
@@ -162,6 +171,8 @@ impl Scenario {
     pub fn jobs(&self) -> u8 {
         match self.switch {
             SwitchKind::MultiJob { jobs } => jobs,
+            // The overlap mutant is inherently a two-tenant bug.
+            SwitchKind::MutantOverlapPartition => 2,
             _ => 1,
         }
     }
@@ -281,6 +292,7 @@ mod tests {
             SwitchKind::MultiJob { jobs: 3 },
             SwitchKind::MutantNoBitmap,
             SwitchKind::MutantNoEpoch,
+            SwitchKind::MutantOverlapPartition,
         ] {
             assert_eq!(SwitchKind::parse(&kind.name()).unwrap(), kind);
         }

@@ -215,6 +215,68 @@ fn mutant_no_epoch_is_caught_shrunk_and_replayed() {
     assert_eq!(v.oracle, oracle, "shrunk trace trips a different oracle");
 }
 
+/// The third mutation test: a scheduler that skipped the
+/// slot-disjointness check and handed two tenants the same physical
+/// slot range. Both jobs' traffic lands in one shared pool, so the
+/// very first switch-bound update from either tenant trips the
+/// `partition-disjoint` scheduler oracle — the tenancy invariant that
+/// no two live jobs may ever claim overlapping slots.
+#[test]
+fn mutant_overlap_partition_is_caught_shrunk_and_replayed() {
+    let sc = Scenario {
+        switch: SwitchKind::MutantOverlapPartition,
+        ..Scenario::default()
+    };
+    let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+    let found = report
+        .violation
+        .expect("explorer failed to catch the seeded overlap-partition mutant");
+    let oracle = found.violation.oracle.clone();
+    assert_eq!(
+        oracle, "partition-disjoint",
+        "unexpected oracle caught the mutant: {}",
+        found.violation
+    );
+
+    let trace = Trace {
+        scenario: sc,
+        choices: found.choices.clone(),
+        expect: Expectation::Violation,
+        violation: Some((oracle.clone(), found.violation.message.clone())),
+    };
+    let (shrunk, replays) = shrink(&trace, &oracle);
+    assert!(replays > 0);
+    assert!(shrunk.choices.len() <= trace.choices.len());
+
+    let reparsed = Trace::from_json_str(&shrunk.to_json_string()).unwrap();
+    let outcome = switchml_check::replay(&reparsed).unwrap();
+    let v = outcome
+        .violation
+        .expect("shrunk trace no longer reproduces the violation");
+    assert_eq!(v.oracle, oracle, "shrunk trace trips a different oracle");
+}
+
+/// The real multi-tenant switch partitions its slot space by
+/// construction, so the same `partition-disjoint` oracle must stay
+/// silent across the delay-bounded two-job space. (Paired with the
+/// mutant test above: an oracle that cannot pass is as useless as one
+/// that cannot fail.)
+#[test]
+fn multijob_partition_oracle_stays_clean() {
+    let sc = Scenario {
+        switch: SwitchKind::MultiJob { jobs: 2 },
+        drops: 0,
+        dups: 0,
+        ..Scenario::default()
+    };
+    let report = ExhaustiveExplorer::default().explore(&sc).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "partition oracle misfired on the real multi-job switch: {:?}",
+        report.violation
+    );
+}
+
 /// The mutant must also fall to plain random walks — the bug is not an
 /// exhaustive-search exotic, any duplicate triggers it.
 #[test]

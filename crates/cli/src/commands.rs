@@ -666,6 +666,25 @@ pub fn chaos(args: &Args) -> Result<String, String> {
             .unwrap_or(0) as f64
             / 1e3;
         if json {
+            let injected = serde_json::json!({
+                "send_drops": report.transport_stats.injected_send_drops,
+                "recv_drops": report.transport_stats.injected_recv_drops,
+                "dups": report.transport_stats.injected_dups,
+                "reorders": report.transport_stats.injected_reorders,
+            });
+            let per_pool: Vec<serde_json::Value> = report
+                .per_pool_switch_stats
+                .iter()
+                .map(|(job, s)| {
+                    serde_json::json!({
+                        "wire_job": *job,
+                        "updates": s.updates,
+                        "duplicates": s.duplicates,
+                        "completions": s.completions,
+                        "stale_epoch_drops": s.stale_epoch,
+                    })
+                })
+                .collect();
             return Ok(serde_json::json!({
                 "outcome": "bit-identical",
                 "mode": "ctrl",
@@ -675,7 +694,9 @@ pub fn chaos(args: &Args) -> Result<String, String> {
                 "epoch": report.final_epoch,
                 "retransmissions": retx,
                 "injected_faults": report.transport_stats.injected_faults(),
+                "injected": injected,
                 "stale_epoch_drops": report.switch_stats.stale_epoch,
+                "per_pool": per_pool,
                 "rtt_samples": report.worker_stats.iter().map(|s| s.rtt_samples).sum::<u64>(),
                 "srtt_us": srtt_us,
                 "events": report.events,
@@ -694,6 +715,23 @@ pub fn chaos(args: &Args) -> Result<String, String> {
             report.transport_stats.injected_faults(),
             report.switch_stats.stale_epoch,
         );
+        text.push_str(&format!(
+            "\n  injected: send-drops {}  recv-drops {}  dups {}  reorders {}",
+            report.transport_stats.injected_send_drops,
+            report.transport_stats.injected_recv_drops,
+            report.transport_stats.injected_dups,
+            report.transport_stats.injected_reorders,
+        ));
+        if !report.per_pool_switch_stats.is_empty() {
+            text.push_str("\n  per-pool switch counters (one pool per job generation):");
+            for (job, s) in &report.per_pool_switch_stats {
+                text.push_str(&format!(
+                    "\n    wire-job {job}: updates {}  dups {}  completions {}  \
+                     stale-epoch drops {}",
+                    s.updates, s.duplicates, s.completions, s.stale_epoch,
+                ));
+            }
+        }
         if !report.events.is_empty() {
             text.push_str("\n  controller events:");
             for e in &report.events {
@@ -810,6 +848,346 @@ pub fn chaos(args: &Args) -> Result<String, String> {
                 ))
             }
         }
+    }
+}
+
+/// `sched`: multi-tenant churn under the slot scheduler. Submits a
+/// seeded population of jobs (mixed priority classes, staggered
+/// arrivals) against one shared switch over a real transport, and
+/// reports the churn metrics the multi-job benchmark tracks:
+/// arrivals/sec, p99 admission-to-first-aggregate, and aggregate
+/// tensor-element throughput. With `--noisy-loss` it runs the
+/// scenario twice — storm-free baseline, then a loss storm aimed at
+/// job 0's ports — and *measures* isolation: quiet tenants must
+/// absorb zero injected faults and keep their p99 completion latency
+/// within 2x of the baseline, or the command exits nonzero.
+pub fn sched(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "transport",
+        "jobs",
+        "workers",
+        "elems",
+        "capacity",
+        "arrival-ms",
+        "high-every",
+        "noisy-loss",
+        "seed",
+        "cores",
+        "max-wall-ms",
+        "bench",
+        "json",
+    ])?;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use switchml_ctrl::sched::{
+        run_scheduled, sched_fabric_size, Class, SchedJob, SchedRunConfig, SchedRunReport,
+        TenantSpec,
+    };
+    use switchml_transport::channel::channel_fabric;
+    use switchml_transport::faulty::{FaultyConfig, FaultyPort, FaultyStats};
+    use switchml_transport::udp::udp_fabric;
+
+    let n_jobs: usize = args.get("jobs", 6)?;
+    let workers: usize = args.get("workers", 2)?;
+    // Large enough that aggregation work, not scheduler quantum
+    // noise, dominates each job's completion latency — the isolation
+    // bound compares p99s across two runs.
+    let elems: usize = args.get("elems", 16384)?;
+    let capacity: u32 = args.get("capacity", 32)?;
+    let arrival_ms: u64 = args.get("arrival-ms", 4)?;
+    let high_every: usize = args.get("high-every", 3)?;
+    let noisy_loss: f64 = args.get("noisy-loss", 0.0)?;
+    let seed: u64 = args.get("seed", 1)?;
+    let cores: usize = args.get("cores", 1)?;
+    let max_wall = Duration::from_millis(args.get("max-wall-ms", 30_000)?);
+    let bench_file = args.get_str("bench", "");
+    let transport = args.get_str("transport", "channel");
+    let json = args.switch("json");
+    if n_jobs == 0 || n_jobs > 64 || workers < 2 {
+        return Err("need 1..=64 --jobs and --workers >= 2".into());
+    }
+    match transport.as_str() {
+        "udp" | "channel" => {}
+        "both" if !bench_file.is_empty() => {}
+        _ => {
+            return Err(format!(
+                "--transport: expected udp|channel (or both with --bench), got '{transport}'"
+            ))
+        }
+    }
+
+    let base = Protocol {
+        n_workers: workers,
+        k: 8,
+        pool_size: 16,
+        rto_ns: 2_000_000,
+        scaling_factor: 10_000.0,
+        ..Protocol::default()
+    };
+    let mk_jobs = || -> Vec<SchedJob> {
+        (0..n_jobs)
+            .map(|j| {
+                let class = if high_every > 0 && j % high_every == high_every - 1 {
+                    Class::High
+                } else {
+                    Class::BestEffort
+                };
+                SchedJob {
+                    tenant: TenantSpec {
+                        job: j as u8,
+                        class,
+                        weight: 1 + (j as u32 % 2),
+                        // The (noisy) first tenant is capped so a storm
+                        // cannot also hog the pool.
+                        quota: if j == 0 { capacity / 2 } else { 0 },
+                        min_slots: 2,
+                    },
+                    updates: (0..workers)
+                        .map(|w| {
+                            vec![(0..elems)
+                                .map(|i| {
+                                    (w + 1) as f32 * 0.5
+                                        + ((i as u64 + seed + j as u64 * 13) % 7) as f32 * 0.25
+                                })
+                                .collect()]
+                        })
+                        .collect(),
+                    submit_at: Duration::from_millis(arrival_ms * j as u64),
+                }
+            })
+            .collect()
+    };
+
+    let cfg = SchedRunConfig {
+        max_wall,
+        n_cores: cores,
+        capacity,
+        ..SchedRunConfig::default()
+    };
+
+    // One churn run: a fault wrapper over every port, loss aimed only
+    // at job 0's workers (endpoints 1..=workers, first submission).
+    fn storm_fabric<P: switchml_transport::Port + 'static>(
+        ports: Vec<P>,
+        noisy: std::ops::RangeInclusive<usize>,
+        loss: f64,
+        seed: u64,
+    ) -> Vec<FaultyPort<P>> {
+        let stats = Arc::new(FaultyStats::default());
+        ports
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let fc = if loss > 0.0 && noisy.contains(&i) {
+                    FaultyConfig::loss_only(loss)
+                } else {
+                    FaultyConfig::default()
+                };
+                FaultyPort::new(p, fc, seed.wrapping_mul(31) + i as u64, Arc::clone(&stats))
+            })
+            .collect()
+    }
+    let run_one = |transport: &str, loss: f64| -> Result<SchedRunReport, String> {
+        let jobs = mk_jobs();
+        let size = sched_fabric_size(&jobs);
+        match transport {
+            "channel" => run_scheduled(
+                storm_fabric(channel_fabric(size), 1..=workers, loss, seed),
+                jobs,
+                &base,
+                &cfg,
+            ),
+            _ => {
+                let ports = udp_fabric(size).map_err(|e| e.to_string())?;
+                run_scheduled(
+                    storm_fabric(ports, 1..=workers, loss, seed),
+                    jobs,
+                    &base,
+                    &cfg,
+                )
+            }
+        }
+        .map_err(|e| format!("sched ({transport}): {e}"))
+    };
+
+    let p99 = |mut xs: Vec<Duration>| -> Option<Duration> {
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort();
+        let idx = ((xs.len() as f64) * 0.99).ceil() as usize;
+        Some(xs[idx.saturating_sub(1).min(xs.len() - 1)])
+    };
+
+    // Churn metrics + isolation verdict for one transport. Violations
+    // make the whole command fail after reporting.
+    let mut violations: Vec<String> = Vec::new();
+    let mut measure = |transport: &str| -> Result<serde_json::Value, String> {
+        let baseline = run_one(transport, 0.0)?;
+        if !baseline.all_complete() {
+            return Err(format!(
+                "sched ({transport}): baseline churn did not drain: {:?}",
+                baseline.events
+            ));
+        }
+        let admitted = baseline.outcomes.iter().filter(|o| o.admitted).count();
+        let wall_s = baseline.wall.as_secs_f64().max(1e-9);
+        let arrivals_per_sec = admitted as f64 / wall_s;
+        let p99_first_us = p99(baseline
+            .outcomes
+            .iter()
+            .filter_map(|o| o.first_aggregate)
+            .collect())
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+        // Aggregate tensor elements: every switch-side completion
+        // aggregates one k-element chunk across the job's workers.
+        let ate: u64 = baseline
+            .outcomes
+            .iter()
+            .map(|o| o.switch_stats.completions * base.k as u64)
+            .sum();
+        let ate_per_sec = ate as f64 / wall_s;
+
+        let isolation = if noisy_loss > 0.0 {
+            let stormy = run_one(transport, noisy_loss)?;
+            if !stormy.all_complete() {
+                violations.push(format!("{transport}: storm churn did not drain"));
+            }
+            let quiet_p99 = |r: &SchedRunReport| {
+                p99(r
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.job != 0)
+                    .filter_map(|o| o.completed_at)
+                    .collect())
+                .unwrap_or_default()
+            };
+            let (bp, sp) = (quiet_p99(&baseline), quiet_p99(&stormy));
+            let noisy = stormy.outcomes.iter().find(|o| o.job == 0).unwrap();
+            if noisy.injected_faults == 0 {
+                violations.push(format!(
+                    "{transport}: loss storm never hit the noisy tenant"
+                ));
+            }
+            let leaked: u64 = stormy
+                .outcomes
+                .iter()
+                .filter(|o| o.job != 0)
+                .map(|o| o.injected_faults)
+                .sum();
+            if leaked > 0 {
+                violations.push(format!(
+                    "{transport}: {leaked} injected fault(s) attributed to quiet tenants"
+                ));
+            }
+            if sp > bp * 2 + Duration::from_millis(1) {
+                violations.push(format!(
+                    "{transport}: quiet p99 inflated by the storm: {bp:?} -> {sp:?}"
+                ));
+            }
+            serde_json::json!({
+                "noisy_loss": noisy_loss,
+                "noisy_injected_faults": noisy.injected_faults,
+                "noisy_retransmissions": noisy.worker_stats.retx,
+                "quiet_injected_faults": leaked,
+                "baseline_quiet_p99_us": bp.as_micros() as u64,
+                "storm_quiet_p99_us": sp.as_micros() as u64,
+            })
+        } else {
+            serde_json::Value::Null
+        };
+
+        Ok(serde_json::json!({
+            "transport": transport,
+            "jobs": n_jobs,
+            "admitted": admitted,
+            "all_complete": baseline.all_complete(),
+            "wall_ms": baseline.wall.as_millis() as u64,
+            "arrivals_per_sec": arrivals_per_sec,
+            "p99_admission_to_first_aggregate_us": p99_first_us,
+            "aggregate_ate_per_sec": ate_per_sec,
+            "total_resizes": baseline.outcomes.iter().map(|o| o.resizes as u64).sum::<u64>(),
+            "stale_epoch_drops": baseline.outcomes.iter()
+                .map(|o| o.switch_stats.stale_epoch).sum::<u64>(),
+            "isolation": isolation,
+        }))
+    };
+
+    let transports: Vec<&str> = if transport == "both" {
+        vec!["channel", "udp"]
+    } else {
+        vec![transport.as_str()]
+    };
+    let mut sections = Vec::new();
+    for t in &transports {
+        sections.push(measure(t)?);
+    }
+
+    let config = serde_json::json!({
+        "jobs": n_jobs,
+        "workers_per_job": workers,
+        "elems": elems,
+        "capacity_slots": capacity,
+        "arrival_ms": arrival_ms,
+        "high_every": high_every,
+        "seed": seed,
+        "noisy_loss": noisy_loss,
+    });
+    let doc = serde_json::json!({
+        "bench": "multijob_churn",
+        "config": config,
+        "transports": sections,
+        "isolation_violations": violations,
+    });
+    if !bench_file.is_empty() {
+        std::fs::write(&bench_file, serde_json::to_string_pretty(&doc).unwrap())
+            .map_err(|e| format!("cannot write {bench_file}: {e}"))?;
+    }
+
+    let text = if json {
+        doc.to_string()
+    } else {
+        let mut out = String::from("sched: multi-tenant churn");
+        for s in &sections {
+            out.push_str(&format!(
+                "\n  {}: {} of {} job(s) admitted, drained in {} ms\n    \
+                 arrivals/sec: {:.1}   p99 admission→first-aggregate: {} us   \
+                 aggregate throughput: {:.0} elem/s   repartitions: {}",
+                s["transport"].as_str().unwrap(),
+                s["admitted"],
+                s["jobs"],
+                s["wall_ms"],
+                s["arrivals_per_sec"].as_f64().unwrap(),
+                s["p99_admission_to_first_aggregate_us"],
+                s["aggregate_ate_per_sec"].as_f64().unwrap(),
+                s["total_resizes"],
+            ));
+            if !s["isolation"].is_null() {
+                let i = &s["isolation"];
+                out.push_str(&format!(
+                    "\n    isolation: noisy tenant absorbed {} fault(s) ({} retx); \
+                     quiet tenants absorbed {}; quiet p99 {} us baseline -> {} us under storm",
+                    i["noisy_injected_faults"],
+                    i["noisy_retransmissions"],
+                    i["quiet_injected_faults"],
+                    i["baseline_quiet_p99_us"],
+                    i["storm_quiet_p99_us"],
+                ));
+            }
+        }
+        if !bench_file.is_empty() {
+            out.push_str(&format!("\n  wrote {bench_file}"));
+        }
+        out
+    };
+    if violations.is_empty() {
+        Ok(text)
+    } else {
+        Err(format!(
+            "{text}\n  ISOLATION VIOLATIONS:\n    {}",
+            violations.join("\n    ")
+        ))
     }
 }
 

@@ -54,10 +54,22 @@ COMMANDS:
              --switch-restart-ms N (off; implies --ctrl)
              --rto adaptive|backoff|fixed (adaptive) --rto-us N (2000)
              --max-wall-ms N (10000)  --json
+  sched      Multi-tenant churn under the slot scheduler: staggered
+             arrivals, priority classes, live repartition; reports
+             arrivals/sec, p99 admission-to-first-aggregate and
+             aggregate throughput; --noisy-loss measures isolation
+             (quiet tenants' p99 within 2x baseline or exit nonzero)
+             --transport channel|udp|both (channel; both needs --bench)
+             --jobs N (6) --workers N (2, per job) --elems N (16384)
+             --capacity N (32 slots) --arrival-ms N (4)
+             --high-every N (3: every Nth job is high priority)
+             --noisy-loss P (0: loss storm on job 0's ports)
+             --seed N (1) --cores N (1) --max-wall-ms N (30000)
+             --bench FILE (write churn benchmark JSON)  --json
   check      Deterministic adversarial schedule explorer (model checker)
              --strategy exhaustive|delay|random (exhaustive)
              --switch basic|reliable|multijob:N|mutant-no-bitmap
-                      |mutant-no-epoch (reliable)
+                      |mutant-no-epoch|mutant-overlap-partition (reliable)
              --workers N (2) --slots N (1) --chunks N (2) --k N (2)
              --scale F (64) --drops N (1) --dups N (1) --retx N (1)
              --stale-epochs N (0: dead-generation ghost injection)
@@ -78,6 +90,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("udp") => commands::udp(args),
         Some("ctrl") => commands::ctrl(args),
         Some("chaos") => commands::chaos(args),
+        Some("sched") => commands::sched(args),
         Some("check") => commands::check(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),

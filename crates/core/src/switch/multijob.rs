@@ -15,6 +15,27 @@ use crate::error::{Error, Result};
 use crate::packet::Packet;
 use std::collections::HashMap;
 
+/// A job's contiguous range in the switch's global slot address space:
+/// physical aggregator slots `[base, base + len)`. Packet slot indices
+/// are job-relative; `base + idx` is the physical slot a packet
+/// touches, which is what the tenancy isolation argument is about — no
+/// two live jobs may ever own the same physical slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRange {
+    pub base: u32,
+    pub len: u32,
+}
+
+impl SlotRange {
+    pub fn contains(&self, slot: u32) -> bool {
+        slot >= self.base && slot - self.base < self.len
+    }
+
+    pub fn overlaps(&self, other: &SlotRange) -> bool {
+        self.base < other.base + other.len && other.base < self.base + self.len
+    }
+}
+
 /// One admitted job: its aggregation pool, the configuration it was
 /// admitted under, and the SRAM cost recorded at admission time.
 #[derive(Debug, Clone)]
@@ -24,6 +45,8 @@ struct JobEntry {
     /// Register bytes charged at `admit`; released verbatim at `evict`
     /// so accounting can never drift from a caller-supplied proto.
     committed: usize,
+    /// Physical slot range assigned at admission (first-fit).
+    range: SlotRange,
 }
 
 /// A switch dataplane hosting several independent aggregation jobs.
@@ -58,15 +81,62 @@ impl MultiJobSwitch {
                 self.pipeline.register_sram_bytes - self.committed_bytes
             )));
         }
+        let range = self.alloc_range(proto.pool_size as u32, None);
+        self.check_disjoint(job, range)?;
         self.jobs.insert(
             job,
             JobEntry {
                 switch: ReliableSwitch::new(proto)?,
                 proto: proto.clone(),
                 committed: needed,
+                range,
             },
         );
         self.committed_bytes += needed;
+        Ok(())
+    }
+
+    /// First-fit allocation in the global slot address space: the
+    /// lowest base at which `len` slots fit between the ranges of live
+    /// jobs (excluding `skip`, used when a job's own range is being
+    /// replaced). The address space itself is unbounded — admission is
+    /// bounded by the SRAM byte ledger, not by slot numbering.
+    fn alloc_range(&self, len: u32, skip: Option<u8>) -> SlotRange {
+        let mut ranges: Vec<SlotRange> = self
+            .jobs
+            .iter()
+            .filter(|(id, _)| Some(**id) != skip)
+            .map(|(_, e)| e.range)
+            .collect();
+        ranges.sort_unstable_by_key(|r| r.base);
+        let mut base = 0u32;
+        for r in &ranges {
+            if base + len <= r.base {
+                break;
+            }
+            base = base.max(r.base + r.len);
+        }
+        SlotRange { base, len }
+    }
+
+    /// The slot-disjointness check: a candidate range for `job` must
+    /// not overlap any other live job's physical slots. First-fit
+    /// allocation satisfies this by construction; the check is kept
+    /// explicit because it *is* the tenancy isolation invariant — a
+    /// partitioner that skips it hands two tenants the same aggregator
+    /// registers and their gradients sum into each other.
+    fn check_disjoint(&self, job: u8, range: SlotRange) -> Result<()> {
+        for (&other, entry) in &self.jobs {
+            if other != job && entry.range.overlaps(&range) {
+                return Err(Error::InvalidConfig(format!(
+                    "job {job} slot range [{}, {}) overlaps live job {other}'s [{}, {})",
+                    range.base,
+                    range.base + range.len,
+                    entry.range.base,
+                    entry.range.base + entry.range.len,
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -101,12 +171,17 @@ impl MultiJobSwitch {
             )));
         }
         let switch = ReliableSwitch::new(proto)?;
+        // The old range is freed and a fresh one allocated first-fit;
+        // a shrink commonly keeps its base, a grow may relocate.
+        let range = self.alloc_range(proto.pool_size as u32, Some(job));
+        self.check_disjoint(job, range)?;
         self.jobs.insert(
             job,
             JobEntry {
                 switch,
                 proto: proto.clone(),
                 committed: needed,
+                range,
             },
         );
         self.committed_bytes = without_old + needed;
@@ -134,6 +209,29 @@ impl MultiJobSwitch {
     /// The configuration a job was admitted under.
     pub fn job_proto(&self, job: u8) -> Option<&Protocol> {
         self.jobs.get(&job).map(|e| &e.proto)
+    }
+
+    /// The physical slot range a job was assigned.
+    pub fn slot_range(&self, job: u8) -> Option<SlotRange> {
+        self.jobs.get(&job).map(|e| e.range)
+    }
+
+    /// The full partition map: `(job, range)` for every live job,
+    /// ascending by base — the scheduler-facing view of who owns which
+    /// physical aggregator slots.
+    pub fn partition(&self) -> Vec<(u8, SlotRange)> {
+        let mut out: Vec<(u8, SlotRange)> = self.jobs.iter().map(|(&j, e)| (j, e.range)).collect();
+        out.sort_unstable_by_key(|(_, r)| r.base);
+        out
+    }
+
+    /// Does the current partition assign every physical slot to at
+    /// most one live job? True by construction; exposed so invariant
+    /// checkers (and the proptest harness) can audit the ledger rather
+    /// than trust it.
+    pub fn partition_is_disjoint(&self) -> bool {
+        let p = self.partition();
+        p.windows(2).all(|w| !w[0].1.overlaps(&w[1].1))
     }
 
     /// Register bytes currently committed.
@@ -305,6 +403,58 @@ mod tests {
 
         // Unknown job refused; state untouched.
         assert!(sw.reset_job(7, &proto(2, 8)).is_err());
+    }
+
+    #[test]
+    fn partition_is_first_fit_and_disjoint() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(0, &proto(2, 64)).unwrap();
+        sw.admit(1, &proto(2, 32)).unwrap();
+        sw.admit(2, &proto(2, 16)).unwrap();
+        assert_eq!(sw.slot_range(0), Some(SlotRange { base: 0, len: 64 }));
+        assert_eq!(sw.slot_range(1), Some(SlotRange { base: 64, len: 32 }));
+        assert_eq!(sw.slot_range(2), Some(SlotRange { base: 96, len: 16 }));
+        assert!(sw.partition_is_disjoint());
+
+        // Evicting the middle job opens a gap; a job that fits takes
+        // it (first-fit), one that does not goes past the end.
+        sw.evict(1).unwrap();
+        sw.admit(3, &proto(2, 32)).unwrap();
+        assert_eq!(sw.slot_range(3), Some(SlotRange { base: 64, len: 32 }));
+        sw.admit(4, &proto(2, 64)).unwrap();
+        assert_eq!(sw.slot_range(4), Some(SlotRange { base: 112, len: 64 }));
+        assert!(sw.partition_is_disjoint());
+        assert_eq!(sw.partition().len(), 4);
+    }
+
+    #[test]
+    fn reset_job_reallocates_range() {
+        let mut sw = MultiJobSwitch::new(PipelineModel::default());
+        sw.admit(0, &proto(2, 64)).unwrap();
+        sw.admit(1, &proto(2, 64)).unwrap();
+        // Shrink keeps the base (first fit lands where the job was).
+        sw.reset_job(0, &proto(2, 16)).unwrap();
+        assert_eq!(sw.slot_range(0), Some(SlotRange { base: 0, len: 16 }));
+        // Growing past the neighbor relocates past it.
+        sw.reset_job(0, &proto(2, 128)).unwrap();
+        assert_eq!(
+            sw.slot_range(0),
+            Some(SlotRange {
+                base: 128,
+                len: 128
+            })
+        );
+        assert!(sw.partition_is_disjoint());
+    }
+
+    #[test]
+    fn slot_range_geometry() {
+        let a = SlotRange { base: 0, len: 4 };
+        let b = SlotRange { base: 4, len: 4 };
+        let c = SlotRange { base: 3, len: 2 };
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c) && c.overlaps(&b));
+        assert!(a.contains(3) && !a.contains(4));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property-based tests of the multi-tenant admission ledger.
+//!
+//! A churning job population — arrivals, departures, crashes (evict),
+//! preemption-driven repartitions (reset) — must never overdraw the
+//! modeled register SRAM and must never strand a slot: every byte and
+//! every physical slot is owned by exactly one live job, and when the
+//! last job leaves, the ledger reads zero.
+
+use proptest::prelude::*;
+use switchml_core::config::Protocol;
+use switchml_core::switch::multijob::MultiJobSwitch;
+use switchml_core::switch::pipeline::PipelineModel;
+
+fn proto(n: usize, s: usize) -> Protocol {
+    Protocol {
+        n_workers: n,
+        k: 32,
+        pool_size: s,
+        ..Protocol::default()
+    }
+}
+
+/// A small SRAM budget so random sequences actually hit the admission
+/// limit instead of always fitting.
+fn tight_model() -> PipelineModel {
+    PipelineModel {
+        register_sram_bytes: 600 * 1024,
+        ..PipelineModel::default()
+    }
+}
+
+/// The cost the pipeline model charges for one job, recomputed
+/// independently of the ledger.
+fn job_cost(model: &PipelineModel, p: &Protocol) -> usize {
+    let r = model.validate(p).expect("generated protos are valid");
+    r.pool_bytes + r.bookkeeping_bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random arrival / departure / crash / preemption sequences:
+    /// after every step the committed-bytes ledger equals the
+    /// independently recomputed sum over live jobs, never exceeds the
+    /// SRAM budget, and the slot partition stays disjoint. After
+    /// evicting every survivor the ledger reads zero and the partition
+    /// is empty — no orphaned bytes, no orphaned slots.
+    #[test]
+    fn churn_never_overdraws_or_strands(
+        ops in prop::collection::vec(
+            (0u8..3, 0u8..8, 1u32..5), 1..60),
+    ) {
+        let model = tight_model();
+        let budget = model.register_sram_bytes;
+        let mut sw = MultiJobSwitch::new(model.clone());
+        // Shadow model: job -> proto it currently runs under.
+        let mut live: std::collections::BTreeMap<u8, Protocol> =
+            Default::default();
+
+        for (op, job, size) in ops {
+            let p = proto(2 + (job as usize % 3), 64 * size as usize);
+            match op {
+                // Arrival.
+                0 => match sw.admit(job, &p) {
+                    Ok(()) => { live.insert(job, p); }
+                    Err(_) => {
+                        // Rejection must mean double admission or a
+                        // genuine budget shortfall, never a spurious
+                        // failure.
+                        let over = sw.committed_bytes() + job_cost(&model, &p) > budget;
+                        prop_assert!(live.contains_key(&job) || over);
+                    }
+                },
+                // Departure / crash.
+                1 => {
+                    let r = sw.evict(job);
+                    prop_assert_eq!(r.is_ok(), live.remove(&job).is_some());
+                }
+                // Preemption-driven repartition (shrink or grow).
+                _ => match sw.reset_job(job, &p) {
+                    Ok(()) => {
+                        prop_assert!(live.contains_key(&job));
+                        live.insert(job, p);
+                    }
+                    Err(_) => {
+                        let known = live.contains_key(&job);
+                        let over = known && {
+                            let old = job_cost(&model, &live[&job]);
+                            sw.committed_bytes() - old + job_cost(&model, &p) > budget
+                        };
+                        prop_assert!(!known || over);
+                    }
+                },
+            }
+
+            // Ledger invariants, re-derived from the shadow model.
+            let expected: usize = live.values().map(|p| job_cost(&model, p)).sum();
+            prop_assert_eq!(sw.committed_bytes(), expected);
+            prop_assert!(sw.committed_bytes() <= budget);
+            prop_assert_eq!(sw.job_count(), live.len());
+            prop_assert!(sw.partition_is_disjoint());
+            // Every live job owns exactly its proto's slot count.
+            for (&j, p) in &live {
+                let range = sw.slot_range(j);
+                prop_assert!(range.is_some());
+                prop_assert_eq!(range.unwrap().len as usize, p.pool_size);
+            }
+        }
+
+        // Teardown: nothing may be stranded.
+        for j in sw.job_ids() {
+            sw.evict(j).unwrap();
+        }
+        prop_assert_eq!(sw.committed_bytes(), 0);
+        prop_assert_eq!(sw.job_count(), 0);
+        prop_assert!(sw.partition().is_empty());
+    }
+}

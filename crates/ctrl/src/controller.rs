@@ -162,6 +162,10 @@ struct Job {
     /// Target switch for the reconfiguration in flight, if this
     /// quiesce is a failover rather than a shrink.
     pending_failover: Option<usize>,
+    /// Target pool size for the reconfiguration in flight, if this
+    /// quiesce is a scheduler-driven slot repartition (grow/shrink of
+    /// the job's slot range while it keeps running).
+    pending_resize: Option<usize>,
     /// Control messages are fire-and-forget on a lossy fabric, so the
     /// controller re-sends `Quiesce` (to unacked members) and
     /// `Reconfigure` (to unsynced members) on this cadence.
@@ -236,6 +240,7 @@ impl Controller {
                 wire_job,
                 members: Vec::new(),
                 pending_failover: None,
+                pending_resize: None,
                 resend_at: 0,
                 last_reconfig: Vec::new(),
             },
@@ -553,6 +558,60 @@ impl Controller {
         out
     }
 
+    /// Live slot repartition: quiesce the running job at its chunk
+    /// frontier, then reconfigure it onto a pool of `new_pool_size`
+    /// slots under a bumped epoch. The §5.4 fence makes this safe
+    /// while traffic is in flight: stragglers from the old partition
+    /// carry the old epoch byte (and the old wire job id) and are
+    /// counted-and-dropped, never folded into the new pool.
+    ///
+    /// The scheduler calls this to preempt slots from a best-effort
+    /// tenant (shrink) or hand them back (grow). Chunks already
+    /// aggregated at every member survive via the frontier bitmap —
+    /// preemption never loses a committed chunk.
+    pub fn resize_job(
+        &mut self,
+        job: u8,
+        new_pool_size: usize,
+        now: TimeNs,
+    ) -> Result<Vec<Action>> {
+        let j = self
+            .jobs
+            .get_mut(&job)
+            .ok_or(Error::OutOfRange("resize of unknown job"))?;
+        if new_pool_size == 0 {
+            return Err(Error::InvalidConfig("pool_size must be > 0".into()));
+        }
+        match j.phase {
+            Phase::Running => {}
+            Phase::Quiescing => {
+                // Fold into the quiesce already in flight.
+                j.pending_resize = Some(new_pool_size);
+                return Ok(Vec::new());
+            }
+            Phase::Forming => {
+                // Not streaming yet: repartition the ledger in place,
+                // no quiesce needed.
+                let mut proto = j.proto.clone();
+                proto.pool_size = new_pool_size;
+                let (switch, wire) = (j.switch, j.wire_job);
+                self.switches[switch].reset_job(wire, &proto)?;
+                self.jobs.get_mut(&job).unwrap().proto = proto;
+                return Ok(Vec::new());
+            }
+            Phase::Complete => {
+                return Err(Error::InvalidConfig(format!("job {job} already complete")));
+            }
+        }
+        if j.proto.pool_size == new_pool_size {
+            return Ok(Vec::new());
+        }
+        j.pending_resize = Some(new_pool_size);
+        let mut out = Vec::new();
+        self.begin_quiesce(job, now, &mut out);
+        Ok(out)
+    }
+
     /// Ask every survivor to stop its dataplane and report progress.
     /// If none are left alive, the job simply completes as dead.
     fn begin_quiesce(&mut self, job: u8, now: TimeNs, out: &mut Vec<Action>) {
@@ -634,11 +693,15 @@ impl Controller {
 
         let old_switch = j.switch;
         let old_wire = j.wire_job;
+        let old_pool = j.proto.pool_size;
         let new_switch = j.pending_failover.take().unwrap_or(old_switch);
 
         let mut proto = j.proto.clone();
         proto.n_workers = n_new;
         proto.scaling_factor = j.requested_f.min(max_safe_factor(n_new, j.bound));
+        if let Some(pool) = j.pending_resize.take() {
+            proto.pool_size = pool;
+        }
 
         j.epoch += 1;
         let epoch = j.epoch;
@@ -648,20 +711,28 @@ impl Controller {
             .filter(|m| m.alive)
             .map(|m| m.peer)
             .collect();
-        let (n, f) = (proto.n_workers as u16, proto.scaling_factor);
 
         let new_wire = self.alloc_wire_job().expect("wire id available");
         // Swap pools: evict the old epoch's pool, then admit the new
-        // one (on the failover target when re-homing).
+        // one (on the failover target when re-homing). A grow can lose
+        // the race against a concurrent admission that squeezed the
+        // SRAM budget; the job then resumes at its old size rather
+        // than stalling (the scheduler will retry on the next
+        // rebalance).
         self.switches[old_switch]
             .evict(old_wire)
             .expect("reconfiguring job must be admitted");
-        self.switches[new_switch]
-            .admit(new_wire, &proto)
-            .expect("shrunk pool must still fit");
+        if self.switches[new_switch].admit(new_wire, &proto).is_err() {
+            proto.pool_size = old_pool;
+            self.switches[new_switch]
+                .admit(new_wire, &proto)
+                .expect("same-size pool must still fit");
+        }
         self.switches[new_switch]
             .set_job_epoch(new_wire, (epoch & 0xff) as u8)
             .expect("just admitted");
+        let (n, f) = (proto.n_workers as u16, proto.scaling_factor);
+        let pool_size = proto.pool_size as u32;
 
         let j = self.jobs.get_mut(&job).unwrap();
         j.proto = proto;
@@ -705,6 +776,7 @@ impl Controller {
                 f,
                 switch: new_switch as u8,
                 wire_job: new_wire,
+                pool_size,
                 frontier: frontier.clone(),
             };
             reconfigs.push((peer, msg.clone()));
@@ -734,6 +806,11 @@ impl Controller {
     /// The currently negotiated (clamped) scaling factor.
     pub fn negotiated_f(&self, job: u8) -> Option<f64> {
         self.jobs.get(&job).map(|j| j.proto.scaling_factor)
+    }
+
+    /// The job's current pool size (slots), after any live resize.
+    pub fn pool_size(&self, job: u8) -> Option<usize> {
+        self.jobs.get(&job).map(|j| j.proto.pool_size)
     }
 
     /// Current dataplane wire id for the job.
@@ -997,6 +1074,113 @@ mod tests {
             reconfigs[1],
             (102, 1, 2, 1, f_new, wire1, expected_frontier)
         );
+    }
+
+    #[test]
+    fn resize_job_quiesces_then_reconfigures_pool() {
+        let mut ctrl = Controller::new(CtrlConfig::default(), vec![PipelineModel::default()]);
+        ctrl.create_job(0, proto(2), 50.0, 16, 0).unwrap();
+        form(&mut ctrl, 0, 2, 0);
+        assert_eq!(ctrl.pool_size(0), Some(4));
+        let wire0 = ctrl.wire_job(0).unwrap();
+
+        let acts = ctrl.resize_job(0, 8, 100).unwrap();
+        assert_eq!(
+            acts.iter()
+                .filter(|a| matches!(
+                    a,
+                    Action::Send {
+                        msg: CtrlMsg::Quiesce { .. },
+                        ..
+                    }
+                ))
+                .count(),
+            2
+        );
+        assert_eq!(ctrl.phase(0), Some(Phase::Quiescing));
+
+        // Both members ack at the same frontier.
+        let bm = chunk_bitmap(16, |c| c < 5);
+        ctrl.on_message(
+            100,
+            CtrlMsg::QuiesceAck {
+                job: 0,
+                wid: 0,
+                epoch: 0,
+                done: bm.clone(),
+            },
+            200,
+        );
+        let acts = ctrl.on_message(
+            101,
+            CtrlMsg::QuiesceAck {
+                job: 0,
+                wid: 1,
+                epoch: 0,
+                done: bm.clone(),
+            },
+            210,
+        );
+        assert_eq!(ctrl.phase(0), Some(Phase::Running));
+        assert_eq!(ctrl.epoch(0), Some(1));
+        assert_eq!(ctrl.pool_size(0), Some(8));
+        let wire1 = ctrl.wire_job(0).unwrap();
+        assert_ne!(wire0, wire1, "wire id rotates on resize too");
+        assert_eq!(ctrl.ledger(0).job_proto(wire1).unwrap().pool_size, 8);
+
+        // Reconfigures carry the new pool; n unchanged (nobody died)
+        // and the committed frontier survives the repartition.
+        let recfg: Vec<_> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    msg:
+                        CtrlMsg::Reconfigure {
+                            n,
+                            pool_size,
+                            frontier,
+                            ..
+                        },
+                    ..
+                } => Some((*n, *pool_size, frontier.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recfg.len(), 2);
+        for (n, pool, fr) in recfg {
+            assert_eq!((n, pool), (2, 8));
+            assert_eq!(fr, bm);
+        }
+    }
+
+    #[test]
+    fn grow_that_loses_sram_race_falls_back_to_old_size() {
+        // Budget fits the 4-slot pool but not a 4096-slot one.
+        let model = PipelineModel {
+            register_sram_bytes: 64 * 1024,
+            ..PipelineModel::default()
+        };
+        let mut ctrl = Controller::new(CtrlConfig::default(), vec![model]);
+        ctrl.create_job(0, proto(2), 50.0, 16, 0).unwrap();
+        form(&mut ctrl, 0, 2, 0);
+        ctrl.resize_job(0, 4096, 100).unwrap();
+        let bm = chunk_bitmap(16, |_| false);
+        for wid in 0..2u16 {
+            ctrl.on_message(
+                100 + wid as u64,
+                CtrlMsg::QuiesceAck {
+                    job: 0,
+                    wid,
+                    epoch: 0,
+                    done: bm.clone(),
+                },
+                200,
+            );
+        }
+        // The grow could not be honored: the job resumes at its old
+        // size instead of stalling.
+        assert_eq!(ctrl.phase(0), Some(Phase::Running));
+        assert_eq!(ctrl.pool_size(0), Some(4));
     }
 
     #[test]

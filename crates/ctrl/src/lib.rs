@@ -23,15 +23,24 @@
 //!   (deterministic worker-kill and switch-failover runs).
 //! - [`runner`] — the same control plane over real
 //!   [`switchml_transport`] ports and threads.
+//! - [`sched`] — the multi-tenant slot scheduler on top of all of it:
+//!   fair sharing, priority classes with preemption, live slot
+//!   repartition, and per-tenant isolation accounting for a churning
+//!   job population.
 
 pub mod controller;
 pub mod msg;
 pub mod netsim;
 pub mod runner;
+pub mod sched;
 
 pub mod prelude {
     pub use crate::controller::{Action, Controller, CtrlConfig, Phase};
     pub use crate::msg::{bitmap_and, bitmap_contains, chunk_bitmap, CtrlMsg, PeerId};
     pub use crate::netsim::{run_ctrl, CtrlOutcome, CtrlScenario};
     pub use crate::runner::{run_controlled, CtrlRunConfig, CtrlRunReport};
+    pub use crate::sched::{
+        run_scheduled, sched_fabric_size, slot_capacity, Class, JobOutcome, SchedJob,
+        SchedRunConfig, SchedRunReport, Scheduler, TenantSpec,
+    };
 }

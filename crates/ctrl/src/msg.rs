@@ -64,7 +64,9 @@ pub enum CtrlMsg {
     /// Stop the dataplane and report the chunk bitmap.
     Quiesce { job: u8, epoch: u32 },
     /// New epoch: `n` survivors, you are `new_wid`, scale by `f`,
-    /// tag dataplane packets `wire_job`, aim at switch `switch`.
+    /// tag dataplane packets `wire_job`, aim at switch `switch`, and
+    /// stream over a pool of `pool_size` slots (the scheduler may have
+    /// repartitioned the slot range while the job was quiesced).
     /// `frontier` is the bitmap of chunks aggregated at *every*
     /// survivor — anything outside it must be re-aggregated.
     Reconfigure {
@@ -75,6 +77,7 @@ pub enum CtrlMsg {
         f: f64,
         switch: u8,
         wire_job: u8,
+        pool_size: u32,
         frontier: Vec<u8>,
     },
     /// Liveness challenge after missed heartbeats; answer with
@@ -270,6 +273,7 @@ impl CtrlMsg {
                 f,
                 switch,
                 wire_job,
+                pool_size,
                 frontier,
             } => {
                 buf.put_u8(T_RECONFIGURE);
@@ -280,6 +284,7 @@ impl CtrlMsg {
                 buf.put_f64(*f);
                 buf.put_u8(*switch);
                 buf.put_u8(*wire_job);
+                buf.put_u32(*pool_size);
                 put_bitmap(&mut buf, frontier);
             }
             CtrlMsg::Probe { job, epoch } => {
@@ -386,6 +391,7 @@ impl CtrlMsg {
                 f: body.get_f64(),
                 switch: body.get_u8(),
                 wire_job: body.get_u8(),
+                pool_size: body.get_u32(),
                 frontier: get_bitmap(&mut body)?,
             },
             T_PROBE => CtrlMsg::Probe {
@@ -488,6 +494,7 @@ mod tests {
             f: 777.25,
             switch: 1,
             wire_job: 9,
+            pool_size: 48,
             frontier: vec![0xFF, 0x0F],
         });
         roundtrip(CtrlMsg::Probe { job: 1, epoch: 0 });

@@ -485,6 +485,7 @@ impl CtrlWorkerNode {
                 f,
                 switch,
                 wire_job,
+                pool_size,
                 frontier,
             } if job == self.job && epoch == self.epoch + 1 => {
                 let stream = match std::mem::replace(&mut self.state, WState::Dead) {
@@ -502,6 +503,7 @@ impl CtrlWorkerNode {
                 self.cur_switch = self.switch_ids[switch as usize];
                 self.base.n_workers = n as usize;
                 self.base.scaling_factor = f;
+                self.base.pool_size = pool_size as usize;
                 let mut stream = stream.unwrap_or_else(|| {
                     TensorStream::from_f32(&self.tensors, self.base.mode, f, self.base.k)
                         .expect("scenario stream must build")

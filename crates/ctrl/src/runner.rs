@@ -53,6 +53,11 @@ pub struct CtrlRunConfig {
     pub switch_restart: Option<Duration>,
     /// Per-worker gradient magnitude bound `B` for Theorem-2 clamping.
     pub bound: f64,
+    /// Live slot repartitions: at each delay, quiesce the job at its
+    /// chunk frontier and resume it on a pool of the given size under
+    /// a bumped epoch. This is the primitive the multi-tenant
+    /// scheduler uses to preempt and hand back switch slots.
+    pub resize: Vec<(Duration, usize)>,
 }
 
 impl Default for CtrlRunConfig {
@@ -65,6 +70,7 @@ impl Default for CtrlRunConfig {
             kill: None,
             switch_restart: None,
             bound: 16.0,
+            resize: Vec::new(),
         }
     }
 }
@@ -83,6 +89,8 @@ pub struct CtrlRunReport {
     pub final_n: usize,
     /// Final negotiated scaling factor.
     pub final_f: f64,
+    /// Final slot pool size (after any scheduled repartitions).
+    pub final_pool: usize,
     /// Per-worker engine counters, endpoint order, summed across the
     /// worker's epochs (retransmissions, RTT estimate, epoch fences).
     pub worker_stats: Vec<EngineStats>,
@@ -90,6 +98,12 @@ pub struct CtrlRunReport {
     /// including pools evicted by reconfigurations and, after a
     /// [`CtrlRunConfig::switch_restart`], pools the restart wiped.
     pub switch_stats: SwitchStats,
+    /// The same counters per admitted pool, keyed by the pool's wire
+    /// job id in harvest order: one entry per (job, epoch) pool the
+    /// run admitted, so a reconfiguring job shows one line per epoch.
+    /// This is how the chaos harness attributes stale-epoch drops to
+    /// the pool that fenced them.
+    pub per_pool_switch_stats: Vec<(u8, SwitchStats)>,
     /// Transport counters summed over every endpoint (switch, workers,
     /// controller).
     pub transport_stats: PortStats,
@@ -100,22 +114,37 @@ fn controller_endpoint(n_workers: usize) -> usize {
     n_workers + 1
 }
 
-fn switch_thread<P: Port>(
+/// What the switch thread hands back: run-total counters, the same
+/// counters broken down per admitted pool (wire job id, in harvest
+/// order — a job that reconfigures appears once per epoch's pool),
+/// and the port's transport counters.
+pub(crate) struct SwitchOut {
+    pub total: SwitchStats,
+    pub per_pool: Vec<(u8, SwitchStats)>,
+    pub port_stats: PortStats,
+}
+
+pub(crate) fn switch_thread<P: Port>(
     mut port: P,
     stop: &AtomicBool,
     deadline: Instant,
     epoch0: Instant,
     mut restart: Option<Duration>,
-) -> Result<(SwitchStats, PortStats)> {
+) -> Result<SwitchOut> {
     let mut switch = MultiJobSwitch::new(PipelineModel::default());
     let mut members: std::collections::HashMap<u8, Vec<usize>> = Default::default();
     // Counters belong to the harness's observer, not the switch
     // process: they survive evictions and restarts so the report can
     // total the whole run.
     let mut total = SwitchStats::default();
-    let harvest = |switch: &MultiJobSwitch, job: u8, total: &mut SwitchStats| {
+    let mut per_pool: Vec<(u8, SwitchStats)> = Vec::new();
+    let harvest = |switch: &MultiJobSwitch,
+                   job: u8,
+                   total: &mut SwitchStats,
+                   per: &mut Vec<(u8, SwitchStats)>| {
         if let Some(s) = switch.stats(job) {
             total.merge(s);
+            per.push((job, s));
         }
     };
     while !stop.load(Ordering::Acquire) {
@@ -130,7 +159,7 @@ fn switch_thread<P: Port>(
             // state is gone. Recovery is the controller's job — it
             // will notice, quiesce, and re-admit under a bumped epoch.
             for job in switch.job_ids() {
-                harvest(&switch, job, &mut total);
+                harvest(&switch, job, &mut total, &mut per_pool);
             }
             switch = MultiJobSwitch::new(PipelineModel::default());
             members.clear();
@@ -152,7 +181,7 @@ fn switch_thread<P: Port>(
                     members.insert(job, peers.iter().map(|&p| p as usize).collect());
                 }
                 Ok(CtrlMsg::EvictJob { job }) => {
-                    harvest(&switch, job, &mut total);
+                    harvest(&switch, job, &mut total, &mut per_pool);
                     let _ = switch.evict(job);
                     members.remove(&job);
                 }
@@ -184,15 +213,20 @@ fn switch_thread<P: Port>(
         }
     }
     for job in switch.job_ids() {
-        harvest(&switch, job, &mut total);
+        harvest(&switch, job, &mut total, &mut per_pool);
     }
-    Ok((total, port.stats()))
+    Ok(SwitchOut {
+        total,
+        per_pool,
+        port_stats: port.stats(),
+    })
 }
 
 struct CtrlThreadOut {
     final_epoch: u32,
     final_n: usize,
     final_f: f64,
+    final_pool: usize,
     port_stats: PortStats,
 }
 
@@ -207,9 +241,11 @@ fn controller_thread<P: Port>(
     deadline: Instant,
     events: &Mutex<Vec<String>>,
     mut failover_after: Option<Duration>,
+    mut resize: Vec<(Duration, usize)>,
 ) -> Result<CtrlThreadOut> {
     let now_ns = || epoch0.elapsed().as_nanos() as u64;
     let mut next_tick = Instant::now();
+    resize.sort_by_key(|&(at, _)| at);
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(
@@ -217,6 +253,23 @@ fn controller_thread<P: Port>(
             ));
         }
         let mut actions = Vec::new();
+        while resize
+            .first()
+            .is_some_and(|&(at, _)| epoch0.elapsed() >= at)
+        {
+            let (_, pool) = resize.remove(0);
+            events
+                .lock()
+                .unwrap()
+                .push(format!("job 0: repartition to {pool} slots requested"));
+            match ctrl.resize_job(0, pool, now_ns()) {
+                Ok(acts) => actions.extend(acts),
+                Err(e) => events
+                    .lock()
+                    .unwrap()
+                    .push(format!("job 0: repartition rejected: {e}")),
+            }
+        }
         if failover_after.is_some_and(|after| epoch0.elapsed() >= after) {
             failover_after = None;
             events
@@ -256,6 +309,7 @@ fn controller_thread<P: Port>(
         final_epoch: ctrl.epoch(0).unwrap_or(0),
         final_n: ctrl.alive_count(0).unwrap_or(0),
         final_f: ctrl.negotiated_f(0).unwrap_or(0.0),
+        final_pool: ctrl.pool_size(0).unwrap_or(0),
         port_stats: port.stats(),
     })
 }
@@ -274,18 +328,23 @@ fn send_update<P: Port>(port: &mut P, mut pkt: Packet, wire_job: u8) {
 }
 
 /// What one worker thread hands back.
-struct WorkerOut {
+pub(crate) struct WorkerOut {
     /// Aggregated tensors, `None` if the worker crashed or never
     /// finished.
-    tensors: Option<Vec<Vec<f32>>>,
+    pub tensors: Option<Vec<Vec<f32>>>,
     /// Engine counters summed across every epoch this worker ran.
-    stats: EngineStats,
-    port_stats: PortStats,
+    pub stats: EngineStats,
+    /// When (relative to the run's epoch) the first aggregated result
+    /// landed — the scheduler's admission-to-first-aggregate clock.
+    pub first_result: Option<Duration>,
+    pub port_stats: PortStats,
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_thread<P: Port>(
+pub(crate) fn worker_thread<P: Port>(
     mut port: P,
+    job: u8,
+    ctrl_ep: usize,
     tensors: Vec<Vec<f32>>,
     mut base: Protocol,
     cfg: &CtrlRunConfig,
@@ -295,7 +354,6 @@ fn worker_thread<P: Port>(
     deadline: Instant,
 ) -> Result<WorkerOut> {
     let now_ns = || epoch0.elapsed().as_nanos() as u64;
-    let ctrl_ep = controller_endpoint(base.n_workers);
     let quiesce_bitmap = |s: &TensorStream| chunk_bitmap(s.total_chunks(), |c| s.chunk_is_done(c));
 
     let mut state = RState::Registering;
@@ -304,6 +362,7 @@ fn worker_thread<P: Port>(
     // Accumulated across epochs: harvested whenever a live Worker is
     // torn down (quiesce, finish, teardown).
     let mut stats = EngineStats::default();
+    let mut first_result: Option<Duration> = None;
 
     let tensors = loop {
         if stop.load(Ordering::Acquire) {
@@ -332,9 +391,9 @@ fn worker_thread<P: Port>(
         // torn down), heartbeats otherwise.
         if Instant::now() >= next_beat {
             let msg = match &state {
-                RState::Registering => CtrlMsg::Register { job: 0 },
-                RState::Finished(_) => CtrlMsg::Done { job: 0, wid, epoch },
-                _ => CtrlMsg::Heartbeat { job: 0, wid, epoch },
+                RState::Registering => CtrlMsg::Register { job },
+                RState::Finished(_) => CtrlMsg::Done { job, wid, epoch },
+                _ => CtrlMsg::Heartbeat { job, wid, epoch },
             };
             port.send(ctrl_ep, &msg.encode());
             next_beat = Instant::now() + cfg.heartbeat;
@@ -347,14 +406,14 @@ fn worker_thread<P: Port>(
                 };
                 match msg {
                     CtrlMsg::Welcome {
-                        job: 0,
+                        job: j,
                         wid: w,
                         epoch: e,
                         n,
                         f,
                         wire_job: wj,
                         ..
-                    } if matches!(state, RState::Registering) => {
+                    } if j == job && matches!(state, RState::Registering) => {
                         wid = w;
                         epoch = e;
                         wire_job = wj;
@@ -362,8 +421,8 @@ fn worker_thread<P: Port>(
                         base.scaling_factor = f;
                         state = RState::Ready;
                     }
-                    CtrlMsg::Start { job: 0, epoch: e }
-                        if e == epoch && matches!(state, RState::Ready) =>
+                    CtrlMsg::Start { job: j, epoch: e }
+                        if j == job && e == epoch && matches!(state, RState::Ready) =>
                     {
                         let stream = TensorStream::from_f32(
                             &tensors,
@@ -378,7 +437,7 @@ fn worker_thread<P: Port>(
                         }
                         state = RState::Running(Box::new(w));
                     }
-                    CtrlMsg::Quiesce { job: 0, epoch: e } if e == epoch => {
+                    CtrlMsg::Quiesce { job: j, epoch: e } if j == job && e == epoch => {
                         let (next, done) = match std::mem::replace(&mut state, RState::Registering)
                         {
                             RState::Running(w) => {
@@ -404,7 +463,7 @@ fn worker_thread<P: Port>(
                             port.send(
                                 ctrl_ep,
                                 &CtrlMsg::QuiesceAck {
-                                    job: 0,
+                                    job,
                                     wid,
                                     epoch,
                                     done,
@@ -414,15 +473,16 @@ fn worker_thread<P: Port>(
                         }
                     }
                     CtrlMsg::Reconfigure {
-                        job: 0,
+                        job: j,
                         epoch: e,
                         n,
                         new_wid,
                         f,
                         wire_job: wj,
+                        pool_size,
                         frontier,
                         ..
-                    } if e == epoch + 1 => {
+                    } if j == job && e == epoch + 1 => {
                         let stream = match std::mem::replace(&mut state, RState::Registering) {
                             RState::Quiesced(s) | RState::Finished(s) => Some(*s),
                             // Never started (lost Start): from scratch.
@@ -437,6 +497,7 @@ fn worker_thread<P: Port>(
                         wire_job = wj;
                         base.n_workers = n as usize;
                         base.scaling_factor = f;
+                        base.pool_size = pool_size as usize;
                         let mut stream = match stream {
                             Some(s) => s,
                             None => TensorStream::from_f32(&tensors, base.mode, f, base.k)?,
@@ -455,11 +516,13 @@ fn worker_thread<P: Port>(
                             send_update(&mut port, pkt, wire_job);
                         }
                         // Immediate heartbeat marks this member synced.
-                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job: 0, wid, epoch }.encode());
+                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job, wid, epoch }.encode());
                         state = RState::Running(Box::new(w));
                     }
-                    CtrlMsg::Probe { job: 0, .. } if !matches!(state, RState::Registering) => {
-                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job: 0, wid, epoch }.encode());
+                    CtrlMsg::Probe { job: j, .. }
+                        if j == job && !matches!(state, RState::Registering) =>
+                    {
+                        port.send(ctrl_ep, &CtrlMsg::Heartbeat { job, wid, epoch }.encode());
                     }
                     _ => {}
                 }
@@ -468,6 +531,7 @@ fn worker_thread<P: Port>(
                 // old wire job id and are dropped here.
                 if pkt.job == wire_job {
                     if let RState::Running(w) = &mut state {
+                        first_result.get_or_insert_with(|| epoch0.elapsed());
                         for out in w.on_result(&pkt, now_ns())? {
                             send_update(&mut port, out, wire_job);
                         }
@@ -490,12 +554,13 @@ fn worker_thread<P: Port>(
             };
             stats.merge(w.stats());
             state = RState::Finished(Box::new(w.into_stream()));
-            port.send(ctrl_ep, &CtrlMsg::Done { job: 0, wid, epoch }.encode());
+            port.send(ctrl_ep, &CtrlMsg::Done { job, wid, epoch }.encode());
         }
     };
     Ok(WorkerOut {
         tensors,
         stats,
+        first_result,
         port_stats: port.stats(),
     })
 }
@@ -526,9 +591,9 @@ pub fn run_controlled<P: Port + 'static>(
         )));
     }
     // Coarse-clocked transports (UDP's 100 us SO_RCVTIMEO granule)
-    // cannot honor a finer RTO; clamp before the config is propagated
+    // cannot honor a finer RTO; resolve before the config is propagated
     // to workers and the controller's reconfigure messages.
-    let proto = &switchml_transport::runner::clamp_rto_to_granule(proto, &ports);
+    let proto = &switchml_transport::resolve_run_proto(proto, &ports)?;
 
     let probe = TensorStream::from_f32(&updates[0], proto.mode, 1.0, proto.k)?;
     let n_chunks = probe.total_chunks();
@@ -584,6 +649,7 @@ pub fn run_controlled<P: Port + 'static>(
                     deadline,
                     &events,
                     failover_after,
+                    cfg.resize.clone(),
                 )
             })
         };
@@ -599,8 +665,11 @@ pub fn run_controlled<P: Port + 'static>(
                     Some((victim, after)) if victim as usize == w => Some(after),
                     _ => None,
                 };
+                let ctrl_ep = controller_endpoint(n);
                 scope.spawn(move || {
-                    worker_thread(port, tensors, base, &cfg, t0, kill, &stop, deadline)
+                    worker_thread(
+                        port, 0, ctrl_ep, tensors, base, &cfg, t0, kill, &stop, deadline,
+                    )
                 })
             })
             .collect();
@@ -631,10 +700,9 @@ pub fn run_controlled<P: Port + 'static>(
             }
         }
         let ctrl_out = ctrl_handle.join().expect("controller thread panicked")?;
-        let (switch_stats, switch_port_stats) =
-            switch_handle.join().expect("switch thread panicked")?;
+        let switch_out = switch_handle.join().expect("switch thread panicked")?;
         transport_stats.merge(ctrl_out.port_stats);
-        transport_stats.merge(switch_port_stats);
+        transport_stats.merge(switch_out.port_stats);
         if !job_done.load(Ordering::Acquire) {
             return Err(first_err.unwrap_or_else(|| {
                 Error::ProtocolViolation("job did not complete within the budget".into())
@@ -646,8 +714,10 @@ pub fn run_controlled<P: Port + 'static>(
             final_epoch: ctrl_out.final_epoch,
             final_n: ctrl_out.final_n,
             final_f: ctrl_out.final_f,
+            final_pool: ctrl_out.final_pool,
             worker_stats,
-            switch_stats,
+            switch_stats: switch_out.total,
+            per_pool_switch_stats: switch_out.per_pool,
             transport_stats,
             wall: t0.elapsed(),
         })
@@ -794,6 +864,51 @@ mod tests {
         // The whole run's counters surface in the report.
         let sent: u64 = report.worker_stats.iter().map(|s| s.sent).sum();
         assert!(sent > 0, "no worker counters harvested");
+    }
+
+    /// Live repartition under load: the job is shrunk at its chunk
+    /// frontier mid-training, then regrown, and still finishes
+    /// bit-identical to an unpartitioned reference run. Committed
+    /// chunks survive both repartitions; stragglers from the old
+    /// partitions die on the §5.4 epoch fence.
+    #[test]
+    fn shrink_then_regrow_matches_unpartitioned_reference() {
+        let n = 3;
+        let elems = 16384;
+        let cfg = CtrlRunConfig {
+            resize: vec![
+                (Duration::from_millis(6), 4),
+                (Duration::from_millis(14), 24),
+            ],
+            heartbeat: Duration::from_millis(2),
+            failure_timeout: Duration::from_millis(10),
+            ..CtrlRunConfig::default()
+        };
+        let ports = channel_fabric(n + 2);
+        let report = run_controlled(ports, updates(n, elems), &proto(n), &cfg).unwrap();
+        assert_eq!(report.final_n, n, "no worker died: {:?}", report.events);
+        assert!(
+            report.final_epoch >= 2,
+            "both repartitions must bump the epoch: {:?}",
+            report.events
+        );
+        assert_eq!(report.final_pool, 24, "events: {:?}", report.events);
+        let clean = run_controlled(
+            channel_fabric(n + 2),
+            updates(n, elems),
+            &proto(n),
+            &CtrlRunConfig::default(),
+        )
+        .unwrap();
+        let first = report.results[0].as_ref().unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w].as_ref().unwrap(), first);
+        }
+        assert_eq!(
+            first,
+            clean.results[0].as_ref().unwrap(),
+            "repartitioned run must be bit-identical to the reference"
+        );
     }
 
     /// The adaptive estimator runs end to end under the control plane:

@@ -35,5 +35,7 @@ pub mod shard;
 pub mod udp;
 
 pub use port::{worker_endpoint, BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
-pub use runner::{run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport};
+pub use runner::{
+    resolve_run_proto, run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport,
+};
 pub use shard::{run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size};

@@ -107,6 +107,20 @@ pub fn clamp_rto_to_granule<P: Port>(proto: &Protocol, ports: &[P]) -> Protocol 
     out
 }
 
+/// Resolve a caller-supplied protocol into the configuration a runner
+/// actually executes: validate it, then raise the RTO floor to the
+/// fabric's receive-timeout granule ([`clamp_rto_to_granule`]).
+///
+/// Every runner entry point — [`run_allreduce_session`], the sharded
+/// runner, the controlled runner, and any future multi-job scheduler
+/// loop — must pass its config through here exactly once, so a new
+/// entry point cannot forget the clamp and ship timers the transport
+/// clock cannot honor.
+pub fn resolve_run_proto<P: Port>(proto: &Protocol, ports: &[P]) -> Result<Protocol> {
+    proto.validate()?;
+    Ok(clamp_rto_to_granule(proto, ports))
+}
+
 /// Result of a threaded all-reduce.
 #[derive(Debug)]
 pub struct RunReport {
@@ -335,8 +349,7 @@ pub fn run_allreduce_session<P: Port + 'static>(
     proto: &Protocol,
     cfg: &RunConfig,
 ) -> Result<SessionReport> {
-    proto.validate()?;
-    let proto = &clamp_rto_to_granule(proto, &ports);
+    let proto = &resolve_run_proto(proto, &ports)?;
     if ports.len() != proto.n_workers + 1 {
         return Err(Error::InvalidConfig(format!(
             "need {} ports (switch + workers), got {}",

@@ -277,8 +277,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
     proto: &Protocol,
     cfg: &RunConfig,
 ) -> Result<RunReport> {
-    proto.validate()?;
-    let proto = &crate::runner::clamp_rto_to_granule(proto, &ports);
+    let proto = &crate::runner::resolve_run_proto(proto, &ports)?;
     let n = proto.n_workers;
     let c = cfg.n_cores;
     if proto.mode != NumericMode::Fixed32 {
