@@ -18,8 +18,31 @@ cargo test --workspace -q
 echo "== cargo bench --no-run (criterion benches must compile)"
 cargo bench --workspace --no-run
 
+echo "== SIMD kernel parity: dispatched vs forced-scalar (release)"
+# The quantize/aggregation/byteswap kernels must be bit-identical to
+# the scalar reference on BOTH dispatch arms: once with whatever ISA
+# the host detects (built for it explicitly so the autovectorized
+# scalar baseline is as strong as possible), once with dispatch pinned
+# to scalar via the env override.
+RUSTFLAGS="-C target-cpu=native" \
+    timeout 300 cargo test --release -q -p switchml-core simd
+RUSTFLAGS="-C target-cpu=native" SWITCHML_FORCE_SCALAR=1 \
+    timeout 300 cargo test --release -q -p switchml-core simd
+SWITCHML_FORCE_SCALAR=1 timeout 300 cargo test --release -q -p switchml-core kernel_properties
+
 echo "== hotpath smoke (release, sharded runner with n_cores > 1, zero-alloc check)"
 cargo run --release -q -p switchml-bench --bin hotpath -- --smoke
+
+# The published hotpath bench must carry the new raw-speed fields: the
+# dispatch backend that produced the numbers, the oversubscription
+# marker on threaded ATE rows, and the reactor scaling section.
+for key in '"backend"' '"quantize_kernel_gbps"' '"reactor_scale"' '"engines_per_thread"' \
+           '"threaded_ate"'; do
+  if ! grep -qF "$key" BENCH_hotpath.json; then
+    echo "ERROR: BENCH_hotpath.json missing $key" >&2
+    exit 1
+  fi
+done
 
 echo "== udp burst data plane: tests + quick bench (release, hard time budget)"
 # Every test whose name mentions udp — transport unit tests plus the

@@ -292,9 +292,19 @@ pub fn train(args: &Args) -> Result<String, String> {
 /// channel fabric for an apples-to-apples comparison), with burst I/O
 /// and optional multi-core sharding.
 pub fn udp(args: &Args) -> Result<String, String> {
-    args.assert_known(&["workers", "elems", "loss", "transport", "burst", "cores"])?;
+    args.assert_known(&[
+        "workers",
+        "elems",
+        "loss",
+        "transport",
+        "burst",
+        "cores",
+        "runner",
+        "threads",
+    ])?;
     use switchml_transport::channel::channel_fabric;
     use switchml_transport::lossy::lossy_fabric;
+    use switchml_transport::reactor::run_allreduce_reactor;
     use switchml_transport::runner::{run_allreduce, RunConfig, RunReport};
     use switchml_transport::shard::{run_allreduce_sharded, sharded_fabric_size};
     use switchml_transport::udp::udp_fabric;
@@ -306,13 +316,20 @@ pub fn udp(args: &Args) -> Result<String, String> {
     let transport = args.get_str("transport", "udp");
     let burst: usize = args.get("burst", 8)?;
     let cores: usize = args.get("cores", 1)?;
+    let runner = args.get_str("runner", "threaded");
+    let threads: usize = args.get("threads", 2)?;
     if transport != "udp" && transport != "channel" {
         return Err(format!(
             "--transport: expected udp|channel, got '{transport}'"
         ));
     }
-    if burst == 0 || cores == 0 {
-        return Err("--burst and --cores must be at least 1".into());
+    if runner != "threaded" && runner != "reactor" {
+        return Err(format!(
+            "--runner: expected threaded|reactor, got '{runner}'"
+        ));
+    }
+    if burst == 0 || cores == 0 || threads == 0 {
+        return Err("--burst, --cores and --threads must be at least 1".into());
     }
     let proto = Protocol {
         n_workers: workers,
@@ -330,21 +347,24 @@ pub fn udp(args: &Args) -> Result<String, String> {
         .collect();
     let expect: f32 = (1..=workers).map(|x| x as f32).sum();
 
-    /// Single-switch runner for one core, sharded runner otherwise.
+    /// Reactor when asked for, single-switch runner for one core,
+    /// sharded (thread-per-engine) runner otherwise.
     fn drive<P: Port + 'static>(
         ports: Vec<P>,
         updates: Vec<Vec<Vec<f32>>>,
         proto: &Protocol,
         cfg: &RunConfig,
+        reactor_threads: Option<usize>,
     ) -> switchml_core::Result<RunReport> {
-        if cfg.n_cores > 1 {
-            run_allreduce_sharded(ports, updates, proto, cfg)
-        } else {
-            run_allreduce(ports, updates, proto, cfg)
+        match reactor_threads {
+            Some(t) => run_allreduce_reactor(ports, updates, proto, cfg, t),
+            None if cfg.n_cores > 1 => run_allreduce_sharded(ports, updates, proto, cfg),
+            None => run_allreduce(ports, updates, proto, cfg),
         }
     }
 
-    let size = if cores > 1 {
+    let reactor_threads = (runner == "reactor").then_some(threads);
+    let size = if cores > 1 || reactor_threads.is_some() {
         sharded_fabric_size(workers, cores)
     } else {
         workers + 1
@@ -353,32 +373,44 @@ pub fn udp(args: &Args) -> Result<String, String> {
     // fabric; real sockets exercise the retransmission path on top of
     // whatever the kernel itself drops.
     let report = match (transport.as_str(), loss > 0.0) {
-        ("channel", false) => drive(channel_fabric(size), updates, &proto, &cfg),
+        ("channel", false) => drive(channel_fabric(size), updates, &proto, &cfg, reactor_threads),
         ("channel", true) => {
             let (ports, _) = lossy_fabric(channel_fabric(size), loss, 42);
-            drive(ports, updates, &proto, &cfg)
+            drive(ports, updates, &proto, &cfg, reactor_threads)
         }
         ("udp", false) => {
             let ports = udp_fabric(size).map_err(|e| e.to_string())?;
-            drive(ports, updates, &proto, &cfg)
+            drive(ports, updates, &proto, &cfg, reactor_threads)
         }
         _ => {
             let ports = udp_fabric(size).map_err(|e| e.to_string())?;
             let (ports, _) = lossy_fabric(ports, loss, 42);
-            drive(ports, updates, &proto, &cfg)
+            drive(ports, updates, &proto, &cfg, reactor_threads)
         }
     }
     .map_err(|e| e.to_string())?;
 
     let got = report.results[0][0][0];
-    Ok(format!(
+    let mut out = format!(
         "all-reduce of {elems} elems across {workers} workers in {:?}\n\
-         transport {transport}, {cores} core(s), burst {burst}\n\
+         transport {transport}, {cores} core(s), burst {burst}, runner {runner}\n\
          result[0] = {got} (expected {expect}), retransmissions: {}, send errors: {}",
         report.wall,
         report.worker_stats.iter().map(|s| s.retx).sum::<u64>(),
         report.transport_stats.send_errors,
-    ))
+    );
+    if let Some(r) = &report.reactor {
+        out.push_str(&format!(
+            "\nreactor: {} thread(s), {:.1} engines/thread, {:.0} polls/s, \
+             {} timer fires, {} cascades",
+            r.threads,
+            r.engines_per_thread(),
+            r.polls_per_sec(report.wall),
+            r.timer_fires,
+            r.cascades,
+        ));
+    }
+    Ok(out)
 }
 
 /// `ctrl`: controller-managed jobs on the simulated rack — lifecycle,

@@ -56,6 +56,7 @@ pub mod error;
 pub mod oracle;
 pub mod packet;
 pub mod quant;
+pub mod simd;
 pub mod switch;
 pub mod worker;
 

@@ -364,11 +364,7 @@ impl Packet {
             self.payload.len(),
         );
         match &self.payload {
-            Payload::I32(v) => {
-                for &x in v {
-                    out.extend_from_slice(&x.to_be_bytes());
-                }
-            }
+            Payload::I32(v) => crate::simd::be_store_extend(v, out),
             Payload::F16(v) => {
                 for &x in v {
                     out.extend_from_slice(&x.to_be_bytes());
@@ -570,9 +566,7 @@ pub fn encode_result_into(meta: ResultMeta, values: &[i32], out: &mut Vec<u8>) {
             out.extend_from_slice(&f16::f32_to_f16(v as f32).to_be_bytes());
         }
     } else {
-        for &v in values {
-            out.extend_from_slice(&v.to_be_bytes());
-        }
+        crate::simd::be_store_extend(values, out);
     }
     finish_crc(out);
 }
@@ -601,9 +595,7 @@ pub fn encode_update_into(
         flags |= FLAG_RETX;
     }
     put_header(out, flags, 0, epoch, wid, idx, off, values.len());
-    for &v in values {
-        out.extend_from_slice(&v.to_be_bytes());
-    }
+    crate::simd::be_store_extend(values, out);
     finish_crc(out);
 }
 
@@ -760,9 +752,8 @@ impl WireElems for PacketView<'_> {
                 *d = f16_bits_to_i32(u16::from_be_bytes([c[0], c[1]]));
             }
         } else {
-            for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
-                *d = i32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-            }
+            // Vectorized ntohl straight out of the receive buffer.
+            crate::simd::be_load(bytes, dst);
         }
     }
 
@@ -778,13 +769,11 @@ impl WireElems for PacketView<'_> {
                 };
             }
         } else if wrapping {
-            for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
-                *a = a.wrapping_add(i32::from_be_bytes([c[0], c[1], c[2], c[3]]));
-            }
+            // Wide i32 adds straight into slot registers — the switch's
+            // per-packet aggregation loop.
+            crate::simd::be_wrapping_add(bytes, acc);
         } else {
-            for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(4)) {
-                *a = a.saturating_add(i32::from_be_bytes([c[0], c[1], c[2], c[3]]));
-            }
+            crate::simd::be_saturating_add(bytes, acc);
         }
     }
 }

@@ -4,9 +4,10 @@
 //! `f`, round to the nearest integer (`ρ`), and ship `i32`s; the switch
 //! adds integers; receivers divide the aggregate by `f`. The paper
 //! implements this with SSE/AVX and measures negligible overhead
-//! (Figure 8); here the loops are written over chunks so LLVM
-//! auto-vectorizes them, and the benches in `switchml-bench` measure
-//! the same overhead question.
+//! (Figure 8); here the chunk operators dispatch to the explicit
+//! SIMD kernels in [`crate::simd`] (AVX2/NEON with an autovectorized
+//! scalar fallback, selected once at startup), and the benches in
+//! `switchml-bench` measure the same overhead question.
 
 /// The rounding operator ρ: round half away from zero, saturating to
 /// the `i32` range. Saturation (rather than wrapping) means a
@@ -36,65 +37,32 @@ pub fn dequantize_one(q: i32, f: f64) -> f32 {
     (q as f64 / f) as f32
 }
 
-/// Unroll width of the chunk kernels. Eight f64 lanes span two AVX2
-/// registers (or four NEON ones) — wide enough for LLVM to emit packed
-/// conversions, small enough that the `k = 32` per-packet case is
-/// exactly four iterations.
-const LANES: usize = 8;
-
 /// Branch-free ρ. Rust's float→int `as` cast saturates and maps NaN to
 /// 0, which is exactly ρ's contract (round half away from zero via
 /// `round()`, saturate at the `i32` range, NaN → 0) — so the entire
 /// operator lowers to `round` + a clamped conversion with no data-
-/// dependent branches, and the chunk kernels below auto-vectorize.
-/// Bit-identical to [`rho`]; the property tests prove it.
+/// dependent branches. This is the scalar reference the SIMD kernels
+/// in [`crate::simd`] must match bit-for-bit. Bit-identical to
+/// [`rho`]; the property tests prove it.
+#[cfg(test)]
 #[inline(always)]
 fn rho_branchless(x: f64) -> i32 {
     x.round() as i32
 }
 
-/// Quantize a chunk: `dst[i] = ρ(f · src[i])`, branch-free and
-/// unrolled in [`LANES`]-wide blocks so LLVM auto-vectorizes the
-/// multiply/round/convert pipeline (the software stand-in for the
+/// Quantize a chunk: `dst[i] = ρ(f · src[i])`, dispatched to the
+/// explicit SIMD kernel for this host (the software stand-in for the
 /// paper's SSE/AVX quantization, §3.7/Fig 8). Bit-identical to
-/// applying [`quantize_one`] element-wise.
+/// applying [`quantize_one`] element-wise on every backend.
 pub fn quantize_chunk(src: &[f32], f: f64, dst: &mut [i32]) {
-    assert_eq!(src.len(), dst.len());
-    let split = src.len() - src.len() % LANES;
-    let (s_body, s_tail) = src.split_at(split);
-    let (d_body, d_tail) = dst.split_at_mut(split);
-    for (s, d) in s_body
-        .chunks_exact(LANES)
-        .zip(d_body.chunks_exact_mut(LANES))
-    {
-        for i in 0..LANES {
-            d[i] = rho_branchless(s[i] as f64 * f);
-        }
-    }
-    for (d, &s) in d_tail.iter_mut().zip(s_tail) {
-        *d = rho_branchless(s as f64 * f);
-    }
+    crate::simd::quantize(src, f, dst);
 }
 
-/// Dequantize a chunk: `dst[i] = src[i] / f`, branch-free and unrolled
-/// like [`quantize_chunk`]. Bit-identical to applying
-/// [`dequantize_one`] element-wise.
+/// Dequantize a chunk: `dst[i] = src[i] / f`, dispatched like
+/// [`quantize_chunk`]. Bit-identical to applying [`dequantize_one`]
+/// element-wise on every backend.
 pub fn dequantize_chunk(src: &[i32], f: f64, dst: &mut [f32]) {
-    assert_eq!(src.len(), dst.len());
-    let split = src.len() - src.len() % LANES;
-    let (s_body, s_tail) = src.split_at(split);
-    let (d_body, d_tail) = dst.split_at_mut(split);
-    for (s, d) in s_body
-        .chunks_exact(LANES)
-        .zip(d_body.chunks_exact_mut(LANES))
-    {
-        for i in 0..LANES {
-            d[i] = (s[i] as f64 / f) as f32;
-        }
-    }
-    for (d, &s) in d_tail.iter_mut().zip(s_tail) {
-        *d = (s as f64 / f) as f32;
-    }
+    crate::simd::dequantize(src, f, dst);
 }
 
 /// Quantize a slice into a reusable output buffer.
@@ -126,20 +94,14 @@ pub fn dequantize_into(src: &[i32], f: f64, dst: &mut [f32]) {
 /// operator. Saturation models the Tofino's saturating ALU mode, which
 /// the paper relies on Assumption 2 to keep inactive.
 pub fn saturating_add_into(acc: &mut [i32], v: &[i32]) {
-    debug_assert_eq!(acc.len(), v.len());
-    for (a, &b) in acc.iter_mut().zip(v) {
-        *a = a.saturating_add(b);
-    }
+    crate::simd::saturating_add(acc, v);
 }
 
 /// Wrapping (mod 2³²) element-wise vector addition — the Tofino ALU's
 /// other mode. Required when full-range additive masks must cancel
 /// exactly (Appendix D privacy; see `quant::masking`).
 pub fn wrapping_add_into(acc: &mut [i32], v: &[i32]) {
-    debug_assert_eq!(acc.len(), v.len());
-    for (a, &b) in acc.iter_mut().zip(v) {
-        *a = a.wrapping_add(b);
-    }
+    crate::simd::wrapping_add(acc, v);
 }
 
 #[cfg(test)]

@@ -12,7 +12,11 @@
 //! * [`lossy`] — loss-only convenience layer over [`faulty`];
 //! * [`runner`] — one switch thread + n worker threads running a full
 //!   synchronous all-reduce over burst I/O ([`port::BurstBuf`] /
-//!   [`port::TxBatch`], `RunConfig::burst`).
+//!   [`port::TxBatch`], `RunConfig::burst`);
+//! * [`reactor`] — run-to-completion event loop: a fixed pool of OS
+//!   threads each owning many worker engines, polling non-blocking
+//!   bursts and a hashed [`wheel::TimerWheel`] for RTOs, so worker
+//!   count is decoupled from thread count.
 //!
 //! ```no_run
 //! use switchml_transport::{channel::channel_fabric, runner::{run_allreduce, RunConfig}};
@@ -30,12 +34,16 @@ pub mod chaos;
 pub mod faulty;
 pub mod lossy;
 pub mod port;
+pub mod reactor;
 pub mod runner;
 pub mod shard;
 pub mod udp;
+pub mod wheel;
 
 pub use port::{worker_endpoint, BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
+pub use reactor::{run_allreduce_reactor, ReactorStats};
 pub use runner::{
     resolve_run_proto, run_allreduce, run_allreduce_session, RunConfig, RunReport, SessionReport,
 };
 pub use shard::{run_allreduce_sharded, sharded_channel_fabric, sharded_fabric_size};
+pub use wheel::TimerWheel;

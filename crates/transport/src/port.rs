@@ -271,9 +271,12 @@ pub trait Port: Send {
     /// `timeout` for the *first* datagram; whatever else is already
     /// pending is drained into the remaining slots without waiting.
     /// Returns the number of frames received (0 = timeout elapsed).
-    /// The default loops over [`Port::recv_into`] with a zero timeout
-    /// after the first frame; batching transports override it with a
-    /// single multi-frame syscall.
+    /// A `Duration::ZERO` timeout is a pure non-blocking poll: drain
+    /// what is queued and return immediately, never sleeping — the
+    /// contract run-to-completion reactors rely on. The default loops
+    /// over [`Port::recv_into`] with a zero timeout after the first
+    /// frame; batching transports override it with a single
+    /// multi-frame syscall.
     fn recv_batch(&mut self, bufs: &mut BurstBuf, timeout: Duration) -> usize {
         bufs.clear();
         let mut wait = timeout;

@@ -1,0 +1,775 @@
+//! Run-to-completion reactor: many worker engines per OS thread.
+//!
+//! The sharded runner ([`crate::shard`]) spends one OS thread per
+//! (worker, core) engine and parks each thread in a blocking
+//! `recv_batch(next_deadline - now)`. That reproduces the paper's
+//! one-core-per-engine DPDK layout faithfully, but a test host has a
+//! handful of hardware threads, so worker count is capped by thread
+//! count — tens of workers, never the hundreds a multi-rack topology
+//! (§6) needs.
+//!
+//! This module decouples the two. Worker engines become plain state
+//! owned by a small, fixed pool of **reactor threads**; each thread
+//! run-to-completion polls its engines' ports non-blockingly
+//! (`recv_batch` with `Duration::ZERO` — see [`crate::port::Port`])
+//! and drives retransmissions from a per-thread hashed
+//! [`TimerWheel`](crate::wheel::TimerWheel) instead of per-engine
+//! blocking timeouts. The switch side is unchanged: the same
+//! `shard_switch_loop` threads, the same endpoint layout, the same
+//! wire traffic — which is why the result is bit-identical to the
+//! threaded runner and the sequential reference (integer aggregation
+//! is order-independent, quantization deterministic).
+//!
+//! ## Ownership model (why no locks)
+//!
+//! Engine contexts are partitioned round-robin across reactor threads
+//! at spawn and never migrate: thread `t` exclusively owns engines
+//! `t, t + T, t + 2T, …` — their `SlotEngine` state, their ports,
+//! their scratch buffers, their slice of the result tensor, and their
+//! timers (each thread's wheel only holds its own engines). Nothing
+//! on the data path is shared mutably, so there is not a single lock
+//! or atomic on the per-packet path; the only cross-thread state is
+//! the stop flag and the final result hand-off at join.
+
+use crate::port::{BurstBuf, Port, PortStats, TxBatch};
+use crate::runner::{resolve_run_proto, RunConfig, RunReport, SCRATCH_CAPACITY};
+#[cfg(test)]
+use crate::shard::worker_core_endpoint;
+use crate::shard::{shard_endpoint, shard_switch_loop, sharded_fabric_size, stage_update};
+use crate::wheel::TimerWheel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use switchml_core::config::{NumericMode, Protocol, TimeNs};
+use switchml_core::error::{Error, Result};
+use switchml_core::packet::{PacketKind, PacketView, WireElems, WorkerId};
+use switchml_core::quant::fixed::dequantize_chunk;
+use switchml_core::switch::SwitchStats;
+use switchml_core::worker::engine::{EngineConfig, EngineStats, ResultOutcome, SlotEngine};
+
+/// Timer-wheel granularity. Coarse relative to packet service time,
+/// fine relative to any sane RTO (the runners clamp RTOs to ≥ 100 µs
+/// on real transports anyway), so wheel rounding adds at most one
+/// tick of retransmission latency.
+const WHEEL_TICK_NS: TimeNs = 50_000;
+
+/// Buckets per wheel: one revolution spans 256 × 50 µs = 12.8 ms,
+/// comfortably above the RTO range, so cascades only occur under
+/// heavy exponential backoff.
+const WHEEL_BUCKETS: usize = 256;
+
+/// Idle sleep cap. An idle reactor thread naps at most this long, so
+/// it stays responsive to traffic while yielding the core to the
+/// shard threads — essential on hosts with fewer hardware threads
+/// than OS threads.
+const IDLE_NAP_NS: u64 = 100_000;
+
+/// Event-loop health counters, aggregated over all reactor threads of
+/// a run and surfaced through [`RunReport::reactor`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Reactor threads the run used.
+    pub threads: u64,
+    /// Worker engines driven (n_workers × n_cores).
+    pub engines: u64,
+    /// Non-blocking receive polls issued.
+    pub polls: u64,
+    /// Polls that returned at least one frame.
+    pub rx_batches: u64,
+    /// Timer-wheel expirations delivered to engines.
+    pub timer_fires: u64,
+    /// Timer-wheel entries re-circulated because their deadline lay a
+    /// full revolution ahead (high = wheel mis-sized for the RTOs).
+    pub cascades: u64,
+    /// Times an idle thread napped instead of spinning.
+    pub idle_sleeps: u64,
+}
+
+impl ReactorStats {
+    /// Fold another thread's counters into this one.
+    pub fn merge(&mut self, other: ReactorStats) {
+        self.threads += other.threads;
+        self.engines += other.engines;
+        self.polls += other.polls;
+        self.rx_batches += other.rx_batches;
+        self.timer_fires += other.timer_fires;
+        self.cascades += other.cascades;
+        self.idle_sleeps += other.idle_sleeps;
+    }
+
+    /// Receive polls per second of wall time.
+    pub fn polls_per_sec(&self, wall: Duration) -> f64 {
+        self.polls as f64 / wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Average engines multiplexed per reactor thread.
+    pub fn engines_per_thread(&self) -> f64 {
+        self.engines as f64 / (self.threads as f64).max(1.0)
+    }
+}
+
+/// Everything one worker engine needs, owned exclusively by its
+/// reactor thread.
+struct EngineCtx<P: Port> {
+    port: P,
+    engine: SlotEngine,
+    shard_ep: usize,
+    wid: WorkerId,
+    /// Worker index (for result placement at join).
+    w: usize,
+    /// Core index (for result placement at join).
+    j: usize,
+    data: Arc<Vec<f32>>,
+    elem_lo: usize,
+    /// This engine's slice of the aggregated tensor.
+    local: Vec<f32>,
+    qbuf: Vec<i32>,
+    rxb: BurstBuf,
+    txb: TxBatch,
+    done: bool,
+    /// Set by the wheel sweep, consumed right after it: this engine
+    /// retransmitted and its timer must be re-armed.
+    pending_rearm: bool,
+}
+
+impl<P: Port> EngineCtx<P> {
+    /// Drain one received burst into the engine: accept results,
+    /// dequantize into the local slice, stage follow-up updates.
+    /// Identical per-packet logic to the threaded runner's `core_loop`
+    /// — only the surrounding loop structure differs.
+    fn process_rx(&mut self, k: usize, f: f64, now: TimeNs) -> Result<()> {
+        let EngineCtx {
+            port,
+            engine,
+            shard_ep,
+            wid,
+            data,
+            elem_lo,
+            local,
+            qbuf,
+            rxb,
+            txb,
+            ..
+        } = self;
+        for (_from, frame) in rxb.iter() {
+            let Ok(view) = PacketView::parse(frame) else {
+                continue; // corrupted / foreign datagram
+            };
+            // Defensive filters, as in the threaded runner: only
+            // full-k results for slots this engine owns.
+            if view.kind() != PacketKind::Result || !engine.owns_slot(view.idx()) {
+                continue;
+            }
+            if view.k() != k {
+                continue;
+            }
+            match engine.on_result(view.idx(), view.ver(), view.off(), now)? {
+                ResultOutcome::Accepted { off, next } => {
+                    // A ragged final chunk only carries n live
+                    // elements; the rest is padding.
+                    let off = off as usize;
+                    let n = k.min(data.len() - off);
+                    view.overwrite_into(&mut qbuf[..k]);
+                    dequantize_chunk(
+                        &qbuf[..n],
+                        f,
+                        &mut local[off - *elem_lo..off - *elem_lo + n],
+                    );
+                    if let Some(d) = next {
+                        stage_update(txb, *shard_ep, *wid, k, data, f, qbuf, d);
+                    }
+                }
+                ResultOutcome::Stale => {}
+            }
+        }
+        txb.flush(port);
+        Ok(())
+    }
+}
+
+/// One reactor thread: run-to-completion over its owned engines.
+/// Returns each engine's result slice + stats, the summed port stats,
+/// and this thread's loop counters.
+#[allow(clippy::type_complexity)]
+fn reactor_thread_loop<P: Port>(
+    mut ctxs: Vec<EngineCtx<P>>,
+    k: usize,
+    f: f64,
+    epoch: Instant,
+    deadline: Instant,
+) -> Result<(
+    Vec<(usize, usize, Vec<f32>, EngineStats)>,
+    PortStats,
+    ReactorStats,
+)> {
+    let now_ns = || epoch.elapsed().as_nanos() as u64;
+    let mut wheel = TimerWheel::new(ctxs.len(), WHEEL_TICK_NS, WHEEL_BUCKETS);
+    let mut stats = ReactorStats {
+        threads: 1,
+        engines: ctxs.len() as u64,
+        ..ReactorStats::default()
+    };
+    let mut pending = 0usize;
+
+    // Launch phase: emit every engine's initial window and arm its
+    // timer from its own deadline.
+    for (i, ctx) in ctxs.iter_mut().enumerate() {
+        let t = now_ns();
+        for d in ctx.engine.start(t) {
+            stage_update(
+                &mut ctx.txb,
+                ctx.shard_ep,
+                ctx.wid,
+                k,
+                &ctx.data,
+                f,
+                &mut ctx.qbuf,
+                d,
+            );
+        }
+        ctx.txb.flush(&mut ctx.port);
+        if ctx.engine.is_done() {
+            ctx.done = true; // zero-chunk engine
+        } else {
+            pending += 1;
+            if let Some(dl) = ctx.engine.next_deadline() {
+                wheel.schedule(i, dl);
+            }
+        }
+    }
+
+    let mut idle_streak = 0u32;
+    while pending > 0 {
+        if Instant::now() > deadline {
+            let stuck: Vec<String> = ctxs
+                .iter()
+                .filter(|c| !c.done)
+                .map(|c| {
+                    format!(
+                        "w{}c{} {}/{}",
+                        c.w,
+                        c.j,
+                        c.engine.completed_chunks(),
+                        c.engine.config().n_chunks
+                    )
+                })
+                .collect();
+            return Err(Error::ProtocolViolation(format!(
+                "reactor thread exceeded the wall-clock budget; unfinished engines: {}",
+                stuck.join(", ")
+            )));
+        }
+        let mut progress = false;
+
+        // Poll phase: one non-blocking burst receive per live engine.
+        for (i, ctx) in ctxs.iter_mut().enumerate() {
+            if ctx.done {
+                continue;
+            }
+            stats.polls += 1;
+            if ctx.port.recv_batch(&mut ctx.rxb, Duration::ZERO) > 0 {
+                stats.rx_batches += 1;
+                progress = true;
+                ctx.process_rx(k, f, now_ns())?;
+                if ctx.engine.is_done() {
+                    ctx.done = true;
+                    pending -= 1;
+                    wheel.cancel(i);
+                } else if let Some(dl) = ctx.engine.next_deadline() {
+                    // Progress re-arms the engine's deadline; mirror it
+                    // on the wheel (supersedes the old entry).
+                    wheel.schedule(i, dl);
+                }
+            }
+        }
+
+        // Timer phase: sweep the wheel; fired engines retransmit and
+        // re-arm (Algorithm 4's timeout handler, Jacobson/Karn state
+        // all inside the engine).
+        let t = now_ns();
+        let fired = wheel.advance(t, |i| {
+            let ctx = &mut ctxs[i];
+            if ctx.done {
+                return;
+            }
+            for d in ctx.engine.expired(t) {
+                stage_update(
+                    &mut ctx.txb,
+                    ctx.shard_ep,
+                    ctx.wid,
+                    k,
+                    &ctx.data,
+                    f,
+                    &mut ctx.qbuf,
+                    d,
+                );
+            }
+            ctx.txb.flush(&mut ctx.port);
+            ctx.pending_rearm = true;
+        });
+        // Re-arm outside the sweep (the wheel is borrowed during it).
+        for (i, ctx) in ctxs.iter_mut().enumerate() {
+            if ctx.pending_rearm {
+                ctx.pending_rearm = false;
+                if let Some(dl) = ctx.engine.next_deadline() {
+                    wheel.schedule(i, dl);
+                }
+            }
+        }
+        if fired > 0 {
+            stats.timer_fires += fired as u64;
+            progress = true;
+        }
+
+        // Idle backoff: a quiet loop yields, a persistently quiet loop
+        // naps until the next deadline (capped) — this is what lets
+        // dozens of engines share one hardware thread with the shard
+        // threads without starving them.
+        if progress {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+            if idle_streak == 1 {
+                std::thread::yield_now();
+            } else {
+                let nap = wheel
+                    .next_deadline()
+                    .map(|d| d.saturating_sub(now_ns()))
+                    .unwrap_or(IDLE_NAP_NS)
+                    .clamp(1, IDLE_NAP_NS);
+                std::thread::sleep(Duration::from_nanos(nap));
+                stats.idle_sleeps += 1;
+            }
+        }
+    }
+    stats.cascades = wheel.cascades();
+
+    let mut port_stats = PortStats::default();
+    let mut out = Vec::with_capacity(ctxs.len());
+    for ctx in ctxs {
+        port_stats.merge(ctx.port.stats());
+        out.push((ctx.w, ctx.j, ctx.local, ctx.engine.stats()));
+    }
+    Ok((out, port_stats, stats))
+}
+
+/// Run one all-reduce with `cfg.n_cores` switch shards and **all**
+/// `n_workers × n_cores` worker engines multiplexed onto at most
+/// `n_threads` reactor threads — the run-to-completion counterpart of
+/// [`crate::shard::run_allreduce_sharded`], bit-identical to it (and
+/// to the sequential reference) on the same inputs.
+///
+/// `ports` uses the identical sharded endpoint layout
+/// ([`sharded_fabric_size`]); only [`NumericMode::Fixed32`] is
+/// supported, as in the sharded runner.
+pub fn run_allreduce_reactor<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    cfg: &RunConfig,
+    n_threads: usize,
+) -> Result<RunReport> {
+    let proto = &resolve_run_proto(proto, &ports)?;
+    let n = proto.n_workers;
+    let c = cfg.n_cores;
+    if proto.mode != NumericMode::Fixed32 {
+        return Err(Error::InvalidConfig(
+            "reactor runner supports Fixed32 only".into(),
+        ));
+    }
+    if c == 0 {
+        return Err(Error::InvalidConfig("n_cores must be > 0".into()));
+    }
+    if n_threads == 0 {
+        return Err(Error::InvalidConfig("n_threads must be > 0".into()));
+    }
+    if c > proto.pool_size {
+        return Err(Error::InvalidConfig(format!(
+            "{c} cores need at least {c} pool slots"
+        )));
+    }
+    if updates.len() != n {
+        return Err(Error::InvalidConfig(format!(
+            "need {} update sets, got {}",
+            n,
+            updates.len()
+        )));
+    }
+    if ports.len() != sharded_fabric_size(n, c) {
+        return Err(Error::InvalidConfig(format!(
+            "need {} ports ({c} shards + {n}×{c} worker cores), got {}",
+            sharded_fabric_size(n, c),
+            ports.len()
+        )));
+    }
+    let shapes: Vec<usize> = updates[0].iter().map(|t| t.len()).collect();
+    for (w, tensors) in updates.iter().enumerate() {
+        let s: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+        if s != shapes {
+            return Err(Error::InvalidConfig(format!(
+                "worker {w}'s tensor shapes disagree with worker 0's"
+            )));
+        }
+    }
+    // More threads than engines is pointless; shrink silently.
+    let n_threads = n_threads.min(n * c);
+
+    let flat: Vec<Arc<Vec<f32>>> = updates
+        .into_iter()
+        .map(|tensors| Arc::new(tensors.into_iter().flatten().collect::<Vec<f32>>()))
+        .collect();
+    let total: usize = shapes.iter().sum();
+    let total_chunks = (total as u64).div_ceil(proto.k as u64);
+    let k = proto.k;
+    let f = proto.scaling_factor;
+    let s = proto.pool_size;
+
+    let t0 = Instant::now();
+    let epoch = t0;
+    let deadline = t0 + cfg.max_wall;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Peel the fabric apart exactly as the sharded runner does.
+    let mut ports = ports;
+    let mut core_ports: Vec<Vec<P>> = Vec::with_capacity(n);
+    let mut rest = ports.split_off(c);
+    for _ in 0..n {
+        let tail = rest.split_off(c);
+        core_ports.push(rest);
+        rest = tail;
+    }
+    let shard_ports = ports;
+
+    // Build every (worker, core) engine context, then deal them
+    // round-robin into per-thread batches: engine (w·c + j) goes to
+    // thread (w·c + j) mod n_threads. Round-robin (rather than
+    // contiguous blocks) spreads each worker's cores across threads,
+    // so one slow thread delays every worker a little instead of one
+    // worker a lot.
+    let mut batches: Vec<Vec<EngineCtx<P>>> = (0..n_threads).map(|_| Vec::new()).collect();
+    for (w, worker_ports) in core_ports.into_iter().enumerate() {
+        for (j, port) in worker_ports.into_iter().enumerate() {
+            let slot_lo = j * s / c;
+            let slot_hi = (j + 1) * s / c;
+            let chunk_lo = (j as u64) * total_chunks / c as u64;
+            let chunk_hi = (j as u64 + 1) * total_chunks / c as u64;
+            let ecfg = EngineConfig {
+                wid: w as WorkerId,
+                k,
+                slot_base: slot_lo as u32,
+                n_slots: slot_hi - slot_lo,
+                chunk_base: chunk_lo,
+                n_chunks: chunk_hi - chunk_lo,
+                rto: Some(proto.rto_ns),
+                rto_policy: proto.rto_policy,
+            };
+            let elem_lo = (chunk_lo as usize * k).min(total);
+            let elem_hi = (chunk_hi as usize * k).min(total);
+            let ctx = EngineCtx {
+                port,
+                engine: SlotEngine::new(ecfg)?,
+                shard_ep: shard_endpoint(j),
+                wid: w as WorkerId,
+                w,
+                j,
+                data: Arc::clone(&flat[w]),
+                elem_lo,
+                local: vec![0.0f32; elem_hi - elem_lo],
+                qbuf: vec![0i32; k],
+                rxb: BurstBuf::new(cfg.burst, SCRATCH_CAPACITY),
+                txb: TxBatch::new(SCRATCH_CAPACITY),
+                done: false,
+                pending_rearm: false,
+            };
+            batches[(w * c + j) % n_threads].push(ctx);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let shard_handles: Vec<_> = shard_ports
+            .into_iter()
+            .enumerate()
+            .map(|(j, port)| {
+                let stop = Arc::clone(&stop);
+                let proto = proto.clone();
+                let burst = cfg.burst;
+                scope.spawn(move || shard_switch_loop(port, j, c, burst, &proto, &stop, deadline))
+            })
+            .collect();
+
+        let reactor_handles: Vec<_> = batches
+            .into_iter()
+            .map(|ctxs| scope.spawn(move || reactor_thread_loop(ctxs, k, f, epoch, deadline)))
+            .collect();
+
+        // Gather: each thread hands back (w, j, slice, stats); stitch
+        // the slices into per-worker tensors by the same arithmetic
+        // that assigned them.
+        let mut flat_results: Vec<Vec<f32>> = (0..n).map(|_| vec![0.0f32; total]).collect();
+        let mut worker_stats = vec![EngineStats::default(); n];
+        let mut transport_stats = PortStats::default();
+        let mut reactor_stats = ReactorStats::default();
+        let mut first_err = None;
+        for h in reactor_handles {
+            match h.join().expect("reactor thread panicked") {
+                Ok((engines, ps, rs)) => {
+                    transport_stats.merge(ps);
+                    reactor_stats.merge(rs);
+                    for (w, j, local, st) in engines {
+                        let chunk_lo = (j as u64) * total_chunks / c as u64;
+                        let chunk_hi = (j as u64 + 1) * total_chunks / c as u64;
+                        let lo = (chunk_lo as usize * k).min(total);
+                        let hi = (chunk_hi as usize * k).min(total);
+                        debug_assert_eq!(hi - lo, local.len());
+                        flat_results[w][lo..hi].copy_from_slice(&local);
+                        worker_stats[w].merge(st);
+                    }
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        stop.store(true, Ordering::Release);
+        let mut switch_stats = SwitchStats::default();
+        for h in shard_handles {
+            let (st, ps) = h.join().expect("switch shard thread panicked")?;
+            switch_stats.merge(st);
+            transport_stats.merge(ps);
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        let results = flat_results
+            .into_iter()
+            .map(|flat_result| {
+                let mut tensors = Vec::with_capacity(shapes.len());
+                let mut off = 0usize;
+                for &len in &shapes {
+                    tensors.push(flat_result[off..off + len].to_vec());
+                    off += len;
+                }
+                tensors
+            })
+            .collect();
+        Ok(RunReport {
+            results,
+            worker_stats,
+            switch_stats,
+            transport_stats,
+            reactor: Some(reactor_stats),
+            wall: t0.elapsed(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::ScriptedPort;
+    use crate::lossy::lossy_fabric;
+    use crate::shard::{run_allreduce_sharded, sharded_channel_fabric};
+    use crate::udp::udp_fabric;
+    use switchml_core::agg::allreduce;
+    use switchml_core::config::RtoPolicy;
+
+    fn proto(n: usize) -> Protocol {
+        Protocol {
+            n_workers: n,
+            k: 8,
+            pool_size: 16,
+            rto_ns: 2_000_000, // 2 ms real time
+            scaling_factor: 10_000.0,
+            ..Protocol::default()
+        }
+    }
+
+    fn updates(n: usize, elems: usize) -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
+                    .collect()]
+            })
+            .collect()
+    }
+
+    /// Three-way differential: reactor == threaded sharded == the
+    /// sequential in-process reference, bit for bit, on a ragged
+    /// tensor.
+    #[test]
+    fn reactor_matches_threaded_and_reference() {
+        let n = 3;
+        let c = 2;
+        let elems = 333; // ragged final chunk
+        let p = proto(n);
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let reactor =
+            run_allreduce_reactor(sharded_channel_fabric(n, c), updates(n, elems), &p, &cfg, 2)
+                .unwrap();
+        let threaded =
+            run_allreduce_sharded(sharded_channel_fabric(n, c), updates(n, elems), &p, &cfg)
+                .unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(reactor.results[w], threaded.results[w], "worker {w}");
+            assert_eq!(reactor.results[w], reference, "worker {w} vs reference");
+        }
+        let rs = reactor.reactor.expect("reactor stats present");
+        assert_eq!(rs.threads, 2);
+        assert_eq!(rs.engines, (n * c) as u64);
+        assert!(rs.polls > 0);
+        assert!(rs.rx_batches > 0);
+    }
+
+    /// The headline scaling case: 64 virtual workers on 4 reactor
+    /// threads (+1 shard thread) — a topology thread-per-worker cannot
+    /// even spawn within budget on a small host — completing
+    /// bit-identical to the sequential reference.
+    #[test]
+    fn sixty_four_workers_on_four_threads() {
+        let n = 64;
+        let c = 1;
+        let elems = 96;
+        let p = proto(n);
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let report =
+            run_allreduce_reactor(sharded_channel_fabric(n, c), updates(n, elems), &p, &cfg, 4)
+                .unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w], reference, "worker {w}");
+        }
+        let rs = report.reactor.unwrap();
+        assert_eq!(rs.threads, 4);
+        assert_eq!(rs.engines, 64);
+        assert!(rs.engines_per_thread() >= 16.0);
+    }
+
+    /// Loss + adaptive RTO on the wheel: retransmissions recover the
+    /// run, Jacobson's estimator takes clean samples, and the answer
+    /// is still exact.
+    #[test]
+    fn reactor_loss_with_adaptive_rto_recovers() {
+        let n = 2;
+        let c = 2;
+        let elems = 400;
+        let p = Protocol {
+            rto_policy: RtoPolicy::Adaptive {
+                min_ns: 200_000,
+                max_ns: 50_000_000,
+            },
+            ..proto(n)
+        };
+        let (ports, loss_stats) = lossy_fabric(sharded_channel_fabric(n, c), 0.05, 77);
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let report = run_allreduce_reactor(ports, updates(n, elems), &p, &cfg, 2).unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w], reference, "worker {w}");
+        }
+        assert!(loss_stats.dropped() > 0, "5% loss should drop something");
+        let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+        assert!(retx > 0, "losses must trigger wheel-driven retransmissions");
+        let samples: u64 = report.worker_stats.iter().map(|s| s.rtt_samples).sum();
+        assert!(samples > 0, "adaptive estimator must take clean samples");
+        assert!(report.reactor.unwrap().timer_fires > 0);
+    }
+
+    /// A straggling engine (its port stalls every receive) delays but
+    /// does not corrupt: the wheel keeps its retransmissions flowing
+    /// and the final tensor is still bit-identical.
+    #[test]
+    fn reactor_straggler_is_bit_identical() {
+        let n = 2;
+        let c = 1;
+        let elems = 200;
+        let p = proto(n);
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let raw = sharded_channel_fabric(n, c);
+        let ports: Vec<_> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(ep, port)| {
+                // Worker 1's (only) core endpoint straggles.
+                let stall = if ep == worker_core_endpoint(1, 0, c) {
+                    Duration::from_micros(300)
+                } else {
+                    Duration::ZERO
+                };
+                ScriptedPort::new(port, stall, None)
+            })
+            .collect();
+        let report = run_allreduce_reactor(ports, updates(n, elems), &p, &cfg, 2).unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w], reference, "worker {w}");
+        }
+    }
+
+    /// Real kernel datagrams through the zero-timeout poll path.
+    #[test]
+    fn reactor_udp_smoke() {
+        let n = 2;
+        let c = 2;
+        let elems = 256;
+        let p = proto(n);
+        let ports = udp_fabric(sharded_fabric_size(n, c)).unwrap();
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        let report = run_allreduce_reactor(ports, updates(n, elems), &p, &cfg, 2).unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w], reference, "worker {w}");
+        }
+    }
+
+    #[test]
+    fn reactor_misconfiguration_rejected() {
+        let n = 2;
+        let cfg = RunConfig {
+            n_cores: 1,
+            ..RunConfig::default()
+        };
+        // Zero reactor threads.
+        assert!(run_allreduce_reactor(
+            sharded_channel_fabric(n, 1),
+            updates(n, 16),
+            &proto(n),
+            &cfg,
+            0
+        )
+        .is_err());
+        // Wrong port count.
+        assert!(run_allreduce_reactor(
+            sharded_channel_fabric(n, 2),
+            updates(n, 16),
+            &proto(n),
+            &cfg,
+            1
+        )
+        .is_err());
+        // Non-Fixed32 mode.
+        let p16 = Protocol {
+            mode: NumericMode::Float16,
+            ..proto(n)
+        };
+        assert!(
+            run_allreduce_reactor(sharded_channel_fabric(n, 1), updates(n, 16), &p16, &cfg, 1)
+                .is_err()
+        );
+    }
+}

@@ -132,6 +132,9 @@ pub struct RunReport {
     /// failures here are invisible to `worker_stats`/`switch_stats`,
     /// which only see them as protocol loss.
     pub transport_stats: PortStats,
+    /// Event-loop health counters, present only for runs driven by the
+    /// run-to-completion reactor ([`crate::reactor::run_allreduce_reactor`]).
+    pub reactor: Option<crate::reactor::ReactorStats>,
     pub wall: Duration,
 }
 
@@ -317,6 +320,7 @@ pub fn run_allreduce<P: Port + 'static>(
         worker_stats: multi.worker_stats,
         switch_stats: multi.switch_stats,
         transport_stats: multi.transport_stats,
+        reactor: None,
         wall: multi.wall,
     })
 }

@@ -70,7 +70,7 @@ pub fn sharded_fabric_size(n_workers: usize, n_cores: usize) -> usize {
 /// (by the endpoint layout) to its slot range. Results go back to the
 /// `n` core-`shard` worker endpoints — the multicast group of this
 /// "queue".
-fn shard_switch_loop<P: Port>(
+pub(crate) fn shard_switch_loop<P: Port>(
     mut port: P,
     shard: usize,
     n_cores: usize,
@@ -143,7 +143,7 @@ fn shard_switch_loop<P: Port>(
 /// Quantize + encode one update into a staged batch frame, entirely
 /// within reused scratch buffers.
 #[allow(clippy::too_many_arguments)]
-fn stage_update(
+pub(crate) fn stage_update(
     txb: &mut TxBatch,
     shard_ep: usize,
     wid: WorkerId,
@@ -454,6 +454,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
             worker_stats,
             switch_stats,
             transport_stats,
+            reactor: None,
             wall: t0.elapsed(),
         })
     })

@@ -294,6 +294,15 @@ impl Port for UdpPort {
         if self.gro.is_some() {
             return self.recv_batch_gro(bufs, timeout);
         }
+        // Pure non-blocking poll (reactor loops): drain what the
+        // kernel has queued and return. `arm_timeout` cannot express
+        // this — it rounds zero up to the timeout granule (zero means
+        // block-forever to the kernel) — so it is bypassed entirely.
+        if timeout.is_zero() {
+            let n = self.recvmmsg_into(bufs, mmsg::MSG_DONTWAIT);
+            self.hot = n > 0;
+            return n;
+        }
         // Spin phase: while traffic is flowing, poll non-blocking for
         // a short budget — no timeout syscalls, no kernel sleep.
         if self.hot {
@@ -588,6 +597,12 @@ impl UdpPort {
         if !bufs.is_empty() {
             self.hot = true;
             return bufs.len();
+        }
+        // Pure non-blocking poll: the stage and the kernel queue are
+        // both dry, and a zero timeout must never sleep.
+        if timeout.is_zero() {
+            self.hot = false;
+            return 0;
         }
         // Nothing queued: spin while hot, then arm the cached timeout
         // and block for the first message.
