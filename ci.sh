@@ -85,17 +85,16 @@ fi
 echo "== model checker: regression trace replay (release)"
 timeout 300 cargo test --release -q -p switchml-check
 
-echo "== chaos harness: seeded fault schedules over the real transports (release)"
-# One seeded chaos schedule per transport — loss, duplication,
-# reordering, a straggler, and a mid-run worker kill with
-# shrink-and-resume through the controller. Each run must finish
-# bit-identical to the sequential reference (the command exits nonzero
-# on silent corruption, deadlock, or a failed resume).
+echo "== scenario suite: the standing chaos-lab regression gate (release)"
+# The full named-scenario library on netsim + channel and the curated
+# UDP subset, each run held to its declared expectation oracles. The
+# command exits nonzero on any violated oracle — silent corruption,
+# a failed resume, a missing epoch bump, leaked tenant faults.
+timeout 300 cargo run --release -q -p switchml-cli -- scenario suite
+# The old chaos CLI path must keep working as a thin DSL adapter
+# (same flags, same exit-code contract) on its historical seed.
 timeout 120 cargo run --release -q -p switchml-cli -- chaos \
     --transport channel --workers 3 --elems 8192 --seed 7 --straggler 1
-timeout 180 cargo run --release -q -p switchml-cli -- chaos \
-    --transport udp --workers 3 --elems 8192 --seed 7 \
-    --ctrl --kill 2 --kill-at-ms 5
 
 echo "== multi-tenant scheduler: seeded churn + measured isolation (release)"
 # One seeded churn per transport: staggered arrivals, priority

@@ -10,6 +10,10 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     pub command: Option<String>,
+    /// Positional arguments after the subcommand (e.g. `scenario run
+    /// NAME`). Commands that take none reject them via
+    /// [`Args::assert_no_positionals`].
+    pub positionals: Vec<String>,
     flags: HashMap<String, String>,
     /// Flags given without a value (`--verbose`).
     switches: Vec<String>,
@@ -36,7 +40,7 @@ impl Args {
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(format!("unexpected positional argument '{a}'"));
+                out.positionals.push(a);
             }
         }
         Ok(out)
@@ -64,6 +68,19 @@ impl Args {
     pub fn switch(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
             || self.flags.get(key).is_some_and(|v| v == "true" || v == "1")
+    }
+
+    /// Positional argument `i` (0 = the first after the subcommand).
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Reject stray positionals (commands that only take flags).
+    pub fn assert_no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(format!("unexpected positional argument '{p}'")),
+        }
     }
 
     /// Flags the program never consumed (typo detection).
@@ -117,8 +134,16 @@ mod tests {
     }
 
     #[test]
-    fn positional_rejected() {
-        assert!(Args::parse(["a".into(), "b".into()]).is_err());
+    fn positionals_collected_and_rejectable() {
+        let a = Args::parse(["scenario".into(), "run".into(), "smoke-2w".into()]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("scenario"));
+        assert_eq!(a.positional(0), Some("run"));
+        assert_eq!(a.positional(1), Some("smoke-2w"));
+        assert!(a.assert_no_positionals().is_err());
+        assert!(Args::parse(["a".into()])
+            .unwrap()
+            .assert_no_positionals()
+            .is_ok());
         assert!(Args::parse(["--".into()]).is_err());
     }
 

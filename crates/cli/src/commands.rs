@@ -17,6 +17,27 @@ fn gbps(args: &Args) -> Result<u64, String> {
     Ok(args.get::<u64>("bandwidth-gbps", 10)? * 1_000_000_000)
 }
 
+/// The probabilistic fault flags shared by every chaos-capable command
+/// (`--seed` plus loss/dup/reorder probabilities), parsed into one
+/// [`switchml_scenario::FaultPlan`] so the commands cannot drift
+/// apart on spellings or defaults again. `loss_flag` preserves
+/// `sched`'s historical `--noisy-loss` spelling.
+fn fault_flags(
+    args: &Args,
+    loss_flag: &str,
+    default_loss: f64,
+    default_dup: f64,
+    default_reorder: f64,
+) -> Result<switchml_scenario::FaultPlan, String> {
+    Ok(switchml_scenario::FaultPlan {
+        seed: args.get("seed", 1)?,
+        loss: args.get(loss_flag, default_loss)?,
+        dup: args.get("dup", default_dup)?,
+        reorder: args.get("reorder", default_reorder)?,
+        ..switchml_scenario::FaultPlan::default()
+    })
+}
+
 fn render_outcome(label: &str, elems: usize, out: &CollectiveOutcome, json: bool) -> String {
     if json {
         serde_json::json!({
@@ -505,6 +526,189 @@ pub fn ctrl(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `scenario`: the declarative chaos lab's front door — list the
+/// curated library, print one scenario as `.scenario` JSON, run one by
+/// name (or from a file) on any transport, or replay the standing
+/// regression suite CI gates on. Any violated oracle exits nonzero.
+pub fn scenario(args: &Args) -> Result<String, String> {
+    args.assert_known(&["transport", "file", "json"])?;
+    use switchml_scenario::{library, run_scenario, Scenario, ScenarioReport, Transport};
+
+    let json = args.switch("json");
+    let sel = args.get_str("transport", "all");
+    let selected: Vec<Transport> = if sel == "all" {
+        Transport::ALL.to_vec()
+    } else {
+        vec![Transport::parse(&sel)?]
+    };
+    let report_json = |r: &ScenarioReport| -> serde_json::Value {
+        serde_json::json!({
+            "scenario": r.scenario,
+            "transport": r.transport.name(),
+            "completed": r.completed,
+            "passed": r.passed(),
+            "violations": r.violations,
+            "error": r.error,
+            "fingerprint": format!("{:#018x}", r.fingerprint),
+            "wall_ms": r.wall_ms,
+        })
+    };
+
+    match args.positional(0).unwrap_or("list") {
+        "list" => {
+            let lib = library::all();
+            if json {
+                let rows: Vec<serde_json::Value> = lib
+                    .iter()
+                    .map(|sc| {
+                        let ts: Vec<&str> =
+                            sc.supported_transports().iter().map(|t| t.name()).collect();
+                        let oracles: Vec<String> = sc.expect.iter().map(|e| e.label()).collect();
+                        serde_json::json!({
+                            "name": sc.name,
+                            "descr": sc.descr,
+                            "runner": sc.runner.name(),
+                            "transports": ts,
+                            "expect": oracles,
+                        })
+                    })
+                    .collect();
+                Ok(serde_json::to_value(&rows).to_string())
+            } else {
+                let mut out = format!("scenario library: {} scenarios", lib.len());
+                for sc in &lib {
+                    let ts: Vec<&str> =
+                        sc.supported_transports().iter().map(|t| t.name()).collect();
+                    let oracles: Vec<String> = sc.expect.iter().map(|e| e.label()).collect();
+                    out.push_str(&format!(
+                        "\n  {}  [{} | {}]\n      {}\n      expects: {}",
+                        sc.name,
+                        sc.runner.name(),
+                        ts.join(","),
+                        sc.descr,
+                        oracles.join(", "),
+                    ));
+                }
+                Ok(out)
+            }
+        }
+        "show" => {
+            let name = args.positional(1).ok_or("scenario show: need a NAME")?;
+            let sc = library::find(name)
+                .ok_or_else(|| format!("unknown scenario '{name}' (see `scenario list`)"))?;
+            Ok(sc.to_json_string())
+        }
+        "run" => {
+            let file = args.get_str("file", "");
+            let sc = if !file.is_empty() {
+                let text = std::fs::read_to_string(&file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                Scenario::from_json_str(&text)?
+            } else {
+                let name = args
+                    .positional(1)
+                    .ok_or("scenario run: need a NAME or --file FILE")?;
+                library::find(name)
+                    .ok_or_else(|| format!("unknown scenario '{name}' (see `scenario list`)"))?
+            };
+            let ts: Vec<Transport> = sc
+                .supported_transports()
+                .into_iter()
+                .filter(|t| selected.contains(t))
+                .collect();
+            if ts.is_empty() {
+                return Err(format!(
+                    "scenario '{}' does not run on --transport {sel} (supports: {})",
+                    sc.name,
+                    sc.supported_transports()
+                        .iter()
+                        .map(|t| t.name())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ));
+            }
+            let mut reports = Vec::new();
+            for t in ts {
+                reports.push(run_scenario(&sc, t)?);
+            }
+            let failed = reports.iter().any(|r| !r.passed());
+            let text = if json {
+                let rows: Vec<serde_json::Value> = reports.iter().map(&report_json).collect();
+                serde_json::to_value(&rows).to_string()
+            } else {
+                reports
+                    .iter()
+                    .map(|r| r.summary())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            if failed {
+                Err(text)
+            } else {
+                Ok(text)
+            }
+        }
+        "suite" => {
+            // The standing regression gate: the full library on every
+            // selected transport, except that UDP runs only the curated
+            // subset (CI time budget) — `scenario run NAME --transport
+            // udp` runs any scenario on demand.
+            let mut lines = Vec::new();
+            let mut rows = Vec::new();
+            let mut failures = 0usize;
+            for sc in library::all() {
+                for t in sc.supported_transports() {
+                    if !selected.contains(&t) {
+                        continue;
+                    }
+                    if t == Transport::Udp && !library::udp_subset().contains(&sc.name.as_str()) {
+                        continue;
+                    }
+                    match run_scenario(&sc, t) {
+                        Ok(rep) => {
+                            if !rep.passed() {
+                                failures += 1;
+                            }
+                            if json {
+                                rows.push(report_json(&rep));
+                            }
+                            lines.push(rep.summary());
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            lines.push(format!("{} [{}]: ERROR — {e}", sc.name, t.name()));
+                        }
+                    }
+                }
+            }
+            let text = if json {
+                serde_json::json!({
+                    "suite": "scenario-library",
+                    "runs": lines.len(),
+                    "failures": failures,
+                    "reports": rows,
+                })
+                .to_string()
+            } else {
+                format!(
+                    "scenario suite: {} run(s), {} failure(s)\n  {}",
+                    lines.len(),
+                    failures,
+                    lines.join("\n  ")
+                )
+            };
+            if failures == 0 {
+                Ok(text)
+            } else {
+                Err(text)
+            }
+        }
+        other => Err(format!(
+            "scenario: unknown action '{other}' (list|show|run|suite)"
+        )),
+    }
+}
+
 /// `chaos`: the live chaos harness — one seeded fault schedule
 /// (probabilistic loss/dup/reorder plus scripted straggler stalls,
 /// a worker kill, or a switch-process restart) against the real
@@ -533,25 +737,14 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         "max-wall-ms",
         "json",
     ])?;
-    use std::time::Duration;
-    use switchml_core::agg;
-    use switchml_core::config::RtoPolicy;
-    use switchml_ctrl::runner::{run_controlled, CtrlRunConfig};
-    use switchml_transport::channel::channel_fabric;
-    use switchml_transport::chaos::{
-        chaos_fabric_data_plane, run_chaos, run_chaos_sharded, ChaosOutcome, ChaosSpec,
+    use switchml_scenario::{
+        run_scenario, Detail, JobSpec, KillWhen, RtoMode, RunnerKind, Scenario, Topology, Transport,
     };
-    use switchml_transport::faulty::FaultyConfig;
-    use switchml_transport::shard::sharded_fabric_size;
-    use switchml_transport::udp::udp_fabric;
-    use switchml_transport::{Port, RunConfig};
 
     let workers: usize = args.get("workers", 3)?;
     let elems: usize = args.get("elems", 4096)?;
     let cores: usize = args.get("cores", 1)?;
     let burst: usize = args.get("burst", 8)?;
-    let seed: u64 = args.get("seed", 1)?;
-    let loss: f64 = args.get("loss", 0.02)?;
     let transport = args.get_str("transport", "channel");
     if transport != "udp" && transport != "channel" {
         return Err(format!(
@@ -561,38 +754,12 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     if workers < 2 || cores == 0 || burst == 0 {
         return Err("need --workers >= 2 and --cores/--burst >= 1".into());
     }
-    let fault = FaultyConfig {
-        send_drop: loss,
-        recv_drop: loss,
-        dup: args.get("dup", 0.02)?,
-        reorder: args.get("reorder", 0.05)?,
-        ..FaultyConfig::default()
-    };
-    let rto_ns = args.get::<u64>("rto-us", 2_000)? * 1_000;
-    let rto_policy = match args.get_str("rto", "adaptive").as_str() {
-        "fixed" => RtoPolicy::Fixed,
-        "backoff" => RtoPolicy::ExponentialBackoff {
-            max_ns: rto_ns * 32,
-        },
-        "adaptive" => RtoPolicy::Adaptive {
-            min_ns: rto_ns / 4,
-            max_ns: rto_ns * 32,
-        },
-        other => return Err(format!("--rto: unknown '{other}' (adaptive|backoff|fixed)")),
-    };
-    let proto = Protocol {
-        n_workers: workers,
-        pool_size: 32,
-        rto_ns,
-        rto_policy,
-        scaling_factor: 10_000.0,
-        ..Protocol::default()
-    };
-    let max_wall = Duration::from_millis(args.get("max-wall-ms", 10_000)?);
+    let rto_mode =
+        RtoMode::parse(&args.get_str("rto", "adaptive")).map_err(|e| format!("--rto: {e}"))?;
     let straggler_w: i64 = args.get("straggler", -1)?;
-    let stall = Duration::from_micros(args.get("stall-us", 50)?);
+    let stall_us: u64 = args.get("stall-us", 50)?;
     let kill_w: i64 = args.get("kill", -1)?;
-    let kill_at = Duration::from_millis(args.get("kill-at-ms", 5)?);
+    let kill_at_ms: u64 = args.get("kill-at-ms", 5)?;
     let restart_ms: i64 = args.get("switch-restart-ms", -1)?;
     let ctrl_mode = args.switch("ctrl") || restart_ms >= 0;
     if (straggler_w >= 0 && straggler_w as usize >= workers)
@@ -602,92 +769,75 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     }
     let json = args.switch("json");
 
-    let updates: Vec<Vec<Vec<f32>>> = (0..workers)
-        .map(|w| {
-            vec![(0..elems)
-                .map(|i| (w + 1) as f32 + (i % 5) as f32 * 0.1)
-                .collect()]
-        })
-        .collect();
+    // The flags compile to one declarative scenario; the DSL engine
+    // owns the endpoint mapping, the fault wiring, and the
+    // bit-identical bar (observe-only: no expectations, but silent
+    // corruption still surfaces as a violation).
+    let mut faults = fault_flags(args, "loss", 0.02, 0.02, 0.05)?;
+    if straggler_w >= 0 {
+        faults.stragglers.push((straggler_w as usize, stall_us));
+    }
+    if kill_w >= 0 {
+        faults
+            .kills
+            .push((kill_w as usize, KillWhen::ElapsedUs(kill_at_ms * 1_000)));
+    }
+    if restart_ms >= 0 {
+        faults.switch_restart_ms = Some(restart_ms as u64);
+    }
+    let sc = Scenario {
+        name: format!("cli-chaos-{transport}"),
+        descr: "ad-hoc chaos schedule from CLI flags".into(),
+        runner: if ctrl_mode {
+            RunnerKind::Ctrl
+        } else if cores > 1 {
+            RunnerKind::Sharded
+        } else {
+            RunnerKind::Plain
+        },
+        topology: Topology {
+            workers,
+            cores,
+            // The harness's historical protocol: paper-default packet
+            // size over a 32-slot pool.
+            k: Protocol::default().k,
+            pool_size: 32,
+            ..Topology::default()
+        },
+        jobs: vec![JobSpec {
+            elems,
+            ..JobSpec::default()
+        }],
+        faults,
+        expect: Vec::new(),
+        max_wall_ms: args.get("max-wall-ms", 10_000)?,
+        rto_us: args.get("rto-us", 2_000)?,
+        rto_mode,
+        burst,
+        only_transports: None,
+    };
+    let rep =
+        run_scenario(&sc, Transport::parse(&transport)?).map_err(|e| format!("chaos: {e}"))?;
 
     if ctrl_mode {
         // Controller-managed run: a killed worker is detected by
         // heartbeat silence and the job shrinks and resumes under a
         // bumped epoch; a switch restart is recovered by an in-place
-        // failover. Probabilistic faults hit only the data plane
-        // (switch endpoint); straggler stalls apply anywhere.
-        let spec = ChaosSpec {
-            seed,
-            fault,
-            straggler: (straggler_w >= 0).then(|| (straggler_w as usize + 1, stall)),
-            kill: None, // the crash is the controller's to observe
-        };
-        let cfg = CtrlRunConfig {
-            max_wall,
-            n_cores: cores,
-            kill: (kill_w >= 0).then_some((kill_w as u16, kill_at)),
-            switch_restart: (restart_ms >= 0).then(|| Duration::from_millis(restart_ms as u64)),
-            ..CtrlRunConfig::default()
-        };
-        fn drive_ctrl<P: Port + 'static>(
-            base: Vec<P>,
-            spec: &ChaosSpec,
-            updates: Vec<Vec<Vec<f32>>>,
-            proto: &Protocol,
-            cfg: &CtrlRunConfig,
-        ) -> switchml_core::Result<switchml_ctrl::runner::CtrlRunReport> {
-            let (ports, _) = chaos_fabric_data_plane(base, 1, spec);
-            run_controlled(ports, updates, proto, cfg)
+        // failover. The DSL engine checks the §5.4 bar unconditionally
+        // — survivor disagreement or a reference mismatch lands in the
+        // report's violations, a failed run in its error.
+        if !rep.violations.is_empty() {
+            return Err(format!("chaos (ctrl): {}", rep.violations.join("; ")));
         }
-        let report = match transport.as_str() {
-            "channel" => drive_ctrl(
-                channel_fabric(workers + 2),
-                &spec,
-                updates.clone(),
-                &proto,
-                &cfg,
-            ),
+        let report = match rep.detail {
+            Detail::Ctrl(r) => r,
             _ => {
-                let base = udp_fabric(workers + 2).map_err(|e| e.to_string())?;
-                drive_ctrl(base, &spec, updates.clone(), &proto, &cfg)
-            }
-        }
-        .map_err(|e| format!("chaos (ctrl): {e}"))?;
-
-        let survivors: Vec<(usize, &Vec<Vec<f32>>)> = report
-            .results
-            .iter()
-            .enumerate()
-            .filter_map(|(w, r)| r.as_ref().map(|t| (w, t)))
-            .collect();
-        if survivors.is_empty() {
-            return Err("chaos (ctrl): no surviving worker produced results".into());
-        }
-        // Every survivor must hold the same bits (the §5.4 consistency
-        // guarantee across reconfigurations); when the membership never
-        // shrank, those bits must equal the sequential reference.
-        let (w0, first) = survivors[0];
-        for &(w, t) in &survivors[1..] {
-            if t != first {
                 return Err(format!(
-                    "chaos (ctrl): worker {w} result differs from worker {w0} — silent corruption"
-                ));
+                    "chaos (ctrl): {}",
+                    rep.error.unwrap_or_else(|| "run produced no report".into())
+                ))
             }
-        }
-        if report.final_n == workers {
-            let reference = agg::allreduce(&updates, &proto).map_err(|e| e.to_string())?;
-            for (t, (got, want)) in first.iter().zip(&reference).enumerate() {
-                if got
-                    .iter()
-                    .map(|v| v.to_bits())
-                    .ne(want.iter().map(|v| v.to_bits()))
-                {
-                    return Err(format!(
-                        "chaos (ctrl): tensor {t} differs from the sequential reference"
-                    ));
-                }
-            }
-        }
+        };
 
         let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
         let srtt_us: f64 = report
@@ -774,63 +924,13 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     }
 
     // Plain data plane: no control plane, so a kill must surface as a
-    // reported error (clean degradation), never as wrong numbers.
-    let spec = ChaosSpec {
-        seed,
-        fault,
-        straggler: (straggler_w >= 0).then(|| {
-            let ep = if cores > 1 {
-                cores + straggler_w as usize * cores
-            } else {
-                straggler_w as usize + 1
-            };
-            (ep, stall)
-        }),
-        kill: (kill_w >= 0).then(|| {
-            let ep = if cores > 1 {
-                cores + kill_w as usize * cores
-            } else {
-                kill_w as usize + 1
-            };
-            (ep, kill_at)
-        }),
-    };
-    let run_cfg = RunConfig {
-        n_cores: cores,
-        burst,
-        max_wall,
-    };
-
-    fn drive<P: Port + 'static>(
-        ports: Vec<P>,
-        updates: Vec<Vec<Vec<f32>>>,
-        proto: &Protocol,
-        cfg: &RunConfig,
-        spec: &ChaosSpec,
-    ) -> switchml_core::Result<ChaosOutcome> {
-        if cfg.n_cores > 1 {
-            run_chaos_sharded(ports, updates, proto, cfg, spec)
-        } else {
-            run_chaos(ports, updates, proto, cfg, spec)
-        }
+    // reported error (clean degradation), never as wrong numbers. The
+    // DSL engine turns silent corruption into a violation.
+    if !rep.violations.is_empty() {
+        return Err(format!("chaos: {}", rep.violations.join("; ")));
     }
-
-    let size = if cores > 1 {
-        sharded_fabric_size(workers, cores)
-    } else {
-        workers + 1
-    };
-    let outcome = match transport.as_str() {
-        "channel" => drive(channel_fabric(size), updates, &proto, &run_cfg, &spec),
-        _ => {
-            let ports = udp_fabric(size).map_err(|e| e.to_string())?;
-            drive(ports, updates, &proto, &run_cfg, &spec)
-        }
-    }
-    .map_err(|e| format!("chaos: {e}"))?;
-
-    match outcome {
-        ChaosOutcome::BitIdentical(report) => {
+    match rep.detail {
+        Detail::Run(report) => {
             let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
             let samples: u64 = report.worker_stats.iter().map(|s| s.rtt_samples).sum();
             let srtt_us = report
@@ -865,13 +965,14 @@ pub fn chaos(args: &Args) -> Result<String, String> {
                 ))
             }
         }
-        ChaosOutcome::CleanDegradation(e) => {
+        _ => {
+            let e = rep.error.unwrap_or_else(|| "did not complete".into());
             if json {
                 Ok(serde_json::json!({
                     "outcome": "clean-degradation",
                     "mode": "plain",
                     "transport": transport,
-                    "error": e.to_string(),
+                    "error": e,
                 })
                 .to_string())
             } else {
@@ -909,15 +1010,11 @@ pub fn sched(args: &Args) -> Result<String, String> {
         "bench",
         "json",
     ])?;
-    use std::sync::Arc;
     use std::time::Duration;
-    use switchml_ctrl::sched::{
-        run_scheduled, sched_fabric_size, Class, SchedJob, SchedRunConfig, SchedRunReport,
-        TenantSpec,
+    use switchml_ctrl::sched::SchedRunReport;
+    use switchml_scenario::{
+        run_scenario, Detail, JobClass, JobSpec, RtoMode, RunnerKind, Scenario, Topology, Transport,
     };
-    use switchml_transport::channel::channel_fabric;
-    use switchml_transport::faulty::{FaultyConfig, FaultyPort, FaultyStats};
-    use switchml_transport::udp::udp_fabric;
 
     let n_jobs: usize = args.get("jobs", 6)?;
     let workers: usize = args.get("workers", 2)?;
@@ -928,10 +1025,7 @@ pub fn sched(args: &Args) -> Result<String, String> {
     let capacity: u32 = args.get("capacity", 32)?;
     let arrival_ms: u64 = args.get("arrival-ms", 4)?;
     let high_every: usize = args.get("high-every", 3)?;
-    let noisy_loss: f64 = args.get("noisy-loss", 0.0)?;
-    let seed: u64 = args.get("seed", 1)?;
     let cores: usize = args.get("cores", 1)?;
-    let max_wall = Duration::from_millis(args.get("max-wall-ms", 30_000)?);
     let bench_file = args.get_str("bench", "");
     let transport = args.get_str("transport", "channel");
     let json = args.switch("json");
@@ -948,98 +1042,65 @@ pub fn sched(args: &Args) -> Result<String, String> {
         }
     }
 
-    let base = Protocol {
-        n_workers: workers,
-        k: 8,
-        pool_size: 16,
-        rto_ns: 2_000_000,
-        scaling_factor: 10_000.0,
-        ..Protocol::default()
-    };
-    let mk_jobs = || -> Vec<SchedJob> {
-        (0..n_jobs)
-            .map(|j| {
-                let class = if high_every > 0 && j % high_every == high_every - 1 {
-                    Class::High
+    // The flags compile to one declarative scenario (observe-only: the
+    // churn metrics and the isolation verdict below are computed from
+    // the full report). The storm, when any, is aimed at the first
+    // tenant's workers.
+    let mut faults = fault_flags(args, "noisy-loss", 0.0, 0.0, 0.0)?;
+    faults.target_job = Some(0);
+    let noisy_loss = faults.loss;
+    let seed = faults.seed;
+    let base_sc = Scenario {
+        name: "cli-sched".into(),
+        descr: "ad-hoc churn population from CLI flags".into(),
+        runner: RunnerKind::Sched,
+        topology: Topology {
+            workers,
+            cores,
+            // The churn benchmark's historical protocol: small packets
+            // over a small per-job pool so slot pressure is real.
+            k: 8,
+            pool_size: 16,
+            capacity,
+            ..Topology::default()
+        },
+        jobs: (0..n_jobs)
+            .map(|j| JobSpec {
+                elems,
+                arrival_ms: arrival_ms * j as u64,
+                class: if high_every > 0 && j % high_every == high_every - 1 {
+                    JobClass::High
                 } else {
-                    Class::BestEffort
-                };
-                SchedJob {
-                    tenant: TenantSpec {
-                        job: j as u8,
-                        class,
-                        weight: 1 + (j as u32 % 2),
-                        // The (noisy) first tenant is capped so a storm
-                        // cannot also hog the pool.
-                        quota: if j == 0 { capacity / 2 } else { 0 },
-                        min_slots: 2,
-                    },
-                    updates: (0..workers)
-                        .map(|w| {
-                            vec![(0..elems)
-                                .map(|i| {
-                                    (w + 1) as f32 * 0.5
-                                        + ((i as u64 + seed + j as u64 * 13) % 7) as f32 * 0.25
-                                })
-                                .collect()]
-                        })
-                        .collect(),
-                    submit_at: Duration::from_millis(arrival_ms * j as u64),
-                }
+                    JobClass::BestEffort
+                },
+                weight: 1 + (j as u32 % 2),
+                // The (noisy) first tenant is capped so a storm cannot
+                // also hog the pool.
+                quota: if j == 0 { capacity / 2 } else { 0 },
+                min_slots: 2,
             })
-            .collect()
+            .collect(),
+        faults,
+        expect: Vec::new(),
+        max_wall_ms: args.get("max-wall-ms", 30_000)?,
+        rto_us: 2_000,
+        rto_mode: RtoMode::Fixed,
+        burst: 8,
+        only_transports: None,
     };
 
-    let cfg = SchedRunConfig {
-        max_wall,
-        n_cores: cores,
-        capacity,
-        ..SchedRunConfig::default()
-    };
-
-    // One churn run: a fault wrapper over every port, loss aimed only
-    // at job 0's workers (endpoints 1..=workers, first submission).
-    fn storm_fabric<P: switchml_transport::Port + 'static>(
-        ports: Vec<P>,
-        noisy: std::ops::RangeInclusive<usize>,
-        loss: f64,
-        seed: u64,
-    ) -> Vec<FaultyPort<P>> {
-        let stats = Arc::new(FaultyStats::default());
-        ports
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let fc = if loss > 0.0 && noisy.contains(&i) {
-                    FaultyConfig::loss_only(loss)
-                } else {
-                    FaultyConfig::default()
-                };
-                FaultyPort::new(p, fc, seed.wrapping_mul(31) + i as u64, Arc::clone(&stats))
-            })
-            .collect()
-    }
     let run_one = |transport: &str, loss: f64| -> Result<SchedRunReport, String> {
-        let jobs = mk_jobs();
-        let size = sched_fabric_size(&jobs);
-        match transport {
-            "channel" => run_scheduled(
-                storm_fabric(channel_fabric(size), 1..=workers, loss, seed),
-                jobs,
-                &base,
-                &cfg,
-            ),
-            _ => {
-                let ports = udp_fabric(size).map_err(|e| e.to_string())?;
-                run_scheduled(
-                    storm_fabric(ports, 1..=workers, loss, seed),
-                    jobs,
-                    &base,
-                    &cfg,
-                )
-            }
+        let mut sc = base_sc.clone();
+        sc.faults.loss = loss;
+        let rep = run_scenario(&sc, Transport::parse(transport)?)
+            .map_err(|e| format!("sched ({transport}): {e}"))?;
+        if let Some(e) = rep.error {
+            return Err(format!("sched ({transport}): {e}"));
         }
-        .map_err(|e| format!("sched ({transport}): {e}"))
+        match rep.detail {
+            Detail::Sched(r) => Ok(r),
+            _ => Err(format!("sched ({transport}): run produced no report")),
+        }
     };
 
     let p99 = |mut xs: Vec<Duration>| -> Option<Duration> {
@@ -1077,7 +1138,7 @@ pub fn sched(args: &Args) -> Result<String, String> {
         let ate: u64 = baseline
             .outcomes
             .iter()
-            .map(|o| o.switch_stats.completions * base.k as u64)
+            .map(|o| o.switch_stats.completions * base_sc.topology.k as u64)
             .sum();
         let ate_per_sec = ate as f64 / wall_s;
 
@@ -1502,6 +1563,63 @@ mod tests {
         assert_eq!(v["finished"], true, "{out}");
         assert_eq!(v["jobs"][0]["epoch"].as_u64(), Some(1), "{out}");
         assert_eq!(v["jobs"][0]["workers"].as_u64(), Some(3), "{out}");
+    }
+
+    #[test]
+    fn scenario_list_show_and_bad_actions() {
+        let out = scenario(&args("scenario list")).unwrap();
+        assert!(out.contains("loss-storm-5pct"), "{out}");
+        assert!(out.contains("expects:"), "{out}");
+        let shown = scenario(&args("scenario show smoke-2w")).unwrap();
+        let sc = switchml_scenario::Scenario::from_json_str(&shown).unwrap();
+        assert_eq!(sc.name, "smoke-2w");
+        assert!(scenario(&args("scenario show no-such-scenario")).is_err());
+        assert!(scenario(&args("scenario frobnicate")).is_err());
+    }
+
+    #[test]
+    fn scenario_run_netsim_smoke() {
+        let out = scenario(&args("scenario run smoke-2w --transport netsim --json")).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v[0]["passed"], true, "{out}");
+        assert_eq!(v[0]["transport"], "netsim", "{out}");
+    }
+
+    #[test]
+    fn scenario_run_from_file() {
+        let path = std::env::temp_dir().join("switchml_cli_test.scenario");
+        let shown = scenario(&args("scenario show smoke-2w")).unwrap();
+        std::fs::write(&path, shown).unwrap();
+        let out = scenario(&args(&format!(
+            "scenario run --file {} --transport netsim",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chaos_adapter_bit_identical_json() {
+        let out = chaos(&args(
+            "chaos --transport channel --workers 2 --elems 2048 --seed 7 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["outcome"], "bit-identical", "{out}");
+        assert_eq!(v["mode"], "plain", "{out}");
+        assert!(v["injected_faults"].as_u64().unwrap() > 0, "{out}");
+    }
+
+    #[test]
+    fn chaos_adapter_kill_degrades_cleanly() {
+        let out = chaos(&args(
+            "chaos --transport channel --workers 2 --elems 32768 --kill 1 --kill-at-ms 1 \
+             --max-wall-ms 2000 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["outcome"], "clean-degradation", "{out}");
     }
 
     #[test]

@@ -66,6 +66,15 @@ COMMANDS:
              --noisy-loss P (0: loss storm on job 0's ports)
              --seed N (1) --cores N (1) --max-wall-ms N (30000)
              --bench FILE (write churn benchmark JSON)  --json
+  scenario   Declarative scenario DSL: run the curated chaos-lab
+             library (or a .scenario file) on any transport
+             list [--json]               catalog every named scenario
+             show NAME                   print a scenario as .scenario JSON
+             run NAME | run --file F     run one scenario
+                 [--transport netsim|channel|udp|all]  [--json]
+             suite [--transport netsim|channel|udp|all]
+                 the standing regression gate: full library on
+                 netsim+channel, the UDP-tagged subset on udp
   check      Deterministic adversarial schedule explorer (model checker)
              --strategy exhaustive|delay|random (exhaustive)
              --switch basic|reliable|multijob:N|mutant-no-bitmap
@@ -82,7 +91,13 @@ COMMANDS:
 
 /// Dispatch a parsed command line; returns the text to print.
 pub fn dispatch(args: &Args) -> Result<String, String> {
+    // `scenario` takes positionals (its sub-action and a name); every
+    // other command takes flags only.
+    if args.command.as_deref() != Some("scenario") {
+        args.assert_no_positionals()?;
+    }
     match args.command.as_deref() {
+        Some("scenario") => commands::scenario(args),
         Some("simulate") => commands::simulate(args),
         Some("baseline") => commands::baseline(args),
         Some("tune") => commands::tune(args),

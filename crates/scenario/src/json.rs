@@ -1,0 +1,413 @@
+//! `.scenario` files: hand-rolled JSON (de)serialization over the
+//! vendored [`serde_json`] shim, following the same discipline as the
+//! checker's `.trace` headers — explicit field-by-field conversion
+//! with defaults for absent keys, so old files keep parsing as the
+//! vocabulary grows.
+
+use serde_json::{json, Value};
+
+use crate::spec::{
+    Expect, FaultPlan, JobClass, JobSpec, KillWhen, RtoMode, RunnerKind, Scenario, Topology,
+    Transport,
+};
+
+fn expect_name(e: &Expect) -> String {
+    match e {
+        Expect::Completes => "completes".into(),
+        Expect::BitIdentical => "bit-identical".into(),
+        Expect::SurvivorsBitIdentical => "survivors-bit-identical".into(),
+        Expect::CleanDegradation => "clean-degradation".into(),
+        Expect::FaultsInjected => "faults-injected".into(),
+        Expect::Retransmissions => "retransmissions".into(),
+        Expect::AllJobsComplete => "all-jobs-complete".into(),
+        Expect::ZeroQuietTenantFaults => "zero-quiet-tenant-faults".into(),
+        Expect::Resizes => "resizes".into(),
+        Expect::EpochAtLeast(n) => format!("epoch-at-least:{n}"),
+        Expect::WallUnderMs(ms) => format!("wall-under-ms:{ms}"),
+        Expect::P99FirstAggregateUnderMs(ms) => format!("p99-first-aggregate-under-ms:{ms}"),
+    }
+}
+
+impl Expect {
+    /// The oracle's catalog spelling — the same string the `.scenario`
+    /// format uses, for CLI listings and experiment tables.
+    pub fn label(&self) -> String {
+        expect_name(self)
+    }
+}
+
+fn parse_expect(s: &str) -> Result<Expect, String> {
+    if let Some(n) = s.strip_prefix("epoch-at-least:") {
+        return n
+            .parse()
+            .map(Expect::EpochAtLeast)
+            .map_err(|_| format!("bad epoch '{n}'"));
+    }
+    if let Some(n) = s.strip_prefix("wall-under-ms:") {
+        return n
+            .parse()
+            .map(Expect::WallUnderMs)
+            .map_err(|_| format!("bad bound '{n}'"));
+    }
+    if let Some(n) = s.strip_prefix("p99-first-aggregate-under-ms:") {
+        return n
+            .parse()
+            .map(Expect::P99FirstAggregateUnderMs)
+            .map_err(|_| format!("bad bound '{n}'"));
+    }
+    match s {
+        "completes" => Ok(Expect::Completes),
+        "bit-identical" => Ok(Expect::BitIdentical),
+        "survivors-bit-identical" => Ok(Expect::SurvivorsBitIdentical),
+        "clean-degradation" => Ok(Expect::CleanDegradation),
+        "faults-injected" => Ok(Expect::FaultsInjected),
+        "retransmissions" => Ok(Expect::Retransmissions),
+        "all-jobs-complete" => Ok(Expect::AllJobsComplete),
+        "zero-quiet-tenant-faults" => Ok(Expect::ZeroQuietTenantFaults),
+        "resizes" => Ok(Expect::Resizes),
+        other => Err(format!("unknown expectation '{other}'")),
+    }
+}
+
+impl Scenario {
+    /// The scenario as a JSON value (the `.scenario` file format).
+    pub fn to_json(&self) -> Value {
+        let t = &self.topology;
+        let f = &self.faults;
+        let jobs: Vec<Value> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                json!({
+                    "elems": j.elems as u64,
+                    "arrival_ms": j.arrival_ms,
+                    "class": j.class.name(),
+                    "weight": j.weight,
+                    "quota": j.quota,
+                    "min_slots": j.min_slots,
+                })
+            })
+            .collect();
+        let stragglers: Vec<Value> = f
+            .stragglers
+            .iter()
+            .map(|&(w, us)| json!({"worker": w as u64, "stall_us": us}))
+            .collect();
+        let kills: Vec<Value> = f
+            .kills
+            .iter()
+            .map(|&(w, when)| match when {
+                KillWhen::ElapsedUs(us) => json!({"worker": w as u64, "at_us": us}),
+                KillWhen::AfterSends(n) => json!({"worker": w as u64, "after_sends": n}),
+            })
+            .collect();
+        let expect: Vec<Value> = self
+            .expect
+            .iter()
+            .map(|e| Value::Str(expect_name(e)))
+            .collect();
+        let mut faults = vec![
+            ("seed".to_string(), json!(f.seed)),
+            ("loss".to_string(), json!(f.loss)),
+            ("dup".to_string(), json!(f.dup)),
+            ("reorder".to_string(), json!(f.reorder)),
+            ("batch_loss".to_string(), json!(f.batch_loss)),
+            ("stragglers".to_string(), Value::Array(stragglers)),
+            ("kills".to_string(), Value::Array(kills)),
+        ];
+        if let Some(ms) = f.switch_restart_ms {
+            faults.push(("switch_restart_ms".to_string(), json!(ms)));
+        }
+        if let Some(us) = f.failover_us {
+            faults.push(("failover_us".to_string(), json!(us)));
+        }
+        if let Some(j) = f.target_job {
+            faults.push(("target_job".to_string(), json!(j as u64)));
+        }
+        let mut root = vec![
+            ("name".to_string(), json!(self.name.as_str())),
+            ("descr".to_string(), json!(self.descr.as_str())),
+            ("runner".to_string(), json!(self.runner.name())),
+            (
+                "topology".to_string(),
+                json!({
+                    "workers": t.workers as u64,
+                    "cores": t.cores as u64,
+                    "racks": t.racks as u64,
+                    "k": t.k as u64,
+                    "pool_size": t.pool_size as u64,
+                    "capacity": t.capacity,
+                }),
+            ),
+            ("jobs".to_string(), Value::Array(jobs)),
+            ("faults".to_string(), Value::Object(faults)),
+            ("expect".to_string(), Value::Array(expect)),
+            ("max_wall_ms".to_string(), json!(self.max_wall_ms)),
+            ("rto_us".to_string(), json!(self.rto_us)),
+            ("rto_mode".to_string(), json!(self.rto_mode.name())),
+            ("burst".to_string(), json!(self.burst as u64)),
+        ];
+        if let Some(only) = &self.only_transports {
+            root.push((
+                "only_transports".to_string(),
+                Value::Array(only.iter().map(|t| json!(t.name())).collect()),
+            ));
+        }
+        Value::Object(root)
+    }
+
+    /// Parse a scenario from its JSON value. Missing optional keys
+    /// take the builder defaults; the result is validated.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let need_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .as_str()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("scenario: missing or non-string '{key}'"))
+        };
+        let opt_u64 = |val: &Value, key: &str, default: u64| -> Result<u64, String> {
+            let f = val.get(key);
+            if f.is_null() {
+                return Ok(default);
+            }
+            f.as_u64()
+                .ok_or_else(|| format!("scenario: '{key}' must be an integer"))
+        };
+        let opt_f64 = |val: &Value, key: &str, default: f64| -> Result<f64, String> {
+            let f = val.get(key);
+            if f.is_null() {
+                return Ok(default);
+            }
+            f.as_f64()
+                .ok_or_else(|| format!("scenario: '{key}' must be a number"))
+        };
+        let opt_bool = |val: &Value, key: &str, default: bool| -> Result<bool, String> {
+            let f = val.get(key);
+            if f.is_null() {
+                return Ok(default);
+            }
+            f.as_bool()
+                .ok_or_else(|| format!("scenario: '{key}' must be a bool"))
+        };
+
+        let name = need_str("name")?;
+        let descr = v.get("descr").as_str().unwrap_or("").to_string();
+        let runner = RunnerKind::parse(&need_str("runner")?)?;
+
+        let td = Topology::default();
+        let tv = v.get("topology");
+        let topology = Topology {
+            workers: opt_u64(tv, "workers", td.workers as u64)? as usize,
+            cores: opt_u64(tv, "cores", td.cores as u64)? as usize,
+            racks: opt_u64(tv, "racks", td.racks as u64)? as usize,
+            k: opt_u64(tv, "k", td.k as u64)? as usize,
+            pool_size: opt_u64(tv, "pool_size", td.pool_size as u64)? as usize,
+            capacity: opt_u64(tv, "capacity", td.capacity as u64)? as u32,
+        };
+
+        let jd = JobSpec::default();
+        let mut jobs = Vec::new();
+        if let Some(arr) = v.get("jobs").as_array() {
+            for jv in arr {
+                let class = match jv.get("class").as_str() {
+                    Some(s) => JobClass::parse(s)?,
+                    None => jd.class,
+                };
+                jobs.push(JobSpec {
+                    elems: opt_u64(jv, "elems", jd.elems as u64)? as usize,
+                    arrival_ms: opt_u64(jv, "arrival_ms", jd.arrival_ms)?,
+                    class,
+                    weight: opt_u64(jv, "weight", jd.weight as u64)? as u32,
+                    quota: opt_u64(jv, "quota", jd.quota as u64)? as u32,
+                    min_slots: opt_u64(jv, "min_slots", jd.min_slots as u64)? as u32,
+                });
+            }
+        }
+        if jobs.is_empty() {
+            jobs.push(jd);
+        }
+
+        let fv = v.get("faults");
+        let mut stragglers = Vec::new();
+        if let Some(arr) = fv.get("stragglers").as_array() {
+            for sv in arr {
+                stragglers.push((
+                    opt_u64(sv, "worker", 0)? as usize,
+                    opt_u64(sv, "stall_us", 0)?,
+                ));
+            }
+        }
+        let mut kills = Vec::new();
+        if let Some(arr) = fv.get("kills").as_array() {
+            for kv in arr {
+                let w = opt_u64(kv, "worker", 0)? as usize;
+                let when = if !kv.get("after_sends").is_null() {
+                    KillWhen::AfterSends(opt_u64(kv, "after_sends", 0)?)
+                } else if !kv.get("at_us").is_null() {
+                    KillWhen::ElapsedUs(opt_u64(kv, "at_us", 0)?)
+                } else {
+                    return Err("scenario: kill needs 'at_us' or 'after_sends'".into());
+                };
+                kills.push((w, when));
+            }
+        }
+        let faults = FaultPlan {
+            seed: opt_u64(fv, "seed", 1)?,
+            loss: opt_f64(fv, "loss", 0.0)?,
+            dup: opt_f64(fv, "dup", 0.0)?,
+            reorder: opt_f64(fv, "reorder", 0.0)?,
+            batch_loss: opt_bool(fv, "batch_loss", false)?,
+            stragglers,
+            kills,
+            switch_restart_ms: if fv.get("switch_restart_ms").is_null() {
+                None
+            } else {
+                Some(opt_u64(fv, "switch_restart_ms", 0)?)
+            },
+            failover_us: if fv.get("failover_us").is_null() {
+                None
+            } else {
+                Some(opt_u64(fv, "failover_us", 0)?)
+            },
+            target_job: if fv.get("target_job").is_null() {
+                None
+            } else {
+                Some(opt_u64(fv, "target_job", 0)? as u8)
+            },
+        };
+
+        let mut expect = Vec::new();
+        if let Some(arr) = v.get("expect").as_array() {
+            for ev in arr {
+                let s = ev
+                    .as_str()
+                    .ok_or_else(|| "scenario: expectations are strings".to_string())?;
+                expect.push(parse_expect(s)?);
+            }
+        }
+        if expect.is_empty() {
+            expect.push(Expect::Completes);
+        }
+
+        let only_transports = if v.get("only_transports").is_null() {
+            None
+        } else {
+            let arr = v
+                .get("only_transports")
+                .as_array()
+                .ok_or_else(|| "scenario: 'only_transports' must be an array".to_string())?;
+            let mut ts = Vec::new();
+            for tv in arr {
+                let s = tv
+                    .as_str()
+                    .ok_or_else(|| "scenario: transports are strings".to_string())?;
+                ts.push(Transport::parse(s)?);
+            }
+            Some(ts)
+        };
+
+        let sc = Scenario {
+            name,
+            descr,
+            runner,
+            topology,
+            jobs,
+            faults,
+            expect,
+            max_wall_ms: opt_u64(v, "max_wall_ms", 10_000)?,
+            rto_us: opt_u64(v, "rto_us", 2_000)?,
+            rto_mode: match v.get("rto_mode").as_str() {
+                Some(s) => RtoMode::parse(s)?,
+                None => RtoMode::Adaptive,
+            },
+            burst: opt_u64(v, "burst", 8)? as usize,
+            only_transports,
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Pretty `.scenario` file text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.to_json().write_pretty(&mut out, 0);
+        out
+    }
+
+    /// Parse `.scenario` file text.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        Scenario::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Expect;
+
+    #[test]
+    fn roundtrip_full_featured() {
+        let sc = Scenario::build("rt")
+            .descr("round trip")
+            .runner(RunnerKind::Reactor { threads: 3 })
+            .workers(4)
+            .cores(2)
+            .pool(32)
+            .k(16)
+            .loss(0.05)
+            .seed(9)
+            .straggler(1, 250)
+            .kill_after_sends(2, 40)
+            .expect(Expect::CleanDegradation)
+            .expect(Expect::FaultsInjected)
+            .expect(Expect::WallUnderMs(9_000))
+            .max_wall_ms(9_000)
+            .finish()
+            .unwrap();
+        let text = sc.to_json_string();
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn roundtrip_sched_with_target() {
+        let sc = Scenario::build("rt-sched")
+            .runner(RunnerKind::Sched)
+            .workers(2)
+            .capacity(32)
+            .job_with(|j| j.elems = 2048)
+            .job_with(|j| {
+                j.elems = 8192;
+                j.arrival_ms = 4;
+                j.class = JobClass::High;
+                j.weight = 2;
+            })
+            .loss(0.1)
+            .target_job(0)
+            .expect(Expect::AllJobsComplete)
+            .expect(Expect::ZeroQuietTenantFaults)
+            .finish()
+            .unwrap();
+        let back = Scenario::from_json_str(&sc.to_json_string()).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn missing_optional_keys_take_defaults() {
+        let v: Value = serde_json::from_str(r#"{"name": "minimal", "runner": "plain"}"#).unwrap();
+        let sc = Scenario::from_json(&v).unwrap();
+        assert_eq!(sc.jobs.len(), 1);
+        assert_eq!(sc.topology.workers, 2);
+        assert_eq!(sc.expect, vec![Expect::Completes]);
+        assert_eq!(sc.rto_us, 2_000);
+    }
+
+    #[test]
+    fn bad_expectation_rejected() {
+        let v: Value =
+            serde_json::from_str(r#"{"name": "x", "runner": "plain", "expect": ["nonsense"]}"#)
+                .unwrap();
+        assert!(Scenario::from_json(&v).is_err());
+    }
+}

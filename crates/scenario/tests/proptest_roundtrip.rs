@@ -1,0 +1,69 @@
+//! Satellite: property-based serde round-trip for the scenario DSL.
+//!
+//! Any generated `Scenario` must survive `to_json_string` →
+//! `from_json_str` unchanged, and — the stronger oracle — the reparsed
+//! scenario must produce the *same outcome fingerprint* as the
+//! original when run on the deterministic netsim transport. A lossy
+//! field (silently dropped or defaulted during JSON round-trip) shows
+//! up here as either a structural mismatch or a divergent run.
+//!
+//! Generation is constrained to small netsim-runnable scenarios so the
+//! whole property (2 netsim runs per case) stays in the milliseconds.
+
+use proptest::prelude::*;
+use switchml_scenario::{run_scenario, JobSpec, Scenario, Transport};
+
+/// Build a small plain-runner netsim scenario from generated knobs.
+fn make_scenario(workers: usize, elems: usize, loss_pct: u8, k: usize, seed: u64) -> Scenario {
+    Scenario::build("prop-roundtrip")
+        .descr("generated scenario for serde round-trip property")
+        .workers(workers)
+        .k(k)
+        .job(JobSpec {
+            elems,
+            ..JobSpec::default()
+        })
+        .loss(f64::from(loss_pct) / 100.0)
+        .seed(seed)
+        .finish()
+        .expect("generated scenario must validate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// serialize → reparse is the identity, both structurally and
+    /// behaviorally (identical netsim outcome fingerprint).
+    #[test]
+    fn scenario_json_roundtrip_preserves_outcome(
+        workers in 2usize..=4,
+        elems in 64usize..=512,
+        loss_pct in 0u8..=5,
+        k in 4usize..=8,
+        seed in 1u64..=1_000_000,
+    ) {
+        let sc = make_scenario(workers, elems, loss_pct, k, seed);
+        prop_assert!(sc.supports(Transport::Netsim));
+
+        let text = sc.to_json_string();
+        let back = Scenario::from_json_str(&text)
+            .expect("serialized scenario must reparse");
+        prop_assert_eq!(&back, &sc);
+
+        // Second round-trip is stable too (canonical form).
+        let text2 = back.to_json_string();
+        prop_assert_eq!(&text2, &text);
+
+        let orig = run_scenario(&sc, Transport::Netsim)
+            .expect("netsim run of original must be attemptable");
+        let reparsed = run_scenario(&back, Transport::Netsim)
+            .expect("netsim run of reparsed must be attemptable");
+        prop_assert!(orig.passed(), "original violated: {:?}", orig.violations);
+        prop_assert!(
+            reparsed.passed(),
+            "reparsed violated: {:?}",
+            reparsed.violations
+        );
+        prop_assert_eq!(orig.fingerprint, reparsed.fingerprint);
+    }
+}

@@ -33,58 +33,77 @@ use switchml_core::error::{Error, Result};
 
 use crate::faulty::{FaultyConfig, FaultyPort, FaultyStats};
 use crate::port::{Port, PortStats};
+use crate::reactor::run_allreduce_reactor;
 use crate::runner::{run_allreduce, RunConfig, RunReport};
 use crate::shard::run_allreduce_sharded;
 
+/// When a scripted kill takes effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillAt {
+    /// The endpoint goes silent this long into the run — a crash at a
+    /// wall-clock instant.
+    Elapsed(Duration),
+    /// The endpoint dies after completing this many sends — "kill at
+    /// chunk N" expressed in the unit the schedule can count
+    /// deterministically (data-plane transmissions), independent of
+    /// machine speed.
+    AfterSends(u64),
+}
+
 /// One scripted fault schedule. Everything is a pure function of the
 /// spec (including `seed`), so a failing schedule replays exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ChaosSpec {
     /// Seed for the probabilistic fault layer.
     pub seed: u64,
     /// Probabilistic faults. Applied as-is to switch-side endpoints;
     /// worker endpoints run with `reorder` forced to zero (§3.5).
     pub fault: FaultyConfig,
-    /// `(endpoint, stall)`: delay every send from this endpoint by
-    /// `stall` — a straggler.
-    pub straggler: Option<(usize, Duration)>,
-    /// `(endpoint, after)`: the endpoint goes silent `after` into the
-    /// run and stays silent — a crash, as the fabric observes it.
-    pub kill: Option<(usize, Duration)>,
+    /// `(endpoint, stall)` pairs: delay every send from these
+    /// endpoints by `stall` — stragglers.
+    pub stragglers: Vec<(usize, Duration)>,
+    /// `(endpoint, when)` pairs: each endpoint goes silent at `when`
+    /// and stays silent — a crash, as the fabric observes it.
+    pub kills: Vec<(usize, KillAt)>,
 }
 
-impl Default for ChaosSpec {
-    fn default() -> Self {
+impl ChaosSpec {
+    /// A spec with this seed and no faults.
+    pub fn seeded(seed: u64) -> Self {
         ChaosSpec {
-            seed: 1,
-            fault: FaultyConfig::default(),
-            straggler: None,
-            kill: None,
+            seed,
+            ..ChaosSpec::default()
         }
     }
 }
 
 /// Deterministic per-endpoint behavior shaping (the scripted half of
-/// a chaos schedule): see [`ChaosSpec::straggler`] / [`ChaosSpec::kill`].
+/// a chaos schedule): see [`ChaosSpec::stragglers`] / [`ChaosSpec::kills`].
 pub struct ScriptedPort<P: Port> {
     inner: P,
     stall: Duration,
-    die_after: Option<Duration>,
+    death: Option<KillAt>,
+    sends: u64,
     t0: Instant,
 }
 
 impl<P: Port> ScriptedPort<P> {
-    pub fn new(inner: P, stall: Duration, die_after: Option<Duration>) -> Self {
+    pub fn new(inner: P, stall: Duration, death: Option<KillAt>) -> Self {
         ScriptedPort {
             inner,
             stall,
-            die_after,
+            death,
+            sends: 0,
             t0: Instant::now(),
         }
     }
 
     fn dead(&self) -> bool {
-        self.die_after.is_some_and(|d| self.t0.elapsed() >= d)
+        match self.death {
+            None => false,
+            Some(KillAt::Elapsed(d)) => self.t0.elapsed() >= d,
+            Some(KillAt::AfterSends(n)) => self.sends >= n,
+        }
     }
 }
 
@@ -105,6 +124,7 @@ impl<P: Port> Port for ScriptedPort<P> {
             std::thread::sleep(self.stall);
         }
         self.inner.send(to, data);
+        self.sends += 1;
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<(usize, Vec<u8>)> {
@@ -159,14 +179,16 @@ fn wrap_fabric<P: Port>(
         .into_iter()
         .enumerate()
         .map(|(i, port)| {
-            let stall = match spec.straggler {
-                Some((ep, d)) if ep == i => d,
-                _ => Duration::ZERO,
-            };
-            let die_after = match spec.kill {
-                Some((ep, after)) if ep == i => Some(after),
-                _ => None,
-            };
+            let stall = spec
+                .stragglers
+                .iter()
+                .find(|(ep, _)| *ep == i)
+                .map_or(Duration::ZERO, |&(_, d)| d);
+            let die_after = spec
+                .kills
+                .iter()
+                .find(|(ep, _)| *ep == i)
+                .map(|&(_, when)| when);
             let cfg = if i < n_switch_endpoints {
                 spec.fault
             } else {
@@ -273,6 +295,25 @@ pub fn run_chaos_sharded<P: Port + 'static>(
     }
 }
 
+/// Reactor variant: `ports` is a sharded fabric whose first
+/// `run_cfg.n_cores` endpoints are switch shards, driven by
+/// `n_threads` run-to-completion reactor threads.
+pub fn run_chaos_reactor<P: Port + 'static>(
+    ports: Vec<P>,
+    updates: Vec<Vec<Vec<f32>>>,
+    proto: &Protocol,
+    run_cfg: &RunConfig,
+    spec: &ChaosSpec,
+    n_threads: usize,
+) -> Result<ChaosOutcome> {
+    let reference = agg::allreduce(&updates, proto)?;
+    let (ports, _stats) = chaos_fabric(ports, run_cfg.n_cores, spec);
+    match run_allreduce_reactor(ports, updates, proto, run_cfg, n_threads) {
+        Ok(report) => verify_bit_identical(report, &reference),
+        Err(e) => Ok(ChaosOutcome::CleanDegradation(e)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +351,7 @@ mod tests {
                 reorder: 0.1,
                 reorder_span: 3,
                 max_held: 8,
+                ..FaultyConfig::default()
             },
             ..ChaosSpec::default()
         }
@@ -342,7 +384,7 @@ mod tests {
         };
         let spec = ChaosSpec {
             // Worker 0's core 0 endpoint (shards occupy 0..cores).
-            straggler: Some((cores, Duration::from_micros(20))),
+            stragglers: vec![(cores, Duration::from_micros(20))],
             ..chaos_spec(7)
         };
         let out = run_chaos_sharded(
@@ -370,7 +412,7 @@ mod tests {
             ..RunConfig::default()
         };
         let spec = ChaosSpec {
-            kill: Some((1, Duration::from_millis(5))), // worker 0
+            kills: vec![(1, KillAt::Elapsed(Duration::from_millis(5)))], // worker 0
             ..chaos_spec(9)
         };
         let out = run_chaos(
@@ -385,6 +427,60 @@ mod tests {
             matches!(out, ChaosOutcome::CleanDegradation(_)),
             "a dead worker cannot complete without the control plane: {out:?}"
         );
+    }
+
+    /// `KillAt::AfterSends` pins a crash to a deterministic point in
+    /// the packet schedule ("kill at chunk N"): the worker dies after
+    /// its Nth transmission no matter how fast the machine is, and the
+    /// plain data plane must degrade cleanly.
+    #[test]
+    fn kill_after_n_sends_degrades_cleanly() {
+        let n = 3;
+        let cfg = RunConfig {
+            max_wall: Duration::from_millis(400),
+            ..RunConfig::default()
+        };
+        let spec = ChaosSpec {
+            kills: vec![(1, KillAt::AfterSends(40))], // worker 0, mid-tensor
+            ..ChaosSpec::seeded(9)
+        };
+        let out = run_chaos(
+            channel_fabric(n + 1),
+            updates(n, 8192),
+            &proto(n),
+            &cfg,
+            &spec,
+        )
+        .unwrap();
+        assert!(
+            matches!(out, ChaosOutcome::CleanDegradation(_)),
+            "a dead worker cannot complete without the control plane: {out:?}"
+        );
+    }
+
+    /// The reactor runner under the same probabilistic schedule as the
+    /// threaded runners: bit-identical or nothing.
+    #[test]
+    fn reactor_chaos_is_bit_identical() {
+        let n = 3;
+        let cfg = RunConfig {
+            n_cores: 1,
+            ..RunConfig::default()
+        };
+        let out = run_chaos_reactor(
+            sharded_channel_fabric(n, 1),
+            updates(n, 400),
+            &proto(n),
+            &cfg,
+            &chaos_spec(42),
+            2,
+        )
+        .unwrap();
+        let ChaosOutcome::BitIdentical(report) = out else {
+            panic!("schedule should complete: {out:?}");
+        };
+        assert!(report.transport_stats.injected_faults() > 0);
+        assert!(report.reactor.is_some());
     }
 
     #[test]

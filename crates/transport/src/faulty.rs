@@ -35,6 +35,15 @@ pub struct FaultyConfig {
     /// Cap on concurrently held datagrams per port; when full,
     /// reordering is skipped rather than queued unboundedly.
     pub max_held: usize,
+    /// Keep burst I/O on the inner transport's *batch* path: dropped
+    /// frames are filtered out of an outgoing burst (the survivors go
+    /// down in one `send_batch`) and burst receives delegate straight
+    /// to the inner `recv_batch`. Kernel offloads that only engage on
+    /// whole bursts — UDP GSO/GRO super-datagrams — keep engaging
+    /// under injected loss. Restricted to send-side loss only
+    /// (`recv_drop`/`dup`/`reorder` must be zero): those faults
+    /// reshape a burst in ways a pass-through cannot express.
+    pub preserve_batches: bool,
 }
 
 impl Default for FaultyConfig {
@@ -46,6 +55,7 @@ impl Default for FaultyConfig {
             reorder: 0.0,
             reorder_span: 3,
             max_held: 8,
+            preserve_batches: false,
         }
     }
 }
@@ -59,6 +69,16 @@ impl FaultyConfig {
         }
     }
 
+    /// Send-side loss that filters whole bursts instead of shaping
+    /// frame by frame, so GSO/GRO stays engaged underneath.
+    pub fn batch_loss_only(p: f64) -> Self {
+        FaultyConfig {
+            send_drop: p,
+            preserve_batches: true,
+            ..FaultyConfig::default()
+        }
+    }
+
     fn validate(&self) {
         for (name, p) in [
             ("send_drop", self.send_drop),
@@ -67,6 +87,12 @@ impl FaultyConfig {
             ("reorder", self.reorder),
         ] {
             assert!((0.0..=1.0).contains(&p), "{name} = {p} not a probability");
+        }
+        if self.preserve_batches {
+            assert!(
+                self.recv_drop == 0.0 && self.dup == 0.0 && self.reorder == 0.0,
+                "preserve_batches supports send-side loss only"
+            );
         }
     }
 }
@@ -235,10 +261,69 @@ impl<P: Port> Port for FaultyPort<P> {
         }
     }
 
-    // send_batch / recv_batch deliberately use the trait defaults:
-    // they route every frame through this wrapper's faulty send /
-    // recv_timeout, so burst I/O sees exactly the same fault schedule
-    // as per-datagram I/O.
+    // Without `preserve_batches`, send_batch / recv_batch route every
+    // frame through this wrapper's faulty send / recv_timeout (the
+    // trait-default discipline), so burst I/O sees exactly the same
+    // fault schedule as per-datagram I/O. With it, bursts stay bursts:
+    // survivors of a send-side roll go down in one inner `send_batch`
+    // and receives delegate wholesale, keeping GSO/GRO engaged.
+
+    fn send_batch(&mut self, dests: &[usize], frames: &[Vec<u8>]) {
+        debug_assert_eq!(dests.len(), frames.len());
+        if !self.cfg.preserve_batches {
+            for (&to, frame) in dests.iter().zip(frames) {
+                self.send(to, frame);
+            }
+            return;
+        }
+        // One roll per frame (same RNG discipline as per-frame sends),
+        // then the survivors in a single inner batch.
+        let mut drops = 0u64;
+        let mut kept_dests: Vec<usize> = Vec::with_capacity(dests.len());
+        let mut kept_frames: Vec<Vec<u8>> = Vec::with_capacity(frames.len());
+        for (&to, frame) in dests.iter().zip(frames) {
+            if self.roll(self.cfg.send_drop) {
+                drops += 1;
+            } else {
+                kept_dests.push(to);
+                kept_frames.push(frame.clone());
+            }
+        }
+        {
+            let mut s = self.stats.inner.lock();
+            s.sent += dests.len() as u64;
+            s.dropped += drops;
+        }
+        self.local.sent += dests.len() as u64;
+        self.local.dropped += drops;
+        if drops == 0 {
+            self.inner.send_batch(dests, frames);
+        } else if !kept_dests.is_empty() {
+            self.inner.send_batch(&kept_dests, &kept_frames);
+        }
+    }
+
+    fn recv_batch(&mut self, bufs: &mut crate::port::BurstBuf, timeout: Duration) -> usize {
+        if self.cfg.preserve_batches {
+            // recv_drop is zero by validation; delegate so the inner
+            // transport's multi-frame path (GRO) stays on.
+            return self.inner.recv_batch(bufs, timeout);
+        }
+        bufs.clear();
+        let mut wait = timeout;
+        while !bufs.is_full() {
+            let got = {
+                let slot = bufs.next_slot();
+                self.recv_into(slot, wait)
+            };
+            match got {
+                Some(from) => bufs.commit_next(from),
+                None => break,
+            }
+            wait = Duration::ZERO;
+        }
+        bufs.len()
+    }
 
     fn stats(&self) -> crate::port::PortStats {
         let mut s = self.inner.stats();
@@ -269,7 +354,43 @@ mod tests {
             reorder: 0.1,
             reorder_span: 3,
             max_held: 8,
+            ..FaultyConfig::default()
         }
+    }
+
+    /// `preserve_batches` loss: every staged frame either arrives or
+    /// is counted dropped, batches go down the inner batch path, and
+    /// the schedule is still a pure function of the seed.
+    #[test]
+    fn batch_preserving_loss_filters_bursts() {
+        use crate::port::{BurstBuf, TxBatch};
+        let run = |seed: u64| {
+            let (mut ports, stats) =
+                faulty_fabric(channel_fabric(2), FaultyConfig::batch_loss_only(0.2), seed);
+            let mut rx = ports.pop().unwrap();
+            let mut tx = ports.pop().unwrap();
+            let mut batch = TxBatch::new(4);
+            for i in 0..300u16 {
+                batch.push(1).extend_from_slice(&i.to_be_bytes());
+                if batch.len() == 10 {
+                    batch.flush(&mut tx);
+                }
+            }
+            batch.flush(&mut tx);
+            let mut bufs = BurstBuf::new(16, 4);
+            let mut seen = Vec::new();
+            while rx.recv_batch(&mut bufs, Duration::from_millis(5)) > 0 {
+                for (_, frame) in bufs.iter() {
+                    seen.push(u16::from_be_bytes([frame[0], frame[1]]));
+                }
+            }
+            assert_eq!(seen.len() as u64 + stats.dropped(), 300);
+            assert!((20..=120).contains(&stats.dropped()), "{}", stats.dropped());
+            // Loss only, in-order transport: survivors sorted + unique.
+            assert!(seen.windows(2).all(|w| w[0] < w[1]));
+            seen
+        };
+        assert_eq!(run(77), run(77), "schedule must be seed-deterministic");
     }
 
     /// Push a fixed workload through a 2-port faulty fabric and record

@@ -737,6 +737,51 @@ mod tests {
         }
     }
 
+    /// Reactor × UDP GRO × 5% loss — the combination the channel-only
+    /// loss test above cannot cover. `batch_loss_only` keeps faulty
+    /// burst I/O on `UdpPort`'s own batch path: outgoing bursts still
+    /// coalesce into GSO super-datagrams (minus the dropped frames)
+    /// and receives delegate to the GRO path, which engages because
+    /// the reactor's `RunConfig::burst` (8) meets `UDP_GRO`'s minimum
+    /// burst. Loss must be recovered by wheel-driven retransmissions
+    /// and the result must still be bit-identical to the sequential
+    /// reference.
+    #[test]
+    fn reactor_udp_gro_loss_is_bit_identical() {
+        use crate::faulty::{faulty_fabric, FaultyConfig};
+        let n = 2;
+        let c = 2;
+        let elems = 400;
+        let p = Protocol {
+            rto_policy: RtoPolicy::Adaptive {
+                min_ns: 200_000,
+                max_ns: 50_000_000,
+            },
+            ..proto(n)
+        };
+        let base = udp_fabric(sharded_fabric_size(n, c)).unwrap();
+        let (ports, loss_stats) = faulty_fabric(base, FaultyConfig::batch_loss_only(0.05), 77);
+        let cfg = RunConfig {
+            n_cores: c,
+            ..RunConfig::default()
+        };
+        assert!(cfg.burst >= 8, "burst below UDP_GRO's minimum: GRO off");
+        let report = run_allreduce_reactor(ports, updates(n, elems), &p, &cfg, 2).unwrap();
+        let reference = allreduce(&updates(n, elems), &p).unwrap();
+        for w in 0..n {
+            assert_eq!(report.results[w], reference, "worker {w}");
+        }
+        assert!(loss_stats.dropped() > 0, "5% loss should drop something");
+        assert_eq!(
+            report.transport_stats.injected_send_drops,
+            loss_stats.dropped(),
+            "per-port injected counters must survive the batch path"
+        );
+        let retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+        assert!(retx > 0, "losses must trigger wheel-driven retransmissions");
+        assert!(report.reactor.unwrap().timer_fires > 0);
+    }
+
     #[test]
     fn reactor_misconfiguration_rejected() {
         let n = 2;

@@ -245,6 +245,48 @@ mod tests {
         assert_eq!(fired_ids(&mut w, 2_000), vec![0]);
     }
 
+    /// A timer whose entry has already been cascade-reinserted must
+    /// still die to `cancel` — the re-inserted entry carries the old
+    /// generation and may not fire, and the id must stay reusable.
+    #[test]
+    fn cancel_after_cascade_reinsert_never_fires() {
+        let mut w = TimerWheel::new(1, 100, 8);
+        w.schedule(0, 2_000); // tick 20, bucket 4 — 2.5 revolutions out
+        assert_eq!(fired_ids(&mut w, 800), vec![]); // bucket 4 swept at tick 4
+        assert!(w.cascades() >= 1, "entry was not cascade-reinserted");
+        // Cancel while the entry sits re-inserted in its bucket.
+        w.cancel(0);
+        assert!(!w.is_armed(0));
+        assert_eq!(w.next_deadline(), None);
+        // Sweeping far past the original deadline must not resurrect it.
+        assert_eq!(fired_ids(&mut w, 4_000), vec![]);
+        // The id stays usable: a fresh schedule fires normally, once.
+        w.schedule(0, 4_500);
+        assert_eq!(fired_ids(&mut w, 4_500), vec![0]);
+        assert_eq!(fired_ids(&mut w, 10_000), vec![]);
+    }
+
+    /// A deadline exactly one revolution ahead hashes into the bucket
+    /// the cursor just swept — the wrap boundary. Round-up-never-early
+    /// must hold across it: tick-by-tick sweeps over the intervening
+    /// revolution fire nothing, and the entry fires on the first sweep
+    /// of its bucket (no cascade — a cascade would mean the wheel
+    /// visited it a lap early).
+    #[test]
+    fn exactly_one_revolution_ahead_fires_on_time_not_a_lap_early() {
+        // 8 buckets × 100ns tick: one revolution per 800ns.
+        let mut w = TimerWheel::new(1, 100, 8);
+        assert_eq!(fired_ids(&mut w, 300), vec![]); // cursor at tick 3
+        w.schedule(0, 300 + 800); // tick 11 = bucket 3, cursor's bucket
+        for now in (400..1_100).step_by(100) {
+            assert_eq!(fired_ids(&mut w, now), vec![], "fired early at {now}ns");
+            assert!(w.is_armed(0));
+        }
+        assert_eq!(fired_ids(&mut w, 1_100), vec![0]);
+        assert_eq!(w.cascades(), 0);
+        assert_eq!(w.next_deadline(), None);
+    }
+
     #[test]
     fn advance_is_bounded_by_one_revolution() {
         // A huge time jump must not sweep each bucket more than once,
