@@ -60,6 +60,28 @@ for key in '"bench": "udp"' '"recv_path"' '"allreduce"' '"allocs_per_packet"'; d
 done
 rm -f /tmp/ci_bench_udp.json
 
+echo "== hierarchical data plane: differentials + rack-kill refence + crossover bench (release)"
+# Every test whose name mentions hier — the flat-vs-tree-vs-reference
+# differentials on channel and UDP, loss on both hops, leaf-kill
+# recovery, and the scenario-crate hierarchy runs.
+timeout 300 cargo test --workspace -q hier
+# A seeded leaf-switch crash must refence only its rack's epoch and
+# still produce bit-identical tensors (exits nonzero on violation).
+timeout 120 cargo run --release -q -p switchml-cli -- scenario run \
+    hier-rack-kill-refence --transport channel
+# The crossover bench must complete, verify bit-identity at every grid
+# point, and write a well-formed BENCH_hierarchy.json.
+timeout 600 cargo run --release -q -p switchml-bench --bin hotpath -- \
+    --hierarchy --quick --hier-out /tmp/ci_bench_hier.json
+for key in '"bench": "hierarchy"' '"crossover"' '"first_win_at_workers"' \
+           '"hier_ate_per_sec"' '"flat_ate_per_sec"'; do
+  if ! grep -qF "$key" /tmp/ci_bench_hier.json; then
+    echo "ERROR: BENCH_hierarchy.json missing $key" >&2
+    exit 1
+  fi
+done
+rm -f /tmp/ci_bench_hier.json
+
 echo "== model checker: bounded-exhaustive exploration (release, hard time budget)"
 # The two acceptance configurations must explore to exhaustion with
 # zero violations. `timeout` enforces the CI wall-clock budget.

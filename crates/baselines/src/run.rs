@@ -136,6 +136,9 @@ pub struct SwitchMLScenario {
     /// CPU time to process one result packet and emit the next update
     /// (DPDK run-to-completion loop).
     pub worker_cost: Nanos,
+    /// Per-rank straggle: `(rank, extra)` gives that worker's links a
+    /// fixed extra delay in both directions (a chronically slow host).
+    pub stragglers: Vec<(usize, Nanos)>,
     pub seed: u64,
     /// Simulated-time cap (None = run to completion).
     pub deadline: Option<Nanos>,
@@ -159,6 +162,7 @@ impl SwitchMLScenario {
             link: LinkSpec::clean(10_000_000_000, Nanos::from_micros(1)),
             n_cores: 1,
             worker_cost: Nanos(90),
+            stragglers: Vec::new(),
             seed: 1,
             deadline: None,
         }
@@ -198,13 +202,28 @@ pub fn run_switchml_traced(
         .link
         .queue_bytes
         .max(2 * sc.proto.pool_size * sc.proto.packet_wire_bytes());
-    let uplink = sc.link.with_queue_bytes(uplink_queue);
+    // §3.5 allows bounded reordering on results (switch→worker) only:
+    // an update stream reordering across phases can land a stale
+    // retransmission after the same worker's next-generation update
+    // and re-seed a released slot (the 1-bit version ambiguity), which
+    // the paper rules out via in-order switch fabrics. Duplication
+    // stays on both directions — FIFO dup copies are exactly the §3.4
+    // idempotency case.
+    let uplink = sc
+        .link
+        .with_queue_bytes(uplink_queue)
+        .with_reordering(0.0, Nanos::ZERO);
     let sw = topo.add_node();
     let ws: Vec<NodeId> = (0..sc.n_workers)
-        .map(|_| {
+        .map(|rank| {
+            let extra = sc
+                .stragglers
+                .iter()
+                .find(|&&(r, _)| r == rank)
+                .map_or(Nanos::ZERO, |&(_, d)| d);
             let w = topo.add_node();
-            topo.add_simplex_link(w, sw, uplink);
-            topo.add_simplex_link(sw, w, sc.link);
+            topo.add_simplex_link(w, sw, uplink.with_straggle(extra));
+            topo.add_simplex_link(sw, w, sc.link.with_straggle(extra));
             w
         })
         .collect();
@@ -778,6 +797,40 @@ mod tests {
         sc.link = sc.link.with_corruption(0.02);
         let out = run_switchml(&sc).unwrap();
         assert!(out.verified);
+    }
+
+    #[test]
+    fn switchml_with_dup_and_reorder_still_verifies() {
+        let mut sc = SwitchMLScenario::new(2, 2048);
+        sc.proto.pool_size = 8;
+        sc.link = sc
+            .link
+            .with_duplication(0.05)
+            .with_reordering(0.05, Nanos::from_micros(5));
+        let out = run_switchml(&sc).unwrap();
+        assert!(out.verified);
+        assert!(
+            out.report.counters.duplicated + out.report.counters.reordered > 0,
+            "5% dup + 5% reorder over hundreds of packets must fire"
+        );
+    }
+
+    #[test]
+    fn straggler_slows_the_job_but_converges() {
+        let mut fast = SwitchMLScenario::new(2, 4096);
+        fast.proto.pool_size = 8;
+        let mut slow = fast.clone();
+        slow.stragglers = vec![(1, Nanos::from_micros(200))];
+        let a = run_switchml(&fast).unwrap();
+        let b = run_switchml(&slow).unwrap();
+        assert!(a.verified && b.verified);
+        assert!(
+            b.max_tat > a.max_tat,
+            "straggling worker 1 must stretch job TAT ({} vs {})",
+            b.max_tat,
+            a.max_tat
+        );
+        assert!(b.report.counters.straggled > 0);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! records the numbers behind it.
 //!
 //! ```text
-//! hotpath [--quick] [--smoke] [--udp] [--out <path>] [--udp-out <path>]
+//! hotpath [--quick] [--smoke] [--udp] [--hierarchy]
+//!         [--out <path>] [--udp-out <path>] [--hier-out <path>]
 //! ```
 //!
 //! Measures, in-process:
@@ -26,6 +27,15 @@
 //!   all-reduce ATE/s over UDP vs the channel fabric at each
 //!   (burst, cores) point. Written to `BENCH_udp.json` (override with
 //!   `--udp-out`); `--udp` runs *only* this section.
+//!
+//! * **hierarchy crossover** — flat star vs the two-level leaf/spine
+//!   tree over the same reactor data plane, per transport, across a
+//!   (racks × workers-per-rack) grid. Records wall/ATE/retransmits for
+//!   both shapes and the smallest worker count where hierarchy wins,
+//!   per transport (null when it never does — expected for the
+//!   in-process channel fabric on a small host). Written to
+//!   `BENCH_hierarchy.json` (override with `--hier-out`);
+//!   `--hierarchy` runs *only* this section.
 //!
 //! Writes pretty JSON to `BENCH_hotpath.json` (override with `--out`).
 //! `--smoke` runs everything at tiny sizes and skips the JSON write —
@@ -530,24 +540,178 @@ fn udp_allreduce_section(elems: usize, cores: &[usize], bursts: &[usize]) -> ser
     serde_json::Value::Array(rows)
 }
 
+/// Flat star vs two-level hierarchy on the same workload, per
+/// transport, across a (racks × workers-per-rack) grid — the §6
+/// crossover, measured. The flat star funnels all `n` workers into one
+/// switch socket; the hierarchy bounds per-socket fan-in to
+/// `max(workers_per_rack, racks)`. On loopback UDP the flat star's
+/// incast overruns the switch socket's receive buffer as `n` grows and
+/// every dropped burst costs an RTO, so hierarchy wins past a fan-in
+/// threshold; on the in-process channel fabric (no socket buffer to
+/// overrun, one CPU to share) the hierarchy's extra hop is pure
+/// overhead and flat is expected to keep winning — both numbers are
+/// recorded as measured.
+fn hierarchy_section(grid: &[(usize, usize)], elems: usize, threads: usize) -> serde_json::Value {
+    use switchml_transport::hier::{hier_fabric_size, run_allreduce_hier, HierConfig};
+    use switchml_transport::reactor::run_allreduce_reactor;
+    use switchml_transport::runner::RunReport;
+    use switchml_transport::shard::sharded_channel_fabric;
+
+    let mut rows = Vec::new();
+    let mut crossover: Vec<(String, Vec<usize>)> =
+        vec![("channel".into(), Vec::new()), ("udp".into(), Vec::new())];
+    for &(racks, wpr) in grid {
+        let n = racks * wpr;
+        let proto = Protocol {
+            n_workers: n,
+            k: K,
+            pool_size: 128,
+            rto_ns: 5_000_000,
+            // Coarse scaling keeps 64-worker sums far inside the
+            // Fixed32 range; both sides quantize identically.
+            scaling_factor: 100.0,
+            ..Protocol::default()
+        };
+        let mk_updates = || -> Vec<Vec<Vec<f32>>> {
+            (0..n)
+                .map(|w| vec![(0..elems).map(|i| ((w + i) % 5) as f32).collect()])
+                .collect()
+        };
+        let cfg = RunConfig {
+            max_wall: Duration::from_secs(120),
+            ..RunConfig::default()
+        };
+        let hc = HierConfig {
+            n_threads: threads,
+            ..HierConfig::new(racks, wpr)
+        };
+        for transport in ["channel", "udp"] {
+            let (flat, hier): (RunReport, RunReport) = match transport {
+                "udp" => {
+                    let flat_ports =
+                        udp_fabric(sharded_fabric_size(n, 1)).expect("udp flat fabric");
+                    let flat =
+                        run_allreduce_reactor(flat_ports, mk_updates(), &proto, &cfg, threads)
+                            .expect("flat udp run");
+                    let hier_ports =
+                        udp_fabric(hier_fabric_size(racks, wpr)).expect("udp hier fabric");
+                    let hier = run_allreduce_hier(hier_ports, mk_updates(), &proto, &cfg, &hc)
+                        .expect("hier udp run");
+                    (flat, hier)
+                }
+                _ => {
+                    let flat = run_allreduce_reactor(
+                        sharded_channel_fabric(n, 1),
+                        mk_updates(),
+                        &proto,
+                        &cfg,
+                        threads,
+                    )
+                    .expect("flat channel run");
+                    let hier = run_allreduce_hier(
+                        switchml_transport::channel::channel_fabric(hier_fabric_size(racks, wpr)),
+                        mk_updates(),
+                        &proto,
+                        &cfg,
+                        &hc,
+                    )
+                    .expect("hier channel run");
+                    (flat, hier)
+                }
+            };
+            assert_eq!(
+                flat.results, hier.results,
+                "flat and hierarchical {transport} runs must agree bit-for-bit \
+                 ({racks}x{wpr})"
+            );
+            let flat_ate = elems as f64 / flat.wall.as_secs_f64();
+            let hier_ate = elems as f64 / hier.wall.as_secs_f64();
+            let flat_retx: u64 = flat.worker_stats.iter().map(|s| s.retx).sum();
+            let hr = hier.hier.as_ref().expect("hier counters");
+            let hier_retx: u64 = hier.worker_stats.iter().map(|s| s.retx).sum::<u64>()
+                + hr.leaf_up_stats.iter().map(|s| s.retx).sum::<u64>();
+            let hier_wins = hier_ate > flat_ate;
+            if hier_wins {
+                if let Some(entry) = crossover.iter_mut().find(|(t, _)| t == transport) {
+                    entry.1.push(n);
+                }
+            }
+            println!(
+                "hierarchy {transport} {racks}x{wpr} (n={n}): flat {:.1} ms ({:.2} M ATE/s, \
+                 {flat_retx} retx) vs hier {:.1} ms ({:.2} M ATE/s, {hier_retx} retx) -> {}",
+                flat.wall.as_secs_f64() * 1e3,
+                flat_ate / 1e6,
+                hier.wall.as_secs_f64() * 1e3,
+                hier_ate / 1e6,
+                if hier_wins { "HIERARCHY" } else { "flat" },
+            );
+            rows.push(serde_json::json!({
+                "transport": transport,
+                "racks": racks,
+                "workers_per_rack": wpr,
+                "workers": n,
+                "flat_fan_in": n,
+                "hier_fan_in": wpr.max(racks),
+                "flat_wall_ms": flat.wall.as_secs_f64() * 1e3,
+                "flat_ate_per_sec": flat_ate,
+                "flat_retx": flat_retx,
+                "hier_wall_ms": hier.wall.as_secs_f64() * 1e3,
+                "hier_ate_per_sec": hier_ate,
+                "hier_retx": hier_retx,
+                "hier_speedup": flat.wall.as_secs_f64() / hier.wall.as_secs_f64(),
+                "hier_wins": hier_wins,
+            }));
+        }
+    }
+    // Single runs on a shared host are not monotonic in n, so record
+    // every winning point, not just the first: a lone early win is
+    // visibly noise, a cluster of wins at high fan-in is the signal.
+    let crossover_json: Vec<serde_json::Value> = crossover
+        .iter()
+        .map(|(t, wins)| {
+            let first = match wins.first() {
+                Some(&n) => serde_json::json!(n as u64),
+                None => serde_json::Value::Null,
+            };
+            let all: Vec<serde_json::Value> =
+                wins.iter().map(|&n| serde_json::json!(n as u64)).collect();
+            serde_json::json!({
+                "transport": t,
+                "first_win_at_workers": first,
+                "wins_at_workers": serde_json::Value::Array(all),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "elems": elems,
+        "reactor_threads": threads,
+        "grid": serde_json::Value::Array(rows),
+        "crossover": serde_json::Value::Array(crossover_json),
+    })
+}
+
 fn main() {
     let mut quick = false;
     let mut smoke = false;
     let mut udp_only = false;
+    let mut hierarchy_only = false;
     let mut out = String::from("BENCH_hotpath.json");
     let mut udp_out = String::from("BENCH_udp.json");
+    let mut hier_out = String::from("BENCH_hierarchy.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--smoke" => smoke = true,
             "--udp" => udp_only = true,
+            "--hierarchy" => hierarchy_only = true,
             "--out" => out = args.next().expect("--out needs a path"),
             "--udp-out" => udp_out = args.next().expect("--udp-out needs a path"),
+            "--hier-out" => hier_out = args.next().expect("--hier-out needs a path"),
             other => {
                 eprintln!(
-                    "usage: hotpath [--quick] [--smoke] [--udp] [--out <path>] \
-                     [--udp-out <path>], got {other:?}"
+                    "usage: hotpath [--quick] [--smoke] [--udp] [--hierarchy] [--out <path>] \
+                     [--udp-out <path>] [--hier-out <path>], got {other:?}"
                 );
                 std::process::exit(2);
             }
@@ -557,6 +721,40 @@ fn main() {
         .map(|p| p.get())
         .unwrap_or(1);
     println!("hardware threads: {hw}");
+
+    if hierarchy_only {
+        let (grid, hier_elems): (&[(usize, usize)], usize) = if smoke {
+            (&[(2, 2)], 1_024)
+        } else if quick {
+            (&[(2, 2), (2, 4), (4, 4)], 8_192)
+        } else {
+            (&[(2, 2), (2, 4), (4, 4), (4, 8), (8, 8)], 16_384)
+        };
+        let section = hierarchy_section(grid, hier_elems, 2);
+        if smoke {
+            println!("hierarchy smoke OK: flat and tree agree bit-for-bit on both transports");
+            return;
+        }
+        let doc = serde_json::json!({
+            "bench": "hierarchy",
+            "quick": quick,
+            "hardware_threads": hw,
+            "hierarchy": section,
+            "note": "The crossover driver is UDP incast: the flat star funnels all n workers \
+                     into one switch socket, so drops (and 5 ms RTOs) grow with n, while the \
+                     tree caps per-socket fan-in at max(workers_per_rack, racks). The channel \
+                     fabric has no socket buffer to overrun, so on a host with few cores the \
+                     extra hop is pure overhead and flat is expected to keep winning there; \
+                     both are recorded as measured.",
+        });
+        std::fs::write(
+            &hier_out,
+            serde_json::to_string_pretty(&doc).unwrap() + "\n",
+        )
+        .expect("write JSON");
+        println!("wrote {hier_out}");
+        return;
+    }
 
     let (codec_iters, switch_phases, quant_elems, quant_reps, ate_elems): (
         u64,

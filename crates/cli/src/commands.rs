@@ -1284,6 +1284,233 @@ pub fn sched(args: &Args) -> Result<String, String> {
     }
 }
 
+/// `hier`: two-level (leaf + spine) aggregation over a real transport,
+/// optionally compared against the flat star on the same workload.
+/// The flat star funnels every worker into one switch socket; the
+/// hierarchy bounds per-socket fan-in to `max(per_rack, racks)`, which
+/// is the §6 motivation made measurable on loopback UDP.
+pub fn hier(args: &Args) -> Result<String, String> {
+    args.assert_known(&[
+        "racks",
+        "per-rack",
+        "elems",
+        "transport",
+        "threads",
+        "burst",
+        "loss",
+        "seed",
+        "kill-rack",
+        "kill-at-ms",
+        "up-rto-us",
+        "flat",
+        "json",
+    ])?;
+    use std::time::Duration;
+    use switchml_core::agg;
+    use switchml_transport::channel::channel_fabric;
+    use switchml_transport::hier::{hier_fabric_size, run_allreduce_hier, HierConfig};
+    use switchml_transport::lossy::lossy_fabric;
+    use switchml_transport::reactor::run_allreduce_reactor;
+    use switchml_transport::runner::{RunConfig, RunReport};
+    use switchml_transport::shard::{sharded_channel_fabric, sharded_fabric_size};
+    use switchml_transport::udp::udp_fabric;
+    use switchml_transport::Port;
+
+    let racks: usize = args.get("racks", 2)?;
+    let per_rack: usize = args.get("per-rack", 4)?;
+    let elems: usize = args.get("elems", 4096)?;
+    let transport = args.get_str("transport", "udp");
+    let threads: usize = args.get("threads", 2)?;
+    let burst: usize = args.get("burst", 8)?;
+    let loss: f64 = args.get("loss", 0.0)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let kill_rack: i64 = args.get("kill-rack", -1)?;
+    let kill_at_ms: u64 = args.get("kill-at-ms", 1)?;
+    let up_rto_us: u64 = args.get("up-rto-us", 0)?;
+    let compare_flat = args.switch("flat");
+    let json = args.switch("json");
+    if transport != "udp" && transport != "channel" {
+        return Err(format!(
+            "--transport: expected udp|channel, got '{transport}'"
+        ));
+    }
+    if racks < 2 || per_rack < 1 {
+        return Err("--racks must be >= 2 and --per-rack >= 1".into());
+    }
+    if kill_rack >= racks as i64 {
+        return Err(format!("--kill-rack: rack {kill_rack} >= {racks} racks"));
+    }
+    let n = racks * per_rack;
+    let proto = Protocol {
+        n_workers: n,
+        pool_size: 32,
+        rto_ns: 2_000_000,
+        scaling_factor: 10_000.0,
+        ..Protocol::default()
+    };
+    let cfg = RunConfig {
+        burst,
+        ..RunConfig::default()
+    };
+    let hc = HierConfig {
+        n_threads: threads,
+        up_rto_ns: (up_rto_us > 0).then_some(up_rto_us * 1_000),
+        kill_leaf: (kill_rack >= 0)
+            .then(|| (kill_rack as usize, Duration::from_millis(kill_at_ms))),
+        ..HierConfig::new(racks, per_rack)
+    };
+    let mk_updates = || -> Vec<Vec<Vec<f32>>> {
+        (0..n)
+            .map(|w| {
+                vec![(0..elems)
+                    .map(|i| (w + 1) as f32 + (i % 7) as f32 * 0.1)
+                    .collect()]
+            })
+            .collect()
+    };
+
+    fn hier_fabric<P: Port + 'static>(
+        base: Vec<P>,
+        loss: f64,
+        seed: u64,
+        updates: Vec<Vec<Vec<f32>>>,
+        proto: &Protocol,
+        cfg: &RunConfig,
+        hc: &HierConfig,
+    ) -> switchml_core::Result<RunReport> {
+        if loss > 0.0 {
+            let (ports, _) = lossy_fabric(base, loss, seed);
+            run_allreduce_hier(ports, updates, proto, cfg, hc)
+        } else {
+            run_allreduce_hier(base, updates, proto, cfg, hc)
+        }
+    }
+
+    let size = hier_fabric_size(racks, per_rack);
+    let report = match transport.as_str() {
+        "udp" => {
+            let base = udp_fabric(size).map_err(|e| e.to_string())?;
+            hier_fabric(base, loss, seed, mk_updates(), &proto, &cfg, &hc)
+        }
+        _ => hier_fabric(
+            channel_fabric(size),
+            loss,
+            seed,
+            mk_updates(),
+            &proto,
+            &cfg,
+            &hc,
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let reference = agg::allreduce(&mk_updates(), &proto).map_err(|e| e.to_string())?;
+    let verified = report.results.iter().all(|t| *t == reference);
+    if !verified {
+        return Err("hierarchical results differ from the sequential reference".into());
+    }
+    let hr = report.hier.as_ref().expect("hier counters");
+    let worker_retx: u64 = report.worker_stats.iter().map(|s| s.retx).sum();
+    let up_retx: u64 = hr.leaf_up_stats.iter().map(|s| s.retx).sum();
+    let ate = elems as f64 / report.wall.as_secs_f64();
+
+    // The flat star on the same workload: one switch socket absorbing
+    // all n workers, reactor-multiplexed on the same thread count.
+    let flat = if compare_flat {
+        fn flat_drive<P: Port + 'static>(
+            ports: Vec<P>,
+            loss: f64,
+            seed: u64,
+            updates: Vec<Vec<Vec<f32>>>,
+            proto: &Protocol,
+            cfg: &RunConfig,
+            threads: usize,
+        ) -> switchml_core::Result<RunReport> {
+            if loss > 0.0 {
+                let (ports, _) = lossy_fabric(ports, loss, seed);
+                run_allreduce_reactor(ports, updates, proto, cfg, threads)
+            } else {
+                run_allreduce_reactor(ports, updates, proto, cfg, threads)
+            }
+        }
+        let flat_report = match transport.as_str() {
+            "udp" => {
+                let ports = udp_fabric(sharded_fabric_size(n, 1)).map_err(|e| e.to_string())?;
+                flat_drive(ports, loss, seed, mk_updates(), &proto, &cfg, threads)
+            }
+            _ => flat_drive(
+                sharded_channel_fabric(n, 1),
+                loss,
+                seed,
+                mk_updates(),
+                &proto,
+                &cfg,
+                threads,
+            ),
+        }
+        .map_err(|e| e.to_string())?;
+        if flat_report.results.iter().any(|t| *t != reference) {
+            return Err("flat-star results differ from the sequential reference".into());
+        }
+        Some(flat_report)
+    } else {
+        None
+    };
+
+    if json {
+        use serde_json::{json, Value};
+        let mut fields: Vec<(String, Value)> = vec![
+            ("racks".into(), json!(racks as u64)),
+            ("per_rack".into(), json!(per_rack as u64)),
+            ("workers".into(), json!(n as u64)),
+            ("elems".into(), json!(elems as u64)),
+            ("transport".into(), json!(transport)),
+            ("threads".into(), json!(threads as u64)),
+            ("verified".into(), json!(verified)),
+            ("wall_ms".into(), json!(report.wall.as_secs_f64() * 1e3)),
+            ("ate_per_sec".into(), json!(ate)),
+            ("worker_retx".into(), json!(worker_retx)),
+            ("leaf_up_retx".into(), json!(up_retx)),
+            (
+                "rack_epochs".into(),
+                Value::Array(hr.rack_epochs.iter().map(|&e| json!(e as u64)).collect()),
+            ),
+            ("leaf_reboots".into(), json!(hr.leaf_reboots)),
+        ];
+        if let Some(f) = &flat {
+            fields.push(("flat_wall_ms".into(), json!(f.wall.as_secs_f64() * 1e3)));
+            fields.push((
+                "flat_ate_per_sec".into(),
+                json!(elems as f64 / f.wall.as_secs_f64()),
+            ));
+            fields.push((
+                "hier_speedup".into(),
+                json!(f.wall.as_secs_f64() / report.wall.as_secs_f64()),
+            ));
+        }
+        return Ok(Value::Object(fields).to_string());
+    }
+    let mut out = format!(
+        "hierarchical all-reduce: {racks} racks x {per_rack} workers = {n}, {elems} elems\n\
+         transport {transport}, {threads} reactor threads, burst {burst}\n\
+         verified: {verified}   wall: {:.1} ms   {:.2} M ATE/s\n\
+         retransmissions: {worker_retx} worker-hop, {up_retx} leaf->spine\n\
+         rack epochs: {:?}   leaf reboots: {}",
+        report.wall.as_secs_f64() * 1e3,
+        ate / 1e6,
+        hr.rack_epochs,
+        hr.leaf_reboots,
+    );
+    if let Some(f) = &flat {
+        out.push_str(&format!(
+            "\nflat star (same {n} workers, one switch socket): {:.1} ms — hierarchy speedup {:.2}x",
+            f.wall.as_secs_f64() * 1e3,
+            f.wall.as_secs_f64() / report.wall.as_secs_f64(),
+        ));
+    }
+    Ok(out)
+}
+
 /// `check`: the deterministic adversarial schedule explorer
 /// (`switchml-check`). Explores the protocol state space under a
 /// chosen strategy; a violation shrinks to a minimal schedule,

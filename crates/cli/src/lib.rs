@@ -36,6 +36,15 @@ COMMANDS:
   udp        Threaded all-reduce over real UDP loopback sockets
              --workers N (2) --elems N (4096) --loss P (0)
              --transport udp|channel (udp) --burst N (8) --cores N (1)
+  hier       Two-level hierarchical all-reduce over real sockets: per-
+             rack leaf switches re-aggregate into a spine; per-socket
+             fan-in drops from workers to max(per-rack, racks)
+             --racks N (2) --per-rack N (4) --elems N (4096)
+             --transport udp|channel (udp) --threads N (2) --burst N (8)
+             --loss P (0) --seed N (42)
+             --kill-rack R (off) --kill-at-ms N (1)
+             --up-rto-us N (inherit protocol RTO)
+             --flat (also run the flat star; print the speedup)  --json
   ctrl       Controller-managed jobs: lifecycle, failure detection,
              live reconfiguration, switch failover (simulated rack)
              --workers N (4) --jobs N (1) --switches N (1)
@@ -103,6 +112,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("tune") => commands::tune(args),
         Some("train") => commands::train(args),
         Some("udp") => commands::udp(args),
+        Some("hier") => commands::hier(args),
         Some("ctrl") => commands::ctrl(args),
         Some("chaos") => commands::chaos(args),
         Some("sched") => commands::sched(args),

@@ -233,6 +233,77 @@ impl SlotEngine {
         Ok(engine)
     }
 
+    /// Reconstruct an engine **mid-stream** from per-slot protocol
+    /// state — one `(ver, chunk, active)` triple per owned slot, in
+    /// slot order, as captured by [`SlotEngine::slot_snapshots`] on a
+    /// peer engine with the identical config. The returned engine is
+    /// already past [`SlotEngine::start`]: every `active` slot has its
+    /// recorded chunk outstanding with a freshly armed timer (tainted,
+    /// so Karn's rule keeps the unattributable first round trip out of
+    /// the RTT estimator), and `completed` is derived from each slot's
+    /// position in its stride.
+    ///
+    /// This is what lets a replacement hierarchy leaf rebuild its
+    /// upstream engine after a crash: the rack's worker engines are
+    /// the durable record of how far each slot advanced, and because
+    /// every engine over the same config maps chunks to slots
+    /// identically, the rebuilt engine's (slot, ver, off) sequence
+    /// rejoins the spine's expectations exactly.
+    pub fn resume_at(
+        cfg: EngineConfig,
+        states: &[(PoolVersion, u64, bool)],
+        now: TimeNs,
+    ) -> Result<Self> {
+        if states.len() != cfg.n_slots {
+            return Err(Error::InvalidConfig(
+                "one (ver, chunk, active) state per owned slot required".into(),
+            ));
+        }
+        let mut engine = SlotEngine::new(cfg)?;
+        let rto0 = engine.estimated_rto();
+        let limit = cfg.chunk_base + cfg.n_chunks;
+        let mut completed = 0u64;
+        for (i, (&(ver, chunk, active), st)) in
+            states.iter().zip(engine.slots.iter_mut()).enumerate()
+        {
+            let first = cfg.chunk_base + i as u64;
+            // Chunks this slot owns: first, first + n_slots, … < limit.
+            let owned = if first < limit {
+                (limit - first).div_ceil(cfg.n_slots as u64)
+            } else {
+                0
+            };
+            if active {
+                if chunk < first
+                    || chunk >= limit
+                    || !(chunk - first).is_multiple_of(cfg.n_slots as u64)
+                {
+                    return Err(Error::InvalidConfig(format!(
+                        "slot {i}: chunk {chunk} is not on this slot's stride"
+                    )));
+                }
+                completed += (chunk - first) / cfg.n_slots as u64;
+            } else {
+                completed += owned;
+            }
+            *st = SlotState {
+                ver,
+                chunk: if active { chunk } else { first },
+                deadline: if active {
+                    cfg.rto.map(|_| now + rto0)
+                } else {
+                    None
+                },
+                cur_rto: rto0,
+                sent_at: now,
+                tainted: true,
+                active,
+            };
+        }
+        engine.completed = completed;
+        Ok(engine)
+    }
+
     /// The pool version each owned slot must use next — valid once
     /// [`SlotEngine::is_done`], for seeding the next session.
     pub fn next_versions(&self) -> Result<Vec<PoolVersion>> {
@@ -296,6 +367,28 @@ impl SlotEngine {
 
     pub fn completed_chunks(&self) -> u64 {
         self.completed
+    }
+
+    /// Protocol snapshot of a single owned slot — the allocation-free
+    /// counterpart of [`SlotEngine::slot_snapshots`] for per-packet
+    /// filters (a hierarchy leaf checks every update from below
+    /// against its upstream engine's in-flight state). `None` if this
+    /// engine does not own `slot`.
+    pub fn slot_state(&self, slot: SlotIndex) -> Option<SlotSnapshot> {
+        if !self.owns_slot(slot) {
+            return None;
+        }
+        let st = &self.slots[(slot - self.cfg.slot_base) as usize];
+        let chunk = match &self.chunk_list {
+            Some(list) => list.get(st.chunk as usize).copied().unwrap_or(st.chunk),
+            None => st.chunk,
+        };
+        Some(SlotSnapshot {
+            slot,
+            ver: st.ver,
+            chunk,
+            active: st.active,
+        })
     }
 
     /// Protocol snapshot of every owned slot, in slot order.
@@ -440,6 +533,32 @@ impl SlotEngine {
             off: accepted_off,
             next,
         })
+    }
+
+    /// Restart one slot's retransmission clock at `now`: timeout back
+    /// to the current estimate, untainted, RTT window opened. For
+    /// senders whose actual wire transmission is decoupled from
+    /// protocol advancement — a hierarchy leaf's upstream engine
+    /// advances a slot when the spine's result arrives, but the next
+    /// update only hits the wire once the rack re-completes the chunk,
+    /// so the clock must restart then or the idle gap would both
+    /// inflate the backoff and poison the RTT samples. No-op on a
+    /// retired slot.
+    pub fn rearm_slot(&mut self, slot: SlotIndex, now: TimeNs) -> Result<()> {
+        if !self.owns_slot(slot) {
+            return Err(Error::OutOfRange(
+                "rearm for a slot this engine does not own",
+            ));
+        }
+        let rto0 = self.estimated_rto();
+        let st = &mut self.slots[(slot - self.cfg.slot_base) as usize];
+        if st.active {
+            st.cur_rto = rto0;
+            st.sent_at = now;
+            st.tainted = false;
+            st.deadline = self.cfg.rto.map(|_| now + rto0);
+        }
+        Ok(())
     }
 
     /// Earliest retransmission deadline among active slots.
@@ -816,6 +935,92 @@ mod tests {
         e.disable_retransmission();
         assert_eq!(e.next_deadline(), None);
         assert!(e.expired(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn resume_at_rejoins_a_peer_engine_mid_stream() {
+        // Drive a reference engine halfway, snapshot it, and rebuild a
+        // replacement from the snapshot: the replacement must report
+        // the same progress and accept the same next results.
+        let mut reference = SlotEngine::new(cfg(2, 6, Some(100))).unwrap();
+        reference.start(0);
+        // Slot 0 completes chunks 0 and 2; slot 1 completes chunk 1.
+        reference.on_result(0, PoolVersion::V0, 0, 0).unwrap();
+        reference.on_result(0, PoolVersion::V1, 8, 0).unwrap();
+        reference.on_result(1, PoolVersion::V0, 4, 0).unwrap();
+        let snaps = reference.slot_snapshots();
+        let states: Vec<_> = snaps.iter().map(|s| (s.ver, s.chunk, s.active)).collect();
+
+        let mut e = SlotEngine::resume_at(cfg(2, 6, Some(100)), &states, 1_000).unwrap();
+        assert_eq!(e.completed_chunks(), 3);
+        assert!(!e.is_done());
+        // Timers re-armed for the in-flight chunks…
+        assert_eq!(e.next_deadline(), Some(1_100));
+        let rx = e.expired(1_100);
+        assert_eq!(rx.len(), 2);
+        assert!(rx.iter().all(|d| d.retransmission));
+        // …and the in-flight (slot, ver, off) tuples match the peer's.
+        let mut got: Vec<_> = rx.iter().map(|d| (d.slot, d.ver as u8, d.off)).collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                (0, PoolVersion::V0 as u8, 16),
+                (1, PoolVersion::V1 as u8, 12)
+            ]
+        );
+        // Finishing the remaining chunks completes the engine.
+        e.on_result(0, PoolVersion::V0, 16, 1_200).unwrap();
+        e.on_result(1, PoolVersion::V1, 12, 1_200).unwrap();
+        e.on_result(1, PoolVersion::V0, 20, 1_200).unwrap();
+        assert!(e.is_done());
+        // Karn: the resumed round trips were unattributable.
+        assert_eq!(e.stats().rtt_samples, 0);
+    }
+
+    #[test]
+    fn resume_at_with_retired_slots_counts_them_complete() {
+        // Slot 0 retired (chunks 0, 2 done), slot 1 mid-flight on
+        // chunk 3 (chunk 1 done) → 3 of 4 chunks complete.
+        let states = vec![(PoolVersion::V0, 0, false), (PoolVersion::V1, 3, true)];
+        let e = SlotEngine::resume_at(cfg(2, 4, Some(100)), &states, 0).unwrap();
+        assert_eq!(e.completed_chunks(), 3);
+        // Off-stride chunk rejected.
+        let bad = vec![(PoolVersion::V0, 1, true), (PoolVersion::V0, 1, true)];
+        assert!(SlotEngine::resume_at(cfg(2, 4, None), &bad, 0).is_err());
+        // Wrong state count rejected.
+        assert!(SlotEngine::resume_at(cfg(2, 4, None), &states[..1], 0).is_err());
+    }
+
+    #[test]
+    fn rearm_slot_resets_clock_and_taint() {
+        let mut e = SlotEngine::new(adaptive(1, 4, 100, 10, 10_000)).unwrap();
+        e.start(0);
+        // Two idle expiries back off 100 → 200 → 400 and taint.
+        e.expired(100);
+        e.expired(300);
+        // The actual send happens at t = 1_000: restart the clock.
+        e.rearm_slot(0, 1_000).unwrap();
+        assert_eq!(e.next_deadline(), Some(1_100));
+        // The result at 1_150 is a clean 150 ns sample, not Karn-binned.
+        e.on_result(0, PoolVersion::V0, 0, 1_150).unwrap();
+        assert_eq!(e.stats().rtt_samples, 1);
+        assert_eq!(e.stats().srtt_ns, 150);
+        assert!(e.rearm_slot(9, 0).is_err());
+    }
+
+    #[test]
+    fn slot_state_reports_inflight_tuple() {
+        let mut e = SlotEngine::new(cfg(2, 6, None)).unwrap();
+        e.start(0);
+        let s = e.slot_state(1).unwrap();
+        assert_eq!((s.ver, s.chunk, s.active), (PoolVersion::V0, 1, true));
+        e.on_result(1, PoolVersion::V0, 4, 0).unwrap();
+        let s = e.slot_state(1).unwrap();
+        assert_eq!((s.ver, s.chunk, s.active), (PoolVersion::V1, 3, true));
+        assert!(e.slot_state(7).is_none());
+        // Consistent with the bulk snapshot.
+        assert_eq!(e.slot_snapshots()[1], e.slot_state(1).unwrap());
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub struct LinkSpec {
     /// Uniform probability that a packet is corrupted in flight (the
     /// receiver's checksum will reject it).
     pub corrupt_prob: f64,
+    /// Uniform probability that a delivered packet is duplicated: a
+    /// second identical copy arrives one serialization time behind the
+    /// original (the path retransmitted, the original survived).
+    pub dup_prob: f64,
+    /// Uniform probability that a delivered packet is held back by a
+    /// random extra delay in `(0, reorder_spread]`, letting packets
+    /// queued behind it overtake (multi-path or NIC-queue reordering).
+    pub reorder_prob: f64,
+    /// Maximum extra delay a reordered packet can pick up.
+    pub reorder_spread: Nanos,
+    /// Fixed extra delay added to every delivery on this link — a
+    /// straggling host or a chronically slow path.
+    pub straggle_extra: Nanos,
 }
 
 impl LinkSpec {
@@ -43,6 +56,10 @@ impl LinkSpec {
             queue_bytes: bdp.max(256 * 1024),
             loss_prob: 0.0,
             corrupt_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_spread: Nanos::ZERO,
+            straggle_extra: Nanos::ZERO,
         }
     }
 
@@ -57,6 +74,28 @@ impl LinkSpec {
     pub fn with_corruption(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "corrupt probability out of range");
         self.corrupt_prob = p;
+        self
+    }
+
+    /// Same link with a uniform duplication probability applied.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup probability out of range");
+        self.dup_prob = p;
+        self
+    }
+
+    /// Same link with probabilistic reordering: each delivered packet
+    /// is delayed by up to `spread` extra with probability `p`.
+    pub fn with_reordering(mut self, p: f64, spread: Nanos) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder probability out of range");
+        self.reorder_prob = p;
+        self.reorder_spread = spread;
+        self
+    }
+
+    /// Same link with a fixed straggle delay added to every delivery.
+    pub fn with_straggle(mut self, extra: Nanos) -> Self {
+        self.straggle_extra = extra;
         self
     }
 
@@ -77,8 +116,14 @@ impl LinkSpec {
 /// What the fault/queue admission decided for one packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
-    /// Deliver at the contained time (possibly corrupted).
-    Deliver { arrival: Nanos, corrupted: bool },
+    /// Deliver at the contained time (possibly corrupted). When the
+    /// fault injector duplicated the packet, `dup_arrival` carries the
+    /// arrival time of the trailing copy.
+    Deliver {
+        arrival: Nanos,
+        corrupted: bool,
+        dup_arrival: Option<Nanos>,
+    },
     /// Dropped by random loss.
     Lost,
     /// Dropped by queue overflow.
@@ -98,6 +143,8 @@ pub struct Link {
     pub sent: u64,
     pub lost: u64,
     pub corrupted: u64,
+    pub duplicated: u64,
+    pub reordered: u64,
     pub queue_drops: u64,
     pub bytes_sent: u64,
 }
@@ -110,6 +157,8 @@ impl Link {
             sent: 0,
             lost: 0,
             corrupted: 0,
+            duplicated: 0,
+            reordered: 0,
             queue_drops: 0,
             bytes_sent: 0,
         }
@@ -145,9 +194,28 @@ impl Link {
         if corrupted {
             self.corrupted += 1;
         }
+        let mut arrival =
+            Nanos(done_ps.div_ceil(1000) as u64) + self.spec.propagation + self.spec.straggle_extra;
+        if self.spec.reorder_prob > 0.0
+            && self.spec.reorder_spread > Nanos::ZERO
+            && rng.gen_bool(self.spec.reorder_prob)
+        {
+            self.reordered += 1;
+            arrival += Nanos(rng.gen_range(1..=self.spec.reorder_spread.0));
+        }
+        let dup_arrival = if self.spec.dup_prob > 0.0 && rng.gen_bool(self.spec.dup_prob) {
+            self.duplicated += 1;
+            // The copy trails by one serialization time — it re-rode
+            // the same wire, it did not teleport.
+            let tx_ns = ((done_ps - start_ps).div_ceil(1000) as u64).max(1);
+            Some(arrival + Nanos(tx_ns))
+        } else {
+            None
+        };
         Admission::Deliver {
-            arrival: Nanos(done_ps.div_ceil(1000) as u64) + self.spec.propagation,
+            arrival,
             corrupted,
+            dup_arrival,
         }
     }
 
@@ -180,7 +248,9 @@ mod tests {
         let mut link = Link::new(spec);
         // 1250 bytes at 10G = 1us tx + 1us prop = 2us arrival.
         match link.admit(Nanos::ZERO, 1250, &mut rng()) {
-            Admission::Deliver { arrival, corrupted } => {
+            Admission::Deliver {
+                arrival, corrupted, ..
+            } => {
                 assert_eq!(arrival, Nanos::from_micros(2));
                 assert!(!corrupted);
             }
@@ -251,6 +321,60 @@ mod tests {
             Admission::Deliver { corrupted, .. } => assert!(corrupted),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplication_yields_trailing_copy() {
+        let spec = LinkSpec::clean(10_000_000_000, Nanos::from_micros(1)).with_duplication(1.0);
+        let mut link = Link::new(spec);
+        match link.admit(Nanos::ZERO, 1250, &mut rng()) {
+            Admission::Deliver {
+                arrival,
+                dup_arrival: Some(dup),
+                ..
+            } => {
+                // The copy trails by one serialization time (1us for
+                // 1250B at 10G), never arrives with the original.
+                assert_eq!(arrival, Nanos::from_micros(2));
+                assert_eq!(dup, Nanos::from_micros(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(link.duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_adds_bounded_delay() {
+        let spread = Nanos::from_micros(10);
+        let spec =
+            LinkSpec::clean(10_000_000_000, Nanos::from_micros(1)).with_reordering(1.0, spread);
+        let mut link = Link::new(spec);
+        let base = link.peek_arrival(Nanos::ZERO, 100);
+        match link.admit(Nanos::ZERO, 100, &mut rng()) {
+            Admission::Deliver { arrival, .. } => {
+                assert!(arrival > base, "reordered packet must be delayed");
+                assert!(arrival <= base + spread, "delay bounded by spread");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(link.reordered, 1);
+    }
+
+    #[test]
+    fn straggle_shifts_every_delivery() {
+        let extra = Nanos::from_micros(50);
+        let clean = LinkSpec::clean(10_000_000_000, Nanos::from_micros(1));
+        let mut fast = Link::new(clean);
+        let mut slow = Link::new(clean.with_straggle(extra));
+        let a = match fast.admit(Nanos::ZERO, 1250, &mut rng()) {
+            Admission::Deliver { arrival, .. } => arrival,
+            other => panic!("unexpected {other:?}"),
+        };
+        let b = match slow.admit(Nanos::ZERO, 1250, &mut rng()) {
+            Admission::Deliver { arrival, .. } => arrival,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(b - a, extra);
     }
 
     #[test]

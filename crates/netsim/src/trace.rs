@@ -179,6 +179,21 @@ pub struct CountingTrace {
     pub dropped_loss: u64,
     pub dropped_queue: u64,
     pub bytes_delivered: u64,
+    /// Packets the fault injector duplicated in flight (filled from
+    /// per-link counters when the run ends).
+    pub duplicated: u64,
+    /// Packets the fault injector delayed out of order (per-link).
+    pub reordered: u64,
+    /// Deliveries that crossed a straggling link (per-link).
+    pub straggled: u64,
+}
+
+impl CountingTrace {
+    /// Total injected network faults of every kind — the scenario
+    /// layer's "did the fault plan actually bite" oracle.
+    pub fn injected_faults(&self) -> u64 {
+        self.dropped_loss + self.duplicated + self.reordered + self.straggled
+    }
 }
 
 impl TraceSink for CountingTrace {

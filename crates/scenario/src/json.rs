@@ -115,6 +115,12 @@ impl Scenario {
             ("stragglers".to_string(), Value::Array(stragglers)),
             ("kills".to_string(), Value::Array(kills)),
         ];
+        if let Some((rack, us)) = f.kill_rack {
+            faults.push((
+                "kill_rack".to_string(),
+                json!({"rack": rack as u64, "at_us": us}),
+            ));
+        }
         if let Some(ms) = f.switch_restart_ms {
             faults.push(("switch_restart_ms".to_string(), json!(ms)));
         }
@@ -259,6 +265,14 @@ impl Scenario {
             batch_loss: opt_bool(fv, "batch_loss", false)?,
             stragglers,
             kills,
+            kill_rack: {
+                let kr = fv.get("kill_rack");
+                if kr.is_null() {
+                    None
+                } else {
+                    Some((opt_u64(kr, "rack", 0)? as usize, opt_u64(kr, "at_us", 0)?))
+                }
+            },
             switch_restart_ms: if fv.get("switch_restart_ms").is_null() {
                 None
             } else {

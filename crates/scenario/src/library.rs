@@ -38,6 +38,48 @@ pub fn all() -> Vec<Scenario> {
                 .expect(Expect::BitIdentical)
                 .finish(),
         ),
+        // ------------------------------------- hierarchy on real sockets
+        build(
+            Scenario::build("hier-reactor-2x4")
+                .descr("2 racks x 4 workers over real sockets: leaf re-aggregation, spine reduce")
+                .runner(RunnerKind::Reactor { threads: 2 })
+                .racks(2)
+                .workers(4)
+                .job_with(|j| j.elems = 2048)
+                .expect(Expect::Completes)
+                .expect(Expect::BitIdentical)
+                .finish(),
+        ),
+        build(
+            Scenario::build("hier-loss-both-hops")
+                .descr("5% loss around spine and leaves: per-hop RTO domains recover both hops")
+                .runner(RunnerKind::Reactor { threads: 2 })
+                .racks(2)
+                .workers(4)
+                .job_with(|j| j.elems = 4096)
+                .loss(0.05)
+                .seed(77)
+                .expect(Expect::BitIdentical)
+                .expect(Expect::FaultsInjected)
+                .expect(Expect::Retransmissions)
+                .finish(),
+        ),
+        build(
+            Scenario::build("hier-rack-kill-refence")
+                .descr(
+                    "leaf 1 dies at 1ms; the replacement fences its rack epoch, quiet rack idles",
+                )
+                .runner(RunnerKind::Reactor { threads: 2 })
+                .racks(2)
+                .workers(4)
+                .topology_with(|t| t.k = 32)
+                .job_with(|j| j.elems = 16384)
+                .kill_rack_at_us(1, 1_000)
+                .expect(Expect::BitIdentical)
+                .expect(Expect::EpochAtLeast(1))
+                .only(&[Transport::Channel])
+                .finish(),
+        ),
         // ------------------------------------------------ loss storms
         build(
             Scenario::build("loss-storm-5pct")
@@ -328,6 +370,7 @@ pub fn udp_subset() -> &'static [&'static str] {
         "reactor-loss-adaptive-rto",
         "udp-gro-burst-loss",
         "ctrl-shrink-on-kill",
+        "hier-reactor-2x4",
     ]
 }
 

@@ -104,7 +104,7 @@ pub struct Topology {
     /// Engine shards (cores) per worker, and switch shards.
     pub cores: usize,
     /// Racks in a two-level hierarchy; `1` = flat. Hierarchy runs on
-    /// the netsim plain runner only.
+    /// the netsim plain runner and the reactor transport runner.
     pub racks: usize,
     /// Elements per packet `k`.
     pub k: usize,
@@ -249,6 +249,11 @@ pub struct FaultPlan {
     pub stragglers: Vec<(usize, u64)>,
     /// `(worker, when)`: scripted crashes.
     pub kills: Vec<(usize, KillWhen)>,
+    /// `(rack, at_us)`: crash the rack's leaf switch this many
+    /// microseconds in (hierarchy on the reactor transport runner).
+    /// The replacement leaf bumps the rack epoch and re-drives only
+    /// its own rack.
+    pub kill_rack: Option<(usize, u64)>,
     /// Restart the switch this many milliseconds in (ctrl runner on a
     /// real transport): pool state and admissions are lost, the
     /// controller fails every job over in place.
@@ -348,14 +353,19 @@ impl Scenario {
         let f = &self.faults;
         match t {
             Transport::Netsim => {
-                // The simulator injects loss on links; it has no hook
-                // for duplication, reordering, stragglers, send-count
-                // kills, batch shaping, or switch restarts.
-                if f.dup != 0.0
-                    || f.reorder != 0.0
-                    || f.batch_loss
-                    || !f.stragglers.is_empty()
-                    || f.switch_restart_ms.is_some()
+                // Link-level fault injection covers loss, duplication,
+                // reordering, and per-worker straggle; it still has no
+                // hook for send-count kills, batch shaping, switch
+                // restarts, or rack-switch crashes.
+                if f.batch_loss || f.switch_restart_ms.is_some() || f.kill_rack.is_some() {
+                    return false;
+                }
+                // Per-worker straggler links, and the §3.5 fault
+                // placement for dup/reorder (results only), exist only
+                // on the single-rack star; the hierarchy's duplex
+                // links cannot separate the two directions.
+                if (f.dup != 0.0 || f.reorder != 0.0 || !f.stragglers.is_empty())
+                    && self.topology.racks != 1
                 {
                     return false;
                 }
@@ -365,7 +375,11 @@ impl Scenario {
                         self.topology.racks == 1 && f.kills.is_empty() && f.failover_us.is_none()
                     }
                     RunnerKind::Ctrl => {
+                        // The netsim ctrl scenario wires loss only.
                         self.topology.racks == 1
+                            && f.dup == 0.0
+                            && f.reorder == 0.0
+                            && f.stragglers.is_empty()
                             && f.kills.len() <= 1
                             && f.kills
                                 .iter()
@@ -379,9 +393,21 @@ impl Scenario {
                 }
             }
             Transport::Channel | Transport::Udp => {
-                // Hierarchy and switch failover are simulator-only.
-                if self.topology.racks != 1 || f.failover_us.is_some() {
+                // Switch failover is simulator-only.
+                if f.failover_us.is_some() {
                     return false;
+                }
+                if self.topology.racks != 1 {
+                    // Hierarchy on a real transport runs on the reactor
+                    // data plane: one job, loss faults (plain or
+                    // batch-preserving) plus the scripted rack kill.
+                    return matches!(self.runner, RunnerKind::Reactor { .. })
+                        && self.jobs.len() == 1
+                        && f.switch_restart_ms.is_none()
+                        && f.kills.is_empty()
+                        && f.stragglers.is_empty()
+                        && f.dup == 0.0
+                        && f.reorder == 0.0;
                 }
                 match self.runner {
                     RunnerKind::Plain | RunnerKind::Sharded | RunnerKind::Reactor { .. } => {
@@ -471,8 +497,21 @@ impl Scenario {
         if matches!(self.runner, RunnerKind::Reactor { threads: 0 }) {
             return Err("reactor needs >= 1 thread".into());
         }
-        if self.topology.racks > 1 && !matches!(self.runner, RunnerKind::Plain) {
-            return Err("hierarchy (racks > 1) runs on the plain runner only".into());
+        if self.topology.racks > 1
+            && !matches!(self.runner, RunnerKind::Plain | RunnerKind::Reactor { .. })
+        {
+            return Err("hierarchy (racks > 1) runs on the plain or reactor runners only".into());
+        }
+        if let Some((rack, _)) = self.faults.kill_rack {
+            if self.topology.racks < 2 {
+                return Err("kill_rack needs a hierarchy (racks > 1)".into());
+            }
+            if rack >= self.topology.racks {
+                return Err(format!(
+                    "kill_rack rack {rack} >= {} racks",
+                    self.topology.racks
+                ));
+            }
         }
         if self
             .faults
@@ -633,6 +672,11 @@ impl ScenarioBuilder {
             .faults
             .kills
             .push((worker, KillWhen::AfterSends(sends)));
+        self
+    }
+
+    pub fn kill_rack_at_us(mut self, rack: usize, at_us: u64) -> Self {
+        self.sc.faults.kill_rack = Some((rack, at_us));
         self
     }
 

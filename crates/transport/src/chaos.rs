@@ -226,8 +226,9 @@ pub fn chaos_fabric_data_plane<P: Port>(
 #[derive(Debug)]
 pub enum ChaosOutcome {
     /// The run completed and every worker's aggregate is bit-identical
-    /// to the lossless sequential reference.
-    BitIdentical(RunReport),
+    /// to the lossless sequential reference. Boxed: a `RunReport`
+    /// carries every per-endpoint counter and dwarfs the error arm.
+    BitIdentical(Box<RunReport>),
     /// The schedule made completion impossible (e.g. a killed
     /// endpoint on the plain data plane) and the runner reported it
     /// instead of delivering wrong numbers.
@@ -256,7 +257,7 @@ fn verify_bit_identical(report: RunReport, reference: &[Vec<f32>]) -> Result<Cha
             }
         }
     }
-    Ok(ChaosOutcome::BitIdentical(report))
+    Ok(ChaosOutcome::BitIdentical(Box::new(report)))
 }
 
 /// Run one all-reduce under `spec` on the plain threaded runner

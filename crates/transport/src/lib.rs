@@ -32,6 +32,7 @@
 pub mod channel;
 pub mod chaos;
 pub mod faulty;
+pub mod hier;
 pub mod lossy;
 pub mod port;
 pub mod reactor;
@@ -40,6 +41,10 @@ pub mod shard;
 pub mod udp;
 pub mod wheel;
 
+pub use hier::{
+    hier_fabric_size, hier_worker_endpoint, leaf_endpoint, run_allreduce_hier, HierConfig,
+    HierReport, SPINE_ENDPOINT,
+};
 pub use port::{worker_endpoint, BurstBuf, Port, PortStats, TxBatch, SWITCH_ENDPOINT};
 pub use reactor::{run_allreduce_reactor, ReactorStats};
 pub use runner::{

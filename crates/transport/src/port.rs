@@ -310,6 +310,58 @@ pub trait Port: Send {
     }
 }
 
+/// Default idle-nap cap for non-blocking event loops: 100 µs keeps a
+/// quiet loop responsive (well under any sane RTO) while yielding the
+/// core — essential on hosts with fewer hardware threads than OS
+/// threads.
+pub const IDLE_NAP_NS: u64 = 100_000;
+
+/// Yield-then-nap backoff for `Duration::ZERO` poll loops.
+///
+/// Every run-to-completion loop in this crate (reactor threads, switch
+/// shards, hierarchy leaf/spine loops) polls its port non-blockingly
+/// and must decide what to do on a miss. The shared policy: the first
+/// idle iteration merely yields the core (traffic may already be in
+/// flight from a sibling thread), and every subsequent idle iteration
+/// naps — bounded by the caller's next-deadline hint and the
+/// [`IDLE_NAP_NS`] cap — so a quiet loop burns no CPU yet wakes in
+/// time for its earliest timer.
+#[derive(Debug, Default)]
+pub struct IdleBackoff {
+    streak: u32,
+    naps: u64,
+}
+
+impl IdleBackoff {
+    pub fn new() -> Self {
+        IdleBackoff::default()
+    }
+
+    /// The loop made progress: reset the streak.
+    pub fn progress(&mut self) {
+        self.streak = 0;
+    }
+
+    /// The loop found nothing to do. `hint_ns` is the time until the
+    /// caller's next deadline (e.g. the earliest retransmission
+    /// timer), bounding the nap so no timer fires late.
+    pub fn idle(&mut self, hint_ns: Option<u64>) {
+        self.streak += 1;
+        if self.streak == 1 {
+            std::thread::yield_now();
+        } else {
+            let nap = hint_ns.unwrap_or(IDLE_NAP_NS).clamp(1, IDLE_NAP_NS);
+            std::thread::sleep(Duration::from_nanos(nap));
+            self.naps += 1;
+        }
+    }
+
+    /// Times the loop napped instead of spinning (for stats).
+    pub fn naps(&self) -> u64 {
+        self.naps
+    }
+}
+
 /// Conventional endpoint index of the switch.
 pub const SWITCH_ENDPOINT: usize = 0;
 

@@ -51,12 +51,12 @@ use switchml_core::worker::engine::{EngineConfig, EngineStats, ResultOutcome, Sl
 /// fine relative to any sane RTO (the runners clamp RTOs to ≥ 100 µs
 /// on real transports anyway), so wheel rounding adds at most one
 /// tick of retransmission latency.
-const WHEEL_TICK_NS: TimeNs = 50_000;
+pub(crate) const WHEEL_TICK_NS: TimeNs = 50_000;
 
 /// Buckets per wheel: one revolution spans 256 × 50 µs = 12.8 ms,
 /// comfortably above the RTO range, so cascades only occur under
 /// heavy exponential backoff.
-const WHEEL_BUCKETS: usize = 256;
+pub(crate) const WHEEL_BUCKETS: usize = 256;
 
 /// Idle sleep cap. An idle reactor thread naps at most this long, so
 /// it stays responsive to traffic while yielding the core to the
@@ -557,6 +557,7 @@ pub fn run_allreduce_reactor<P: Port + 'static>(
             switch_stats,
             transport_stats,
             reactor: Some(reactor_stats),
+            hier: None,
             wall: t0.elapsed(),
         })
     })

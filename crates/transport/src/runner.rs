@@ -135,6 +135,9 @@ pub struct RunReport {
     /// Event-loop health counters, present only for runs driven by the
     /// run-to-completion reactor ([`crate::reactor::run_allreduce_reactor`]).
     pub reactor: Option<crate::reactor::ReactorStats>,
+    /// Two-level tree counters, present only for hierarchical runs
+    /// ([`crate::hier::run_allreduce_hier`]).
+    pub hier: Option<crate::hier::HierReport>,
     pub wall: Duration,
 }
 
@@ -321,6 +324,7 @@ pub fn run_allreduce<P: Port + 'static>(
         switch_stats: multi.switch_stats,
         transport_stats: multi.transport_stats,
         reactor: None,
+        hier: None,
         wall: multi.wall,
     })
 }

@@ -36,7 +36,7 @@
 //! endpoint `c + w·c + j` (see [`shard_endpoint`] /
 //! [`worker_core_endpoint`]).
 
-use crate::port::{BurstBuf, Port, PortStats, TxBatch};
+use crate::port::{BurstBuf, IdleBackoff, Port, PortStats, TxBatch};
 use crate::runner::{RunConfig, RunReport, SCRATCH_CAPACITY};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -92,15 +92,23 @@ pub(crate) fn shard_switch_loop<P: Port>(
     let mut rxb = BurstBuf::new(burst, SCRATCH_CAPACITY);
     let mut txb = TxBatch::new(SCRATCH_CAPACITY);
     let mut tx = Vec::with_capacity(SCRATCH_CAPACITY);
+    // Reactor-style non-blocking poll (the `Duration::ZERO` contract):
+    // the shard never parks inside the transport, so the same loop
+    // shape serves blocking-averse hosts and lets the hierarchy's
+    // leaf/spine loops share the pattern. A miss yields, a persistent
+    // miss naps (bounded), so idle shards don't starve worker threads.
+    let mut idle = IdleBackoff::new();
     while !stop.load(Ordering::Acquire) {
         if Instant::now() > deadline {
             return Err(Error::ProtocolViolation(format!(
                 "switch shard {shard} exceeded the wall-clock budget"
             )));
         }
-        if port.recv_batch(&mut rxb, Duration::from_micros(200)) == 0 {
+        if port.recv_batch(&mut rxb, Duration::ZERO) == 0 {
+            idle.idle(None);
             continue;
         }
+        idle.progress();
         txb.clear();
         for (_from, frame) in rxb.iter() {
             let Ok(view) = PacketView::parse(frame) else {
@@ -455,6 +463,7 @@ pub fn run_allreduce_sharded<P: Port + 'static>(
             switch_stats,
             transport_stats,
             reactor: None,
+            hier: None,
             wall: t0.elapsed(),
         })
     })
